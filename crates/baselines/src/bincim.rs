@@ -1,0 +1,379 @@
+//! Binary-radix compute-in-memory baseline (AritPIM-style, paper ref.\[35\]).
+//!
+//! Bulk-bitwise in-memory machines execute binary arithmetic *bit-serially*
+//! over bit-sliced operands: a ripple-carry adder takes `O(n)` row
+//! operations, a shift-add multiplier `O(n²)`, and a restoring divider
+//! `O(n²)` — each cycle a MAGIC-style stateful gate (a row write). The
+//! implementation here is functional, not just a cost table: real
+//! bit-serial adders, multipliers and dividers whose *intermediate result
+//! bits* can be flipped with a per-cycle fault probability. Because binary
+//! radix is positional, a single fault in a high bit corrupts the result
+//! catastrophically — the vulnerability the paper's Table IV quantifies
+//! against SC's graceful degradation.
+
+use sc_core::rng::Xoshiro256;
+
+/// Cycle counts and per-cycle costs of the binary CIM arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinCimCosts {
+    /// Row-operations per full adder bit (MAGIC NOR decomposition).
+    pub cycles_per_adder_bit: f64,
+    /// One in-memory cycle latency, ns (a programming pulse).
+    pub t_cycle_ns: f64,
+    /// Energy per cycle per column, pJ.
+    pub e_cycle_bit_pj: f64,
+    /// Columns processed in parallel (bit-sliced SIMD width).
+    pub simd_columns: usize,
+    /// Bitcells touched per word per cycle (operand + temporary slices of
+    /// a MAGIC-style datapath).
+    pub bitcells_per_word: f64,
+    /// Words co-resident in one array (columns / slices-per-word); sets
+    /// the per-word latency amortization.
+    pub words_per_array: usize,
+}
+
+impl BinCimCosts {
+    /// Calibrated defaults: 13 MAGIC cycles per full-adder bit, write-class
+    /// cycle time, 256-column SIMD.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        BinCimCosts {
+            cycles_per_adder_bit: 13.0,
+            t_cycle_ns: 19.825,
+            e_cycle_bit_pj: 1.663,
+            simd_columns: 256,
+            bitcells_per_word: 4.0,
+            words_per_array: 64,
+        }
+    }
+
+    /// Cycles for an `n`-bit addition.
+    #[must_use]
+    pub fn add_cycles(&self, n: u32) -> f64 {
+        self.cycles_per_adder_bit * f64::from(n)
+    }
+
+    /// Cycles for an `n`-bit multiplication (shift-add).
+    #[must_use]
+    pub fn mul_cycles(&self, n: u32) -> f64 {
+        self.cycles_per_adder_bit * f64::from(n) * f64::from(n)
+    }
+
+    /// Cycles for an `n`-bit restoring division (subtract + select per
+    /// quotient bit).
+    #[must_use]
+    pub fn div_cycles(&self, n: u32) -> f64 {
+        1.5 * self.cycles_per_adder_bit * f64::from(n) * f64::from(n)
+    }
+
+    /// Per-element latency (ns) of an operation taking `cycles`, with the
+    /// SIMD width amortized across elements.
+    #[must_use]
+    pub fn latency_per_element_ns(&self, cycles: f64) -> f64 {
+        cycles * self.t_cycle_ns / self.simd_columns as f64
+    }
+
+    /// Per-element energy (nJ) of an operation taking `cycles` (each
+    /// cycle touches one bit per column; per element = one column).
+    #[must_use]
+    pub fn energy_per_element_nj(&self, cycles: f64) -> f64 {
+        cycles * self.e_cycle_bit_pj / 1000.0
+    }
+
+    /// Per-word energy (nJ): each cycle programs `bitcells_per_word`
+    /// cells of the word's column group.
+    #[must_use]
+    pub fn energy_per_word_nj(&self, cycles: f64) -> f64 {
+        cycles * self.bitcells_per_word * self.e_cycle_bit_pj / 1000.0
+    }
+
+    /// Per-word latency (ns), amortized over the words co-resident in
+    /// one array.
+    #[must_use]
+    pub fn latency_per_word_ns(&self, cycles: f64) -> f64 {
+        cycles * self.t_cycle_ns / self.words_per_array as f64
+    }
+}
+
+impl Default for BinCimCosts {
+    fn default() -> Self {
+        BinCimCosts::calibrated()
+    }
+}
+
+/// A functional binary CIM unit with per-cycle fault injection.
+///
+/// # Example
+///
+/// ```
+/// use baselines::bincim::BinaryCim;
+///
+/// let mut cim = BinaryCim::fault_free();
+/// assert_eq!(cim.add(100, 55), 155);
+/// assert_eq!(cim.mul_wide(12, 11), 132);
+/// assert_eq!(cim.div(200, 8), 25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryCim {
+    fault_prob: f64,
+    rng: Xoshiro256,
+    cycles: u64,
+}
+
+impl BinaryCim {
+    /// A fault-free unit.
+    #[must_use]
+    pub fn fault_free() -> Self {
+        BinaryCim {
+            fault_prob: 0.0,
+            rng: Xoshiro256::seed_from_u64(0),
+            cycles: 0,
+        }
+    }
+
+    /// A unit whose intermediate bits flip with probability `p` per
+    /// produced bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_faults(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fault probability out of range");
+        BinaryCim {
+            fault_prob: p,
+            rng: Xoshiro256::seed_from_u64(seed),
+            cycles: 0,
+        }
+    }
+
+    /// Total bit-serial cycles executed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn faulty(&mut self, bit: bool) -> bool {
+        self.cycles += 1;
+        if self.fault_prob > 0.0 && self.rng.next_f64() < self.fault_prob {
+            !bit
+        } else {
+            bit
+        }
+    }
+
+    /// Generic bit-serial ripple-carry addition over `bits` positions
+    /// (each sum and carry bit is a faultable intermediate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=32`.
+    pub fn add_bits(&mut self, a: u32, b: u32, bits: u32) -> u32 {
+        assert!((1..=32).contains(&bits), "adder width must be 1..=32");
+        let mut carry = false;
+        let mut out = 0u32;
+        for i in 0..bits {
+            let ab = (a >> i) & 1 == 1;
+            let bb = (b >> i) & 1 == 1;
+            let sum = self.faulty(ab ^ bb ^ carry);
+            carry = self.faulty((ab && bb) || (carry && (ab ^ bb)));
+            if sum {
+                out |= 1 << i;
+            }
+        }
+        out & (u32::MAX >> (32 - bits))
+    }
+
+    /// 16-bit ripple-carry addition of two values.
+    pub fn add_wide(&mut self, a: u16, b: u16) -> u16 {
+        self.add_bits(u32::from(a), u32::from(b), 16) as u16
+    }
+
+    /// Absolute difference `|a − b|` via bit-serial two's-complement
+    /// subtraction (subtract, then conditionally negate on borrow).
+    pub fn sub_abs(&mut self, a: u8, b: u8) -> u8 {
+        // a - b = a + !b + 1 over 9 bits; bit 8 is the no-borrow flag.
+        let diff = self.add_bits(u32::from(a), u32::from(!b) + 1, 9);
+        if diff & 0x100 != 0 {
+            (diff & 0xFF) as u8
+        } else {
+            // Negative: negate the 8-bit two's-complement result.
+            let neg = self.add_bits(!(diff & 0xFF) & 0xFF, 1, 8);
+            neg as u8
+        }
+    }
+
+    /// 8-bit addition with saturation at 255 (pixel semantics).
+    pub fn add(&mut self, a: u8, b: u8) -> u8 {
+        let wide = self.add_wide(u16::from(a), u16::from(b));
+        if wide > 255 {
+            255
+        } else {
+            wide as u8
+        }
+    }
+
+    /// 8×8→16-bit shift-add multiplication.
+    pub fn mul_wide(&mut self, a: u8, b: u8) -> u16 {
+        let mut acc = 0u16;
+        for i in 0..8 {
+            if (b >> i) & 1 == 1 {
+                acc = self.add_wide(acc, u16::from(a) << i);
+            } else {
+                // The shift-add datapath still spends the adder cycles on
+                // zero partial products (no early exit in SIMD CIM).
+                for _ in 0..16 {
+                    self.cycles += 2;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fixed-point multiply of two 8-bit fractions (`a·b/256`), the pixel
+    /// kernel used by compositing/interpolation.
+    pub fn mul(&mut self, a: u8, b: u8) -> u8 {
+        (self.mul_wide(a, b) >> 8) as u8
+    }
+
+    /// 8-bit restoring division `a / b` (returns 255 on division by
+    /// zero, matching a saturating hardware path).
+    pub fn div(&mut self, a: u8, b: u8) -> u8 {
+        if b == 0 {
+            return 255;
+        }
+        let mut remainder = 0u16;
+        let mut quotient = 0u8;
+        for i in (0..8).rev() {
+            remainder = (remainder << 1) | u16::from((a >> i) & 1);
+            let fits = remainder >= u16::from(b);
+            let q_bit = self.faulty(fits);
+            if q_bit {
+                quotient |= 1 << i;
+                remainder = remainder.wrapping_sub(u16::from(b));
+                // A faulted quotient bit of a restoring divider also
+                // corrupts the running remainder; model the cycles.
+            }
+            for _ in 0..12 {
+                self.cycles += 1;
+            }
+        }
+        quotient
+    }
+
+    /// Fixed-point fraction division `⌊a·256/b⌋` clamped to 255 — the
+    /// alpha-estimation kernel of image matting.
+    pub fn div_frac(&mut self, a: u8, b: u8) -> u8 {
+        if b == 0 {
+            return 255;
+        }
+        let mut remainder = 0u32;
+        let wide = u32::from(a) << 8;
+        let mut quotient = 0u32;
+        for i in (0..16).rev() {
+            remainder = (remainder << 1) | ((wide >> i) & 1);
+            let fits = remainder >= u32::from(b);
+            let q_bit = self.faulty(fits);
+            if q_bit {
+                quotient |= 1 << i;
+                remainder = remainder.wrapping_sub(u32::from(b));
+            }
+            for _ in 0..12 {
+                self.cycles += 1;
+            }
+        }
+        quotient.min(255) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_arithmetic_is_exact() {
+        let mut cim = BinaryCim::fault_free();
+        for (a, b) in [(0u8, 0u8), (255, 255), (100, 55), (17, 3)] {
+            assert_eq!(cim.add(a, b), a.saturating_add(b), "add {a}+{b}");
+            assert_eq!(
+                cim.mul_wide(a, b),
+                u16::from(a) * u16::from(b),
+                "mul {a}*{b}"
+            );
+            if b != 0 {
+                assert_eq!(cim.div(a, b), a / b, "div {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_abs_is_absolute_difference() {
+        let mut cim = BinaryCim::fault_free();
+        for (a, b) in [(0u8, 0u8), (255, 0), (0, 255), (100, 55), (55, 100), (7, 7)] {
+            assert_eq!(cim.sub_abs(a, b), a.abs_diff(b), "|{a}-{b}|");
+        }
+    }
+
+    #[test]
+    fn frac_ops_match_fixed_point_reference() {
+        let mut cim = BinaryCim::fault_free();
+        assert_eq!(cim.mul(128, 128), 64); // 0.5 × 0.5 = 0.25
+        assert_eq!(cim.div_frac(64, 128), 128); // 0.25 / 0.5 = 0.5
+        assert_eq!(cim.div_frac(200, 100), 255); // saturates above 1.0
+        assert_eq!(cim.div_frac(1, 0), 255);
+    }
+
+    #[test]
+    fn faults_produce_large_positional_errors() {
+        // With a 2% per-bit fault rate, binary multiplication errors are
+        // frequently worth > 16 gray levels — the positional vulnerability.
+        let mut cim = BinaryCim::with_faults(0.02, 42);
+        let mut big_errors = 0;
+        let trials = 500;
+        for t in 0..trials {
+            let a = (t * 37 % 256) as u8;
+            let b = (t * 91 % 256) as u8;
+            let got = cim.mul(a, b);
+            let want = ((u16::from(a) * u16::from(b)) >> 8) as u8;
+            if (i32::from(got) - i32::from(want)).abs() > 16 {
+                big_errors += 1;
+            }
+        }
+        assert!(big_errors > trials / 20, "big errors: {big_errors}");
+    }
+
+    #[test]
+    fn cycles_accumulate_with_op_complexity() {
+        let mut cim = BinaryCim::fault_free();
+        cim.add(1, 2);
+        let add_cycles = cim.cycles();
+        let mut cim = BinaryCim::fault_free();
+        cim.mul_wide(3, 5);
+        let mul_cycles = cim.cycles();
+        assert!(mul_cycles > 5 * add_cycles, "{mul_cycles} vs {add_cycles}");
+    }
+
+    #[test]
+    fn cost_model_complexity_ordering() {
+        let c = BinCimCosts::calibrated();
+        assert!(c.mul_cycles(8) > 7.0 * c.add_cycles(8));
+        assert!(c.div_cycles(8) > c.mul_cycles(8));
+        // Latency amortizes across SIMD columns; energy does not.
+        let lat = c.latency_per_element_ns(c.mul_cycles(8));
+        assert!(lat < c.mul_cycles(8) * c.t_cycle_ns);
+        let e = c.energy_per_element_nj(c.mul_cycles(8));
+        assert!(e > 1.0, "{e}"); // ≈ 832 cycles × 1.663 pJ ≈ 1.38 nJ
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut cim = BinaryCim::with_faults(0.05, seed);
+            (0..64)
+                .map(|i| cim.mul(i as u8 * 3, 200))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,204 @@
+//! CMOS stochastic-computing baseline (Table III ✛ rows).
+//!
+//! The conventional SC datapath: a PRNG/QRNG plus binary comparator
+//! generate the bit-streams, simple gates process them *serially* (one
+//! bit per clock), and a `log₂N`-bit counter converts back to binary —
+//! so total latency is `critical path × N`. The per-design constants
+//! below reproduce the paper's 45 nm Synopsys DC synthesis results at
+//! `N = 256` and scale linearly in `N`.
+//!
+//! Functional accuracy of these designs is obtained with the matching
+//! `sc_core` RNGs ([`sc_core::rng::Lfsr`], [`sc_core::rng::Sobol`]); this
+//! module supplies the *hardware-cost* side, including the off-chip
+//! stream movement the CMOS flow pays when images live in ReRAM storage
+//! (the Figs. 4–5 scenario).
+
+use imsc::cost::{DesignCost, ScOperation};
+
+/// The stochastic number generator family of a CMOS design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmosSng {
+    /// 8-bit maximal-length LFSR + comparator.
+    Lfsr,
+    /// 8-bit Sobol sequence generator + comparator.
+    Sobol,
+}
+
+impl CmosSng {
+    /// Display label matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CmosSng::Lfsr => "LFSR + Comparator",
+            CmosSng::Sobol => "Sobol + Comparator",
+        }
+    }
+}
+
+/// Reference stream length of the synthesized designs.
+const N_REF: f64 = 256.0;
+
+/// `(critical_path_ns, energy_nj_at_n256)` for each (SNG, op) pair,
+/// encoding the paper's Table III ✛ block.
+fn constants(sng: CmosSng, op: ScOperation) -> (f64, f64) {
+    match (sng, op) {
+        (CmosSng::Lfsr, ScOperation::Multiply) => (122.88 / N_REF, 0.23),
+        (CmosSng::Lfsr, ScOperation::Addition) => (130.56 / N_REF, 0.26),
+        (CmosSng::Lfsr, ScOperation::Subtraction) => (133.12 / N_REF, 0.16),
+        (CmosSng::Lfsr, ScOperation::Division) => (133.12 / N_REF, 0.18),
+        (CmosSng::Sobol, ScOperation::Multiply) => (125.44 / N_REF, 0.30),
+        (CmosSng::Sobol, ScOperation::Addition) => (130.56 / N_REF, 0.30),
+        (CmosSng::Sobol, ScOperation::Subtraction) => (133.12 / N_REF, 0.12),
+        (CmosSng::Sobol, ScOperation::Division) => (130.56 / N_REF, 0.14),
+    }
+}
+
+/// A CMOS stochastic-computing design instance.
+///
+/// # Example
+///
+/// ```
+/// use baselines::cmos::{CmosDesign, CmosSng};
+/// use imsc::cost::ScOperation;
+///
+/// let d = CmosDesign::new(CmosSng::Lfsr);
+/// let c = d.op_cost(ScOperation::Multiply, 256);
+/// assert!((c.latency_ns - 122.88).abs() < 1e-9);
+/// assert!((c.energy_nj - 0.23).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CmosDesign {
+    sng: CmosSng,
+}
+
+impl CmosDesign {
+    /// Creates a design with the given SNG family.
+    #[must_use]
+    pub fn new(sng: CmosSng) -> Self {
+        CmosDesign { sng }
+    }
+
+    /// The SNG family.
+    #[must_use]
+    pub fn sng(&self) -> CmosSng {
+        self.sng
+    }
+
+    /// End-to-end cost (❶SNG + ❷serial logic + ❸counter) of one SC
+    /// operation at stream length `n`, *excluding* memory movement.
+    #[must_use]
+    pub fn op_cost(&self, op: ScOperation, n: usize) -> DesignCost {
+        let (cp_ns, e_ref) = constants(self.sng, op);
+        let scale = n as f64 / N_REF;
+        DesignCost {
+            latency_ns: cp_ns * n as f64,
+            energy_nj: e_ref * scale,
+        }
+    }
+
+    /// Off-chip data-movement cost for shuttling binary operands between
+    /// the ReRAM storage and the CMOS SC logic — the cost the paper notes
+    /// is "often overlooked". The CMOS flow moves *binary* words (its
+    /// SNG/counter sit at the logic side), so this cost is independent of
+    /// the stream length `N`, which is exactly why a crossover against
+    /// the N-proportional in-memory design exists.
+    ///
+    /// Uses 115 pJ/bit end-to-end access energy (off-chip storage read +
+    /// link + SRAM staging, the standard figure for off-chip access) and
+    /// 1.25 ns/bit serialized link latency.
+    #[must_use]
+    pub fn transfer_cost(&self, words: usize, bits_per_word: u32) -> DesignCost {
+        let bits = words as f64 * f64::from(bits_per_word);
+        DesignCost {
+            latency_ns: bits * 1.25,
+            energy_nj: bits * 115.0 / 1000.0,
+        }
+    }
+
+    /// Total per-operation cost including loading the binary operand
+    /// words and storing the binary result (the Figs. 4–5 accounting);
+    /// operands are `bits_per_word`-bit values (8-bit pixels in the
+    /// paper's applications).
+    #[must_use]
+    pub fn op_cost_with_movement(
+        &self,
+        op: ScOperation,
+        n: usize,
+        operand_words: usize,
+        bits_per_word: u32,
+    ) -> DesignCost {
+        let compute = self.op_cost(op, n);
+        let movement = self.transfer_cost(operand_words + 1, bits_per_word);
+        DesignCost {
+            latency_ns: compute.latency_ns + movement.latency_ns,
+            energy_nj: compute.energy_nj + movement.energy_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_cmos_rows_at_n256() {
+        let lfsr = CmosDesign::new(CmosSng::Lfsr);
+        let sobol = CmosDesign::new(CmosSng::Sobol);
+        let rows = [
+            (lfsr, ScOperation::Multiply, 122.88, 0.23),
+            (lfsr, ScOperation::Addition, 130.56, 0.26),
+            (lfsr, ScOperation::Subtraction, 133.12, 0.16),
+            (lfsr, ScOperation::Division, 133.12, 0.18),
+            (sobol, ScOperation::Multiply, 125.44, 0.30),
+            (sobol, ScOperation::Addition, 130.56, 0.30),
+            (sobol, ScOperation::Subtraction, 133.12, 0.12),
+            (sobol, ScOperation::Division, 130.56, 0.14),
+        ];
+        for (design, op, lat, e) in rows {
+            let c = design.op_cost(op, 256);
+            assert!((c.latency_ns - lat).abs() < 1e-9, "{op:?} latency");
+            assert!((c.energy_nj - e).abs() < 1e-9, "{op:?} energy");
+        }
+    }
+
+    #[test]
+    fn latency_scales_linearly_with_n() {
+        let d = CmosDesign::new(CmosSng::Lfsr);
+        let c32 = d.op_cost(ScOperation::Multiply, 32);
+        let c256 = d.op_cost(ScOperation::Multiply, 256);
+        assert!((c256.latency_ns / c32.latency_ns - 8.0).abs() < 1e-9);
+        assert!((c256.energy_nj / c32.energy_nj - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn movement_is_stream_length_independent() {
+        let d = CmosDesign::new(CmosSng::Sobol);
+        let m32 = d.transfer_cost(3, 8);
+        let m256 = d.transfer_cost(3, 8);
+        assert_eq!(m32, m256);
+        assert!((m32.energy_nj - 2.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reram_sc_beats_cmos_with_movement_at_short_streams() {
+        // The paper's headline crossover: including transfers, the
+        // in-memory design wins at N = 32/64 and loses by N = 256.
+        use imsc::cost::reram_op_cost;
+        use imsc::imsng::ImsngVariant;
+        use reram::energy::ReramCosts;
+        let cmos = CmosDesign::new(CmosSng::Lfsr);
+        let costs = ReramCosts::calibrated();
+        let e_cmos_32 = cmos
+            .op_cost_with_movement(ScOperation::Multiply, 32, 2, 8)
+            .energy_nj;
+        let e_reram_32 =
+            reram_op_cost(ScOperation::Multiply, 32, 8, ImsngVariant::Opt, &costs).energy_nj;
+        assert!(e_reram_32 < e_cmos_32, "{e_reram_32} vs {e_cmos_32}");
+        let e_cmos_256 = cmos
+            .op_cost_with_movement(ScOperation::Multiply, 256, 2, 8)
+            .energy_nj;
+        let e_reram_256 =
+            reram_op_cost(ScOperation::Multiply, 256, 8, ImsngVariant::Opt, &costs).energy_nj;
+        assert!(e_reram_256 > e_cmos_256, "{e_reram_256} vs {e_cmos_256}");
+    }
+}

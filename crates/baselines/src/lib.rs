@@ -1,0 +1,33 @@
+//! # baselines — comparison designs for the evaluation
+//!
+//! The paper compares its in-ReRAM SC accelerator against two families:
+//!
+//! * [`cmos`] — conventional CMOS stochastic-computing circuits
+//!   (LFSR- or Sobol-based SNG, serial gate logic, `log₂N`-bit counter),
+//!   synthesized at 45 nm; reproduced here as a calibrated cost model
+//!   (Table III ✛ rows) plus the off-chip data-movement costs the CMOS
+//!   flow pays when images live in the same ReRAM storage (Figs. 4–5).
+//! * [`bincim`] — binary-radix compute-in-memory arithmetic in the style
+//!   of AritPIM (bit-serial MAGIC ops over bit-sliced operands): the ✧
+//!   reference of Table IV and the normalization baseline of Figs. 4–5.
+//!   Implemented *functionally* — real bit-serial adders, shift-add
+//!   multipliers and restoring dividers whose intermediate bits can be
+//!   fault-injected, exhibiting the bit-significance vulnerability SC
+//!   avoids.
+//! * [`sw`] — exact software reference kernels (with optional 8-bit
+//!   quantization), the accuracy yardstick everywhere.
+//! * [`scrimp`] — write-based in-memory SBS generation (SCRIMP-style),
+//!   the prior in-memory approach whose endurance cost and missing
+//!   correlation control motivate the paper's read-based IMSNG.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bincim;
+pub mod cmos;
+pub mod scrimp;
+pub mod sw;
+
+pub use bincim::{BinCimCosts, BinaryCim};
+pub use cmos::{CmosDesign, CmosSng};
+pub use scrimp::WriteBasedSng;

@@ -1,0 +1,105 @@
+//! Exact software reference kernels (the accuracy yardstick).
+//!
+//! All pixel kernels in 8-bit fixed point (`x/256` semantics) and in
+//! `f64`, so both quantized and continuous references are available.
+
+/// Exact compositing `C = F·α + B·(1−α)` in `f64` probabilities.
+#[must_use]
+pub fn composite_f64(f: f64, b: f64, alpha: f64) -> f64 {
+    f * alpha + b * (1.0 - alpha)
+}
+
+/// Exact compositing over 8-bit pixels (round-to-nearest).
+#[must_use]
+pub fn composite_u8(f: u8, b: u8, alpha: u8) -> u8 {
+    let fa = f64::from(f) * f64::from(alpha);
+    let ba = f64::from(b) * (255.0 - f64::from(alpha));
+    ((fa + ba) / 255.0).round().clamp(0.0, 255.0) as u8
+}
+
+/// Exact bilinear blend of four neighbours with fractional offsets
+/// `dx, dy ∈ [0, 1]`.
+#[must_use]
+pub fn bilinear_f64(i11: f64, i12: f64, i21: f64, i22: f64, dx: f64, dy: f64) -> f64 {
+    (1.0 - dx) * (1.0 - dy) * i11 + (1.0 - dx) * dy * i12 + dx * (1.0 - dy) * i21 + dx * dy * i22
+}
+
+/// Exact bilinear blend over 8-bit pixels with 8-bit fractional offsets.
+#[must_use]
+pub fn bilinear_u8(i11: u8, i12: u8, i21: u8, i22: u8, dx: u8, dy: u8) -> u8 {
+    let fx = f64::from(dx) / 256.0;
+    let fy = f64::from(dy) / 256.0;
+    bilinear_f64(
+        f64::from(i11),
+        f64::from(i12),
+        f64::from(i21),
+        f64::from(i22),
+        fx,
+        fy,
+    )
+    .round()
+    .clamp(0.0, 255.0) as u8
+}
+
+/// Exact alpha estimation `α̂ = (I − B) / (F − B)`, clamped to `[0, 1]`,
+/// in `f64` probabilities. Returns 0 when `F == B` (undefined matte).
+#[must_use]
+pub fn matte_alpha_f64(i: f64, b: f64, f: f64) -> f64 {
+    let denom = f - b;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        ((i - b) / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Exact alpha estimation over 8-bit pixels.
+#[must_use]
+pub fn matte_alpha_u8(i: u8, b: u8, f: u8) -> u8 {
+    (matte_alpha_f64(f64::from(i), f64::from(b), f64::from(f)) * 255.0)
+        .round()
+        .clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_endpoints() {
+        assert_eq!(composite_u8(200, 40, 255), 200);
+        assert_eq!(composite_u8(200, 40, 0), 40);
+        assert!((composite_f64(1.0, 0.0, 0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bilinear_corners_and_center() {
+        assert_eq!(bilinear_u8(10, 20, 30, 40, 0, 0), 10);
+        assert_eq!(bilinear_u8(10, 20, 30, 40, 0, 255), 20); // ≈ dy = 1
+        let center = bilinear_u8(0, 0, 255, 255, 128, 128);
+        assert!((i32::from(center) - 128).abs() <= 1, "{center}");
+    }
+
+    #[test]
+    fn matting_inverts_compositing() {
+        for alpha in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+            let f = 0.9;
+            let b = 0.1;
+            let i = composite_f64(f, b, alpha);
+            let est = matte_alpha_f64(i, b, f);
+            assert!((est - alpha).abs() < 1e-12, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn matte_handles_degenerate_background() {
+        assert_eq!(matte_alpha_f64(0.5, 0.5, 0.5), 0.0);
+        assert_eq!(matte_alpha_u8(200, 100, 100), 0);
+    }
+
+    #[test]
+    fn matte_clamps_out_of_range() {
+        assert_eq!(matte_alpha_f64(1.0, 0.4, 0.6), 1.0);
+        assert_eq!(matte_alpha_f64(0.0, 0.4, 0.6), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! IMSNG-naive vs IMSNG-opt, MAJ vs MUX scaled addition, correlation
+//! control via shared vs independent RN rows, and fault-rate derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imsc::engine::Accelerator;
+use imsc::imsng::ImsngVariant;
+use reram::cell::DeviceParams;
+use reram::vcm::derive_fault_rates;
+use sc_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_imsng_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("imsng_variants_n256");
+    g.sample_size(10);
+    for (label, variant) in [
+        ("baseline", ImsngVariant::Baseline),
+        ("naive", ImsngVariant::Naive),
+        ("opt", ImsngVariant::Opt),
+    ] {
+        g.bench_function(label, |b| {
+            let mut acc = Accelerator::builder()
+                .stream_len(256)
+                .variant(variant)
+                .seed(3)
+                .build()
+                .expect("valid configuration");
+            b.iter(|| {
+                let h = acc.encode(Fixed::from_u8(77)).expect("rows available");
+                acc.release(h).expect("alive");
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_maj_vs_mux(c: &mut Criterion) {
+    let n = 4096;
+    let mut sa = Sng::new(UniformSource::seed_from_u64(1));
+    let mut sb = Sng::new(UniformSource::seed_from_u64(2));
+    let mut ss = Sng::new(UniformSource::seed_from_u64(3));
+    let x = sa.generate_prob(Prob::saturating(0.7), n);
+    let y = sb.generate_prob(Prob::saturating(0.2), n);
+    let sel = ss.generate_prob(Prob::saturating(0.5), n);
+    let mut g = c.benchmark_group("scaled_addition_n4096");
+    g.bench_function("maj", |b| {
+        b.iter(|| black_box(ops::scaled_add_maj(&x, &y, &sel).expect("equal lengths")))
+    });
+    g.bench_function("mux", |b| {
+        b.iter(|| black_box(ops::scaled_add_mux(&x, &y, &sel).expect("equal lengths")))
+    });
+    g.finish();
+}
+
+fn bench_correlation_control(c: &mut Criterion) {
+    let mut g = c.benchmark_group("correlation_control_n256");
+    g.sample_size(10);
+    g.bench_function("independent_pair", |b| {
+        let mut acc = Accelerator::builder()
+            .stream_len(256)
+            .seed(4)
+            .build()
+            .expect("valid configuration");
+        b.iter(|| {
+            let x = acc.encode(Fixed::from_u8(60)).expect("rows available");
+            let y = acc.encode(Fixed::from_u8(180)).expect("rows available");
+            for h in [x, y] {
+                acc.release(h).expect("alive");
+            }
+        });
+    });
+    g.bench_function("correlated_pair", |b| {
+        let mut acc = Accelerator::builder()
+            .stream_len(256)
+            .seed(4)
+            .build()
+            .expect("valid configuration");
+        b.iter(|| {
+            let (x, y) = acc
+                .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+                .expect("rows available");
+            for h in [x, y] {
+                acc.release(h).expect("alive");
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_fault_derivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vcm_fault_derivation");
+    g.sample_size(10);
+    g.bench_function("mc_2_trials_128_cols", |b| {
+        b.iter(|| black_box(derive_fault_rates(&DeviceParams::hfo2(), 2, 128, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_imsng_variants,
+    bench_maj_vs_mux,
+    bench_correlation_control,
+    bench_fault_derivation
+);
+criterion_main!(benches);

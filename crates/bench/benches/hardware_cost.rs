@@ -1,0 +1,49 @@
+//! Timing of the Table III cost model and the end-to-end accelerator
+//! flow it describes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imsc::cost::{reram_op_cost, ScOperation};
+use imsc::engine::Accelerator;
+use imsc::imsng::ImsngVariant;
+use reram::energy::ReramCosts;
+use sc_core::Fixed;
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let costs = ReramCosts::calibrated();
+    c.bench_function("table3_cost_model_all_ops", |b| {
+        b.iter(|| {
+            for op in ScOperation::ALL {
+                black_box(reram_op_cost(op, 256, 8, ImsngVariant::Opt, &costs));
+            }
+        })
+    });
+}
+
+fn bench_accelerator_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator_end_to_end");
+    g.sample_size(10);
+    for n in [32usize, 256] {
+        g.bench_function(format!("multiply_n{n}"), |b| {
+            let mut acc = Accelerator::builder()
+                .stream_len(n)
+                .seed(5)
+                .build()
+                .expect("valid configuration");
+            b.iter(|| {
+                let x = acc.encode(Fixed::from_u8(100)).expect("rows available");
+                let y = acc.encode(Fixed::from_u8(200)).expect("rows available");
+                let p = acc.multiply(x, y).expect("uncorrelated");
+                let v = acc.read_value(p).expect("alive");
+                for h in [x, y, p] {
+                    acc.release(h).expect("alive");
+                }
+                black_box(v)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_accelerator_flow);
+criterion_main!(benches);

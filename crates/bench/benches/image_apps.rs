@@ -1,0 +1,84 @@
+//! Timing of the image-processing applications per backend (Table IV's
+//! compute kernels) on small images.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imgproc::scbackend::{CmosScConfig, CmosSngKind, ScReramConfig};
+use imgproc::{bilinear, compositing, matting, synth};
+use std::hint::black_box;
+
+fn bench_compositing(c: &mut Criterion) {
+    let set = synth::app_images(12, 12, 5);
+    let mut g = c.benchmark_group("compositing_12x12");
+    g.sample_size(10);
+    g.bench_function("software", |b| {
+        b.iter(|| {
+            black_box(
+                compositing::software(&set.foreground, &set.background, &set.alpha)
+                    .expect("consistent dims"),
+            )
+        })
+    });
+    g.bench_function("binary_cim", |b| {
+        b.iter(|| {
+            black_box(
+                compositing::binary_cim(&set.foreground, &set.background, &set.alpha, 0.0, 1)
+                    .expect("consistent dims"),
+            )
+        })
+    });
+    g.bench_function("sc_cmos_n64", |b| {
+        let cfg = CmosScConfig::new(64, CmosSngKind::Lfsr, 2);
+        b.iter(|| {
+            black_box(
+                compositing::sc_cmos(&set.foreground, &set.background, &set.alpha, &cfg)
+                    .expect("consistent dims"),
+            )
+        })
+    });
+    g.bench_function("sc_reram_n64", |b| {
+        let cfg = ScReramConfig::new(64, 3);
+        b.iter(|| {
+            black_box(
+                compositing::sc_reram(&set.foreground, &set.background, &set.alpha, &cfg)
+                    .expect("substrate ok"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_bilinear_and_matting(c: &mut Criterion) {
+    let set = synth::app_images(10, 10, 6);
+    let composite = compositing::software(&set.foreground, &set.background, &set.alpha)
+        .expect("consistent dims");
+    let mut g = c.benchmark_group("bilinear_matting_10x10");
+    g.sample_size(10);
+    g.bench_function("bilinear_sw_x2", |b| {
+        b.iter(|| black_box(bilinear::software(&set.background, 2).expect("valid factor")))
+    });
+    g.bench_function("bilinear_sc_reram_n32", |b| {
+        let cfg = ScReramConfig::new(32, 7);
+        b.iter(|| black_box(bilinear::sc_reram(&set.background, 2, &cfg).expect("substrate ok")))
+    });
+    g.bench_function("matting_sw", |b| {
+        b.iter(|| {
+            black_box(
+                matting::software(&composite, &set.background, &set.foreground)
+                    .expect("consistent dims"),
+            )
+        })
+    });
+    g.bench_function("matting_sc_reram_n32", |b| {
+        let cfg = ScReramConfig::new(32, 8);
+        b.iter(|| {
+            black_box(
+                matting::sc_reram(&composite, &set.background, &set.foreground, &cfg)
+                    .expect("substrate ok"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compositing, bench_bilinear_and_matting);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Timing of stochastic bit-stream generation per RNG source (Table I's
+//! compute kernel).
+
+use bench::sources::RngKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::Fixed;
+use std::hint::black_box;
+
+fn bench_sources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbs_generation_n256");
+    g.sample_size(20);
+    for kind in [
+        RngKind::Imsng { m: 8 },
+        RngKind::Software,
+        RngKind::Lfsr,
+        RngKind::Sobol,
+    ] {
+        g.bench_function(kind.label(), |b| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                black_box(kind.stream(Fixed::from_u8(137), 256, trial, 0))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lengths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbs_generation_imsng_by_length");
+    g.sample_size(20);
+    for n in [32usize, 64, 128, 256, 512] {
+        g.bench_function(format!("n{n}"), |b| {
+            let kind = RngKind::Imsng { m: 8 };
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                black_box(kind.stream(Fixed::from_u8(99), n, trial, 0))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sources, bench_lengths);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Timing of the bulk-bitwise SC operations (Table II's compute kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::div::cordiv;
+use sc_core::prelude::*;
+use std::hint::black_box;
+
+fn streams(n: usize) -> (BitStream, BitStream, BitStream) {
+    let mut a = Sng::new(UniformSource::seed_from_u64(1));
+    let mut b = Sng::new(UniformSource::seed_from_u64(2));
+    let mut s = Sng::new(UniformSource::seed_from_u64(3));
+    (
+        a.generate_prob(Prob::saturating(0.3), n),
+        b.generate_prob(Prob::saturating(0.6), n),
+        s.generate_prob(Prob::saturating(0.5), n),
+    )
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let n = 4096;
+    let (x, y, sel) = streams(n);
+    let mut g = c.benchmark_group("sc_ops_n4096");
+    g.bench_function("multiply_and", |b| {
+        b.iter(|| black_box(ops::multiply(&x, &y).expect("equal lengths")))
+    });
+    g.bench_function("scaled_add_maj", |b| {
+        b.iter(|| black_box(ops::scaled_add_maj(&x, &y, &sel).expect("equal lengths")))
+    });
+    g.bench_function("scaled_add_mux", |b| {
+        b.iter(|| black_box(ops::scaled_add_mux(&x, &y, &sel).expect("equal lengths")))
+    });
+    g.bench_function("abs_subtract_xor", |b| {
+        b.iter(|| black_box(ops::abs_subtract(&x, &y).expect("equal lengths")))
+    });
+    g.bench_function("cordiv", |b| {
+        b.iter(|| black_box(cordiv(&x, &y).expect("nonzero divisor")))
+    });
+    g.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let (x, _, _) = streams(4096);
+    c.bench_function("popcount_value_n4096", |b| b.iter(|| black_box(x.value())));
+}
+
+criterion_group!(benches, bench_ops, bench_conversion);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Timing of the ReRAM substrate: scouting-logic execution (ideal,
+//! fault-injected, analog) and TRNG row generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reram::array::CrossbarArray;
+use reram::faults::FaultRates;
+use reram::scouting::{ScoutingLogic, SlOp};
+use reram::trng::TrngEngine;
+use sc_core::BitStream;
+use std::hint::black_box;
+
+fn prepared_array(cols: usize) -> CrossbarArray {
+    let mut a = CrossbarArray::pristine(4, cols, 11);
+    a.write_row(0, &BitStream::from_fn(cols, |i| i % 2 == 0))
+        .expect("row in range");
+    a.write_row(1, &BitStream::from_fn(cols, |i| i % 3 == 0))
+        .expect("row in range");
+    a.write_row(2, &BitStream::from_fn(cols, |i| i % 5 == 0))
+        .expect("row in range");
+    a
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scouting_256_cols");
+    g.sample_size(30);
+    let mut array = prepared_array(256);
+    let mut ideal = ScoutingLogic::ideal();
+    g.bench_function("ideal_and", |b| {
+        b.iter(|| {
+            black_box(
+                ideal
+                    .execute_mut(&mut array, SlOp::And, &[0, 1])
+                    .expect("valid"),
+            )
+        })
+    });
+    let mut faulty = ScoutingLogic::with_faults(FaultRates::uniform(0.01), 3);
+    g.bench_function("fault_injected_and", |b| {
+        b.iter(|| {
+            black_box(
+                faulty
+                    .execute_mut(&mut array, SlOp::And, &[0, 1])
+                    .expect("valid"),
+            )
+        })
+    });
+    let mut analog = ScoutingLogic::analog();
+    g.bench_function("analog_and", |b| {
+        b.iter(|| {
+            black_box(
+                analog
+                    .execute_mut(&mut array, SlOp::And, &[0, 1])
+                    .expect("valid"),
+            )
+        })
+    });
+    g.bench_function("ideal_maj3", |b| {
+        b.iter(|| {
+            black_box(
+                ideal
+                    .execute_mut(&mut array, SlOp::Maj, &[0, 1, 2])
+                    .expect("valid"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_trng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trng");
+    g.sample_size(30);
+    let mut trng = TrngEngine::new(64, 0.04, 7);
+    g.bench_function("generate_row_256", |b| {
+        b.iter(|| black_box(trng.generate_row(256)))
+    });
+    let mut array = CrossbarArray::pristine(2, 256, 9);
+    g.bench_function("fill_row_256", |b| {
+        b.iter(|| trng.fill_row(&mut array, 0).expect("row in range"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_trng);
+criterion_main!(benches);

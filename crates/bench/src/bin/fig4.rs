@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4 (normalized energy savings).
+
+fn main() {
+    let rows = bench::figures::fig4();
+    println!(
+        "{}",
+        bench::figures::render("Fig. 4: normalized energy savings", &rows)
+    );
+}

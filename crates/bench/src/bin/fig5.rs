@@ -1,0 +1,9 @@
+//! Regenerates Fig. 5 (normalized throughput improvement).
+
+fn main() {
+    let rows = bench::figures::fig5();
+    println!(
+        "{}",
+        bench::figures::render("Fig. 5: normalized throughput improvement", &rows)
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I. Usage: `table1 [--samples 20000] [--seed 1]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = bench::arg_or(&args, "--samples", 20_000usize);
+    let seed = bench::arg_or(&args, "--seed", 1u64);
+    eprintln!("computing Table I with {samples} samples (paper: 1,000,000)…");
+    let rows = bench::table1::compute(samples, seed);
+    println!("{}", bench::table1::render(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table II. Usage: `table2 [--samples 3000] [--seed 1]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples = bench::arg_or(&args, "--samples", 3_000usize);
+    let seed = bench::arg_or(&args, "--seed", 1u64);
+    eprintln!("computing Table II with {samples} samples (paper: 1,000,000)…");
+    let rows = bench::table2::compute(samples, seed);
+    println!("{}", bench::table2::render(&rows));
+}

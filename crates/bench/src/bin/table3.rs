@@ -1,0 +1,16 @@
+//! Regenerates Table III plus an NVMain cross-check of the ReRAM rows.
+
+fn main() {
+    println!("{}", bench::table3::render());
+    match bench::table3::nvmain_crosscheck() {
+        Ok((analytic, simulated)) => {
+            println!(
+                "NVMain cross-check (multiply, incl. TRNG refills & result write):\n  \
+                 analytic model: {:.1} ns, {:.2} nJ\n  \
+                 trace simulation: {:.1} ns, {:.2} nJ",
+                analytic.latency_ns, analytic.energy_nj, simulated.latency_ns, simulated.energy_nj
+            );
+        }
+        Err(e) => eprintln!("cross-check failed: {e}"),
+    }
+}

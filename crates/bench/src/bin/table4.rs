@@ -1,0 +1,13 @@
+//! Regenerates Table IV.
+//! Usage: `table4 [--size 32] [--trials 5] [--seed 42]`.
+//! The paper uses 1000 fault trials; raise `--trials` to match.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size = bench::arg_or(&args, "--size", 32usize);
+    let trials = bench::arg_or(&args, "--trials", 5usize);
+    let seed = bench::arg_or(&args, "--seed", 42u64);
+    eprintln!("computing Table IV on {size}x{size} images, {trials} fault trials…");
+    let cfg = bench::table4::Config::derive(size, trials, seed);
+    println!("{}", bench::table4::render(&cfg));
+}

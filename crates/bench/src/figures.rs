@@ -1,0 +1,377 @@
+//! Figs. 4 and 5 — per-pixel energy savings and throughput of the CMOS
+//! (✛) and ReRAM (✦) SC designs, normalized to the binary-CIM reference.
+//!
+//! Kernel compositions (per output pixel):
+//!
+//! | App | ReRAM SC | CMOS SC | Binary CIM |
+//! |---|---|---|---|
+//! | Compositing | 3 conversions + 1 MAJ + 1 ADC | 1 addition-class op + 4 byte transfers | 2 mul + 1 add |
+//! | Bilinear | 7 conversions + 3 MAJ + 1 ADC | 3 addition-class ops + 7 byte transfers | 4 weight-mul + 3 add (weights phase-amortized) |
+//! | Matting | 3 conversions + 2 XOR + CORDIV + 1 ADC | 2 sub + 1 div + 4 byte transfers | 2 sub + 1 div |
+//!
+//! Division latency is batch-parallel across bitline latches (the paper's
+//! "offset by increased throughput enabled by SIMD parallelism"), so its
+//! per-word initiation interval is one CORDIV step.
+
+use baselines::bincim::BinCimCosts;
+use baselines::cmos::{CmosDesign, CmosSng};
+use imsc::cost::ScOperation;
+use reram::energy::ReramCosts;
+
+/// The applications (shared with Table IV).
+pub use crate::table4::App;
+
+/// The stream lengths of Figs. 4–5.
+pub const LENGTHS: [usize; 4] = [32, 64, 128, 256];
+
+/// Per-pixel kernel composition on the ReRAM SC design.
+#[derive(Debug, Clone, Copy)]
+pub struct ReramKernel {
+    /// IMSNG conversions per output pixel.
+    pub conversions: usize,
+    /// Single-cycle scouting ops (AND/OR/MAJ).
+    pub single_ops: usize,
+    /// XOR ops.
+    pub xor_ops: usize,
+    /// Whether the kernel runs a CORDIV division.
+    pub divides: bool,
+    /// Result-stream writes.
+    pub result_writes: usize,
+}
+
+/// The kernel composition of an application.
+#[must_use]
+pub fn reram_kernel(app: App) -> ReramKernel {
+    match app {
+        App::Compositing => ReramKernel {
+            conversions: 3,
+            single_ops: 1,
+            xor_ops: 0,
+            divides: false,
+            result_writes: 1,
+        },
+        App::Bilinear => ReramKernel {
+            conversions: 7,
+            single_ops: 3,
+            xor_ops: 0,
+            divides: false,
+            result_writes: 3,
+        },
+        App::Matting => ReramKernel {
+            conversions: 3,
+            single_ops: 0,
+            xor_ops: 2,
+            divides: true,
+            result_writes: 3,
+        },
+    }
+}
+
+/// ReRAM SC energy per output pixel (nJ) at stream length `n`.
+#[must_use]
+pub fn reram_energy_nj(app: App, n: usize, costs: &ReramCosts) -> f64 {
+    let k = reram_kernel(app);
+    let e = &costs.energies;
+    let nf = n as f64;
+    let conv = (5.0 * 8.0 * nf * e.e_sense_bit_pj + nf * e.e_write_bit_pj) / 1000.0;
+    let mut total = k.conversions as f64 * conv;
+    total += k.single_ops as f64 * nf * e.e_slop_bit_pj / 1000.0;
+    total += k.xor_ops as f64 * nf * e.e_slop_bit_pj * 1.25 / 1000.0;
+    if k.divides {
+        total += nf * e.e_cordiv_step_pj / 1000.0;
+    }
+    total += k.result_writes as f64 * nf * e.e_write_bit_pj / 1000.0;
+    total += e.e_adc_sample_nj;
+    total
+}
+
+/// ReRAM SC per-pixel initiation interval (ns): conversions serialize in
+/// a mat, simple ops are single senses, and CORDIV is batch-parallel
+/// (one step per word).
+#[must_use]
+pub fn reram_latency_ns(app: App, n: usize, costs: &ReramCosts) -> f64 {
+    let k = reram_kernel(app);
+    let t = &costs.timings;
+    let conv = 5.0 * 8.0 * t.t_sense_ns;
+    let mut total = k.conversions as f64 * conv;
+    total += k.single_ops as f64 * t.t_sense_ns;
+    total += k.xor_ops as f64 * (t.t_sense_ns + t.t_xor_extra_ns);
+    if k.divides {
+        // N CORDIV steps amortized over an N-word batch in the bitline
+        // latches: one step per word.
+        total += t.t_cordiv_step_ns * (n as f64) / (n as f64);
+    }
+    total += t.t_adc_ns;
+    total
+}
+
+/// CMOS SC per-pixel cost: Table III op energies (which include the SNG
+/// and counter) plus byte-granular data movement.
+#[must_use]
+pub fn cmos_cost(app: App, n: usize) -> (f64, f64) {
+    let d = CmosDesign::new(CmosSng::Lfsr);
+    let (ops, words): (Vec<ScOperation>, usize) = match app {
+        App::Compositing => (vec![ScOperation::Addition], 3),
+        App::Bilinear => (vec![ScOperation::Addition; 3], 6),
+        App::Matting => (
+            vec![
+                ScOperation::Subtraction,
+                ScOperation::Subtraction,
+                ScOperation::Division,
+            ],
+            3,
+        ),
+    };
+    let mut latency = 0.0;
+    let mut energy = 0.0;
+    for op in &ops {
+        let c = d.op_cost(*op, n);
+        latency += c.latency_ns;
+        energy += c.energy_nj;
+    }
+    let movement = d.transfer_cost(words + 1, 8);
+    (latency + movement.latency_ns, energy + movement.energy_nj)
+}
+
+/// Binary-CIM per-pixel cycles for an application kernel.
+#[must_use]
+pub fn bincim_cycles(app: App, costs: &BinCimCosts) -> f64 {
+    match app {
+        App::Compositing => 2.0 * costs.mul_cycles(8) + costs.add_cycles(16),
+        // Four weight multiplies (weights phase-amortized for integer
+        // factors) + accumulation adds.
+        App::Bilinear => 4.0 * costs.mul_cycles(8) + 3.0 * costs.add_cycles(16),
+        App::Matting => 2.0 * costs.add_cycles(9) + costs.div_cycles(8),
+    }
+}
+
+/// Binary-CIM per-pixel (energy nJ, latency ns).
+#[must_use]
+pub fn bincim_cost(app: App, costs: &BinCimCosts) -> (f64, f64) {
+    let cycles = bincim_cycles(app, costs);
+    (
+        costs.energy_per_word_nj(cycles),
+        costs.latency_per_word_ns(cycles),
+    )
+}
+
+/// One figure cell: normalized improvement of a design vs binary CIM.
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// Application.
+    pub app: App,
+    /// Design label.
+    pub design: &'static str,
+    /// Improvement factor per entry of [`LENGTHS`].
+    pub factors: Vec<f64>,
+}
+
+/// Computes Fig. 4 (energy savings, higher = design is better).
+#[must_use]
+pub fn fig4() -> Vec<FigureRow> {
+    let reram_costs = ReramCosts::calibrated();
+    let bin_costs = BinCimCosts::calibrated();
+    let mut rows = Vec::new();
+    for app in App::ALL {
+        let (e_bin, _) = bincim_cost(app, &bin_costs);
+        rows.push(FigureRow {
+            app,
+            design: "CMOS SC",
+            factors: LENGTHS
+                .iter()
+                .map(|&n| e_bin / cmos_cost(app, n).1)
+                .collect(),
+        });
+        rows.push(FigureRow {
+            app,
+            design: "ReRAM SC",
+            factors: LENGTHS
+                .iter()
+                .map(|&n| e_bin / reram_energy_nj(app, n, &reram_costs))
+                .collect(),
+        });
+    }
+    rows
+}
+
+/// Independent ReRAM mats pipelining the SC stages (shared with the
+/// binary-CIM chip, which occupies the same array budget).
+pub const CIM_ARRAYS: usize = 8;
+/// Parallel lanes of the synthesized CMOS SC datapath.
+pub const CMOS_LANES: usize = 4;
+
+/// Per-pixel steady-state initiation interval (ns) of the CMOS design:
+/// the larger of the *serial* off-chip link time (binary words share one
+/// link) and the serial stream-processing time spread over the lanes.
+#[must_use]
+pub fn cmos_interval_ns(app: App, n: usize) -> f64 {
+    let d = CmosDesign::new(CmosSng::Lfsr);
+    let (ops, words): (Vec<ScOperation>, usize) = match app {
+        App::Compositing => (vec![ScOperation::Addition], 3),
+        App::Bilinear => (vec![ScOperation::Addition; 3], 6),
+        App::Matting => (
+            vec![
+                ScOperation::Subtraction,
+                ScOperation::Subtraction,
+                ScOperation::Division,
+            ],
+            3,
+        ),
+    };
+    let compute: f64 = ops.iter().map(|&op| d.op_cost(op, n).latency_ns).sum();
+    let movement = d.transfer_cost(words + 1, 8).latency_ns;
+    movement.max(compute / CMOS_LANES as f64)
+}
+
+/// Computes Fig. 5 (throughput improvement, higher = design is better).
+///
+/// Per-pixel initiation intervals: the ReRAM kernel pipelines over
+/// [`CIM_ARRAYS`] mats; binary CIM amortizes over the same array count;
+/// CMOS is bounded by its serial off-chip link or its lanes.
+#[must_use]
+pub fn fig5() -> Vec<FigureRow> {
+    let reram_costs = ReramCosts::calibrated();
+    let bin_costs = BinCimCosts::calibrated();
+    let mut rows = Vec::new();
+    for app in App::ALL {
+        let (_, t_word) = bincim_cost(app, &bin_costs);
+        let t_bin = t_word / CIM_ARRAYS as f64;
+        rows.push(FigureRow {
+            app,
+            design: "CMOS SC",
+            factors: LENGTHS
+                .iter()
+                .map(|&n| t_bin / cmos_interval_ns(app, n))
+                .collect(),
+        });
+        rows.push(FigureRow {
+            app,
+            design: "ReRAM SC",
+            factors: LENGTHS
+                .iter()
+                .map(|&n| t_bin / (reram_latency_ns(app, n, &reram_costs) / CIM_ARRAYS as f64))
+                .collect(),
+        });
+    }
+    rows
+}
+
+/// The grand averages the paper headlines: (ReRAM vs binary CIM,
+/// ReRAM vs CMOS) improvement factors over all apps and lengths.
+#[must_use]
+pub fn averages(rows: &[FigureRow]) -> (f64, f64) {
+    let mean = |design: &str| {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.design == design)
+            .flat_map(|r| r.factors.iter().copied())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let reram = mean("ReRAM SC");
+    let cmos = mean("CMOS SC");
+    (reram, reram / cmos)
+}
+
+/// Renders a figure's rows.
+#[must_use]
+pub fn render(title: &str, rows: &[FigureRow]) -> String {
+    let mut out = format!("{title} (normalized to binary CIM = 1.0)\n");
+    out.push_str(&crate::format_row(
+        "App / Design \\ N",
+        &LENGTHS.map(|n| n as f64),
+        0,
+    ));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&crate::format_row(
+            &format!("{} / {}", row.app.label(), row.design),
+            &row.factors,
+            2,
+        ));
+        out.push('\n');
+    }
+    let (vs_bin, vs_cmos) = averages(rows);
+    out.push_str(&format!(
+        "average ReRAM improvement: {vs_bin:.2}x vs binary CIM, {vs_cmos:.2}x vs CMOS\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reram_energy_grows_with_stream_length() {
+        let costs = ReramCosts::calibrated();
+        for app in App::ALL {
+            assert!(
+                reram_energy_nj(app, 256, &costs) > 4.0 * reram_energy_nj(app, 32, &costs),
+                "{app:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_shape_matches_paper() {
+        let rows = fig4();
+        // ReRAM beats binary CIM at short streams for every app…
+        for row in rows.iter().filter(|r| r.design == "ReRAM SC") {
+            assert!(
+                row.factors[0] > 1.0,
+                "{:?} at N=32: {:?}",
+                row.app,
+                row.factors
+            );
+            // …and its advantage decays with N.
+            assert!(row.factors[0] > row.factors[3], "{:?}", row.factors);
+        }
+        let (vs_bin, vs_cmos) = averages(&rows);
+        // Paper: 2.8x vs binary CIM, 1.15x vs CMOS on average.
+        assert!(vs_bin > 1.5 && vs_bin < 6.0, "vs binary CIM {vs_bin}");
+        assert!(vs_cmos > 0.7 && vs_cmos < 2.0, "vs CMOS {vs_cmos}");
+    }
+
+    #[test]
+    fn fig4_reram_loses_to_cmos_at_long_streams() {
+        let rows = fig4();
+        for app in App::ALL {
+            let reram = rows
+                .iter()
+                .find(|r| r.app == app && r.design == "ReRAM SC")
+                .unwrap();
+            let cmos = rows
+                .iter()
+                .find(|r| r.app == app && r.design == "CMOS SC")
+                .unwrap();
+            // Crossover: ReRAM ahead at N=32, CMOS ahead by N=256.
+            assert!(reram.factors[0] > cmos.factors[0], "{app:?} at 32");
+            assert!(reram.factors[3] < cmos.factors[3], "{app:?} at 256");
+        }
+    }
+
+    #[test]
+    fn fig5_reram_beats_binary_cim() {
+        let rows = fig5();
+        let (vs_bin, vs_cmos) = averages(&rows);
+        // Paper: 2.16x vs binary CIM, 1.39x vs CMOS on average.
+        assert!(vs_bin > 1.2 && vs_bin < 5.0, "vs binary CIM {vs_bin}");
+        assert!(vs_cmos > 0.8, "vs CMOS {vs_cmos}");
+    }
+
+    #[test]
+    fn division_kernel_is_batch_amortized() {
+        let costs = ReramCosts::calibrated();
+        let t = reram_latency_ns(App::Matting, 256, &costs);
+        // Far below the 12.5 µs serial Table III division latency.
+        assert!(t < 1000.0, "{t}");
+    }
+
+    #[test]
+    fn render_includes_averages() {
+        let text = render("Fig. 4: energy savings", &fig4());
+        assert!(text.contains("average ReRAM improvement"));
+        assert!(text.contains("Image Matting"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # bench — regeneration harness for every table and figure
+//!
+//! One module per experiment; the `src/bin/*` binaries are thin wrappers.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (SBS-generation MSE) | [`table1`] | `table1` |
+//! | Table II (SC-operation MSE) | [`table2`] | `table2` |
+//! | Table III (hardware cost) | [`table3`] | `table3` |
+//! | IMSNG naive-vs-opt anchors | [`table3`] | `imsng_compare` |
+//! | Table IV (SSIM/PSNR under faults) | [`table4`] | `table4` |
+//! | Fig. 4 (energy savings) | [`figures`] | `fig4` |
+//! | Fig. 5 (throughput) | [`figures`] | `fig5` |
+//! | Fault-rate sensitivity (extension) | [`table4`] | `fault_sweep` |
+
+pub mod figures;
+pub mod sources;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// Reads a `--key value` style CLI argument, falling back to a default.
+#[must_use]
+pub fn arg_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.windows(2)
+        .find(|w| w[0] == key)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats one numeric table row with a fixed label column.
+#[must_use]
+pub fn format_row(label: &str, values: &[f64], precision: usize) -> String {
+    let mut s = format!("{label:<28}");
+    for v in values {
+        if *v == 0.0 {
+            s.push_str(&format!("{:>12}", "0"));
+        } else if v.abs() < 1e-3 {
+            s.push_str(&format!("{v:>12.2e}"));
+        } else {
+            s.push_str(&format!("{v:>12.prec$}", prec = precision));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--samples", "500", "--size", "32"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_or(&args, "--samples", 10usize), 500);
+        assert_eq!(arg_or(&args, "--size", 10usize), 32);
+        assert_eq!(arg_or(&args, "--missing", 7usize), 7);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let row = format_row("IMSNG", &[0.5, 0.000012], 3);
+        assert!(row.contains("IMSNG"));
+        assert!(row.contains("0.500"));
+        assert!(row.contains("e-5") || row.contains("1.20e-5"));
+    }
+}

@@ -1,0 +1,153 @@
+//! The four RNG-source families of Tables I–II, and stream helpers.
+
+use reram::trng::TrngEngine;
+use sc_core::prelude::*;
+
+/// An RNG-source family under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngKind {
+    /// In-memory SNG: M-bit segments of a biased true-random bit row.
+    Imsng {
+        /// Segment size `M`.
+        m: u32,
+    },
+    /// Full-precision software uniform (the MATLAB `rand` stand-in).
+    Software,
+    /// 8-bit maximal-length LFSR (paper polynomial).
+    Lfsr,
+    /// Sobol low-discrepancy sequence.
+    Sobol,
+}
+
+impl RngKind {
+    /// Row label matching the paper's tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RngKind::Imsng { m } => format!("IMSNG (M={m})"),
+            RngKind::Software => "Software".to_string(),
+            RngKind::Lfsr => "PRNG (8-bit LFSR)".to_string(),
+            RngKind::Sobol => "QRNG (8-bit Sobol)".to_string(),
+        }
+    }
+
+    /// Builds a fresh random source for `(trial, domain)`; different
+    /// domains are mutually independent (different seeds / Sobol
+    /// dimensions), matching how hardware instantiates separate RNGs for
+    /// uncorrelated streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal construction errors (table-backed
+    /// parameters are always valid).
+    #[must_use]
+    pub fn source(&self, trial: u64, domain: u64) -> Box<dyn RandomSource> {
+        let seed = trial
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(domain.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            | 1;
+        match self {
+            RngKind::Imsng { m } => {
+                let trng = TrngEngine::new(64, 0.04, seed);
+                Box::new(SegmentedSource::new(trng, *m).expect("m validated"))
+            }
+            RngKind::Software => Box::new(UniformSource::seed_from_u64(seed)),
+            RngKind::Lfsr => Box::new(Lfsr::maximal(8, (seed % 255) + 1).expect("nonzero seed")),
+            RngKind::Sobol => {
+                let dim = (domain as usize) % Sobol::max_dimensions();
+                Box::new(Sobol::new(dim, 16).expect("dimension validated"))
+            }
+        }
+    }
+
+    /// Generates one stream for `x` in the given independence domain.
+    #[must_use]
+    pub fn stream(&self, x: Fixed, n: usize, trial: u64, domain: u64) -> BitStream {
+        let mut sng = Sng::new(self.source(trial, domain));
+        sng.generate_fixed(x, n)
+    }
+
+    /// Generates maximally correlated streams for several operands by
+    /// sharing one random-number sequence.
+    #[must_use]
+    pub fn streams_correlated(&self, operands: &[Fixed], n: usize, trial: u64) -> Vec<BitStream> {
+        let mut source = self.source(trial, 0);
+        let m = source.bits();
+        let mut streams = vec![BitStream::zeros(n); operands.len()];
+        for i in 0..n {
+            let rn = source.next_value();
+            for (s, &op) in streams.iter_mut().zip(operands) {
+                if (u128::from(rn) << op.bits()) < (u128::from(op.value()) << m) {
+                    s.set(i, true);
+                }
+            }
+        }
+        streams
+    }
+}
+
+/// The source set of Table I (IMSNG sweep + references).
+#[must_use]
+pub fn table1_sources() -> Vec<RngKind> {
+    let mut v: Vec<RngKind> = (5..=9).map(|m| RngKind::Imsng { m }).collect();
+    v.push(RngKind::Software);
+    v.push(RngKind::Lfsr);
+    v.push(RngKind::Sobol);
+    v
+}
+
+/// The source set of Table II (M = 8).
+#[must_use]
+pub fn table2_sources() -> Vec<RngKind> {
+    vec![
+        RngKind::Imsng { m: 8 },
+        RngKind::Software,
+        RngKind::Lfsr,
+        RngKind::Sobol,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::correlation::scc;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(RngKind::Imsng { m: 7 }.label(), "IMSNG (M=7)");
+        assert_eq!(RngKind::Sobol.label(), "QRNG (8-bit Sobol)");
+    }
+
+    #[test]
+    fn all_sources_track_targets() {
+        for kind in table1_sources() {
+            let s = kind.stream(Fixed::from_u8(64), 512, 3, 0);
+            assert!(
+                (s.value() - 0.25).abs() < 0.08,
+                "{}: {}",
+                kind.label(),
+                s.value()
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_streams_are_nested() {
+        for kind in table2_sources() {
+            let streams =
+                kind.streams_correlated(&[Fixed::from_u8(50), Fixed::from_u8(150)], 1024, 7);
+            let c = scc(&streams[0], &streams[1]).unwrap();
+            assert!(c > 0.95, "{}: scc {c}", kind.label());
+        }
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        for kind in [RngKind::Imsng { m: 8 }, RngKind::Software, RngKind::Sobol] {
+            let a = kind.stream(Fixed::from_u8(128), 4096, 5, 0);
+            let b = kind.stream(Fixed::from_u8(128), 4096, 5, 1);
+            let c = scc(&a, &b).unwrap();
+            assert!(c.abs() < 0.12, "{}: scc {c}", kind.label());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Table I — MSE(%) of SBS generation across RNG sources.
+//!
+//! Protocol (paper §III-A): draw uniform targets, quantize to the 8-bit
+//! operand format, generate an `N`-bit stream with each source, and
+//! report `100·mean((popcount/N − x)²)` against the *continuous* target.
+//! The paper uses 1,000,000 samples; the default here is smaller for
+//! turnaround and is CLI-configurable (`--samples`).
+
+use crate::sources::{table1_sources, RngKind};
+use sc_core::prelude::*;
+use sc_core::rng::Xoshiro256;
+
+/// The stream lengths of Table I.
+pub const LENGTHS: [usize; 5] = [32, 64, 128, 256, 512];
+
+/// One row of the table: a source and its MSE per stream length.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Source label.
+    pub label: String,
+    /// MSE(%) per entry of [`LENGTHS`].
+    pub mse: Vec<f64>,
+}
+
+/// Computes the full table.
+#[must_use]
+pub fn compute(samples: usize, seed: u64) -> Vec<Row> {
+    table1_sources()
+        .into_iter()
+        .map(|kind| compute_row(kind, samples, seed))
+        .collect()
+}
+
+/// Computes one source's row.
+#[must_use]
+pub fn compute_row(kind: RngKind, samples: usize, seed: u64) -> Row {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut sums = [0.0f64; LENGTHS.len()];
+    for trial in 0..samples {
+        let x = rng.next_f64();
+        let x8 = Prob::saturating(x).to_fixed(8).expect("valid width");
+        for (i, &n) in LENGTHS.iter().enumerate() {
+            let s = kind.stream(x8, n, trial as u64, i as u64);
+            let err = s.value() - x;
+            sums[i] += err * err;
+        }
+    }
+    Row {
+        label: kind.label(),
+        mse: sums.iter().map(|s| 100.0 * s / samples as f64).collect(),
+    }
+}
+
+/// Renders the table to a string.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut out =
+        String::from("Table I: MSE(%) of SBS generation (uniform targets, 8-bit operands)\n");
+    out.push_str(&crate::format_row(
+        "RNG Source \\ N",
+        &LENGTHS.map(|n| n as f64),
+        0,
+    ));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&crate::format_row(&row.label, &row.mse, 3));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_matches_binomial_theory() {
+        let row = compute_row(RngKind::Software, 4000, 1);
+        for (i, &n) in LENGTHS.iter().enumerate() {
+            let theory = 100.0 / (6.0 * n as f64);
+            assert!(
+                (row.mse[i] - theory).abs() < theory * 0.25,
+                "n={n}: {} vs {theory}",
+                row.mse[i]
+            );
+        }
+    }
+
+    #[test]
+    fn qrng_beats_everything_and_prng_is_worst_at_short_n() {
+        let rows = compute(2000, 2);
+        let find = |label: &str| {
+            rows.iter()
+                .find(|r| r.label.contains(label))
+                .expect("row exists")
+        };
+        let sobol = find("Sobol");
+        let lfsr = find("LFSR");
+        let sw = find("Software");
+        let imsng8 = find("M=8");
+        // Orderings of the paper's Table I at N = 32.
+        assert!(sobol.mse[0] < 0.1 * sw.mse[0], "sobol {}", sobol.mse[0]);
+        assert!(lfsr.mse[0] > 1.3 * sw.mse[0], "lfsr {}", lfsr.mse[0]);
+        // IMSNG is comparable to software (within ~35%).
+        assert!(
+            imsng8.mse[0] < 1.35 * sw.mse[0],
+            "imsng {} vs sw {}",
+            imsng8.mse[0],
+            sw.mse[0]
+        );
+    }
+
+    #[test]
+    fn mse_decreases_with_stream_length() {
+        let row = compute_row(RngKind::Imsng { m: 8 }, 1500, 3);
+        for w in row.mse.windows(2) {
+            assert!(w[1] < w[0], "{:?}", row.mse);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = compute(50, 4);
+        let text = render(&rows);
+        assert!(text.contains("IMSNG (M=5)"));
+        assert!(text.contains("QRNG (8-bit Sobol)"));
+        assert_eq!(text.lines().count(), 2 + rows.len());
+    }
+}

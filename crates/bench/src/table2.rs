@@ -1,0 +1,239 @@
+//! Table II — MSE(%) of SC arithmetic operations across RNG sources
+//! (M = 8).
+//!
+//! Correlation discipline follows Fig. 2: multiplication, scaled
+//! addition, and approximate addition take independent streams
+//! (approximate addition restricted to `[0, 0.5]` operands); absolute
+//! subtraction, division (CORDIV, `x ≤ y`), minimum and maximum take
+//! correlated streams from a shared random-number sequence.
+
+use crate::sources::{table2_sources, RngKind};
+use sc_core::div::cordiv;
+use sc_core::prelude::*;
+use sc_core::rng::Xoshiro256;
+
+/// The stream lengths of Table II.
+pub const LENGTHS: [usize; 5] = [32, 64, 128, 256, 512];
+
+/// The seven SC operations of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// AND multiplication.
+    Multiplication,
+    /// MAJ scaled addition (0.5 select).
+    ScaledAddition,
+    /// OR approximate addition (`x, y ∈ [0, 0.5]`).
+    ApproxAddition,
+    /// XOR absolute subtraction.
+    AbsSubtraction,
+    /// CORDIV division (`x ≤ y`).
+    Division,
+    /// AND minimum.
+    Minimum,
+    /// OR maximum.
+    Maximum,
+}
+
+impl Op {
+    /// All operations in Table II order.
+    pub const ALL: [Op; 7] = [
+        Op::Multiplication,
+        Op::ScaledAddition,
+        Op::ApproxAddition,
+        Op::AbsSubtraction,
+        Op::Division,
+        Op::Minimum,
+        Op::Maximum,
+    ];
+
+    /// Row label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Op::Multiplication => "Multiplication",
+            Op::ScaledAddition => "Scaled Addition",
+            Op::ApproxAddition => "Approx. Addition",
+            Op::AbsSubtraction => "Abs. Subtraction",
+            Op::Division => "Division",
+            Op::Minimum => "Minimum",
+            Op::Maximum => "Maximum",
+        }
+    }
+}
+
+/// One (operation, source) row of MSE values per stream length.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Operation.
+    pub op: Op,
+    /// Source label.
+    pub source: String,
+    /// MSE(%) per entry of [`LENGTHS`].
+    pub mse: Vec<f64>,
+}
+
+fn quant8(x: f64) -> Fixed {
+    Prob::saturating(x).to_fixed(8).expect("valid width")
+}
+
+/// Computes the MSE of `op` under `kind` at every stream length.
+#[must_use]
+pub fn compute_cell(op: Op, kind: RngKind, samples: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut sums = vec![0.0f64; LENGTHS.len()];
+    for trial in 0..samples {
+        let (mut x, mut y) = (rng.next_f64(), rng.next_f64());
+        if op == Op::ApproxAddition {
+            x *= 0.5;
+            y *= 0.5;
+        }
+        if op == Op::Division {
+            // CORDIV requires x ≤ y; avoid near-zero divisors where the
+            // ratio is numerically unstable for every implementation.
+            if x > y {
+                std::mem::swap(&mut x, &mut y);
+            }
+            if y < 0.05 {
+                y += 0.05;
+            }
+        }
+        let exact = match op {
+            Op::Multiplication => x * y,
+            Op::ScaledAddition => (x + y) / 2.0,
+            Op::ApproxAddition => x + y,
+            Op::AbsSubtraction => (x - y).abs(),
+            Op::Division => x / y,
+            Op::Minimum => x.min(y),
+            Op::Maximum => x.max(y),
+        };
+        for (i, &n) in LENGTHS.iter().enumerate() {
+            let t = trial as u64;
+            let estimate = match op {
+                Op::Multiplication => {
+                    let sx = kind.stream(quant8(x), n, t, 2 * i as u64);
+                    let sy = kind.stream(quant8(y), n, t, 2 * i as u64 + 1);
+                    ops::multiply(&sx, &sy).expect("equal lengths").value()
+                }
+                Op::ScaledAddition => {
+                    let sx = kind.stream(quant8(x), n, t, 3 * i as u64);
+                    let sy = kind.stream(quant8(y), n, t, 3 * i as u64 + 1);
+                    let sel = kind.stream(quant8(0.5), n, t, 3 * i as u64 + 2);
+                    ops::scaled_add_maj(&sx, &sy, &sel)
+                        .expect("equal lengths")
+                        .value()
+                }
+                Op::ApproxAddition => {
+                    let sx = kind.stream(quant8(x), n, t, 2 * i as u64);
+                    let sy = kind.stream(quant8(y), n, t, 2 * i as u64 + 1);
+                    ops::approx_add(&sx, &sy).expect("equal lengths").value()
+                }
+                Op::AbsSubtraction | Op::Minimum | Op::Maximum | Op::Division => {
+                    let streams =
+                        kind.streams_correlated(&[quant8(x), quant8(y)], n, t ^ (i as u64) << 32);
+                    match op {
+                        Op::AbsSubtraction => ops::abs_subtract(&streams[0], &streams[1])
+                            .expect("equal lengths")
+                            .value(),
+                        Op::Minimum => ops::minimum(&streams[0], &streams[1])
+                            .expect("equal lengths")
+                            .value(),
+                        Op::Maximum => ops::maximum(&streams[0], &streams[1])
+                            .expect("equal lengths")
+                            .value(),
+                        Op::Division => cordiv(&streams[0], &streams[1])
+                            .map(|q| q.value())
+                            .unwrap_or(0.0),
+                        _ => unreachable!("covered above"),
+                    }
+                }
+            };
+            let err = estimate - exact;
+            sums[i] += err * err;
+        }
+    }
+    sums.iter().map(|s| 100.0 * s / samples as f64).collect()
+}
+
+/// Computes the full table.
+#[must_use]
+pub fn compute(samples: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for op in Op::ALL {
+        for kind in table2_sources() {
+            rows.push(Row {
+                op,
+                source: kind.label(),
+                mse: compute_cell(op, kind, samples, seed ^ op as u64),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the table grouped by operation.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from("Table II: MSE(%) of SC operations across RNG sources (M = 8)\n");
+    for op in Op::ALL {
+        out.push_str(&format!("\n{}\n", op.label()));
+        out.push_str(&crate::format_row(
+            "  Source \\ N",
+            &LENGTHS.map(|n| n as f64),
+            0,
+        ));
+        out.push('\n');
+        for row in rows.iter().filter(|r| r.op == op) {
+            out.push_str(&crate::format_row(
+                &format!("  {}", row.source),
+                &row.mse,
+                3,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_sobol_is_most_accurate() {
+        let sobol = compute_cell(Op::Multiplication, RngKind::Sobol, 400, 1);
+        let lfsr = compute_cell(Op::Multiplication, RngKind::Lfsr, 400, 1);
+        let sw = compute_cell(Op::Multiplication, RngKind::Software, 400, 1);
+        assert!(sobol[0] < sw[0], "sobol {} sw {}", sobol[0], sw[0]);
+        assert!(lfsr[0] > sw[0], "lfsr {} sw {}", lfsr[0], sw[0]);
+    }
+
+    #[test]
+    fn approx_addition_has_an_error_floor() {
+        // OR addition's x·y bias does not vanish with stream length.
+        let sw = compute_cell(Op::ApproxAddition, RngKind::Software, 400, 2);
+        assert!(sw[4] > 0.3, "floor {:?}", sw);
+    }
+
+    #[test]
+    fn correlated_ops_are_accurate_with_shared_sources() {
+        for op in [Op::AbsSubtraction, Op::Minimum, Op::Maximum] {
+            let mse = compute_cell(op, RngKind::Imsng { m: 8 }, 300, 3);
+            assert!(mse[4] < 0.5, "{op:?}: {:?}", mse);
+        }
+    }
+
+    #[test]
+    fn division_error_decreases_with_length() {
+        let mse = compute_cell(Op::Division, RngKind::Software, 300, 4);
+        assert!(mse[0] > mse[4], "{mse:?}");
+    }
+
+    #[test]
+    fn full_table_has_28_rows() {
+        let rows = compute(20, 5);
+        assert_eq!(rows.len(), 7 * 4);
+        let text = render(&rows);
+        assert!(text.contains("Division"));
+        assert!(text.contains("IMSNG (M=8)"));
+    }
+}

@@ -1,0 +1,245 @@
+//! The in-memory greater-than comparator (Fig. 1b).
+//!
+//! To convert a random row into a stochastic bit, the accelerator decides
+//! `A > RN` bit-serially from MSB to LSB: a running flag (`FFlag`) marks
+//! columns whose comparison is still undecided, and the first unequal bit
+//! position decides the outcome. Per bit position the network costs five
+//! gates:
+//!
+//! ```text
+//! diff  = A_i XOR RN_i              (1 XOR)
+//! win   = A_i AND NOT RN_i          (1 AND)
+//! take  = FFlag AND win             (1 AND — predicated in IMSNG-opt)
+//! GT    = GT XOR take               (1 XOR — disjoint OR)
+//! FFlag = FFlag AND NOT diff        (1 AND — predicated in IMSNG-opt)
+//! ```
+//!
+//! i.e. exactly the `5n` scouting-logic sensing steps the paper reports.
+//! [`greater_than_xag`] builds the network as an optimizable [`Xag`];
+//! [`ComparatorSchedule`] turns it into a per-cycle scouting-logic
+//! schedule with the write behaviour of the three implementation
+//! variants (baseline write-back, IMSNG-naive bitline feedback,
+//! IMSNG-opt latch predication).
+
+use crate::imsng::ImsngVariant;
+use crate::xag::{Signal, Xag};
+
+/// Builds the `A > B` comparator over two `bits`-bit operands (MSB first)
+/// as an XAG. Inputs are interleaved: `a_{n-1}, b_{n-1}, …, a_0, b_0`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+#[must_use]
+pub fn greater_than_xag(bits: u32) -> Xag {
+    assert!(bits > 0, "comparator needs at least one bit");
+    let mut g = Xag::new();
+    let mut gt = g.constant(false);
+    let mut flag = g.constant(true);
+    let mut pairs: Vec<(Signal, Signal)> = Vec::new();
+    for _ in 0..bits {
+        let a = g.input();
+        let b = g.input();
+        pairs.push((a, b));
+    }
+    for &(a, b) in &pairs {
+        let diff = g.xor(a, b);
+        let win = g.and(a, b.not());
+        let take = g.and(flag, win);
+        gt = g.xor(gt, take);
+        flag = g.and(flag, diff.not());
+    }
+    g.set_outputs(vec![gt]);
+    g
+}
+
+/// One scheduled scouting-logic step of the comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlStep {
+    /// The bit position (0 = MSB) this step belongs to.
+    pub bit: u32,
+    /// Mnemonic of the micro-operation.
+    pub op: &'static str,
+    /// Whether this step writes its intermediate result back to the array.
+    pub writes_array: bool,
+}
+
+/// A fully expanded per-cycle schedule of the comparator for a given
+/// implementation variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparatorSchedule {
+    steps: Vec<SlStep>,
+    variant: ImsngVariant,
+    bits: u32,
+}
+
+impl ComparatorSchedule {
+    /// Builds the schedule for a `bits`-bit comparison under the given
+    /// variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    #[must_use]
+    pub fn new(bits: u32, variant: ImsngVariant) -> Self {
+        assert!(bits > 0, "comparator needs at least one bit");
+        let mut steps = Vec::with_capacity(5 * bits as usize);
+        for bit in 0..bits {
+            // The five micro-ops per bit position; which of them write to
+            // the array depends on the variant.
+            let per_bit: [(&'static str, bool); 5] = match variant {
+                // Straightforward write-back of every intermediate signal
+                // that feeds a later array-side gate (diff, win, take,
+                // flag — 4 writes; the gt accumulation stays latched).
+                ImsngVariant::Baseline => [
+                    ("XOR diff", true),
+                    ("AND win", true),
+                    ("AND take", true),
+                    ("XOR gt", false),
+                    ("AND flag", true),
+                ],
+                // Bitline feedback: the sensed value is re-applied as a
+                // bitline voltage, eliminating the diff/win write-backs;
+                // the running take/flag state still lands in the array
+                // (2 writes per bit).
+                ImsngVariant::Naive => [
+                    ("XOR diff", false),
+                    ("AND win", false),
+                    ("AND take", true),
+                    ("XOR gt", false),
+                    ("AND flag", true),
+                ],
+                // Latch predication: take/flag live in the L0/L1 write
+                // drivers; nothing intermediate is written.
+                ImsngVariant::Opt => [
+                    ("XOR diff", false),
+                    ("AND win", false),
+                    ("AND take", false),
+                    ("XOR gt", false),
+                    ("AND flag", false),
+                ],
+            };
+            for (op, writes_array) in per_bit {
+                steps.push(SlStep {
+                    bit,
+                    op,
+                    writes_array,
+                });
+            }
+        }
+        ComparatorSchedule {
+            steps,
+            variant,
+            bits,
+        }
+    }
+
+    /// The variant this schedule implements.
+    #[must_use]
+    pub fn variant(&self) -> ImsngVariant {
+        self.variant
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// All steps in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[SlStep] {
+        &self.steps
+    }
+
+    /// Total sensing steps (always `5 · bits`).
+    #[must_use]
+    pub fn sense_ops(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Intermediate array writes (`4 · bits`, `2 · bits`, or `0`).
+    #[must_use]
+    pub fn array_writes(&self) -> usize {
+        self.steps.iter().filter(|s| s.writes_array).count()
+    }
+}
+
+/// Software-exact greater-than over two fixed-width integers, used as the
+/// functional reference for the network.
+#[must_use]
+pub fn greater_than_reference(a: u64, b: u64) -> bool {
+    a > b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_comparator(bits: u32, a: u64, b: u64) -> bool {
+        let g = greater_than_xag(bits);
+        let mut inputs = Vec::with_capacity(2 * bits as usize);
+        for i in (0..bits).rev() {
+            inputs.push((a >> i) & 1 == 1);
+            inputs.push((b >> i) & 1 == 1);
+        }
+        g.eval(&inputs)[0]
+    }
+
+    #[test]
+    fn exhaustive_4bit_comparison() {
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(run_comparator(4, a, b), a > b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_8bit_spot_checks() {
+        for &(a, b) in &[(0u64, 0u64), (255, 0), (0, 255), (128, 127), (200, 201)] {
+            assert_eq!(run_comparator(8, a, b), a > b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn network_costs_five_gates_per_bit() {
+        for bits in [1u32, 4, 8] {
+            let mut g = greater_than_xag(bits);
+            g.cleanup();
+            let stats = g.stats();
+            // First bit position folds against the constant flag/gt, so
+            // the count is ≤ 5·bits but grows by exactly 5 per extra bit.
+            assert!(stats.gates() <= 5 * bits as usize, "bits={bits}");
+            if bits > 1 {
+                let mut smaller = greater_than_xag(bits - 1);
+                smaller.cleanup();
+                assert_eq!(stats.gates() - smaller.stats().gates(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_match_paper_counts() {
+        let n = 8;
+        let baseline = ComparatorSchedule::new(n, ImsngVariant::Baseline);
+        assert_eq!(baseline.sense_ops(), 5 * n as usize);
+        assert_eq!(baseline.array_writes(), 4 * n as usize);
+
+        let naive = ComparatorSchedule::new(n, ImsngVariant::Naive);
+        assert_eq!(naive.sense_ops(), 5 * n as usize);
+        assert_eq!(naive.array_writes(), 2 * n as usize);
+
+        let opt = ComparatorSchedule::new(n, ImsngVariant::Opt);
+        assert_eq!(opt.sense_ops(), 5 * n as usize);
+        assert_eq!(opt.array_writes(), 0);
+    }
+
+    #[test]
+    fn schedule_steps_cover_every_bit() {
+        let s = ComparatorSchedule::new(3, ImsngVariant::Opt);
+        for bit in 0..3 {
+            assert_eq!(s.steps().iter().filter(|x| x.bit == bit).count(), 5);
+        }
+    }
+}

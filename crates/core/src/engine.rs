@@ -1,0 +1,955 @@
+//! The in-memory SC accelerator: end-to-end ❶→❷→❸ execution.
+//!
+//! [`Accelerator`] owns a ReRAM array partitioned per Fig. 1(a), a
+//! scouting-logic engine (optionally fault-injected), the in-memory TRNG,
+//! the IMSNG conversion engine, and the ADC converter. Every operation is
+//! executed *in the array* (bulk bitwise over stream rows) and recorded in
+//! a [`CostLedger`] — and optionally in an NVMain-style command trace —
+//! so accuracy and hardware cost come from the same simulation.
+//!
+//! Correlation is tracked per stream: streams produced by
+//! [`Accelerator::encode`] carry fresh correlation domains (independent RN
+//! rows), while [`Accelerator::encode_correlated`] shares one RN
+//! realization, as the correlated-input operations (XOR subtraction,
+//! CORDIV division, min, max) require. Requesting an operation with the
+//! wrong correlation domain is a type error at runtime
+//! ([`ImscError::CorrelationMismatch`]), not silent inaccuracy.
+
+use crate::cost::CostLedger;
+use crate::error::ImscError;
+use crate::imsng::{Imsng, ImsngVariant};
+use crate::layout::RowAllocator;
+use crate::s2b::StochasticToBinary;
+use nvsim::{CmdKind, Command, Trace};
+use reram::array::CrossbarArray;
+use reram::cell::DeviceParams;
+use reram::div::CordivPeriphery;
+use reram::faults::FaultRates;
+use reram::scouting::{ScoutingLogic, SlOp};
+use reram::trng::TrngEngine;
+use sc_core::{BitStream, Fixed};
+
+/// A handle to a stochastic stream stored in the accelerator's array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamHandle(usize);
+
+#[derive(Debug, Clone)]
+struct StreamSlot {
+    row: usize,
+    correlation_group: u64,
+    alive: bool,
+}
+
+/// Builder for [`Accelerator`].
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    stream_len: usize,
+    segment_bits: u32,
+    variant: ImsngVariant,
+    seed: u64,
+    fault_rates: FaultRates,
+    trng_bias_sigma: f64,
+    stream_rows: usize,
+    device: DeviceParams,
+    record_trace: bool,
+}
+
+impl AcceleratorBuilder {
+    fn new() -> Self {
+        AcceleratorBuilder {
+            stream_len: 256,
+            segment_bits: 8,
+            variant: ImsngVariant::Opt,
+            seed: 0,
+            fault_rates: FaultRates::none(),
+            trng_bias_sigma: 0.04,
+            stream_rows: 64,
+            device: DeviceParams::default(),
+            record_trace: false,
+        }
+    }
+
+    /// Stochastic bit-stream length `N` (default 256).
+    #[must_use]
+    pub fn stream_len(mut self, n: usize) -> Self {
+        self.stream_len = n;
+        self
+    }
+
+    /// Comparator segment width `M` (default 8).
+    #[must_use]
+    pub fn segment_bits(mut self, m: u32) -> Self {
+        self.segment_bits = m;
+        self
+    }
+
+    /// IMSNG implementation variant (default [`ImsngVariant::Opt`]).
+    #[must_use]
+    pub fn variant(mut self, v: ImsngVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Master seed for all stochastic components.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// CIM fault-injection rates (default: fault-free).
+    #[must_use]
+    pub fn fault_rates(mut self, rates: FaultRates) -> Self {
+        self.fault_rates = rates;
+        self
+    }
+
+    /// Per-cell TRNG bias sigma around the 50% point (default 0.04,
+    /// matching device-level fluctuation of read-noise TRNGs).
+    #[must_use]
+    pub fn trng_bias_sigma(mut self, sigma: f64) -> Self {
+        self.trng_bias_sigma = sigma;
+        self
+    }
+
+    /// Stream rows available in the array (default 64; release handles to
+    /// recycle).
+    #[must_use]
+    pub fn stream_rows(mut self, rows: usize) -> Self {
+        self.stream_rows = rows;
+        self
+    }
+
+    /// Device parameter set (default HfO₂).
+    #[must_use]
+    pub fn device(mut self, params: DeviceParams) -> Self {
+        self.device = params;
+        self
+    }
+
+    /// Record an NVMain-style command trace of every operation.
+    #[must_use]
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Builds the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImscError::InvalidConfig`] for out-of-range dimensions or
+    /// [`ImscError::Device`] for invalid device parameters.
+    pub fn build(self) -> Result<Accelerator, ImscError> {
+        if self.stream_len < 2 {
+            return Err(ImscError::InvalidConfig("stream_len must be at least 2"));
+        }
+        if self.stream_rows < 2 {
+            return Err(ImscError::InvalidConfig("stream_rows must be at least 2"));
+        }
+        if self.trng_bias_sigma < 0.0 || self.trng_bias_sigma >= 0.5 {
+            return Err(ImscError::InvalidConfig(
+                "trng_bias_sigma must be in [0, 0.5)",
+            ));
+        }
+        self.device.validate()?;
+        let imsng = Imsng::new(self.variant, self.segment_bits)?;
+        let m = self.segment_bits as usize;
+        let total_rows = m + self.stream_rows;
+        let array = CrossbarArray::with_params(
+            total_rows,
+            self.stream_len,
+            self.device,
+            self.seed ^ 0x5EED_0001,
+        );
+        let allocator = RowAllocator::new(total_rows, m)?;
+        let sl = if self.fault_rates.is_fault_free() {
+            ScoutingLogic::ideal()
+        } else {
+            ScoutingLogic::with_faults(self.fault_rates, self.seed ^ 0x5EED_0002)
+        };
+        let trng = TrngEngine::new(
+            4096.max(self.stream_len),
+            self.trng_bias_sigma,
+            self.seed ^ 0x5EED_0003,
+        );
+        Ok(Accelerator {
+            stream_len: self.stream_len,
+            imsng,
+            array,
+            allocator,
+            sl,
+            trng,
+            s2b: StochasticToBinary::ideal8(),
+            slots: Vec::new(),
+            next_group: 0,
+            ledger: CostLedger::default(),
+            trace: if self.record_trace {
+                Some(Trace::new())
+            } else {
+                None
+            },
+        })
+    }
+}
+
+/// The all-in-memory stochastic-computing accelerator.
+///
+/// # Example
+///
+/// ```
+/// use imsc::engine::Accelerator;
+/// use sc_core::Fixed;
+///
+/// # fn main() -> Result<(), imsc::ImscError> {
+/// let mut acc = Accelerator::builder().stream_len(512).seed(3).build()?;
+/// // |x − y| needs correlated streams: encode them against shared RN rows.
+/// let (x, y) = acc.encode_correlated(Fixed::from_u8(200), Fixed::from_u8(72))?;
+/// let d = acc.abs_subtract(x, y)?;
+/// let v = acc.read_value(d)?;
+/// assert!((v - 0.5).abs() < 0.08);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Accelerator {
+    stream_len: usize,
+    imsng: Imsng,
+    array: CrossbarArray,
+    allocator: RowAllocator,
+    sl: ScoutingLogic,
+    trng: TrngEngine,
+    s2b: StochasticToBinary,
+    slots: Vec<StreamSlot>,
+    next_group: u64,
+    ledger: CostLedger,
+    trace: Option<Trace>,
+}
+
+impl Accelerator {
+    /// Starts building an accelerator.
+    #[must_use]
+    pub fn builder() -> AcceleratorBuilder {
+        AcceleratorBuilder::new()
+    }
+
+    /// The stream length `N`.
+    #[must_use]
+    pub fn stream_len(&self) -> usize {
+        self.stream_len
+    }
+
+    /// The comparator segment width `M`.
+    #[must_use]
+    pub fn segment_bits(&self) -> u32 {
+        self.imsng.segment_bits()
+    }
+
+    /// The accumulated cost ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The recorded command trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Stream rows still available before handles must be released.
+    #[must_use]
+    pub fn available_rows(&self) -> usize {
+        self.allocator.available()
+    }
+
+    fn fresh_group(&mut self) -> u64 {
+        self.next_group += 1;
+        self.next_group
+    }
+
+    fn record(&mut self, cmd: CmdKind, row: usize) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(Command::new(0, row, cmd));
+        }
+    }
+
+    fn refresh_rn_rows(&mut self) -> Result<(), ImscError> {
+        for row in self.allocator.rn_rows() {
+            self.trng.fill_row(&mut self.array, row)?;
+            self.ledger.trng_fills += 1;
+            self.record(CmdKind::Write, row);
+        }
+        Ok(())
+    }
+
+    fn record_imsng(&mut self, dest: usize) {
+        let m = self.imsng.segment_bits() as usize;
+        for _ in 0..5 * m {
+            self.record(CmdKind::ScoutRead { rows: 2 }, 0);
+        }
+        let writes = match self.imsng.variant() {
+            ImsngVariant::Baseline => 4 * m,
+            ImsngVariant::Naive => 2 * m,
+            ImsngVariant::Opt => 0,
+        };
+        for _ in 0..writes {
+            self.record(CmdKind::Write, dest);
+        }
+        self.record(CmdKind::Write, dest);
+    }
+
+    fn slot(&self, h: StreamHandle) -> Result<&StreamSlot, ImscError> {
+        self.slots
+            .get(h.0)
+            .filter(|s| s.alive)
+            .ok_or(ImscError::InvalidHandle(h.0))
+    }
+
+    fn new_slot(&mut self, row: usize, group: u64) -> StreamHandle {
+        self.slots.push(StreamSlot {
+            row,
+            correlation_group: group,
+            alive: true,
+        });
+        StreamHandle(self.slots.len() - 1)
+    }
+
+    /// Encodes a binary operand into a stochastic stream with a fresh
+    /// (independent) correlation domain — step ❶ of the SC flow.
+    ///
+    /// # Errors
+    ///
+    /// * [`ImscError::OutOfRows`] — release handles to recycle rows.
+    /// * [`ImscError::Device`] / [`ImscError::Stochastic`] — substrate
+    ///   failures.
+    pub fn encode(&mut self, x: Fixed) -> Result<StreamHandle, ImscError> {
+        self.refresh_rn_rows()?;
+        let dest = self.allocator.alloc()?;
+        let rn_rows = self.allocator.rn_rows();
+        match self
+            .imsng
+            .generate(&mut self.array, &mut self.sl, &rn_rows, x, dest)
+        {
+            Ok(cost) => {
+                self.ledger.imsng.accumulate(&cost);
+                self.record_imsng(dest);
+                let group = self.fresh_group();
+                Ok(self.new_slot(dest, group))
+            }
+            Err(e) => {
+                self.allocator.release(dest);
+                Err(e)
+            }
+        }
+    }
+
+    /// Encodes two operands against the *same* random-number realization,
+    /// yielding maximally correlated streams (required by
+    /// [`Accelerator::abs_subtract`], [`Accelerator::divide`],
+    /// [`Accelerator::minimum`], [`Accelerator::maximum`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Accelerator::encode`].
+    pub fn encode_correlated(
+        &mut self,
+        x: Fixed,
+        y: Fixed,
+    ) -> Result<(StreamHandle, StreamHandle), ImscError> {
+        let handles = self.encode_correlated_many(&[x, y])?;
+        Ok((handles[0], handles[1]))
+    }
+
+    /// Encodes any number of operands against one shared random-number
+    /// realization — all resulting streams are pairwise maximally
+    /// correlated (one correlation domain). Bilinear interpolation uses
+    /// this for its four neighbouring pixels, matting for `(I, B, F)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Accelerator::encode`]; additionally
+    /// [`ImscError::InvalidConfig`] for an empty operand list.
+    pub fn encode_correlated_many(
+        &mut self,
+        operands: &[Fixed],
+    ) -> Result<Vec<StreamHandle>, ImscError> {
+        if operands.is_empty() {
+            return Err(ImscError::InvalidConfig(
+                "encode_correlated_many needs at least one operand",
+            ));
+        }
+        self.refresh_rn_rows()?;
+        let rn_rows = self.allocator.rn_rows();
+        let mut dests = Vec::with_capacity(operands.len());
+        let mut costs = Vec::with_capacity(operands.len());
+        for &op in operands {
+            let dest = match self.allocator.alloc() {
+                Ok(d) => d,
+                Err(e) => {
+                    for d in dests {
+                        self.allocator.release(d);
+                    }
+                    return Err(e);
+                }
+            };
+            match self
+                .imsng
+                .generate(&mut self.array, &mut self.sl, &rn_rows, op, dest)
+            {
+                Ok(c) => {
+                    dests.push(dest);
+                    costs.push(c);
+                }
+                Err(e) => {
+                    self.allocator.release(dest);
+                    for d in dests {
+                        self.allocator.release(d);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let group = self.fresh_group();
+        let mut handles = Vec::with_capacity(dests.len());
+        for (dest, cost) in dests.into_iter().zip(costs) {
+            self.ledger.imsng.accumulate(&cost);
+            self.record_imsng(dest);
+            handles.push(self.new_slot(dest, group));
+        }
+        Ok(handles)
+    }
+
+    /// Scaled blend via a single 3-input majority over *correlated*
+    /// operands with an independent select: wherever the operand bits
+    /// agree MAJ passes them through, and wherever they differ the select
+    /// bit decides — computing exactly
+    /// `sel·max(a,b) + (1−sel)·min(a,b)`.
+    ///
+    /// This is the CIM-friendly MUX replacement of §III-B and the kernel
+    /// of compositing / bilinear interpolation (Fig. 3a–b). To realize a
+    /// *directed* MUX `sel·a + (1−sel)·b`, feed `sel` when `a ≥ b` and
+    /// the complement select when `a < b` — the operand ordering is known
+    /// at encode time from the binary values, so this costs nothing
+    /// (see `imgproc::compositing`).
+    ///
+    /// The result stays in `a`/`b`'s correlation domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] unless `a`,`b` share a domain
+    /// and `sel` is outside it.
+    pub fn blend(
+        &mut self,
+        a: StreamHandle,
+        b: StreamHandle,
+        sel: StreamHandle,
+    ) -> Result<StreamHandle, ImscError> {
+        let (ra, ga) = {
+            let s = self.slot(a)?;
+            (s.row, s.correlation_group)
+        };
+        let (rb, gb) = {
+            let s = self.slot(b)?;
+            (s.row, s.correlation_group)
+        };
+        let (rs, gs) = {
+            let s = self.slot(sel)?;
+            (s.row, s.correlation_group)
+        };
+        if ga != gb {
+            return Err(ImscError::CorrelationMismatch {
+                op: "blend",
+                requires_correlated: true,
+            });
+        }
+        if gs == ga {
+            return Err(ImscError::CorrelationMismatch {
+                op: "blend select",
+                requires_correlated: false,
+            });
+        }
+        let result = self
+            .sl
+            .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, rs])?;
+        self.ledger.sl_single_ops += 1;
+        self.record(CmdKind::ScoutRead { rows: 3 }, ra);
+        let dest = self.allocator.alloc()?;
+        self.array.write_row(dest, &result)?;
+        self.ledger.stream_writes += 1;
+        self.record(CmdKind::Write, dest);
+        Ok(self.new_slot(dest, ga))
+    }
+
+    /// Loads an externally produced stream into the array (fresh
+    /// correlation domain). Mainly useful for tests and interop.
+    ///
+    /// # Errors
+    ///
+    /// * [`ImscError::Stochastic`] — stream length mismatch.
+    /// * [`ImscError::OutOfRows`] — array exhausted.
+    pub fn load_stream(&mut self, s: &BitStream) -> Result<StreamHandle, ImscError> {
+        if s.len() != self.stream_len {
+            return Err(ImscError::Stochastic(sc_core::ScError::LengthMismatch {
+                left: s.len(),
+                right: self.stream_len,
+            }));
+        }
+        let dest = self.allocator.alloc()?;
+        self.array.write_row(dest, s)?;
+        self.ledger.stream_writes += 1;
+        self.record(CmdKind::Write, dest);
+        let group = self.fresh_group();
+        Ok(self.new_slot(dest, group))
+    }
+
+    fn binary_sl_op(
+        &mut self,
+        op: SlOp,
+        a: StreamHandle,
+        b: StreamHandle,
+        require_correlated: bool,
+        op_name: &'static str,
+    ) -> Result<StreamHandle, ImscError> {
+        let (ra, ga) = {
+            let s = self.slot(a)?;
+            (s.row, s.correlation_group)
+        };
+        let (rb, gb) = {
+            let s = self.slot(b)?;
+            (s.row, s.correlation_group)
+        };
+        let correlated = ga == gb;
+        if correlated != require_correlated {
+            return Err(ImscError::CorrelationMismatch {
+                op: op_name,
+                requires_correlated: require_correlated,
+            });
+        }
+        let result = self.sl.execute_mut(&mut self.array, op, &[ra, rb])?;
+        match op {
+            SlOp::Xor | SlOp::Xnor => self.ledger.sl_xor_ops += 1,
+            _ => self.ledger.sl_single_ops += 1,
+        }
+        self.record(CmdKind::ScoutRead { rows: 2 }, ra);
+        let dest = self.allocator.alloc()?;
+        self.array.write_row(dest, &result)?;
+        self.ledger.stream_writes += 1;
+        self.record(CmdKind::Write, dest);
+        // Correlated-input results are threshold/interval tests of the
+        // same shared random numbers, so they remain in the operands'
+        // correlation domain; uncorrelated-input results get a fresh one.
+        let group = if require_correlated {
+            ga
+        } else {
+            self.fresh_group()
+        };
+        Ok(self.new_slot(dest, group))
+    }
+
+    /// SC multiplication `x·y` (AND over uncorrelated streams).
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] if the operands share a
+    /// correlation domain; substrate errors otherwise.
+    pub fn multiply(
+        &mut self,
+        a: StreamHandle,
+        b: StreamHandle,
+    ) -> Result<StreamHandle, ImscError> {
+        self.binary_sl_op(SlOp::And, a, b, false, "multiply")
+    }
+
+    /// CIM-friendly scaled addition `(x + y)/2`: 3-input majority with an
+    /// in-memory generated 0.5 select stream (§III-B).
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] for correlated operands;
+    /// substrate errors otherwise.
+    pub fn scaled_add(
+        &mut self,
+        a: StreamHandle,
+        b: StreamHandle,
+    ) -> Result<StreamHandle, ImscError> {
+        let (ra, ga) = {
+            let s = self.slot(a)?;
+            (s.row, s.correlation_group)
+        };
+        let (rb, gb) = {
+            let s = self.slot(b)?;
+            (s.row, s.correlation_group)
+        };
+        if ga == gb {
+            return Err(ImscError::CorrelationMismatch {
+                op: "scaled_add",
+                requires_correlated: false,
+            });
+        }
+        // Select stream: a fresh 0.5-probability stream (one IMSNG run).
+        let half = Fixed::new(1 << (self.segment_bits() - 1), self.segment_bits())?;
+        let sel = self.encode(half)?;
+        let rs = self.slot(sel)?.row;
+        let result = self
+            .sl
+            .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, rs])?;
+        self.ledger.sl_single_ops += 1;
+        self.record(CmdKind::ScoutRead { rows: 3 }, ra);
+        self.release(sel)?;
+        let dest = self.allocator.alloc()?;
+        self.array.write_row(dest, &result)?;
+        self.ledger.stream_writes += 1;
+        self.record(CmdKind::Write, dest);
+        let group = self.fresh_group();
+        Ok(self.new_slot(dest, group))
+    }
+
+    /// Approximate (unscaled) addition `≈ x + y` for `x, y ∈ [0, 0.5]`
+    /// (OR over uncorrelated streams).
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] for correlated operands.
+    pub fn approx_add(
+        &mut self,
+        a: StreamHandle,
+        b: StreamHandle,
+    ) -> Result<StreamHandle, ImscError> {
+        self.binary_sl_op(SlOp::Or, a, b, false, "approx_add")
+    }
+
+    /// Absolute subtraction `|x − y|` (XOR over correlated streams).
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] for uncorrelated operands.
+    pub fn abs_subtract(
+        &mut self,
+        a: StreamHandle,
+        b: StreamHandle,
+    ) -> Result<StreamHandle, ImscError> {
+        self.binary_sl_op(SlOp::Xor, a, b, true, "abs_subtract")
+    }
+
+    /// Minimum `min(x, y)` (AND over correlated streams).
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] for uncorrelated operands.
+    pub fn minimum(&mut self, a: StreamHandle, b: StreamHandle) -> Result<StreamHandle, ImscError> {
+        self.binary_sl_op(SlOp::And, a, b, true, "minimum")
+    }
+
+    /// Maximum `max(x, y)` (OR over correlated streams).
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::CorrelationMismatch`] for uncorrelated operands.
+    pub fn maximum(&mut self, a: StreamHandle, b: StreamHandle) -> Result<StreamHandle, ImscError> {
+        self.binary_sl_op(SlOp::Or, a, b, true, "maximum")
+    }
+
+    /// CORDIV division `x / y` for correlated streams with `x ≤ y`,
+    /// executed in the periphery latches (no intermediate array writes).
+    ///
+    /// # Errors
+    ///
+    /// * [`ImscError::CorrelationMismatch`] — uncorrelated operands.
+    /// * [`ImscError::Stochastic`] — all-zero divisor.
+    pub fn divide(&mut self, a: StreamHandle, b: StreamHandle) -> Result<StreamHandle, ImscError> {
+        let (ra, ga) = {
+            let s = self.slot(a)?;
+            (s.row, s.correlation_group)
+        };
+        let (rb, gb) = {
+            let s = self.slot(b)?;
+            (s.row, s.correlation_group)
+        };
+        if ga != gb {
+            return Err(ImscError::CorrelationMismatch {
+                op: "divide",
+                requires_correlated: true,
+            });
+        }
+        // Sense both operand rows (faults apply on the sensing path).
+        let x = self
+            .sl
+            .execute_mut(&mut self.array, SlOp::Not, &[ra])?
+            .not();
+        let y = self
+            .sl
+            .execute_mut(&mut self.array, SlOp::Not, &[rb])?
+            .not();
+        self.ledger.sl_single_ops += 2;
+        self.record(CmdKind::ScoutRead { rows: 2 }, ra);
+        let quotient = CordivPeriphery::new().run(&x, &y)?;
+        self.ledger.cordiv_steps += self.stream_len as u64;
+        if let Some(t) = self.trace.as_mut() {
+            t.push_repeated(Command::new(0, ra, CmdKind::CordivStep), self.stream_len);
+        }
+        let dest = self.allocator.alloc()?;
+        self.array.write_row(dest, &quotient)?;
+        self.ledger.stream_writes += 1;
+        self.record(CmdKind::Write, dest);
+        let group = self.fresh_group();
+        Ok(self.new_slot(dest, group))
+    }
+
+    /// Complement `1 − x` (inverted read).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors only.
+    pub fn complement(&mut self, a: StreamHandle) -> Result<StreamHandle, ImscError> {
+        let ra = self.slot(a)?.row;
+        let ga = self.slot(a)?.correlation_group;
+        let result = self.sl.execute_mut(&mut self.array, SlOp::Not, &[ra])?;
+        self.ledger.sl_single_ops += 1;
+        self.record(CmdKind::ScoutRead { rows: 2 }, ra);
+        let dest = self.allocator.alloc()?;
+        self.array.write_row(dest, &result)?;
+        self.ledger.stream_writes += 1;
+        self.record(CmdKind::Write, dest);
+        // The complement is *anti*-correlated with its source; it stays in
+        // the same correlation domain so correlated ops remain legal.
+        Ok(self.new_slot(dest, ga))
+    }
+
+    /// Reads a stream back as a probability estimate via the reference
+    /// column and ADC — step ❸.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors only.
+    pub fn read_value(&mut self, h: StreamHandle) -> Result<f64, ImscError> {
+        let row = self.slot(h)?.row;
+        let s = self.array.read_row(row)?;
+        self.ledger.adc_samples += 1;
+        self.record(CmdKind::AdcSample, row);
+        self.s2b.convert_to_prob(&s)
+    }
+
+    /// Copies a stream out of the array (diagnostic path; does not model
+    /// the ADC).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors only.
+    pub fn read_stream(&mut self, h: StreamHandle) -> Result<BitStream, ImscError> {
+        let row = self.slot(h)?.row;
+        self.ledger.stream_reads += 1;
+        Ok(self.array.read_row(row)?)
+    }
+
+    /// Releases a stream's row for reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::InvalidHandle`] if already released or foreign.
+    pub fn release(&mut self, h: StreamHandle) -> Result<(), ImscError> {
+        let row = {
+            let s = self
+                .slots
+                .get_mut(h.0)
+                .filter(|s| s.alive)
+                .ok_or(ImscError::InvalidHandle(h.0))?;
+            s.alive = false;
+            s.row
+        };
+        self.allocator.release(row);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(n: usize, seed: u64) -> Accelerator {
+        Accelerator::builder()
+            .stream_len(n)
+            .seed(seed)
+            .trng_bias_sigma(0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn multiply_uncorrelated_streams() {
+        let mut a = acc(4096, 1);
+        let x = a.encode(Fixed::from_u8(192)).unwrap();
+        let y = a.encode(Fixed::from_u8(128)).unwrap();
+        let p = a.multiply(x, y).unwrap();
+        let v = a.read_value(p).unwrap();
+        assert!((v - 0.375).abs() < 0.04, "{v}");
+    }
+
+    #[test]
+    fn scaled_add_halves_the_sum() {
+        let mut a = acc(4096, 2);
+        let x = a.encode(Fixed::from_u8(200)).unwrap();
+        let y = a.encode(Fixed::from_u8(56)).unwrap();
+        let s = a.scaled_add(x, y).unwrap();
+        let v = a.read_value(s).unwrap();
+        assert!((v - 0.5).abs() < 0.04, "{v}");
+    }
+
+    #[test]
+    fn correlated_subtract_min_max_divide() {
+        let mut a = acc(4096, 3);
+        let (x, y) = a
+            .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+            .unwrap();
+        let d = a.abs_subtract(x, y).unwrap();
+        assert!((a.read_value(d).unwrap() - 120.0 / 256.0).abs() < 0.05);
+        let mn = a.minimum(x, y).unwrap();
+        assert!((a.read_value(mn).unwrap() - 60.0 / 256.0).abs() < 0.05);
+        let mx = a.maximum(x, y).unwrap();
+        assert!((a.read_value(mx).unwrap() - 180.0 / 256.0).abs() < 0.05);
+        let q = a.divide(x, y).unwrap();
+        assert!((a.read_value(q).unwrap() - 60.0 / 180.0).abs() < 0.07);
+    }
+
+    #[test]
+    fn correlation_domains_are_enforced() {
+        let mut a = acc(256, 4);
+        let x = a.encode(Fixed::from_u8(100)).unwrap();
+        let y = a.encode(Fixed::from_u8(100)).unwrap();
+        assert!(matches!(
+            a.abs_subtract(x, y),
+            Err(ImscError::CorrelationMismatch { .. })
+        ));
+        let (u, v) = a
+            .encode_correlated(Fixed::from_u8(10), Fixed::from_u8(20))
+            .unwrap();
+        assert!(matches!(
+            a.multiply(u, v),
+            Err(ImscError::CorrelationMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn complement_stays_in_domain() {
+        let mut a = acc(2048, 5);
+        let (x, _y) = a
+            .encode_correlated(Fixed::from_u8(64), Fixed::from_u8(160))
+            .unwrap();
+        let nx = a.complement(x).unwrap();
+        let v = a.read_value(nx).unwrap();
+        assert!((v - 0.75).abs() < 0.03, "{v}");
+        // ¬x shares x's correlation domain, so correlated ops are legal —
+        // and AND(¬x, x) is exactly the empty overlap.
+        let z = a.minimum(nx, x).unwrap();
+        assert!(a.read_value(z).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn rows_are_recycled_after_release() {
+        let mut a = Accelerator::builder()
+            .stream_len(64)
+            .stream_rows(4)
+            .seed(6)
+            .build()
+            .unwrap();
+        for _ in 0..16 {
+            let h = a.encode(Fixed::from_u8(1)).unwrap();
+            a.release(h).unwrap();
+        }
+        assert_eq!(a.available_rows(), 4);
+        let h = a.encode(Fixed::from_u8(1)).unwrap();
+        assert!(matches!(
+            a.read_value(StreamHandle(0)),
+            Err(ImscError::InvalidHandle(0))
+        ));
+        let _ = h;
+    }
+
+    #[test]
+    fn out_of_rows_is_reported() {
+        let mut a = Accelerator::builder()
+            .stream_len(64)
+            .stream_rows(2)
+            .seed(7)
+            .build()
+            .unwrap();
+        let _x = a.encode(Fixed::from_u8(9)).unwrap();
+        let _y = a.encode(Fixed::from_u8(9)).unwrap();
+        assert!(matches!(
+            a.encode(Fixed::from_u8(9)),
+            Err(ImscError::OutOfRows)
+        ));
+    }
+
+    #[test]
+    fn ledger_tracks_the_flow() {
+        let mut a = acc(256, 8);
+        let x = a.encode(Fixed::from_u8(50)).unwrap();
+        let y = a.encode(Fixed::from_u8(70)).unwrap();
+        let p = a.multiply(x, y).unwrap();
+        let _ = a.read_value(p).unwrap();
+        let l = a.ledger();
+        assert_eq!(l.imsng.sense_ops, 80); // two conversions × 5·8
+        assert_eq!(l.sl_single_ops, 1);
+        assert_eq!(l.adc_samples, 1);
+        assert_eq!(l.stream_writes, 1);
+        assert_eq!(l.trng_fills, 16);
+    }
+
+    #[test]
+    fn trace_recording_matches_ledger() {
+        let mut a = Accelerator::builder()
+            .stream_len(256)
+            .seed(9)
+            .record_trace(true)
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(100)).unwrap();
+        let _ = a.read_value(x).unwrap();
+        let trace = a.trace().unwrap();
+        let scouts = trace
+            .commands()
+            .iter()
+            .filter(|c| matches!(c.kind, CmdKind::ScoutRead { .. }))
+            .count();
+        assert_eq!(scouts, 40);
+        let adcs = trace
+            .commands()
+            .iter()
+            .filter(|c| c.kind == CmdKind::AdcSample)
+            .count();
+        assert_eq!(adcs, 1);
+    }
+
+    #[test]
+    fn faulty_accelerator_still_tracks_values() {
+        let mut a = Accelerator::builder()
+            .stream_len(1024)
+            .seed(10)
+            .fault_rates(FaultRates::uniform(0.02))
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(128)).unwrap();
+        let y = a.encode(Fixed::from_u8(128)).unwrap();
+        let p = a.multiply(x, y).unwrap();
+        let v = a.read_value(p).unwrap();
+        assert!((v - 0.25).abs() < 0.08, "{v}");
+    }
+
+    #[test]
+    fn divide_rejects_zero_divisor() {
+        let mut a = acc(128, 11);
+        let (x, y) = a
+            .encode_correlated(Fixed::from_u8(0), Fixed::from_u8(0))
+            .unwrap();
+        assert!(a.divide(x, y).is_err());
+    }
+
+    #[test]
+    fn invalid_builder_configs() {
+        assert!(Accelerator::builder().stream_len(1).build().is_err());
+        assert!(Accelerator::builder().stream_rows(1).build().is_err());
+        assert!(Accelerator::builder().trng_bias_sigma(0.6).build().is_err());
+        assert!(Accelerator::builder().segment_bits(0).build().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Accelerator error types.
+
+use std::fmt;
+
+/// Errors produced by the in-memory SC accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImscError {
+    /// The substrate (array / scouting logic / ADC) reported an error.
+    Device(reram::ReramError),
+    /// A stochastic-computing primitive reported an error.
+    Stochastic(sc_core::ScError),
+    /// A stream handle did not belong to this accelerator or was already
+    /// released.
+    InvalidHandle(usize),
+    /// Two operands live in incompatible correlation domains for the
+    /// requested operation (e.g. XOR subtraction over uncorrelated
+    /// streams).
+    CorrelationMismatch {
+        /// The operation that was requested.
+        op: &'static str,
+        /// Whether the operation requires correlated operands.
+        requires_correlated: bool,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+    /// The accelerator ran out of array rows.
+    OutOfRows,
+}
+
+impl fmt::Display for ImscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImscError::Device(e) => write!(f, "device error: {e}"),
+            ImscError::Stochastic(e) => write!(f, "stochastic-computing error: {e}"),
+            ImscError::InvalidHandle(h) => write!(f, "invalid stream handle {h}"),
+            ImscError::CorrelationMismatch {
+                op,
+                requires_correlated,
+            } => {
+                if *requires_correlated {
+                    write!(f, "{op} requires correlated operand streams")
+                } else {
+                    write!(f, "{op} requires uncorrelated operand streams")
+                }
+            }
+            ImscError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            ImscError::OutOfRows => write!(f, "accelerator arrays are out of rows"),
+        }
+    }
+}
+
+impl std::error::Error for ImscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImscError::Device(e) => Some(e),
+            ImscError::Stochastic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<reram::ReramError> for ImscError {
+    fn from(e: reram::ReramError) -> Self {
+        ImscError::Device(e)
+    }
+}
+
+impl From<sc_core::ScError> for ImscError {
+    fn from(e: sc_core::ScError) -> Self {
+        ImscError::Stochastic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work_with_question_mark() {
+        fn device() -> Result<(), ImscError> {
+            Err(reram::ReramError::RowOutOfRange { row: 1, rows: 1 })?
+        }
+        fn stochastic() -> Result<(), ImscError> {
+            Err(sc_core::ScError::EmptyBitStream)?
+        }
+        assert!(matches!(device(), Err(ImscError::Device(_))));
+        assert!(matches!(stochastic(), Err(ImscError::Stochastic(_))));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = ImscError::Device(reram::ReramError::RowOutOfRange { row: 2, rows: 1 });
+        assert!(e.source().is_some());
+        let e = ImscError::OutOfRows;
+        assert!(e.source().is_none());
+    }
+}

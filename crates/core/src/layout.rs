@@ -1,0 +1,136 @@
+//! Row allocation within accelerator arrays.
+//!
+//! Fig. 1(a) partitions an array into input-data rows (binary operands),
+//! random-number rows (TRNG output), and stochastic-bit-stream rows.
+//! [`RowAllocator`] manages that partition dynamically: RN rows are a
+//! fixed leading region (reused across conversions), and SBS/result rows
+//! are allocated from the remainder with free-list recycling.
+
+use crate::error::ImscError;
+
+/// Allocates rows of one array among random-number and stream storage.
+#[derive(Debug, Clone)]
+pub struct RowAllocator {
+    rn_rows: usize,
+    total_rows: usize,
+    next: usize,
+    free: Vec<usize>,
+}
+
+impl RowAllocator {
+    /// Creates an allocator for an array of `total_rows`, reserving the
+    /// first `rn_rows` for random numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImscError::InvalidConfig`] when the reservation does not
+    /// leave at least one allocatable row.
+    pub fn new(total_rows: usize, rn_rows: usize) -> Result<Self, ImscError> {
+        if rn_rows >= total_rows {
+            return Err(ImscError::InvalidConfig(
+                "rn_rows must leave room for stream rows",
+            ));
+        }
+        Ok(RowAllocator {
+            rn_rows,
+            total_rows,
+            next: rn_rows,
+            free: Vec::new(),
+        })
+    }
+
+    /// The reserved random-number rows (`0..rn_rows`).
+    #[must_use]
+    pub fn rn_rows(&self) -> Vec<usize> {
+        (0..self.rn_rows).collect()
+    }
+
+    /// Total rows under management.
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Rows still allocatable (free list + untouched tail).
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.free.len() + (self.total_rows - self.next)
+    }
+
+    /// Allocates one stream row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImscError::OutOfRows`] when the array is exhausted.
+    pub fn alloc(&mut self) -> Result<usize, ImscError> {
+        if let Some(row) = self.free.pop() {
+            return Ok(row);
+        }
+        if self.next < self.total_rows {
+            let row = self.next;
+            self.next += 1;
+            Ok(row)
+        } else {
+            Err(ImscError::OutOfRows)
+        }
+    }
+
+    /// Returns a row to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is in the reserved RN region or out of range
+    /// (an internal-consistency bug, not a user error).
+    pub fn release(&mut self, row: usize) {
+        assert!(
+            row >= self.rn_rows && row < self.total_rows,
+            "released row {row} outside the allocatable region"
+        );
+        debug_assert!(!self.free.contains(&row), "double release of row {row}");
+        self.free.push(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_after_reserved_region() {
+        let mut a = RowAllocator::new(16, 8).unwrap();
+        assert_eq!(a.rn_rows(), (0..8).collect::<Vec<_>>());
+        assert_eq!(a.alloc().unwrap(), 8);
+        assert_eq!(a.alloc().unwrap(), 9);
+        assert_eq!(a.available(), 6);
+    }
+
+    #[test]
+    fn recycles_released_rows() {
+        let mut a = RowAllocator::new(12, 8).unwrap();
+        let r1 = a.alloc().unwrap();
+        let _r2 = a.alloc().unwrap();
+        a.release(r1);
+        assert_eq!(a.alloc().unwrap(), r1);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut a = RowAllocator::new(10, 8).unwrap();
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert!(matches!(a.alloc(), Err(ImscError::OutOfRows)));
+    }
+
+    #[test]
+    fn bad_reservation_rejected() {
+        assert!(RowAllocator::new(8, 8).is_err());
+        assert!(RowAllocator::new(8, 9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the allocatable region")]
+    fn releasing_rn_row_panics() {
+        let mut a = RowAllocator::new(16, 8).unwrap();
+        a.release(3);
+    }
+}

@@ -1,0 +1,56 @@
+//! # imsc — the all-in-memory stochastic-computing accelerator
+//!
+//! This crate is the paper's primary contribution (§III): a ReRAM
+//! compute-in-memory accelerator that executes the *entire* SC flow in
+//! place:
+//!
+//! 1. **❶ Stochastic number generation** ([`imsng`]): true-random rows are
+//!    compared against binary operands with an in-memory greater-than
+//!    network (built and scheduled as an XOR-AND graph, [`xag`] /
+//!    [`comparator`]), in the IMSNG-naive (bitline feedback, 2n writes)
+//!    or IMSNG-opt (latch-predicated sensing, no intermediate writes)
+//!    variants.
+//! 2. **❷ SC arithmetic** ([`engine`]): bulk-bitwise scouting-logic
+//!    operations over stream rows — AND multiplication, MAJ scaled
+//!    addition, OR approximate addition, XOR absolute subtraction, AND/OR
+//!    min/max, and periphery-latch CORDIV division.
+//! 3. **❸ Stochastic→binary conversion** ([`s2b`]): bitline
+//!    current accumulation over a reference column into an 8-bit ADC.
+//!
+//! [`cost`] reproduces the paper's Table III hardware-cost model and
+//! [`pipeline`] the multi-array pipelining that underlies the throughput
+//! comparison (Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use imsc::engine::Accelerator;
+//! use sc_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut acc = Accelerator::builder().stream_len(256).seed(1).build()?;
+//! let x = acc.encode(Fixed::from_u8(128))?;
+//! let y = acc.encode(Fixed::from_u8(192))?;
+//! let p = acc.multiply(x, y)?;
+//! let v = acc.read_value(p)?;
+//! assert!((v - 0.375).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod comparator;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod imsng;
+pub mod layout;
+pub mod pipeline;
+pub mod s2b;
+pub mod xag;
+
+pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
+pub use error::ImscError;
+pub use imsng::{Imsng, ImsngCost, ImsngVariant};

@@ -1,0 +1,179 @@
+//! Multi-array pipelining and the throughput model behind Fig. 5.
+//!
+//! "In practice, we use multiple arrays to parallelize and pipeline the
+//! different stages" (§III). The three SC stages — ❶ SBS generation,
+//! ❷ arithmetic, ❸ ADC conversion — run in different arrays/mats, so in
+//! steady state a new operation retires every `max(stage latency)` and
+//! `arrays` independent mats multiply throughput linearly (word-level
+//! SIMD across bitlines is already inside the per-stage costs).
+
+use crate::cost::ScOperation;
+use crate::imsng::ImsngVariant;
+use reram::energy::ReramCosts;
+
+/// Stage latencies of one pipelined SC operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageLatencies {
+    /// ❶ SBS generation latency, ns.
+    pub sng_ns: f64,
+    /// ❷ arithmetic latency, ns.
+    pub op_ns: f64,
+    /// ❸ conversion latency, ns.
+    pub s2b_ns: f64,
+}
+
+impl StageLatencies {
+    /// The pipeline bottleneck (steady-state initiation interval), ns.
+    #[must_use]
+    pub fn bottleneck_ns(&self) -> f64 {
+        self.sng_ns.max(self.op_ns).max(self.s2b_ns)
+    }
+
+    /// Fill latency of one operation traversing all stages, ns.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.sng_ns + self.op_ns + self.s2b_ns
+    }
+}
+
+/// The multi-array pipeline throughput model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineModel {
+    arrays: usize,
+    m: u32,
+    variant: ImsngVariant,
+    costs: ReramCosts,
+}
+
+impl PipelineModel {
+    /// Creates a model with `arrays` independent mats, comparator width
+    /// `m`, and an IMSNG variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays == 0` or `m == 0`.
+    #[must_use]
+    pub fn new(arrays: usize, m: u32, variant: ImsngVariant, costs: ReramCosts) -> Self {
+        assert!(arrays > 0, "at least one array required");
+        assert!(m > 0, "comparator width must be nonzero");
+        PipelineModel {
+            arrays,
+            m,
+            variant,
+            costs,
+        }
+    }
+
+    /// The default configuration used in the evaluation: 8 mats, M = 8,
+    /// IMSNG-opt.
+    #[must_use]
+    pub fn evaluation_default() -> Self {
+        PipelineModel::new(8, 8, ImsngVariant::Opt, ReramCosts::calibrated())
+    }
+
+    /// Number of arrays.
+    #[must_use]
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// Stage latencies for one operation at stream length `n`.
+    #[must_use]
+    pub fn stages(&self, op: ScOperation, n: usize) -> StageLatencies {
+        let t = &self.costs.timings;
+        let m = f64::from(self.m);
+        let sng_ns = match self.variant {
+            ImsngVariant::Baseline => 5.0 * m * t.t_sense_ns + 4.0 * m * t.t_write_ns,
+            ImsngVariant::Naive => 5.0 * m * t.t_sense_ns + 2.0 * m * t.t_write_ns,
+            ImsngVariant::Opt => 5.0 * m * t.t_sense_ns,
+        };
+        let op_ns = match op {
+            ScOperation::Multiply | ScOperation::Addition => t.t_sense_ns,
+            ScOperation::Subtraction => t.t_sense_ns + t.t_xor_extra_ns,
+            ScOperation::Division => n as f64 * t.t_cordiv_step_ns,
+        };
+        StageLatencies {
+            sng_ns,
+            op_ns,
+            s2b_ns: t.t_adc_ns,
+        }
+    }
+
+    /// Steady-state throughput in operations per microsecond.
+    #[must_use]
+    pub fn throughput_ops_per_us(&self, op: ScOperation, n: usize) -> f64 {
+        let ii = self.stages(op, n).bottleneck_ns();
+        self.arrays as f64 * 1000.0 / ii
+    }
+
+    /// End-to-end latency of `count` operations through the pipeline, ns.
+    #[must_use]
+    pub fn makespan_ns(&self, op: ScOperation, n: usize, count: usize) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let stages = self.stages(op, n);
+        let waves = count.div_ceil(self.arrays);
+        stages.total_ns() + (waves.saturating_sub(1)) as f64 * stages.bottleneck_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sng_is_the_bottleneck_for_simple_ops() {
+        let p = PipelineModel::evaluation_default();
+        let s = p.stages(ScOperation::Multiply, 256);
+        assert_eq!(s.bottleneck_ns(), s.sng_ns);
+        assert!((s.sng_ns - 78.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn division_is_op_bound() {
+        let p = PipelineModel::evaluation_default();
+        let s = p.stages(ScOperation::Division, 256);
+        assert_eq!(s.bottleneck_ns(), s.op_ns);
+        assert!(s.op_ns > 10_000.0);
+    }
+
+    #[test]
+    fn throughput_scales_with_arrays() {
+        let one = PipelineModel::new(1, 8, ImsngVariant::Opt, ReramCosts::calibrated());
+        let eight = PipelineModel::evaluation_default();
+        let t1 = one.throughput_ops_per_us(ScOperation::Multiply, 256);
+        let t8 = eight.throughput_ops_per_us(ScOperation::Multiply, 256);
+        assert!((t8 / t1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_outpaces_naive() {
+        let opt = PipelineModel::evaluation_default();
+        let naive = PipelineModel::new(8, 8, ImsngVariant::Naive, ReramCosts::calibrated());
+        let t_opt = opt.throughput_ops_per_us(ScOperation::Multiply, 256);
+        let t_naive = naive.throughput_ops_per_us(ScOperation::Multiply, 256);
+        assert!(
+            (t_opt / t_naive - 395.4 / 78.2).abs() < 0.1,
+            "{}",
+            t_opt / t_naive
+        );
+    }
+
+    #[test]
+    fn makespan_reduces_to_total_for_single_op() {
+        let p = PipelineModel::evaluation_default();
+        let s = p.stages(ScOperation::Multiply, 256);
+        assert_eq!(p.makespan_ns(ScOperation::Multiply, 256, 1), s.total_ns());
+        assert_eq!(p.makespan_ns(ScOperation::Multiply, 256, 0), 0.0);
+    }
+
+    #[test]
+    fn makespan_grows_by_initiation_interval() {
+        let p = PipelineModel::new(1, 8, ImsngVariant::Opt, ReramCosts::calibrated());
+        let s = p.stages(ScOperation::Multiply, 256);
+        let m1 = p.makespan_ns(ScOperation::Multiply, 256, 1);
+        let m2 = p.makespan_ns(ScOperation::Multiply, 256, 2);
+        assert!((m2 - m1 - s.bottleneck_ns()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,515 @@
+//! XOR-AND-inverter graphs (XAGs).
+//!
+//! The paper converts its in-memory comparison network "into data
+//! structures like XOR-AND-Inverter graph (XAG) for manipulation and
+//! optimization using logic synthesis tools" (§III-A, citing the EPFL
+//! logic-synthesis libraries). This module implements that representation:
+//! a DAG whose internal nodes are 2-input AND / XOR gates with optional
+//! edge inversion, with structural hashing (common-subexpression sharing)
+//! and constant propagation applied on construction, plus a dead-node
+//! sweep in [`Xag::cleanup`].
+//!
+//! XAGs map one-to-one onto scouting-logic schedules: every AND/XOR node
+//! is one sensing step, and inverters are free (inverted references).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A signal: a node reference plus an optional inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal {
+    node: u32,
+    inverted: bool,
+}
+
+impl Signal {
+    /// The constant-false signal.
+    pub const FALSE: Signal = Signal {
+        node: 0,
+        inverted: false,
+    };
+    /// The constant-true signal.
+    pub const TRUE: Signal = Signal {
+        node: 0,
+        inverted: true,
+    };
+
+    /// The complemented signal (an inverter edge, not `std::ops::Not`,
+    /// which cannot apply: `Signal` is `Copy` graph metadata).
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Signal {
+        Signal {
+            node: self.node,
+            inverted: !self.inverted,
+        }
+    }
+
+    /// The node index this signal refers to.
+    #[must_use]
+    pub fn node(self) -> u32 {
+        self.node
+    }
+
+    /// Whether the signal is inverted.
+    #[must_use]
+    pub fn is_inverted(self) -> bool {
+        self.inverted
+    }
+}
+
+/// A node of the graph. Node 0 is always the constant false.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    Const,
+    Input(u32),
+    And(Signal, Signal),
+    Xor(Signal, Signal),
+}
+
+/// Gate-count statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XagStats {
+    /// Number of AND nodes.
+    pub ands: usize,
+    /// Number of XOR nodes.
+    pub xors: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+}
+
+impl XagStats {
+    /// Total gate (AND + XOR) count — the number of scouting-logic
+    /// sensing steps the graph costs.
+    #[must_use]
+    pub fn gates(&self) -> usize {
+        self.ands + self.xors
+    }
+}
+
+/// A mutable XOR-AND-inverter graph.
+///
+/// # Example
+///
+/// ```
+/// use imsc::xag::Xag;
+///
+/// let mut g = Xag::new();
+/// let a = g.input();
+/// let b = g.input();
+/// let sum = g.xor(a, b);
+/// let carry = g.and(a, b);
+/// g.set_outputs(vec![sum, carry]);
+/// assert_eq!(g.eval(&[true, true]), vec![false, true]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Xag {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, u32>,
+    inputs: u32,
+    outputs: Vec<Signal>,
+}
+
+impl Xag {
+    /// Creates an empty graph (with the implicit constant node).
+    #[must_use]
+    pub fn new() -> Self {
+        Xag {
+            nodes: vec![Node::Const],
+            dedup: HashMap::new(),
+            inputs: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a primary input and returns its signal.
+    pub fn input(&mut self) -> Signal {
+        let idx = self.inputs;
+        self.inputs += 1;
+        let node = self.push(Node::Input(idx));
+        Signal {
+            node,
+            inverted: false,
+        }
+    }
+
+    /// A constant signal.
+    #[must_use]
+    pub fn constant(&self, value: bool) -> Signal {
+        if value {
+            Signal::TRUE
+        } else {
+            Signal::FALSE
+        }
+    }
+
+    fn push(&mut self, node: Node) -> u32 {
+        if let Some(&existing) = self.dedup.get(&node) {
+            return existing;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.dedup.insert(node, idx);
+        idx
+    }
+
+    /// Builds `a AND b` with constant folding, trivial-case reduction, and
+    /// structural hashing.
+    pub fn and(&mut self, a: Signal, b: Signal) -> Signal {
+        // Constant folding.
+        if a == Signal::FALSE || b == Signal::FALSE {
+            return Signal::FALSE;
+        }
+        if a == Signal::TRUE {
+            return b;
+        }
+        if b == Signal::TRUE {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.not() {
+            return Signal::FALSE;
+        }
+        // Canonical operand order for hashing.
+        let (x, y) = if (a.node, a.inverted) <= (b.node, b.inverted) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let node = self.push(Node::And(x, y));
+        Signal {
+            node,
+            inverted: false,
+        }
+    }
+
+    /// Builds `a XOR b` with constant folding and structural hashing
+    /// (inversions are pulled out of the gate: `¬a ⊕ b = ¬(a ⊕ b)`).
+    pub fn xor(&mut self, a: Signal, b: Signal) -> Signal {
+        if a == b {
+            return Signal::FALSE;
+        }
+        if a == b.not() {
+            return Signal::TRUE;
+        }
+        if a.node == 0 {
+            // a is a constant.
+            return if a.inverted { b.not() } else { b };
+        }
+        if b.node == 0 {
+            return if b.inverted { a.not() } else { a };
+        }
+        // Normalize: strip inversions into the output phase.
+        let out_inverted = a.inverted ^ b.inverted;
+        let mut x = Signal {
+            node: a.node,
+            inverted: false,
+        };
+        let mut y = Signal {
+            node: b.node,
+            inverted: false,
+        };
+        if x.node > y.node {
+            std::mem::swap(&mut x, &mut y);
+        }
+        let node = self.push(Node::Xor(x, y));
+        Signal {
+            node,
+            inverted: out_inverted,
+        }
+    }
+
+    /// Builds `a OR b` (De Morgan over AND).
+    pub fn or(&mut self, a: Signal, b: Signal) -> Signal {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// Builds a 2-to-1 multiplexer `sel ? a : b`.
+    pub fn mux(&mut self, sel: Signal, a: Signal, b: Signal) -> Signal {
+        let ta = self.and(sel, a);
+        let tb = self.and(sel.not(), b);
+        self.or(ta, tb)
+    }
+
+    /// Sets the primary outputs.
+    pub fn set_outputs(&mut self, outputs: Vec<Signal>) {
+        self.outputs = outputs;
+    }
+
+    /// The primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Gate statistics over *all* nodes (including dead ones; run
+    /// [`Xag::cleanup`] first for post-optimization counts).
+    #[must_use]
+    pub fn stats(&self) -> XagStats {
+        let mut s = XagStats {
+            inputs: self.inputs as usize,
+            ..XagStats::default()
+        };
+        for n in &self.nodes {
+            match n {
+                Node::And(..) => s.ands += 1,
+                Node::Xor(..) => s.xors += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Evaluates the graph for an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs()`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs as usize,
+            "wrong number of input values"
+        );
+        let mut values = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            values[i] = match *n {
+                Node::Const => false,
+                Node::Input(k) => inputs[k as usize],
+                Node::And(a, b) => self.read(&values, a) && self.read(&values, b),
+                Node::Xor(a, b) => self.read(&values, a) ^ self.read(&values, b),
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|&s| self.read(&values, s))
+            .collect()
+    }
+
+    fn read(&self, values: &[bool], s: Signal) -> bool {
+        values[s.node as usize] ^ s.inverted
+    }
+
+    /// Dead-node elimination: rebuilds the graph keeping only the
+    /// transitive fan-in of the outputs. Returns the number of nodes
+    /// removed.
+    pub fn cleanup(&mut self) -> usize {
+        let before = self.nodes.len();
+        let mut alive = vec![false; self.nodes.len()];
+        alive[0] = true;
+        // Mark inputs alive unconditionally to keep input numbering stable.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if matches!(n, Node::Input(_)) {
+                alive[i] = true;
+            }
+        }
+        let mut stack: Vec<u32> = self.outputs.iter().map(|s| s.node).collect();
+        while let Some(n) = stack.pop() {
+            if alive[n as usize] {
+                continue;
+            }
+            alive[n as usize] = true;
+            match self.nodes[n as usize] {
+                Node::And(a, b) | Node::Xor(a, b) => {
+                    stack.push(a.node);
+                    stack.push(b.node);
+                }
+                _ => {}
+            }
+        }
+        let mut remap = vec![u32::MAX; self.nodes.len()];
+        let mut new_nodes = Vec::new();
+        let mut new_dedup = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let renamed = match *n {
+                Node::Const => Node::Const,
+                Node::Input(k) => Node::Input(k),
+                Node::And(a, b) => Node::And(
+                    Signal {
+                        node: remap[a.node as usize],
+                        inverted: a.inverted,
+                    },
+                    Signal {
+                        node: remap[b.node as usize],
+                        inverted: b.inverted,
+                    },
+                ),
+                Node::Xor(a, b) => Node::Xor(
+                    Signal {
+                        node: remap[a.node as usize],
+                        inverted: a.inverted,
+                    },
+                    Signal {
+                        node: remap[b.node as usize],
+                        inverted: b.inverted,
+                    },
+                ),
+            };
+            remap[i] = new_nodes.len() as u32;
+            new_dedup.insert(renamed, new_nodes.len() as u32);
+            new_nodes.push(renamed);
+        }
+        for s in &mut self.outputs {
+            s.node = remap[s.node as usize];
+        }
+        self.nodes = new_nodes;
+        self.dedup = new_dedup;
+        before - self.nodes.len()
+    }
+
+    /// A topological schedule of gate nodes (indices into an abstract op
+    /// list), pairing each gate with its kind — the raw material for the
+    /// scouting-logic scheduler.
+    #[must_use]
+    pub fn gate_schedule(&self) -> Vec<GateKind> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::And(..) => Some(GateKind::And),
+                Node::Xor(..) => Some(GateKind::Xor),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The kind of a scheduled gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// 2-input AND.
+    And,
+    /// 2-input XOR.
+    Xor,
+}
+
+impl fmt::Display for Xag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "xag({} inputs, {} ands, {} xors, {} outputs)",
+            s.inputs,
+            s.ands,
+            s.xors,
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let b = g.input();
+        let sum = g.xor(a, b);
+        let carry = g.and(a, b);
+        g.set_outputs(vec![sum, carry]);
+        assert_eq!(g.eval(&[false, false]), vec![false, false]);
+        assert_eq!(g.eval(&[true, false]), vec![true, false]);
+        assert_eq!(g.eval(&[false, true]), vec![true, false]);
+        assert_eq!(g.eval(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let t = g.constant(true);
+        let f = g.constant(false);
+        assert_eq!(g.and(a, f), Signal::FALSE);
+        assert_eq!(g.and(a, t), a);
+        assert_eq!(g.xor(a, f), a);
+        assert_eq!(g.xor(a, t), a.not());
+        assert_eq!(g.and(a, a.not()), Signal::FALSE);
+        assert_eq!(g.xor(a, a), Signal::FALSE);
+        assert_eq!(g.stats().gates(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let b = g.input();
+        let x1 = g.and(a, b);
+        let x2 = g.and(b, a); // commuted: must dedup
+        assert_eq!(x1, x2);
+        assert_eq!(g.stats().ands, 1);
+    }
+
+    #[test]
+    fn xor_inversion_normalization() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let b = g.input();
+        let x1 = g.xor(a, b);
+        let x2 = g.xor(a.not(), b);
+        assert_eq!(x1.node(), x2.node());
+        assert_eq!(x2, x1.not());
+        assert_eq!(g.stats().xors, 1);
+    }
+
+    #[test]
+    fn or_and_mux_semantics() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let b = g.input();
+        let s = g.input();
+        let o = g.or(a, b);
+        let m = g.mux(s, a, b);
+        g.set_outputs(vec![o, m]);
+        for bits in 0..8u32 {
+            let a_v = bits & 1 == 1;
+            let b_v = bits & 2 == 2;
+            let s_v = bits & 4 == 4;
+            let out = g.eval(&[a_v, b_v, s_v]);
+            assert_eq!(out[0], a_v || b_v);
+            assert_eq!(out[1], if s_v { a_v } else { b_v });
+        }
+    }
+
+    #[test]
+    fn cleanup_removes_dead_gates() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let b = g.input();
+        let _dead = g.xor(a, b);
+        let live = g.and(a, b);
+        g.set_outputs(vec![live]);
+        let removed = g.cleanup();
+        assert_eq!(removed, 1);
+        assert_eq!(g.stats().gates(), 1);
+        // Graph still evaluates correctly after the rebuild.
+        assert_eq!(g.eval(&[true, true]), vec![true]);
+        assert_eq!(g.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn gate_schedule_lists_all_gates() {
+        let mut g = Xag::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b);
+        let y = g.and(x, a);
+        g.set_outputs(vec![y]);
+        let sched = g.gate_schedule();
+        assert_eq!(sched.len(), 2);
+        assert!(sched.contains(&GateKind::And));
+        assert!(sched.contains(&GateKind::Xor));
+    }
+}

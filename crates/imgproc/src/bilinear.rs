@@ -1,0 +1,280 @@
+//! Bilinear interpolation up-scaling (Fig. 3b).
+//!
+//! Each output pixel blends its four source neighbours with fractional
+//! offsets `(dx, dy)` — a 4-to-1 MUX in the SC domain. The in-memory
+//! kernel decomposes it into three directed MAJ blends over one shared
+//! correlation domain: two horizontal blends (select `dx`) and one
+//! vertical blend of their results (select `dy`); blend outputs remain in
+//! the operands' correlation domain, which is what makes the nesting
+//! legal.
+
+use crate::error::ImgError;
+use crate::image::GrayImage;
+use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use baselines::bincim::BinaryCim;
+use baselines::sw;
+use sc_core::Fixed;
+
+/// The four neighbours and fractional offsets of one output pixel.
+#[derive(Debug, Clone, Copy)]
+struct Tap {
+    i11: u8, // (x0, y0)
+    i21: u8, // (x1, y0)
+    i12: u8, // (x0, y1)
+    i22: u8, // (x1, y1)
+    dx: u8,
+    dy: u8,
+}
+
+fn tap(src: &GrayImage, ox: usize, oy: usize, factor: usize) -> Tap {
+    let fx = ox as f64 / factor as f64;
+    let fy = oy as f64 / factor as f64;
+    let x0 = fx.floor() as isize;
+    let y0 = fy.floor() as isize;
+    let dx = ((fx - x0 as f64) * 256.0).round().clamp(0.0, 255.0) as u8;
+    let dy = ((fy - y0 as f64) * 256.0).round().clamp(0.0, 255.0) as u8;
+    Tap {
+        i11: src.get_clamped(x0, y0),
+        i21: src.get_clamped(x0 + 1, y0),
+        i12: src.get_clamped(x0, y0 + 1),
+        i22: src.get_clamped(x0 + 1, y0 + 1),
+        dx,
+        dy,
+    }
+}
+
+fn check_factor(factor: usize) -> Result<(), ImgError> {
+    if factor < 2 {
+        Err(ImgError::InvalidParameter(
+            "scale factor must be at least 2",
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Exact software up-scaling by an integer factor.
+///
+/// # Errors
+///
+/// Returns [`ImgError::InvalidParameter`] if `factor < 2`.
+pub fn software(src: &GrayImage, factor: usize) -> Result<GrayImage, ImgError> {
+    check_factor(factor)?;
+    Ok(GrayImage::from_fn(
+        src.width() * factor,
+        src.height() * factor,
+        |ox, oy| {
+            let t = tap(src, ox, oy, factor);
+            sw::bilinear_u8(t.i11, t.i12, t.i21, t.i22, t.dx, t.dy)
+        },
+    ))
+}
+
+/// In-ReRAM SC up-scaling: nested directed MAJ blends over one shared
+/// correlation domain.
+///
+/// # Errors
+///
+/// Parameter or substrate errors.
+pub fn sc_reram(
+    src: &GrayImage,
+    factor: usize,
+    cfg: &ScReramConfig,
+) -> Result<GrayImage, ImgError> {
+    check_factor(factor)?;
+    let mut acc = cfg.build()?;
+    let mut out = GrayImage::new(src.width() * factor, src.height() * factor);
+    for oy in 0..out.height() {
+        for ox in 0..out.width() {
+            let t = tap(src, ox, oy, factor);
+            let handles = acc.encode_correlated_many(&[
+                Fixed::from_u8(t.i11),
+                Fixed::from_u8(t.i21),
+                Fixed::from_u8(t.i12),
+                Fixed::from_u8(t.i22),
+            ])?;
+            let (h11, h21, h12, h22) = (handles[0], handles[1], handles[2], handles[3]);
+            // Directed selects: MAJ weights the larger operand by `sel`,
+            // so complement dx/dy when the pair is descending.
+            let sel_top = if t.i21 >= t.i11 { t.dx } else { 255 - t.dx };
+            let sel_bot = if t.i22 >= t.i12 { t.dx } else { 255 - t.dx };
+            let hst = acc.encode(Fixed::from_u8(sel_top))?;
+            let hsb = acc.encode(Fixed::from_u8(sel_bot))?;
+            let top = acc.blend(h11, h21, hst)?;
+            let bottom = acc.blend(h12, h22, hsb)?;
+            // Expected row values decide the vertical direction.
+            let et = sw::bilinear_f64(
+                f64::from(t.i11),
+                0.0,
+                f64::from(t.i21),
+                0.0,
+                f64::from(t.dx) / 256.0,
+                0.0,
+            );
+            let eb = sw::bilinear_f64(
+                f64::from(t.i12),
+                0.0,
+                f64::from(t.i22),
+                0.0,
+                f64::from(t.dx) / 256.0,
+                0.0,
+            );
+            let sel_v = if eb >= et { t.dy } else { 255 - t.dy };
+            let hsv = acc.encode(Fixed::from_u8(sel_v))?;
+            let result = acc.blend(top, bottom, hsv)?;
+            let v = acc.read_value(result)?;
+            out.set(ox, oy, prob_to_pixel(v));
+            for h in [h11, h21, h12, h22, hst, hsb, top, bottom, hsv, result] {
+                acc.release(h)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Functional CMOS SC up-scaling with the same nested-MAJ kernel.
+///
+/// # Errors
+///
+/// Parameter or stochastic-computing errors.
+pub fn sc_cmos(src: &GrayImage, factor: usize, cfg: &CmosScConfig) -> Result<GrayImage, ImgError> {
+    check_factor(factor)?;
+    let mut out = GrayImage::new(src.width() * factor, src.height() * factor);
+    for oy in 0..out.height() {
+        for ox in 0..out.width() {
+            let t = tap(src, ox, oy, factor);
+            let salt = (oy * out.width() + ox) as u64;
+            let vals = cfg.streams_correlated(
+                &[
+                    Fixed::from_u8(t.i11),
+                    Fixed::from_u8(t.i21),
+                    Fixed::from_u8(t.i12),
+                    Fixed::from_u8(t.i22),
+                ],
+                salt,
+            )?;
+            let sel_top = if t.i21 >= t.i11 { t.dx } else { 255 - t.dx };
+            let sel_bot = if t.i22 >= t.i12 { t.dx } else { 255 - t.dx };
+            let st = cfg.stream(Fixed::from_u8(sel_top), 0xD0 ^ salt)?;
+            let sb = cfg.stream(Fixed::from_u8(sel_bot), 0xD1 ^ salt)?;
+            let top = vals[0].maj3(&vals[1], &st)?;
+            let bottom = vals[2].maj3(&vals[3], &sb)?;
+            let et =
+                f64::from(t.i11) + (f64::from(t.i21) - f64::from(t.i11)) * f64::from(t.dx) / 256.0;
+            let eb =
+                f64::from(t.i12) + (f64::from(t.i22) - f64::from(t.i12)) * f64::from(t.dx) / 256.0;
+            let sel_v = if eb >= et { t.dy } else { 255 - t.dy };
+            let sv = cfg.stream(Fixed::from_u8(sel_v), 0xD2 ^ salt)?;
+            let result = top.maj3(&bottom, &sv)?;
+            out.set(ox, oy, prob_to_pixel(result.value()));
+        }
+    }
+    Ok(out)
+}
+
+/// Binary CIM up-scaling: weight products and accumulation in bit-serial
+/// arithmetic with optional fault injection.
+///
+/// # Errors
+///
+/// Returns [`ImgError::InvalidParameter`] if `factor < 2`.
+pub fn binary_cim(
+    src: &GrayImage,
+    factor: usize,
+    fault_prob: f64,
+    seed: u64,
+) -> Result<GrayImage, ImgError> {
+    check_factor(factor)?;
+    let mut cim = if fault_prob > 0.0 {
+        BinaryCim::with_faults(fault_prob, seed)
+    } else {
+        BinaryCim::fault_free()
+    };
+    let mut out = GrayImage::new(src.width() * factor, src.height() * factor);
+    for oy in 0..out.height() {
+        for ox in 0..out.width() {
+            let t = tap(src, ox, oy, factor);
+            let wx1 = 255 - t.dx;
+            let wy1 = 255 - t.dy;
+            // w_ij = wx_i · wy_j (8-bit fractions); out = Σ w_ij · I_ij.
+            let mut acc: u32 = 0;
+            for (wx, wy, i) in [
+                (wx1, wy1, t.i11),
+                (t.dx, wy1, t.i21),
+                (wx1, t.dy, t.i12),
+                (t.dx, t.dy, t.i22),
+            ] {
+                let w = cim.mul(wx, wy); // (wx·wy)/256
+                let term = cim.mul_wide(w, i);
+                acc = cim.add_bits(acc, u32::from(term), 18);
+            }
+            let pixel = ((f64::from(acc) / 255.0).round()).clamp(0.0, 255.0) as u8;
+            out.set(ox, oy, pixel);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+    use crate::synth;
+
+    #[test]
+    fn software_preserves_anchor_pixels() {
+        let src = synth::value_noise(8, 8, 2, 1);
+        let up = software(&src, 2).unwrap();
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(up.get(2 * x, 2 * y), src.get(x, y), "anchor ({x},{y})");
+            }
+        }
+        assert_eq!(up.width(), 16);
+    }
+
+    #[test]
+    fn software_interpolates_midpoints() {
+        let src = GrayImage::from_fn(4, 1, |x, _| (x * 60) as u8);
+        let up = software(&src, 2).unwrap();
+        // Midpoint between 0 and 60 is 30.
+        let mid = up.get(1, 0).unwrap();
+        assert!((i32::from(mid) - 30).abs() <= 1, "{mid}");
+    }
+
+    #[test]
+    fn factor_validation() {
+        let src = GrayImage::new(4, 4);
+        assert!(software(&src, 1).is_err());
+        assert!(binary_cim(&src, 0, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn binary_cim_fault_free_tracks_software() {
+        let src = synth::blobs(8, 8, 2, 3);
+        let sw_img = software(&src, 2).unwrap();
+        let cim_img = binary_cim(&src, 2, 0.0, 0).unwrap();
+        let p = psnr(&sw_img, &cim_img).unwrap();
+        assert!(p > 35.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_reram_tracks_software() {
+        let src = synth::gradient(6, 6, true);
+        let sw_img = software(&src, 2).unwrap();
+        let sc_img = sc_reram(&src, 2, &ScReramConfig::new(256, 5)).unwrap();
+        let p = psnr(&sw_img, &sc_img).unwrap();
+        assert!(p > 17.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_cmos_tracks_software() {
+        use crate::scbackend::CmosSngKind;
+        let src = synth::gradient(6, 6, false);
+        let sw_img = software(&src, 2).unwrap();
+        let cfg = CmosScConfig::new(256, CmosSngKind::Software, 6);
+        let sc_img = sc_cmos(&src, 2, &cfg).unwrap();
+        let p = psnr(&sw_img, &sc_img).unwrap();
+        assert!(p > 17.0, "psnr {p}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Image compositing `C = F·α + B·(1−α)` (Fig. 3a).
+//!
+//! In the SC domain the compositing formula is a 2-to-1 MUX with the α
+//! stream on the select port. The in-memory design realizes the MUX as a
+//! 3-input majority over *correlated* F/B streams — MAJ then computes
+//! `sel·max + (1−sel)·min`, so the select operand is complemented
+//! per-pixel whenever `F < B` (the ordering is known from the binary
+//! pixels at encode time), making the blend exact up to stochastic noise.
+
+use crate::error::ImgError;
+use crate::image::GrayImage;
+use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use baselines::bincim::BinaryCim;
+use baselines::sw;
+use sc_core::Fixed;
+
+fn check_inputs(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<(), ImgError> {
+    for img in [b, alpha] {
+        if !f.same_dims(img) {
+            return Err(ImgError::DimensionMismatch {
+                expected: (f.width(), f.height()),
+                got: (img.width(), img.height()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact software compositing (8-bit rounded).
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions.
+pub fn software(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<GrayImage, ImgError> {
+    check_inputs(f, b, alpha)?;
+    Ok(GrayImage::from_fn(f.width(), f.height(), |x, y| {
+        sw::composite_u8(
+            f.get(x, y).expect("checked dims"),
+            b.get(x, y).expect("checked dims"),
+            alpha.get(x, y).expect("checked dims"),
+        )
+    }))
+}
+
+/// In-ReRAM SC compositing: correlated F/B encoding, directed MAJ blend,
+/// ADC read-out — the full ❶❷❸ flow per pixel.
+///
+/// # Errors
+///
+/// Dimension or substrate errors.
+pub fn sc_reram(
+    f: &GrayImage,
+    b: &GrayImage,
+    alpha: &GrayImage,
+    cfg: &ScReramConfig,
+) -> Result<GrayImage, ImgError> {
+    check_inputs(f, b, alpha)?;
+    let mut acc = cfg.build()?;
+    let mut out = GrayImage::new(f.width(), f.height());
+    for y in 0..f.height() {
+        for x in 0..f.width() {
+            let pf = f.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pa = alpha.get(x, y).expect("checked dims");
+            // Directed select: MAJ weights the larger operand by `sel`.
+            let sel = if pf >= pb { pa } else { 255 - pa };
+            let (hf, hb) = acc.encode_correlated(Fixed::from_u8(pf), Fixed::from_u8(pb))?;
+            let hs = acc.encode(Fixed::from_u8(sel))?;
+            let hc = acc.blend(hf, hb, hs)?;
+            let v = acc.read_value(hc)?;
+            out.set(x, y, prob_to_pixel(v));
+            for h in [hf, hb, hs, hc] {
+                acc.release(h)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Functional CMOS SC compositing (LFSR/Sobol/software SNG), with the
+/// same directed-MAJ kernel.
+///
+/// # Errors
+///
+/// Dimension or stochastic-computing errors.
+pub fn sc_cmos(
+    f: &GrayImage,
+    b: &GrayImage,
+    alpha: &GrayImage,
+    cfg: &CmosScConfig,
+) -> Result<GrayImage, ImgError> {
+    check_inputs(f, b, alpha)?;
+    let mut out = GrayImage::new(f.width(), f.height());
+    for y in 0..f.height() {
+        for x in 0..f.width() {
+            let pf = f.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pa = alpha.get(x, y).expect("checked dims");
+            let sel = if pf >= pb { pa } else { 255 - pa };
+            let fb = cfg.streams_correlated(
+                &[Fixed::from_u8(pf), Fixed::from_u8(pb)],
+                (y * f.width() + x) as u64,
+            )?;
+            let ss = cfg.stream(Fixed::from_u8(sel), 0x5E1F ^ (y * f.width() + x) as u64)?;
+            let c = fb[0].maj3(&fb[1], &ss)?;
+            out.set(x, y, prob_to_pixel(c.value()));
+        }
+    }
+    Ok(out)
+}
+
+/// Binary CIM compositing: bit-serial multiplies and adds with optional
+/// fault injection (the Table IV ✧ path).
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions.
+pub fn binary_cim(
+    f: &GrayImage,
+    b: &GrayImage,
+    alpha: &GrayImage,
+    fault_prob: f64,
+    seed: u64,
+) -> Result<GrayImage, ImgError> {
+    check_inputs(f, b, alpha)?;
+    let mut cim = if fault_prob > 0.0 {
+        BinaryCim::with_faults(fault_prob, seed)
+    } else {
+        BinaryCim::fault_free()
+    };
+    let mut out = GrayImage::new(f.width(), f.height());
+    for y in 0..f.height() {
+        for x in 0..f.width() {
+            let pf = f.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pa = alpha.get(x, y).expect("checked dims");
+            let fa = cim.mul_wide(pf, pa);
+            let ba = cim.mul_wide(pb, 255 - pa);
+            // 17-bit accumulate, then exact normalization by 255 (the
+            // normalizer is a constant shifter network, modeled exact).
+            let sum = cim.add_bits(u32::from(fa), u32::from(ba), 17);
+            let pixel = ((f64::from(sum) / 255.0).round()).clamp(0.0, 255.0) as u8;
+            out.set(x, y, pixel);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{psnr, ssim_percent};
+    use crate::synth;
+
+    fn inputs(n: usize) -> (GrayImage, GrayImage, GrayImage) {
+        let set = synth::app_images(n, n, 42);
+        (set.foreground, set.background, set.alpha)
+    }
+
+    #[test]
+    fn software_matches_alpha_semantics() {
+        let (f, b, a) = inputs(16);
+        let c = software(&f, &b, &a).unwrap();
+        // Where alpha is saturated the composite equals the corresponding
+        // source image.
+        for y in 0..16 {
+            for x in 0..16 {
+                match a.get(x, y).unwrap() {
+                    255 => assert_eq!(c.get(x, y), f.get(x, y)),
+                    0 => assert_eq!(c.get(x, y), b.get(x, y)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_cim_fault_free_is_near_exact() {
+        let (f, b, a) = inputs(16);
+        let sw_img = software(&f, &b, &a).unwrap();
+        let cim_img = binary_cim(&f, &b, &a, 0.0, 0).unwrap();
+        let p = psnr(&sw_img, &cim_img).unwrap();
+        assert!(p > 45.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_reram_tracks_software() {
+        let (f, b, a) = inputs(12);
+        let sw_img = software(&f, &b, &a).unwrap();
+        let sc_img = sc_reram(&f, &b, &a, &ScReramConfig::new(256, 7)).unwrap();
+        let p = psnr(&sw_img, &sc_img).unwrap();
+        assert!(p > 18.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_cmos_tracks_software() {
+        use crate::scbackend::CmosSngKind;
+        let (f, b, a) = inputs(12);
+        let sw_img = software(&f, &b, &a).unwrap();
+        let cfg = CmosScConfig::new(256, CmosSngKind::Sobol, 3);
+        let sc_img = sc_cmos(&f, &b, &a, &cfg).unwrap();
+        let p = psnr(&sw_img, &sc_img).unwrap();
+        assert!(p > 18.0, "psnr {p}");
+    }
+
+    #[test]
+    fn faulty_binary_cim_degrades_hard() {
+        let (f, b, a) = inputs(16);
+        let sw_img = software(&f, &b, &a).unwrap();
+        let clean = binary_cim(&f, &b, &a, 0.0, 1).unwrap();
+        let faulty = binary_cim(&f, &b, &a, 0.02, 1).unwrap();
+        let s_clean = ssim_percent(&sw_img, &clean).unwrap();
+        let s_faulty = ssim_percent(&sw_img, &faulty).unwrap();
+        assert!(
+            s_clean - s_faulty > 5.0,
+            "clean {s_clean} vs faulty {s_faulty}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f = GrayImage::new(8, 8);
+        let b = GrayImage::new(8, 9);
+        let a = GrayImage::new(8, 8);
+        assert!(software(&f, &b, &a).is_err());
+    }
+}

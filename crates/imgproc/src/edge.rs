@@ -1,0 +1,183 @@
+//! Extension application: Roberts-cross edge detection.
+//!
+//! Not in the paper's Table IV, but the canonical SC image-processing
+//! kernel (Li & Lilja's digital-image case studies, which the paper
+//! cites as ref.\[5\]) and a natural composition of the paper's operation set:
+//!
+//! `E(x,y) = ½·(|I(x,y) − I(x+1,y+1)| + |I(x+1,y) − I(x,y+1)|)`
+//!
+//! Each absolute difference is an XOR over *correlated* streams and the
+//! sum is the CIM-friendly MAJ scaled addition — both single scouting
+//! cycles, making this the cheapest full-kernel demo of the flow.
+
+use crate::error::ImgError;
+use crate::image::GrayImage;
+use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use baselines::bincim::BinaryCim;
+use sc_core::Fixed;
+
+/// The 2×2 neighbourhood of the Roberts cross at `(x, y)`.
+fn taps(img: &GrayImage, x: usize, y: usize) -> (u8, u8, u8, u8) {
+    let g = |dx: usize, dy: usize| img.get_clamped((x + dx) as isize, (y + dy) as isize);
+    (g(0, 0), g(1, 1), g(1, 0), g(0, 1))
+}
+
+/// Exact software edge magnitude (half-scaled to stay in range).
+#[must_use]
+pub fn software(img: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let (a, b, c, d) = taps(img, x, y);
+        let g1 = i32::from(a.abs_diff(b));
+        let g2 = i32::from(c.abs_diff(d));
+        ((g1 + g2) / 2).clamp(0, 255) as u8
+    })
+}
+
+/// In-ReRAM SC edge detection: correlated 4-tap encode, two XOR
+/// subtractions, one MAJ scaled addition, ADC read-out.
+///
+/// # Errors
+///
+/// Substrate errors only.
+pub fn sc_reram(img: &GrayImage, cfg: &ScReramConfig) -> Result<GrayImage, ImgError> {
+    let mut acc = cfg.build()?;
+    let mut out = GrayImage::new(img.width(), img.height());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let (a, b, c, d) = taps(img, x, y);
+            let handles = acc.encode_correlated_many(&[
+                Fixed::from_u8(a),
+                Fixed::from_u8(b),
+                Fixed::from_u8(c),
+                Fixed::from_u8(d),
+            ])?;
+            let g1 = acc.abs_subtract(handles[0], handles[1])?;
+            let g2 = acc.abs_subtract(handles[2], handles[3])?;
+            // |a−b| and |c−d| are interval indicators over the same
+            // random numbers; their overlap makes them *correlated*, so
+            // the uncorrelated-input scaled_add is not applicable — use
+            // blend with a 0.5 select, which is exact for correlated
+            // inputs: 0.5·max + 0.5·min = (g1 + g2)/2.
+            let half = Fixed::new(1 << (acc.segment_bits() - 1), acc.segment_bits())
+                .map_err(ImgError::Stochastic)?;
+            let sel = acc.encode(half)?;
+            let e = acc.blend(g1, g2, sel)?;
+            let v = acc.read_value(e)?;
+            out.set(x, y, prob_to_pixel(v));
+            for h in [
+                handles[0], handles[1], handles[2], handles[3], g1, g2, sel, e,
+            ] {
+                acc.release(h)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Functional CMOS SC edge detection with the same kernel.
+///
+/// # Errors
+///
+/// Stochastic-computing errors only.
+pub fn sc_cmos(img: &GrayImage, cfg: &CmosScConfig) -> Result<GrayImage, ImgError> {
+    let mut out = GrayImage::new(img.width(), img.height());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let (a, b, c, d) = taps(img, x, y);
+            let salt = (y * img.width() + x) as u64;
+            let streams = cfg.streams_correlated(
+                &[
+                    Fixed::from_u8(a),
+                    Fixed::from_u8(b),
+                    Fixed::from_u8(c),
+                    Fixed::from_u8(d),
+                ],
+                salt,
+            )?;
+            let g1 = streams[0].xor(&streams[1])?;
+            let g2 = streams[2].xor(&streams[3])?;
+            let sel = cfg.stream(Fixed::new(128, 8)?, 0xED6E ^ salt)?;
+            let e = g1.maj3(&g2, &sel)?;
+            out.set(x, y, prob_to_pixel(e.value()));
+        }
+    }
+    Ok(out)
+}
+
+/// Binary CIM edge detection (bit-serial subtract + add).
+///
+/// # Errors
+///
+/// Never fails for a well-formed image (Result kept for API symmetry).
+pub fn binary_cim(img: &GrayImage, fault_prob: f64, seed: u64) -> Result<GrayImage, ImgError> {
+    let mut cim = if fault_prob > 0.0 {
+        BinaryCim::with_faults(fault_prob, seed)
+    } else {
+        BinaryCim::fault_free()
+    };
+    let mut out = GrayImage::new(img.width(), img.height());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let (a, b, c, d) = taps(img, x, y);
+            let g1 = cim.sub_abs(a, b);
+            let g2 = cim.sub_abs(c, d);
+            let sum = cim.add_bits(u32::from(g1), u32::from(g2), 9);
+            out.set(x, y, (sum / 2).min(255) as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+    use crate::synth;
+
+    #[test]
+    fn software_finds_checkerboard_edges() {
+        let img = synth::checkerboard(16, 16, 4);
+        let e = software(&img);
+        // Cell interiors are flat (zero gradient), boundaries are strong.
+        assert_eq!(e.get(1, 1), Some(0));
+        let boundary = e.get(3, 1).unwrap();
+        assert!(boundary > 80, "boundary {boundary}");
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = GrayImage::from_fn(8, 8, |_, _| 123);
+        assert!(software(&img).pixels().iter().all(|&p| p == 0));
+        let cim = binary_cim(&img, 0.0, 0).unwrap();
+        assert!(cim.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn binary_cim_matches_software_exactly_when_fault_free() {
+        let img = synth::blobs(12, 12, 2, 5);
+        let sw_img = software(&img);
+        let cim = binary_cim(&img, 0.0, 0).unwrap();
+        // Integer kernels: identical up to the /2 rounding convention.
+        let p = psnr(&sw_img, &cim).unwrap();
+        assert!(p > 48.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_reram_tracks_software() {
+        let img = synth::gradient(10, 10, true);
+        let sw_img = software(&img);
+        let sc = sc_reram(&img, &ScReramConfig::new(256, 4)).unwrap();
+        let p = psnr(&sw_img, &sc).unwrap();
+        assert!(p > 20.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_cmos_tracks_software() {
+        use crate::scbackend::CmosSngKind;
+        let img = synth::checkerboard(10, 10, 3);
+        let sw_img = software(&img);
+        let sc = sc_cmos(&img, &CmosScConfig::new(256, CmosSngKind::Software, 6)).unwrap();
+        let p = psnr(&sw_img, &sc).unwrap();
+        assert!(p > 15.0, "psnr {p}");
+    }
+}

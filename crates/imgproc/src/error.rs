@@ -1,0 +1,85 @@
+//! Application-layer error types.
+
+use std::fmt;
+
+/// Errors produced by the image-processing applications.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImgError {
+    /// The accelerator reported an error.
+    Accelerator(imsc::ImscError),
+    /// A stochastic-computing primitive reported an error.
+    Stochastic(sc_core::ScError),
+    /// Input images had mismatched dimensions.
+    DimensionMismatch {
+        /// Expected (width, height).
+        expected: (usize, usize),
+        /// Actual (width, height).
+        got: (usize, usize),
+    },
+    /// An invalid parameter (zero scale factor, empty image, …).
+    InvalidParameter(&'static str),
+    /// A PGM file could not be parsed.
+    ParsePgm(String),
+}
+
+impl fmt::Display for ImgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImgError::Accelerator(e) => write!(f, "accelerator error: {e}"),
+            ImgError::Stochastic(e) => write!(f, "stochastic-computing error: {e}"),
+            ImgError::DimensionMismatch { expected, got } => write!(
+                f,
+                "image dimensions {}x{} do not match expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            ImgError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ImgError::ParsePgm(reason) => write!(f, "pgm parse error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ImgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImgError::Accelerator(e) => Some(e),
+            ImgError::Stochastic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<imsc::ImscError> for ImgError {
+    fn from(e: imsc::ImscError) -> Self {
+        ImgError::Accelerator(e)
+    }
+}
+
+impl From<sc_core::ScError> for ImgError {
+    fn from(e: sc_core::ScError) -> Self {
+        ImgError::Stochastic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ImgError::DimensionMismatch {
+            expected: (8, 8),
+            got: (4, 4),
+        };
+        assert!(e.to_string().contains("4x4"));
+        assert!(e.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn conversions() {
+        fn f() -> Result<(), ImgError> {
+            Err(imsc::ImscError::OutOfRows)?
+        }
+        assert!(matches!(f(), Err(ImgError::Accelerator(_))));
+    }
+}

@@ -1,0 +1,251 @@
+//! Grayscale 8-bit images with PGM I/O.
+
+use crate::error::ImgError;
+
+/// An 8-bit grayscale image in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use imgproc::GrayImage;
+///
+/// let img = GrayImage::from_fn(4, 2, |x, y| (x * 10 + y) as u8);
+/// assert_eq!(img.get(3, 1), Some(31));
+/// assert_eq!(img.pixels().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        GrayImage {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> u8>(width: usize, height: usize, mut f: F) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Creates an image from raw row-major pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::InvalidParameter`] if the pixel count does not
+    /// equal `width·height` or a dimension is zero.
+    pub fn from_pixels(width: usize, height: usize, data: Vec<u8>) -> Result<Self, ImgError> {
+        if width == 0 || height == 0 {
+            return Err(ImgError::InvalidParameter(
+                "image dimensions must be nonzero",
+            ));
+        }
+        if data.len() != width * height {
+            return Err(ImgError::InvalidParameter(
+                "pixel count does not match dimensions",
+            ));
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw pixels, row-major.
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pixel at `(x, y)`, or `None` out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> Option<u8> {
+        if x < self.width && y < self.height {
+            Some(self.data[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Pixel at `(x, y)` with edge clamping (never fails).
+    #[must_use]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Whether another image has identical dimensions.
+    #[must_use]
+    pub fn same_dims(&self, other: &GrayImage) -> bool {
+        self.width == other.width && self.height == other.height
+    }
+
+    /// Mean pixel intensity.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&p| f64::from(p)).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Serializes to binary PGM (P5).
+    #[must_use]
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a binary PGM (P5) byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImgError::ParsePgm`] on malformed headers or truncated
+    /// pixel data.
+    pub fn from_pgm(bytes: &[u8]) -> Result<Self, ImgError> {
+        let err = |m: &str| ImgError::ParsePgm(m.to_string());
+        // Parse the three header tokens (magic, width, height, maxval),
+        // skipping whitespace and `#` comments.
+        let mut pos = 0usize;
+        let mut tokens: Vec<String> = Vec::new();
+        while tokens.len() < 4 && pos < bytes.len() {
+            while pos < bytes.len() {
+                if bytes[pos] == b'#' {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                } else if bytes[pos].is_ascii_whitespace() {
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start < pos {
+                tokens.push(
+                    std::str::from_utf8(&bytes[start..pos])
+                        .map_err(|_| err("non-utf8 header"))?
+                        .to_string(),
+                );
+            }
+        }
+        if tokens.len() < 4 {
+            return Err(err("truncated header"));
+        }
+        if tokens[0] != "P5" {
+            return Err(err("not a binary pgm (P5)"));
+        }
+        let width: usize = tokens[1].parse().map_err(|_| err("bad width"))?;
+        let height: usize = tokens[2].parse().map_err(|_| err("bad height"))?;
+        let maxval: usize = tokens[3].parse().map_err(|_| err("bad maxval"))?;
+        if maxval != 255 {
+            return Err(err("only maxval 255 supported"));
+        }
+        // Exactly one whitespace byte separates header from data.
+        pos += 1;
+        let need = width * height;
+        if bytes.len() < pos + need {
+            return Err(err("truncated pixel data"));
+        }
+        GrayImage::from_pixels(width, height, bytes[pos..pos + need].to_vec())
+            .map_err(|_| err("inconsistent dimensions"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (x + 10 * y) as u8);
+        assert_eq!(img.get(2, 1), Some(12));
+        assert_eq!(img.get(3, 0), None);
+        assert_eq!(img.get_clamped(-5, 99), img.get(0, 1).unwrap());
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = GrayImage::from_fn(7, 5, |x, y| (x * y * 9 % 256) as u8);
+        let bytes = img.to_pgm();
+        let back = GrayImage::from_pgm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_with_comments() {
+        let mut bytes = b"P5\n# a comment\n2 2\n255\n".to_vec();
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        let img = GrayImage::from_pgm(&bytes).unwrap();
+        assert_eq!(img.pixels(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pgm_errors() {
+        assert!(GrayImage::from_pgm(b"P2\n2 2\n255\n").is_err());
+        assert!(GrayImage::from_pgm(b"P5\n2 2\n255\n\x01").is_err()); // truncated
+        assert!(GrayImage::from_pgm(b"P5\n2 2\n65535\n").is_err());
+    }
+
+    #[test]
+    fn from_pixels_validation() {
+        assert!(GrayImage::from_pixels(2, 2, vec![0; 3]).is_err());
+        assert!(GrayImage::from_pixels(0, 2, vec![]).is_err());
+        assert!(GrayImage::from_pixels(2, 2, vec![0; 4]).is_ok());
+    }
+
+    #[test]
+    fn mean_intensity() {
+        let img = GrayImage::from_fn(2, 2, |x, _| if x == 0 { 0 } else { 200 });
+        assert_eq!(img.mean(), 100.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # imgproc — the paper's image-processing applications (§IV-A)
+//!
+//! Three kernels over four backends:
+//!
+//! | Application | SC kernel | Module |
+//! |---|---|---|
+//! | Image compositing `C = F·α + B·(1−α)` | directed MAJ blend | [`compositing`] |
+//! | Bilinear interpolation (up-scaling) | nested MAJ blends (4-to-1 MUX) | [`bilinear`] |
+//! | Image matting `α̂ = (I−B)/(F−B)` | XOR subtraction + CORDIV | [`matting`] |
+//!
+//! Backends:
+//!
+//! * **Software** — exact `f64` arithmetic, quantized to 8 bits.
+//! * **SC-ReRAM** — the in-memory accelerator (`imsc`), optionally
+//!   fault-injected (Table IV ✦ rows).
+//! * **SC-CMOS** — functional CMOS SC with LFSR/Sobol SNGs (`sc-core`).
+//! * **Binary CIM** — bit-serial in-memory binary arithmetic
+//!   (`baselines::bincim`), optionally fault-injected (Table IV ✧ row).
+//!
+//! Since the paper names no dataset, [`synth`] provides deterministic
+//! synthetic image families (gradients, checkerboards, blobs, value
+//! noise, soft mattes); quality metrics ([`metrics`]) are SSIM and PSNR,
+//! exactly as in Table IV.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bilinear;
+pub mod compositing;
+pub mod edge;
+pub mod error;
+pub mod image;
+pub mod matting;
+pub mod metrics;
+pub mod scbackend;
+pub mod synth;
+
+pub use error::ImgError;
+pub use image::GrayImage;
+pub use scbackend::{CmosScConfig, ScReramConfig};

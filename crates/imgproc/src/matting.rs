@@ -1,0 +1,268 @@
+//! Image matting: α estimation `α̂ = (I − B) / (F − B)` (Fig. 3c).
+//!
+//! The in-memory kernel encodes `(I, B, F)` against one shared
+//! random-number realization, takes the two XOR absolute differences
+//! (still in the shared domain — interval indicators on the same random
+//! numbers), and divides with CORDIV in the periphery latches. Because
+//! `I = αF + (1−α)B` lies between `B` and `F`, the dividend stream is
+//! bitwise contained in the divisor stream — exactly CORDIV's `x ≤ y`
+//! correlated-operand requirement.
+
+use crate::error::ImgError;
+use crate::image::GrayImage;
+use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use baselines::bincim::BinaryCim;
+use baselines::sw;
+use imsc::ImscError;
+use sc_core::{Fixed, ScError};
+
+fn check_inputs(i: &GrayImage, b: &GrayImage, f: &GrayImage) -> Result<(), ImgError> {
+    for img in [b, f] {
+        if !i.same_dims(img) {
+            return Err(ImgError::DimensionMismatch {
+                expected: (i.width(), i.height()),
+                got: (img.width(), img.height()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact software α estimation.
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions.
+pub fn software(i: &GrayImage, b: &GrayImage, f: &GrayImage) -> Result<GrayImage, ImgError> {
+    check_inputs(i, b, f)?;
+    Ok(GrayImage::from_fn(i.width(), i.height(), |x, y| {
+        sw::matte_alpha_u8(
+            i.get(x, y).expect("checked dims"),
+            b.get(x, y).expect("checked dims"),
+            f.get(x, y).expect("checked dims"),
+        )
+    }))
+}
+
+/// In-ReRAM SC α estimation: correlated triple encode, XOR differences,
+/// periphery CORDIV.
+///
+/// # Errors
+///
+/// Dimension or substrate errors (an all-zero divisor stream, i.e.
+/// `F ≈ B`, yields α̂ = 0 rather than an error, matching the software
+/// convention for an undefined matte).
+pub fn sc_reram(
+    i: &GrayImage,
+    b: &GrayImage,
+    f: &GrayImage,
+    cfg: &ScReramConfig,
+) -> Result<GrayImage, ImgError> {
+    check_inputs(i, b, f)?;
+    let mut acc = cfg.build()?;
+    let mut out = GrayImage::new(i.width(), i.height());
+    for y in 0..i.height() {
+        for x in 0..i.width() {
+            let pi = i.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pf = f.get(x, y).expect("checked dims");
+            if pf == pb {
+                out.set(x, y, 0);
+                continue;
+            }
+            let handles = acc.encode_correlated_many(&[
+                Fixed::from_u8(pi),
+                Fixed::from_u8(pb),
+                Fixed::from_u8(pf),
+            ])?;
+            let (hi, hb, hf) = (handles[0], handles[1], handles[2]);
+            let d_num = acc.abs_subtract(hi, hb)?;
+            let d_den = acc.abs_subtract(hf, hb)?;
+            let alpha = match acc.divide(d_num, d_den) {
+                Ok(q) => {
+                    let v = acc.read_value(q)?;
+                    acc.release(q)?;
+                    prob_to_pixel(v)
+                }
+                Err(ImscError::Stochastic(ScError::DivisionByZero)) => 0,
+                Err(e) => return Err(e.into()),
+            };
+            out.set(x, y, alpha);
+            for h in [hi, hb, hf, d_num, d_den] {
+                acc.release(h)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Functional CMOS SC α estimation with the same correlated kernel.
+///
+/// # Errors
+///
+/// Dimension or stochastic-computing errors.
+pub fn sc_cmos(
+    i: &GrayImage,
+    b: &GrayImage,
+    f: &GrayImage,
+    cfg: &CmosScConfig,
+) -> Result<GrayImage, ImgError> {
+    check_inputs(i, b, f)?;
+    let mut out = GrayImage::new(i.width(), i.height());
+    for y in 0..i.height() {
+        for x in 0..i.width() {
+            let pi = i.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pf = f.get(x, y).expect("checked dims");
+            if pf == pb {
+                out.set(x, y, 0);
+                continue;
+            }
+            let streams = cfg.streams_correlated(
+                &[Fixed::from_u8(pi), Fixed::from_u8(pb), Fixed::from_u8(pf)],
+                (y * i.width() + x) as u64,
+            )?;
+            let d_num = streams[0].xor(&streams[1])?;
+            let d_den = streams[2].xor(&streams[1])?;
+            let alpha = match sc_core::div::cordiv(&d_num, &d_den) {
+                Ok(q) => prob_to_pixel(q.value()),
+                Err(ScError::DivisionByZero) => 0,
+                Err(e) => return Err(e.into()),
+            };
+            out.set(x, y, alpha);
+        }
+    }
+    Ok(out)
+}
+
+/// Binary CIM α estimation: bit-serial absolute differences and restoring
+/// division with optional fault injection — the kernel the paper singles
+/// out as catastrophically fault-sensitive.
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions.
+pub fn binary_cim(
+    i: &GrayImage,
+    b: &GrayImage,
+    f: &GrayImage,
+    fault_prob: f64,
+    seed: u64,
+) -> Result<GrayImage, ImgError> {
+    check_inputs(i, b, f)?;
+    let mut cim = if fault_prob > 0.0 {
+        BinaryCim::with_faults(fault_prob, seed)
+    } else {
+        BinaryCim::fault_free()
+    };
+    let mut out = GrayImage::new(i.width(), i.height());
+    for y in 0..i.height() {
+        for x in 0..i.width() {
+            let pi = i.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pf = f.get(x, y).expect("checked dims");
+            if pf == pb {
+                out.set(x, y, 0);
+                continue;
+            }
+            let d_num = cim.sub_abs(pi, pb);
+            let d_den = cim.sub_abs(pf, pb);
+            let alpha = cim.div_frac(d_num, d_den.max(1));
+            out.set(x, y, alpha);
+        }
+    }
+    Ok(out)
+}
+
+/// Recomposites with an estimated matte — the paper's Table IV metric
+/// target for matting compares `composite(F, B, α̂)` against
+/// `composite(F, B, α)`.
+///
+/// # Errors
+///
+/// Propagates compositing errors.
+pub fn recomposite(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<GrayImage, ImgError> {
+    crate::compositing::software(f, b, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compositing;
+    use crate::metrics::psnr;
+    use crate::synth;
+
+    /// Builds (I, B, F) where I is a true composite, so the exact matte
+    /// is recoverable.
+    fn inputs(n: usize) -> (GrayImage, GrayImage, GrayImage, GrayImage) {
+        let set = synth::app_images(n, n, 77);
+        let i = compositing::software(&set.foreground, &set.background, &set.alpha).unwrap();
+        (i, set.background, set.foreground, set.alpha)
+    }
+
+    #[test]
+    fn software_recovers_the_matte() {
+        let (i, b, f, alpha) = inputs(16);
+        let est = software(&i, &b, &f).unwrap();
+        // Recovery is exact up to 8-bit rounding wherever F and B differ
+        // appreciably; compare via recomposited images.
+        let rec_true = recomposite(&f, &b, &alpha).unwrap();
+        let rec_est = recomposite(&f, &b, &est).unwrap();
+        let p = psnr(&rec_true, &rec_est).unwrap();
+        assert!(p > 30.0, "psnr {p}");
+    }
+
+    #[test]
+    fn binary_cim_fault_free_tracks_software() {
+        let (i, b, f, _) = inputs(16);
+        let sw_est = software(&i, &b, &f).unwrap();
+        let cim_est = binary_cim(&i, &b, &f, 0.0, 0).unwrap();
+        let p = psnr(&sw_est, &cim_est).unwrap();
+        assert!(p > 30.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_reram_recovers_an_approximate_matte() {
+        let (i, b, f, alpha) = inputs(10);
+        let est = sc_reram(&i, &b, &f, &ScReramConfig::new(256, 3)).unwrap();
+        let rec_true = recomposite(&f, &b, &alpha).unwrap();
+        let rec_est = recomposite(&f, &b, &est).unwrap();
+        let p = psnr(&rec_true, &rec_est).unwrap();
+        assert!(p > 15.0, "psnr {p}");
+    }
+
+    #[test]
+    fn sc_cmos_recovers_an_approximate_matte() {
+        use crate::scbackend::CmosSngKind;
+        let (i, b, f, alpha) = inputs(10);
+        let cfg = CmosScConfig::new(256, CmosSngKind::Software, 4);
+        let est = sc_cmos(&i, &b, &f, &cfg).unwrap();
+        let rec_true = recomposite(&f, &b, &alpha).unwrap();
+        let rec_est = recomposite(&f, &b, &est).unwrap();
+        let p = psnr(&rec_true, &rec_est).unwrap();
+        assert!(p > 15.0, "psnr {p}");
+    }
+
+    #[test]
+    fn faults_devastate_binary_cim_matting() {
+        let (i, b, f, alpha) = inputs(16);
+        let rec_true = recomposite(&f, &b, &alpha).unwrap();
+        let clean = binary_cim(&i, &b, &f, 0.0, 2).unwrap();
+        let faulty = binary_cim(&i, &b, &f, 0.02, 2).unwrap();
+        let p_clean = psnr(&rec_true, &recomposite(&f, &b, &clean).unwrap()).unwrap();
+        let p_faulty = psnr(&rec_true, &recomposite(&f, &b, &faulty).unwrap()).unwrap();
+        assert!(
+            p_clean - p_faulty > 5.0,
+            "clean {p_clean} vs faulty {p_faulty}"
+        );
+    }
+
+    #[test]
+    fn degenerate_background_yields_zero_alpha() {
+        let flat = GrayImage::from_fn(8, 8, |_, _| 100);
+        let est = software(&flat, &flat, &flat).unwrap();
+        assert!(est.pixels().iter().all(|&p| p == 0));
+        let est = binary_cim(&flat, &flat, &flat, 0.0, 0).unwrap();
+        assert!(est.pixels().iter().all(|&p| p == 0));
+    }
+}

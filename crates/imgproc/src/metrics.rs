@@ -1,0 +1,176 @@
+//! Image-quality metrics: MSE, PSNR, SSIM (Table IV's yardsticks).
+
+use crate::error::ImgError;
+use crate::image::GrayImage;
+
+/// Mean squared error between two images (gray-level units squared).
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions.
+pub fn mse(a: &GrayImage, b: &GrayImage) -> Result<f64, ImgError> {
+    check_dims(a, b)?;
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    Ok(sum / a.pixels().len() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB (`∞` for identical images).
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions.
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> Result<f64, ImgError> {
+    let m = mse(a, b)?;
+    if m == 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(10.0 * (255.0 * 255.0 / m).log10())
+    }
+}
+
+/// Structural similarity index in `[-1, 1]`, computed over 8×8 windows
+/// with stride 4 and the standard constants
+/// `C₁ = (0.01·255)²`, `C₂ = (0.03·255)²`.
+///
+/// # Errors
+///
+/// Returns [`ImgError::DimensionMismatch`] for unequal dimensions or
+/// [`ImgError::InvalidParameter`] for images smaller than one window.
+pub fn ssim(a: &GrayImage, b: &GrayImage) -> Result<f64, ImgError> {
+    check_dims(a, b)?;
+    const WIN: usize = 8;
+    const STRIDE: usize = 4;
+    if a.width() < WIN || a.height() < WIN {
+        return Err(ImgError::InvalidParameter(
+            "images must be at least 8x8 for ssim",
+        ));
+    }
+    let c1 = (0.01 * 255.0) * (0.01 * 255.0);
+    let c2 = (0.03 * 255.0) * (0.03 * 255.0);
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut wy = 0;
+    while wy + WIN <= a.height() {
+        let mut wx = 0;
+        while wx + WIN <= a.width() {
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            let mut sum_aa = 0.0;
+            let mut sum_bb = 0.0;
+            let mut sum_ab = 0.0;
+            for dy in 0..WIN {
+                for dx in 0..WIN {
+                    let pa = f64::from(a.get(wx + dx, wy + dy).expect("window in bounds"));
+                    let pb = f64::from(b.get(wx + dx, wy + dy).expect("window in bounds"));
+                    sum_a += pa;
+                    sum_b += pb;
+                    sum_aa += pa * pa;
+                    sum_bb += pb * pb;
+                    sum_ab += pa * pb;
+                }
+            }
+            let n = (WIN * WIN) as f64;
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+            let cov = sum_ab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+            total += s;
+            windows += 1;
+            wx += STRIDE;
+        }
+        wy += STRIDE;
+    }
+    Ok(total / windows as f64)
+}
+
+/// SSIM expressed as the percentage the paper reports (`ssim × 100`).
+///
+/// # Errors
+///
+/// Same as [`ssim`].
+pub fn ssim_percent(a: &GrayImage, b: &GrayImage) -> Result<f64, ImgError> {
+    Ok(ssim(a, b)? * 100.0)
+}
+
+fn check_dims(a: &GrayImage, b: &GrayImage) -> Result<(), ImgError> {
+    if !a.same_dims(b) {
+        return Err(ImgError::DimensionMismatch {
+            expected: (a.width(), a.height()),
+            got: (b.width(), b.height()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = synth::value_noise(32, 32, 8, 1);
+        assert_eq!(mse(&img, &img).unwrap(), 0.0);
+        assert_eq!(psnr(&img, &img).unwrap(), f64::INFINITY);
+        assert!((ssim(&img, &img).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_noise_gives_high_psnr_and_ssim() {
+        let a = synth::value_noise(32, 32, 8, 2);
+        let b = GrayImage::from_fn(32, 32, |x, y| {
+            a.get(x, y).unwrap().saturating_add(((x + y) % 3) as u8)
+        });
+        let p = psnr(&a, &b).unwrap();
+        assert!(p > 40.0, "psnr {p}");
+        assert!(ssim(&a, &b).unwrap() > 0.97);
+    }
+
+    #[test]
+    fn heavy_corruption_degrades_metrics() {
+        let a = synth::gradient(32, 32, true);
+        let b = GrayImage::from_fn(32, 32, |x, y| {
+            if (x * 31 + y * 17) % 3 == 0 {
+                255 - a.get(x, y).unwrap()
+            } else {
+                a.get(x, y).unwrap()
+            }
+        });
+        assert!(psnr(&a, &b).unwrap() < 20.0);
+        assert!(ssim(&a, &b).unwrap() < 0.8);
+    }
+
+    #[test]
+    fn psnr_matches_hand_computation() {
+        let a = GrayImage::from_fn(8, 8, |_, _| 100);
+        let b = GrayImage::from_fn(8, 8, |_, _| 110);
+        // MSE = 100 → PSNR = 10·log10(65025/100) ≈ 28.13 dB.
+        let p = psnr(&a, &b).unwrap();
+        assert!((p - 28.1308).abs() < 0.001, "{p}");
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = GrayImage::new(8, 8);
+        let b = GrayImage::new(8, 9);
+        assert!(mse(&a, &b).is_err());
+        assert!(ssim(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tiny_images_rejected_by_ssim() {
+        let a = GrayImage::new(4, 4);
+        assert!(matches!(ssim(&a, &a), Err(ImgError::InvalidParameter(_))));
+    }
+}

@@ -1,0 +1,207 @@
+//! Backend configurations for the stochastic-computing image kernels.
+
+use crate::error::ImgError;
+use imsc::engine::Accelerator;
+use imsc::imsng::ImsngVariant;
+use reram::faults::FaultRates;
+use sc_core::prelude::*;
+
+/// Configuration of the in-ReRAM SC backend.
+#[derive(Debug, Clone, Copy)]
+pub struct ScReramConfig {
+    /// Stochastic bit-stream length `N`.
+    pub stream_len: usize,
+    /// Comparator segment width `M`.
+    pub segment_bits: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// CIM fault-injection rates (Table IV ✓ columns).
+    pub fault_rates: FaultRates,
+    /// Per-cell TRNG bias sigma.
+    pub trng_bias_sigma: f64,
+    /// IMSNG variant.
+    pub variant: ImsngVariant,
+}
+
+impl ScReramConfig {
+    /// Fault-free configuration at stream length `n`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        ScReramConfig {
+            stream_len: n,
+            segment_bits: 8,
+            seed,
+            fault_rates: FaultRates::none(),
+            trng_bias_sigma: 0.04,
+            variant: ImsngVariant::Opt,
+        }
+    }
+
+    /// Same configuration with fault injection enabled.
+    #[must_use]
+    pub fn with_faults(mut self, rates: FaultRates) -> Self {
+        self.fault_rates = rates;
+        self
+    }
+
+    /// Builds the accelerator instance for one image run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator construction errors.
+    pub fn build(&self) -> Result<Accelerator, ImgError> {
+        Ok(Accelerator::builder()
+            .stream_len(self.stream_len)
+            .segment_bits(self.segment_bits)
+            .seed(self.seed)
+            .fault_rates(self.fault_rates)
+            .trng_bias_sigma(self.trng_bias_sigma)
+            .variant(self.variant)
+            .stream_rows(24)
+            .build()?)
+    }
+}
+
+/// The RNG family of the functional CMOS SC backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmosSngKind {
+    /// 8-bit maximal-length LFSR.
+    Lfsr,
+    /// 8-bit Sobol sequence (dimension-per-domain).
+    Sobol,
+    /// Full-width software uniform source.
+    Software,
+}
+
+/// Configuration of the functional CMOS SC backend (accuracy mirror of
+/// the Table III ✛ designs; assumed fault-free, as CMOS logic is).
+#[derive(Debug, Clone, Copy)]
+pub struct CmosScConfig {
+    /// Stochastic bit-stream length `N`.
+    pub stream_len: usize,
+    /// RNG family.
+    pub sng: CmosSngKind,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CmosScConfig {
+    /// Creates a configuration.
+    #[must_use]
+    pub fn new(n: usize, sng: CmosSngKind, seed: u64) -> Self {
+        CmosScConfig {
+            stream_len: n,
+            sng,
+            seed,
+        }
+    }
+
+    fn source(&self, salt: u64) -> Result<Box<dyn RandomSource>, ImgError> {
+        let mixed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt);
+        Ok(match self.sng {
+            CmosSngKind::Lfsr => {
+                // Nonzero seed derived deterministically from the salt.
+                let s = (mixed % 255) + 1;
+                Box::new(Lfsr::maximal(8, s)?)
+            }
+            CmosSngKind::Sobol => {
+                let dim = (salt as usize) % Sobol::max_dimensions();
+                Box::new(Sobol::new(dim, 8)?)
+            }
+            CmosSngKind::Software => Box::new(UniformSource::seed_from_u64(mixed)),
+        })
+    }
+
+    /// Generates one stream in its own randomness domain (`salt`
+    /// distinguishes independent domains).
+    ///
+    /// # Errors
+    ///
+    /// Propagates RNG construction failures.
+    pub fn stream(&self, x: Fixed, salt: u64) -> Result<BitStream, ImgError> {
+        let mut sng = Sng::new(self.source(salt)?);
+        Ok(sng.generate_fixed(x, self.stream_len))
+    }
+
+    /// Generates maximally correlated streams for several operands by
+    /// sharing one random-number sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RNG construction failures.
+    pub fn streams_correlated(
+        &self,
+        operands: &[Fixed],
+        salt: u64,
+    ) -> Result<Vec<BitStream>, ImgError> {
+        let mut source = self.source(salt)?;
+        let mut streams = vec![BitStream::zeros(self.stream_len); operands.len()];
+        let m = source.bits();
+        for i in 0..self.stream_len {
+            let rn = source.next_value();
+            for (s, &op) in streams.iter_mut().zip(operands) {
+                // 1 iff rn/2^m < op (same exact comparison as the SNG).
+                if (u128::from(rn) << op.bits()) < (u128::from(op.value()) << m) {
+                    s.set(i, true);
+                }
+            }
+        }
+        Ok(streams)
+    }
+}
+
+/// Quantizes a probability estimate to an 8-bit pixel.
+#[must_use]
+pub fn prob_to_pixel(p: f64) -> u8 {
+    (p * 255.0).round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::correlation::scc;
+
+    #[test]
+    fn reram_config_builds() {
+        let cfg = ScReramConfig::new(64, 1);
+        let acc = cfg.build().unwrap();
+        assert_eq!(acc.stream_len(), 64);
+    }
+
+    #[test]
+    fn cmos_streams_track_targets() {
+        for kind in [CmosSngKind::Lfsr, CmosSngKind::Sobol, CmosSngKind::Software] {
+            let cfg = CmosScConfig::new(256, kind, 5);
+            let s = cfg.stream(Fixed::from_u8(128), 1).unwrap();
+            assert!((s.value() - 0.5).abs() < 0.1, "{kind:?}: {}", s.value());
+        }
+    }
+
+    #[test]
+    fn correlated_streams_are_nested() {
+        let cfg = CmosScConfig::new(1024, CmosSngKind::Software, 7);
+        let streams = cfg
+            .streams_correlated(&[Fixed::from_u8(60), Fixed::from_u8(200)], 3)
+            .unwrap();
+        assert!(scc(&streams[0], &streams[1]).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn different_salts_are_independent() {
+        let cfg = CmosScConfig::new(4096, CmosSngKind::Software, 9);
+        let a = cfg.stream(Fixed::from_u8(128), 1).unwrap();
+        let b = cfg.stream(Fixed::from_u8(128), 2).unwrap();
+        assert!(scc(&a, &b).unwrap().abs() < 0.06);
+    }
+
+    #[test]
+    fn pixel_quantization() {
+        assert_eq!(prob_to_pixel(0.0), 0);
+        assert_eq!(prob_to_pixel(1.0), 255);
+        assert_eq!(prob_to_pixel(0.5), 128);
+        assert_eq!(prob_to_pixel(2.0), 255);
+    }
+}

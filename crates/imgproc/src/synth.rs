@@ -1,0 +1,191 @@
+//! Deterministic synthetic image generators.
+//!
+//! The paper does not name its benchmark images, so the reproduction
+//! evaluates on deterministic synthetic families exercising the relevant
+//! structure: smooth ramps (interpolation accuracy), hard edges
+//! (compositing boundaries), textures (SSIM sensitivity), and soft alpha
+//! mattes (matting).
+
+use crate::image::GrayImage;
+use sc_core::rng::Xoshiro256;
+
+/// A horizontal or vertical linear ramp.
+#[must_use]
+pub fn gradient(width: usize, height: usize, horizontal: bool) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, y| {
+        let (pos, span) = if horizontal {
+            (x, width.max(2) - 1)
+        } else {
+            (y, height.max(2) - 1)
+        };
+        (pos * 255 / span.max(1)) as u8
+    })
+}
+
+/// A checkerboard with `cell`-pixel squares.
+#[must_use]
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> GrayImage {
+    let cell = cell.max(1);
+    GrayImage::from_fn(width, height, |x, y| {
+        if (x / cell + y / cell).is_multiple_of(2) {
+            230
+        } else {
+            25
+        }
+    })
+}
+
+/// Smooth Gaussian-like blobs on a dark background.
+#[must_use]
+pub fn blobs(width: usize, height: usize, count: usize, seed: u64) -> GrayImage {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let centers: Vec<(f64, f64, f64)> = (0..count.max(1))
+        .map(|_| {
+            (
+                rng.next_f64() * width as f64,
+                rng.next_f64() * height as f64,
+                (0.1 + 0.2 * rng.next_f64()) * width.min(height) as f64,
+            )
+        })
+        .collect();
+    GrayImage::from_fn(width, height, |x, y| {
+        let mut v = 20.0;
+        for &(cx, cy, r) in &centers {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            v += 210.0 * (-(dx * dx + dy * dy) / (2.0 * r * r)).exp();
+        }
+        v.clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Bilinear value noise: random lattice values interpolated smoothly —
+/// a natural-texture stand-in.
+#[must_use]
+pub fn value_noise(width: usize, height: usize, scale: usize, seed: u64) -> GrayImage {
+    let scale = scale.max(1);
+    let gw = width.div_ceil(scale) + 2;
+    let gh = height.div_ceil(scale) + 2;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let grid: Vec<f64> = (0..gw * gh).map(|_| rng.next_f64()).collect();
+    GrayImage::from_fn(width, height, |x, y| {
+        let fx = x as f64 / scale as f64;
+        let fy = y as f64 / scale as f64;
+        let x0 = fx.floor() as usize;
+        let y0 = fy.floor() as usize;
+        let tx = fx - x0 as f64;
+        let ty = fy - y0 as f64;
+        let g = |gx: usize, gy: usize| grid[(gy.min(gh - 1)) * gw + gx.min(gw - 1)];
+        let top = g(x0, y0) * (1.0 - tx) + g(x0 + 1, y0) * tx;
+        let bottom = g(x0, y0 + 1) * (1.0 - tx) + g(x0 + 1, y0 + 1) * tx;
+        ((top * (1.0 - ty) + bottom * ty) * 255.0) as u8
+    })
+}
+
+/// A soft-edged elliptical alpha matte: 255 inside the object, 0 outside,
+/// with a smooth transition band — the shape of a real foreground mask.
+#[must_use]
+pub fn soft_matte(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let cx = width as f64 * (0.35 + 0.3 * rng.next_f64());
+    let cy = height as f64 * (0.35 + 0.3 * rng.next_f64());
+    let rx = width as f64 * (0.2 + 0.15 * rng.next_f64());
+    let ry = height as f64 * (0.2 + 0.15 * rng.next_f64());
+    let edge = 0.25; // transition band width as a fraction of the radius
+    GrayImage::from_fn(width, height, |x, y| {
+        let dx = (x as f64 - cx) / rx;
+        let dy = (y as f64 - cy) / ry;
+        let d = (dx * dx + dy * dy).sqrt();
+        let alpha = if d <= 1.0 - edge {
+            1.0
+        } else if d >= 1.0 + edge {
+            0.0
+        } else {
+            // Smoothstep across the band.
+            let t = 1.0 - (d - (1.0 - edge)) / (2.0 * edge);
+            t * t * (3.0 - 2.0 * t)
+        };
+        (alpha * 255.0).round() as u8
+    })
+}
+
+/// A named benchmark pair/triple set for the three applications.
+#[derive(Debug, Clone)]
+pub struct AppImages {
+    /// Foreground image.
+    pub foreground: GrayImage,
+    /// Background image.
+    pub background: GrayImage,
+    /// Alpha matte.
+    pub alpha: GrayImage,
+}
+
+/// The default benchmark inputs at the given resolution: a blob
+/// foreground over a gradient-texture background with a soft matte.
+#[must_use]
+pub fn app_images(width: usize, height: usize, seed: u64) -> AppImages {
+    AppImages {
+        foreground: blobs(width, height, 3, seed ^ 0xF0),
+        background: value_noise(width, height, width.max(8) / 8, seed ^ 0xB0),
+        alpha: soft_matte(width, height, seed ^ 0xA0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_spans_full_range() {
+        let g = gradient(64, 8, true);
+        assert_eq!(g.get(0, 0), Some(0));
+        assert_eq!(g.get(63, 0), Some(255));
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let c = checkerboard(8, 8, 2);
+        assert_ne!(c.get(0, 0), c.get(2, 0));
+        assert_eq!(c.get(0, 0), c.get(4, 0));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(blobs(16, 16, 3, 7), blobs(16, 16, 3, 7));
+        assert_eq!(value_noise(16, 16, 4, 7), value_noise(16, 16, 4, 7));
+        assert_ne!(value_noise(16, 16, 4, 7), value_noise(16, 16, 4, 8));
+    }
+
+    #[test]
+    fn matte_has_interior_exterior_and_edges() {
+        let m = soft_matte(64, 64, 3);
+        let pixels = m.pixels();
+        assert!(pixels.contains(&255), "no interior");
+        assert!(pixels.contains(&0), "no exterior");
+        assert!(
+            pixels.iter().any(|&p| p > 20 && p < 235),
+            "no soft transition band"
+        );
+    }
+
+    #[test]
+    fn app_images_share_dimensions() {
+        let set = app_images(24, 24, 9);
+        assert!(set.foreground.same_dims(&set.background));
+        assert!(set.foreground.same_dims(&set.alpha));
+    }
+
+    #[test]
+    fn noise_has_texture() {
+        let n = value_noise(32, 32, 4, 11);
+        let mean = n.mean();
+        assert!(mean > 60.0 && mean < 200.0, "mean {mean}");
+        let var: f64 = n
+            .pixels()
+            .iter()
+            .map(|&p| (f64::from(p) - mean) * (f64::from(p) - mean))
+            .sum::<f64>()
+            / n.pixels().len() as f64;
+        assert!(var > 100.0, "variance {var}");
+    }
+}

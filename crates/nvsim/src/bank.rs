@@ -1,0 +1,126 @@
+//! Per-bank row-buffer state machine.
+
+/// The state of one memory bank: which row (if any) is open, when the
+/// bank becomes free, and hit/miss statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankState {
+    open_row: Option<usize>,
+    free_at_ns: f64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl BankState {
+    /// A precharged, idle bank at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        BankState {
+            open_row: None,
+            free_at_ns: 0.0,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// The currently open row.
+    #[must_use]
+    pub fn open_row(&self) -> Option<usize> {
+        self.open_row
+    }
+
+    /// Absolute time at which the bank can accept the next command.
+    #[must_use]
+    pub fn free_at_ns(&self) -> f64 {
+        self.free_at_ns
+    }
+
+    /// Row-buffer hits observed.
+    #[must_use]
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row-buffer misses observed.
+    #[must_use]
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Ensures `row` is open at time `now`, returning the latency spent on
+    /// precharge/activate (0 on a row hit) given the activation and
+    /// precharge windows.
+    pub fn open(&mut self, row: usize, t_rcd: f64, t_rp: f64) -> f64 {
+        match self.open_row {
+            Some(r) if r == row => {
+                self.row_hits += 1;
+                0.0
+            }
+            Some(_) => {
+                self.row_misses += 1;
+                self.open_row = Some(row);
+                t_rp + t_rcd
+            }
+            None => {
+                self.row_misses += 1;
+                self.open_row = Some(row);
+                t_rcd
+            }
+        }
+    }
+
+    /// Closes the open row.
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+
+    /// Occupies the bank until `until_ns`.
+    pub fn occupy_until(&mut self, until_ns: f64) {
+        self.free_at_ns = self.free_at_ns.max(until_ns);
+    }
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        BankState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_a_miss() {
+        let mut b = BankState::new();
+        let lat = b.open(5, 10.0, 4.0);
+        assert_eq!(lat, 10.0); // no precharge needed from idle
+        assert_eq!(b.open_row(), Some(5));
+        assert_eq!(b.row_misses(), 1);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut b = BankState::new();
+        b.open(5, 10.0, 4.0);
+        let lat = b.open(5, 10.0, 4.0);
+        assert_eq!(lat, 0.0);
+        assert_eq!(b.row_hits(), 1);
+    }
+
+    #[test]
+    fn conflict_pays_precharge_plus_activate() {
+        let mut b = BankState::new();
+        b.open(5, 10.0, 4.0);
+        let lat = b.open(9, 10.0, 4.0);
+        assert_eq!(lat, 14.0);
+        assert_eq!(b.open_row(), Some(9));
+    }
+
+    #[test]
+    fn occupy_is_monotonic() {
+        let mut b = BankState::new();
+        b.occupy_until(50.0);
+        b.occupy_until(20.0);
+        assert_eq!(b.free_at_ns(), 50.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The memory command vocabulary.
+//!
+//! Beyond the classic DRAM-style ACT/PRE/READ/WRITE, the CIM substrate
+//! adds: multi-row scouting reads (one sensing step over `rows` activated
+//! wordlines), ADC samples (stochastic→binary conversion), and CORDIV
+//! steps (periphery latch updates during sequential division).
+
+use std::fmt;
+
+/// The kind of a memory command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdKind {
+    /// Activate (open) a row into the row buffer.
+    Activate,
+    /// Precharge (close) the open row.
+    Precharge,
+    /// Row-buffer read of the addressed row.
+    Read,
+    /// Row write (programming pulses on changed cells).
+    Write,
+    /// One scouting-logic sensing step over `rows` simultaneously
+    /// activated wordlines (the addressed row is the first operand).
+    ScoutRead {
+        /// Number of simultaneously activated rows (2 or 3 in practice).
+        rows: u8,
+    },
+    /// One ADC sample of the addressed bitline group.
+    AdcSample,
+    /// One CORDIV step in the periphery latches.
+    CordivStep,
+}
+
+impl CmdKind {
+    /// The trace-format mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmdKind::Activate => "ACT",
+            CmdKind::Precharge => "PRE",
+            CmdKind::Read => "RD",
+            CmdKind::Write => "WR",
+            CmdKind::ScoutRead { .. } => "SCOUT",
+            CmdKind::AdcSample => "ADC",
+            CmdKind::CordivStep => "CORDIV",
+        }
+    }
+}
+
+/// One addressed memory command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Command {
+    /// Target bank.
+    pub bank: usize,
+    /// Target row within the bank.
+    pub row: usize,
+    /// Operation.
+    pub kind: CmdKind,
+}
+
+impl Command {
+    /// Creates a command.
+    #[must_use]
+    pub fn new(bank: usize, row: usize, kind: CmdKind) -> Self {
+        Command { bank, row, kind }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            CmdKind::ScoutRead { rows } => {
+                write!(
+                    f,
+                    "{} {} {} {}",
+                    self.bank,
+                    self.row,
+                    self.kind.mnemonic(),
+                    rows
+                )
+            }
+            _ => write!(f, "{} {} {}", self.bank, self.row, self.kind.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_format() {
+        let c = Command::new(1, 42, CmdKind::ScoutRead { rows: 3 });
+        assert_eq!(c.to_string(), "1 42 SCOUT 3");
+        let c = Command::new(0, 7, CmdKind::Write);
+        assert_eq!(c.to_string(), "0 7 WR");
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let kinds = [
+            CmdKind::Activate,
+            CmdKind::Precharge,
+            CmdKind::Read,
+            CmdKind::Write,
+            CmdKind::ScoutRead { rows: 2 },
+            CmdKind::AdcSample,
+            CmdKind::CordivStep,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.mnemonic()), "duplicate {}", k.mnemonic());
+        }
+    }
+}

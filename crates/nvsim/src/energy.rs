@@ -1,0 +1,58 @@
+//! Energy parameters.
+
+/// Per-command energy costs.
+///
+/// Row-granular costs are expressed per bit and multiplied by the
+/// configured row width; fixed costs are per command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Activation energy per command, nJ.
+    pub e_activate_nj: f64,
+    /// Precharge energy per command, nJ.
+    pub e_precharge_nj: f64,
+    /// Read energy per bit, pJ.
+    pub e_read_bit_pj: f64,
+    /// Write energy per bit (only changed cells draw programming energy;
+    /// the simulator charges the full row conservatively), pJ.
+    pub e_write_bit_pj: f64,
+    /// Scouting sensing energy per bit per step, pJ.
+    pub e_scout_bit_pj: f64,
+    /// ADC energy per sample, nJ.
+    pub e_adc_nj: f64,
+    /// CORDIV periphery energy per step, pJ.
+    pub e_cordiv_pj: f64,
+}
+
+impl EnergyParams {
+    /// Calibrated ReRAM defaults (matching `reram::energy`).
+    #[must_use]
+    pub fn reram() -> Self {
+        EnergyParams {
+            e_activate_nj: 0.01,
+            e_precharge_nj: 0.005,
+            e_read_bit_pj: 0.2924,
+            e_write_bit_pj: 1.663,
+            e_scout_bit_pj: 0.2924,
+            e_adc_nj: 0.04,
+            e_cordiv_pj: 4.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::reram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_reram() {
+        let e = EnergyParams::default();
+        assert!((e.e_write_bit_pj - 1.663).abs() < 1e-9);
+        assert!((e.e_scout_bit_pj - 0.2924).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors produced by the memory simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A command addressed a bank beyond the configured bank count.
+    BankOutOfRange {
+        /// The offending bank index.
+        bank: usize,
+        /// Configured number of banks.
+        banks: usize,
+    },
+    /// A command addressed a row beyond the configured rows per bank.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Configured rows per bank.
+        rows: usize,
+    },
+    /// A trace line could not be parsed.
+    ParseTrace {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A configuration value was invalid (zero banks, zero rows, …).
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range ({banks} banks configured)")
+            }
+            SimError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range ({rows} rows per bank)")
+            }
+            SimError::ParseTrace { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            SimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BankOutOfRange { bank: 8, banks: 4 };
+        assert!(e.to_string().contains("bank 8"));
+        let e = SimError::ParseTrace {
+            line: 3,
+            reason: "bad op".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # nvsim — NVMain-style trace-driven memory timing & energy simulator
+//!
+//! The paper integrates scouting-logic latency/energy into NVMain 2.0 and
+//! simulates command traces generated from the SC workloads (§IV). This
+//! crate reproduces that substrate: a multi-bank nonvolatile memory with
+//! row-buffer state, per-command timing windows, and energy accounting,
+//! executed over explicit command [`trace`]s.
+//!
+//! * [`command`] — the command vocabulary (ACT/PRE/READ/WRITE plus the
+//!   CIM extensions: multi-row scouting reads, ADC samples, CORDIV steps).
+//! * [`timing`] / [`energy`] — parameter sets, with calibrated defaults
+//!   matching the ReRAM substrate constants.
+//! * [`bank`] — per-bank row-buffer state machines.
+//! * [`sim`] — the trace executor producing [`stats::SimStats`].
+//! * [`trace`] — trace construction and a line-oriented text format.
+//!
+//! # Example
+//!
+//! ```
+//! use nvsim::prelude::*;
+//!
+//! # fn main() -> Result<(), nvsim::SimError> {
+//! let mut trace = Trace::new();
+//! trace.push(Command::new(0, 3, CmdKind::Write));
+//! trace.push(Command::new(0, 4, CmdKind::Write));
+//! trace.push(Command::new(0, 3, CmdKind::ScoutRead { rows: 2 }));
+//! trace.push(Command::new(0, 0, CmdKind::AdcSample));
+//!
+//! let mut sim = Simulator::new(MemoryConfig::reram_default());
+//! let stats = sim.run(&trace)?;
+//! assert!(stats.total_time_ns > 0.0);
+//! assert!(stats.total_energy_nj > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank;
+pub mod command;
+pub mod energy;
+pub mod error;
+pub mod sim;
+pub mod stats;
+pub mod timing;
+pub mod trace;
+
+pub use command::{CmdKind, Command};
+pub use error::SimError;
+pub use sim::{MemoryConfig, Simulator};
+pub use stats::SimStats;
+pub use trace::Trace;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::command::{CmdKind, Command};
+    pub use crate::energy::EnergyParams;
+    pub use crate::error::SimError;
+    pub use crate::sim::{MemoryConfig, Simulator};
+    pub use crate::stats::SimStats;
+    pub use crate::timing::TimingParams;
+    pub use crate::trace::Trace;
+}

@@ -1,0 +1,269 @@
+//! The trace executor.
+
+use crate::bank::BankState;
+use crate::command::{CmdKind, Command};
+use crate::energy::EnergyParams;
+use crate::error::SimError;
+use crate::stats::SimStats;
+use crate::timing::TimingParams;
+use crate::trace::Trace;
+
+/// Static configuration of the simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Number of independent banks (commands to different banks overlap).
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows_per_bank: usize,
+    /// Row width in bits (scales per-bit energies).
+    pub row_width_bits: usize,
+    /// Timing parameters.
+    pub timing: TimingParams,
+    /// Energy parameters.
+    pub energy: EnergyParams,
+}
+
+impl MemoryConfig {
+    /// The calibrated ReRAM CIM configuration used throughout the
+    /// reproduction: 8 banks × 1024 rows × 256-bit rows.
+    #[must_use]
+    pub fn reram_default() -> Self {
+        MemoryConfig {
+            banks: 8,
+            rows_per_bank: 1024,
+            row_width_bits: 256,
+            timing: TimingParams::reram(),
+            energy: EnergyParams::reram(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on zero-sized dimensions.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.banks == 0 {
+            return Err(SimError::InvalidConfig("banks must be nonzero"));
+        }
+        if self.rows_per_bank == 0 {
+            return Err(SimError::InvalidConfig("rows_per_bank must be nonzero"));
+        }
+        if self.row_width_bits == 0 {
+            return Err(SimError::InvalidConfig("row_width_bits must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::reram_default()
+    }
+}
+
+/// Executes traces against a bank-parallel memory model.
+///
+/// Commands are issued in trace order; each occupies only its target
+/// bank, so commands to different banks overlap in time (the paper's
+/// multi-array pipelining). Row-buffer state adds activate/precharge
+/// latency on row switches.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MemoryConfig,
+    banks: Vec<BankState>,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Simulator {
+            banks: vec![BankState::new(); config.banks.max(1)],
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Resets all bank state (a fresh run).
+    pub fn reset(&mut self) {
+        self.banks = vec![BankState::new(); self.config.banks];
+    }
+
+    /// Executes a trace, returning aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] — the configuration is malformed.
+    /// * [`SimError::BankOutOfRange`] / [`SimError::RowOutOfRange`] — a
+    ///   command addresses outside the configured geometry.
+    pub fn run(&mut self, trace: &Trace) -> Result<SimStats, SimError> {
+        self.config.validate()?;
+        self.reset();
+        let mut stats = SimStats::default();
+        let width = self.config.row_width_bits as f64;
+        let t = self.config.timing;
+        let e = self.config.energy;
+
+        for cmd in trace.commands() {
+            let Command { bank, row, kind } = *cmd;
+            if bank >= self.config.banks {
+                return Err(SimError::BankOutOfRange {
+                    bank,
+                    banks: self.config.banks,
+                });
+            }
+            if row >= self.config.rows_per_bank {
+                return Err(SimError::RowOutOfRange {
+                    row,
+                    rows: self.config.rows_per_bank,
+                });
+            }
+            let state = &mut self.banks[bank];
+            let start = state.free_at_ns();
+            let (latency, energy_nj) = match kind {
+                CmdKind::Activate => {
+                    let lat = state.open(row, t.t_rcd, t.t_rp);
+                    (lat, e.e_activate_nj)
+                }
+                CmdKind::Precharge => {
+                    state.precharge();
+                    (t.t_rp, e.e_precharge_nj)
+                }
+                CmdKind::Read => {
+                    let open_lat = state.open(row, t.t_rcd, t.t_rp);
+                    (
+                        open_lat + t.t_read,
+                        e.e_activate_nj + width * e.e_read_bit_pj / 1000.0,
+                    )
+                }
+                CmdKind::Write => {
+                    let open_lat = state.open(row, t.t_rcd, t.t_rp);
+                    (
+                        open_lat + t.t_write,
+                        e.e_activate_nj + width * e.e_write_bit_pj / 1000.0,
+                    )
+                }
+                CmdKind::ScoutRead { rows } => {
+                    // Multi-row activation bypasses the row buffer; all
+                    // operand rows are asserted for one sensing step.
+                    state.precharge();
+                    (
+                        t.t_scout,
+                        f64::from(rows) * e.e_activate_nj + width * e.e_scout_bit_pj / 1000.0,
+                    )
+                }
+                CmdKind::AdcSample => (t.t_adc, e.e_adc_nj),
+                CmdKind::CordivStep => (t.t_cordiv, e.e_cordiv_pj / 1000.0),
+            };
+            let finish = start + latency;
+            state.occupy_until(finish);
+            stats.total_time_ns = stats.total_time_ns.max(finish);
+            stats.total_energy_nj += energy_nj;
+            *stats.command_counts.entry(kind.mnemonic()).or_insert(0) += 1;
+        }
+        stats.row_hits = self.banks.iter().map(BankState::row_hits).sum();
+        stats.row_misses = self.banks.iter().map(BankState::row_misses).sum();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MemoryConfig {
+        MemoryConfig::reram_default()
+    }
+
+    #[test]
+    fn empty_trace_is_zero_cost() {
+        let mut sim = Simulator::new(config());
+        let stats = sim.run(&Trace::new()).unwrap();
+        assert_eq!(stats.total_time_ns, 0.0);
+        assert_eq!(stats.total_energy_nj, 0.0);
+    }
+
+    #[test]
+    fn single_bank_commands_serialize() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push(Command::new(0, 0, CmdKind::Write));
+        t.push(Command::new(0, 0, CmdKind::Write));
+        let stats = sim.run(&t).unwrap();
+        // First write pays the activation; second hits the open row.
+        let expect = config().timing.t_rcd + 2.0 * config().timing.t_write;
+        assert!((stats.total_time_ns - expect).abs() < 1e-9);
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.row_misses, 1);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut sim = Simulator::new(config());
+        let mut serial = Trace::new();
+        serial.push(Command::new(0, 0, CmdKind::Write));
+        serial.push(Command::new(0, 1, CmdKind::Write));
+        let t_serial = sim.run(&serial).unwrap().total_time_ns;
+
+        let mut parallel = Trace::new();
+        parallel.push(Command::new(0, 0, CmdKind::Write));
+        parallel.push(Command::new(1, 0, CmdKind::Write));
+        let t_parallel = sim.run(&parallel).unwrap().total_time_ns;
+        assert!(t_parallel < t_serial, "{t_parallel} vs {t_serial}");
+    }
+
+    #[test]
+    fn scout_read_is_single_step() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push(Command::new(0, 0, CmdKind::ScoutRead { rows: 3 }));
+        let stats = sim.run(&t).unwrap();
+        assert!((stats.total_time_ns - config().timing.t_scout).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addressing_is_validated() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push(Command::new(99, 0, CmdKind::Read));
+        assert!(matches!(sim.run(&t), Err(SimError::BankOutOfRange { .. })));
+        let mut t = Trace::new();
+        t.push(Command::new(0, 99_999, CmdKind::Read));
+        assert!(matches!(sim.run(&t), Err(SimError::RowOutOfRange { .. })));
+    }
+
+    #[test]
+    fn energy_accumulates_per_command() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push(Command::new(0, 0, CmdKind::AdcSample));
+        t.push(Command::new(0, 0, CmdKind::AdcSample));
+        let stats = sim.run(&t).unwrap();
+        assert!((stats.total_energy_nj - 2.0 * config().energy.e_adc_nj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_resets_state() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push(Command::new(0, 0, CmdKind::Write));
+        let a = sim.run(&t).unwrap();
+        let b = sim.run(&t).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cordiv_steps_dominate_division_latency() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push_repeated(Command::new(0, 0, CmdKind::CordivStep), 256);
+        let stats = sim.run(&t).unwrap();
+        assert!((stats.total_time_ns - 256.0 * config().timing.t_cordiv).abs() < 1e-6);
+    }
+}

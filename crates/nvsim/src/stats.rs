@@ -1,0 +1,107 @@
+//! Simulation statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate results of one trace execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// End-to-end makespan in nanoseconds (banks execute in parallel;
+    /// this is the time the last command retires).
+    pub total_time_ns: f64,
+    /// Total energy in nanojoules.
+    pub total_energy_nj: f64,
+    /// Commands executed per mnemonic.
+    pub command_counts: BTreeMap<&'static str, u64>,
+    /// Row-buffer hits across banks.
+    pub row_hits: u64,
+    /// Row-buffer misses across banks.
+    pub row_misses: u64,
+}
+
+impl SimStats {
+    /// Total commands executed.
+    #[must_use]
+    pub fn total_commands(&self) -> u64 {
+        self.command_counts.values().sum()
+    }
+
+    /// Throughput in commands per microsecond (0 for an empty run).
+    #[must_use]
+    pub fn commands_per_us(&self) -> f64 {
+        if self.total_time_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_commands() as f64 / (self.total_time_ns / 1000.0)
+        }
+    }
+
+    /// Average power in milliwatts (0 for an empty run).
+    #[must_use]
+    pub fn average_power_mw(&self) -> f64 {
+        if self.total_time_ns <= 0.0 {
+            0.0
+        } else {
+            // nJ / ns = W; scale to mW.
+            self.total_energy_nj / self.total_time_ns * 1000.0
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "time: {:.2} ns, energy: {:.4} nJ, commands: {}",
+            self.total_time_ns,
+            self.total_energy_nj,
+            self.total_commands()
+        )?;
+        for (mnemonic, count) in &self.command_counts {
+            writeln!(f, "  {mnemonic:>8}: {count}")?;
+        }
+        write!(
+            f,
+            "  row-buffer: {} hits / {} misses",
+            self.row_hits, self.row_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats {
+            total_time_ns: 1000.0,
+            total_energy_nj: 5.0,
+            ..SimStats::default()
+        };
+        s.command_counts.insert("RD", 10);
+        s.command_counts.insert("WR", 10);
+        assert_eq!(s.total_commands(), 20);
+        assert!((s.commands_per_us() - 20.0).abs() < 1e-12);
+        assert!((s.average_power_mw() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let s = SimStats::default();
+        assert_eq!(s.commands_per_us(), 0.0);
+        assert_eq!(s.average_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_sections() {
+        let s = SimStats {
+            total_time_ns: 10.0,
+            total_energy_nj: 0.5,
+            ..SimStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("time"));
+        assert!(text.contains("row-buffer"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Timing parameters (nanoseconds).
+
+/// Per-command timing windows in nanoseconds.
+///
+/// Defaults are calibrated to the ReRAM substrate constants used across
+/// the workspace (see `reram::energy`): scouting sensing 1.955 ns, row
+/// write 19.825 ns, ADC sample 0.645 ns, CORDIV step 48.692 ns, with
+/// DRAM-comparable activate/precharge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Row activation (ACT → accessible), ns.
+    pub t_rcd: f64,
+    /// Precharge, ns.
+    pub t_rp: f64,
+    /// Row-buffer read, ns.
+    pub t_read: f64,
+    /// Row write (programming), ns.
+    pub t_write: f64,
+    /// One scouting-logic sensing step, ns.
+    pub t_scout: f64,
+    /// One ADC sample, ns.
+    pub t_adc: f64,
+    /// One CORDIV periphery step, ns.
+    pub t_cordiv: f64,
+}
+
+impl TimingParams {
+    /// Calibrated ReRAM defaults.
+    #[must_use]
+    pub fn reram() -> Self {
+        TimingParams {
+            t_rcd: 5.0,
+            t_rp: 3.0,
+            t_read: 1.955,
+            t_write: 19.825,
+            t_scout: 1.955,
+            t_adc: 0.645,
+            t_cordiv: 48.692,
+        }
+    }
+
+    /// DRAM-like parameters (for data-movement baselines).
+    #[must_use]
+    pub fn dram() -> Self {
+        TimingParams {
+            t_rcd: 13.75,
+            t_rp: 13.75,
+            t_read: 5.0,
+            t_write: 5.0,
+            t_scout: f64::INFINITY, // DRAM cannot scout-read
+            t_adc: f64::INFINITY,
+            t_cordiv: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::reram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reram_matches_substrate_constants() {
+        let t = TimingParams::reram();
+        assert!((t.t_scout - 1.955).abs() < 1e-9);
+        assert!((t.t_write - 19.825).abs() < 1e-9);
+        assert!((t.t_adc - 0.645).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_cannot_compute_in_memory() {
+        assert!(TimingParams::dram().t_scout.is_infinite());
+    }
+}

@@ -1,0 +1,243 @@
+//! Command traces and their line-oriented text format.
+//!
+//! Format: one command per line, `<bank> <row> <MNEMONIC> [args]`;
+//! `#`-prefixed lines are comments. This mirrors the NVMain trace flow:
+//! the architecture layer generates traces from SC workloads, and the
+//! simulator replays them.
+
+use crate::command::{CmdKind, Command};
+use crate::error::SimError;
+
+/// An ordered list of memory commands.
+///
+/// # Example
+///
+/// ```
+/// use nvsim::prelude::*;
+///
+/// # fn main() -> Result<(), SimError> {
+/// let mut t = Trace::new();
+/// t.push(Command::new(0, 1, CmdKind::Write));
+/// t.push(Command::new(0, 1, CmdKind::ScoutRead { rows: 2 }));
+/// let text = t.to_text();
+/// let parsed = Trace::parse(&text)?;
+/// assert_eq!(parsed.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    commands: Vec<Command>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            commands: Vec::new(),
+        }
+    }
+
+    /// Appends a command.
+    pub fn push(&mut self, cmd: Command) {
+        self.commands.push(cmd);
+    }
+
+    /// Appends `n` copies of a command (bulk steps such as CORDIV).
+    pub fn push_repeated(&mut self, cmd: Command, n: usize) {
+        self.commands.extend(std::iter::repeat_n(cmd, n));
+    }
+
+    /// Number of commands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// The commands in order.
+    #[must_use]
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Concatenates another trace onto this one.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.commands.extend_from_slice(&other.commands);
+    }
+
+    /// Serializes to the line format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.commands {
+            out.push_str(&c.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the trace to a file in the line format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to_file<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a trace from a file in the line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ParseTrace`] for malformed content; I/O
+    /// failures are reported as a parse error at line 0.
+    pub fn read_from_file<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SimError> {
+        let text = std::fs::read_to_string(path).map_err(|e| SimError::ParseTrace {
+            line: 0,
+            reason: format!("io error: {e}"),
+        })?;
+        Trace::parse(&text)
+    }
+
+    /// Parses the line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ParseTrace`] with the failing line number on
+    /// malformed input.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let mut trace = Trace::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |reason: &str| SimError::ParseTrace {
+                line: i + 1,
+                reason: reason.to_string(),
+            };
+            let bank: usize = parts
+                .next()
+                .ok_or_else(|| err("missing bank"))?
+                .parse()
+                .map_err(|_| err("bad bank"))?;
+            let row: usize = parts
+                .next()
+                .ok_or_else(|| err("missing row"))?
+                .parse()
+                .map_err(|_| err("bad row"))?;
+            let op = parts.next().ok_or_else(|| err("missing op"))?;
+            let kind = match op {
+                "ACT" => CmdKind::Activate,
+                "PRE" => CmdKind::Precharge,
+                "RD" => CmdKind::Read,
+                "WR" => CmdKind::Write,
+                "ADC" => CmdKind::AdcSample,
+                "CORDIV" => CmdKind::CordivStep,
+                "SCOUT" => {
+                    let rows: u8 = parts
+                        .next()
+                        .ok_or_else(|| err("SCOUT needs a row count"))?
+                        .parse()
+                        .map_err(|_| err("bad SCOUT row count"))?;
+                    if rows < 2 {
+                        return Err(err("SCOUT needs at least 2 rows"));
+                    }
+                    CmdKind::ScoutRead { rows }
+                }
+                other => {
+                    return Err(SimError::ParseTrace {
+                        line: i + 1,
+                        reason: format!("unknown op {other}"),
+                    })
+                }
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+            trace.push(Command::new(bank, row, kind));
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<Command> for Trace {
+    fn from_iter<I: IntoIterator<Item = Command>>(iter: I) -> Self {
+        Trace {
+            commands: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Command> for Trace {
+    fn extend<I: IntoIterator<Item = Command>>(&mut self, iter: I) {
+        self.commands.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let mut t = Trace::new();
+        t.push(Command::new(0, 1, CmdKind::Activate));
+        t.push(Command::new(1, 2, CmdKind::ScoutRead { rows: 3 }));
+        t.push(Command::new(0, 0, CmdKind::AdcSample));
+        t.push(Command::new(2, 9, CmdKind::CordivStep));
+        let parsed = Trace::parse(&t.to_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = Trace::parse("# header\n\n0 1 RD\n  # indented comment\n0 2 WR\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = Trace::parse("0 1 RD\n0 x WR\n").unwrap_err();
+        assert!(matches!(e, SimError::ParseTrace { line: 2, .. }));
+        let e = Trace::parse("0 1 BOGUS\n").unwrap_err();
+        assert!(matches!(e, SimError::ParseTrace { line: 1, .. }));
+        let e = Trace::parse("0 1 SCOUT 1\n").unwrap_err();
+        assert!(matches!(e, SimError::ParseTrace { line: 1, .. }));
+        let e = Trace::parse("0 1 RD extra\n").unwrap_err();
+        assert!(matches!(e, SimError::ParseTrace { line: 1, .. }));
+    }
+
+    #[test]
+    fn push_repeated_bulk() {
+        let mut t = Trace::new();
+        t.push_repeated(Command::new(0, 0, CmdKind::CordivStep), 256);
+        assert_eq!(t.len(), 256);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut t = Trace::new();
+        t.push(Command::new(0, 5, CmdKind::Write));
+        t.push(Command::new(1, 2, CmdKind::ScoutRead { rows: 2 }));
+        let path = std::env::temp_dir().join("nvsim_trace_roundtrip.txt");
+        t.write_to_file(&path).expect("writable temp dir");
+        let back = Trace::read_from_file(&path).expect("well-formed file");
+        assert_eq!(back, t);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_parse_error() {
+        let e = Trace::read_from_file("/nonexistent/trace.txt").unwrap_err();
+        assert!(matches!(e, SimError::ParseTrace { line: 0, .. }));
+    }
+}

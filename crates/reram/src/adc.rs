@@ -1,0 +1,185 @@
+//! ADC-based stochastic-to-binary conversion (§III-C).
+//!
+//! The output bit-stream is applied as read voltages to a reference column
+//! pre-programmed to LRS; the summed bitline current is proportional to
+//! the stream's population count and is digitized in a *single step* by an
+//! 8-bit SAR ADC (the ISAAC converter), replacing the `N`-cycle CMOS
+//! counter.
+
+use crate::error::ReramError;
+use crate::math::GaussianSampler;
+use sc_core::BitStream;
+
+/// An `bits`-bit ADC with optional input-referred noise, modeling the
+/// bitline population-count digitizer.
+///
+/// # Example
+///
+/// ```
+/// use reram::adc::Adc;
+/// use sc_core::BitStream;
+///
+/// # fn main() -> Result<(), reram::ReramError> {
+/// let mut adc = Adc::ideal(8);
+/// let s = BitStream::from_fn(256, |i| i < 192);
+/// // 192 ones over a 256-bit full scale map to code ⌊192·255/256⌉ = 191.
+/// let code = adc.convert_stream(&s)?;
+/// assert_eq!(code, 191);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adc {
+    bits: u32,
+    noise_lsb: f64,
+    sampler: GaussianSampler,
+    samples: u64,
+}
+
+impl Adc {
+    /// Creates a noiseless converter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=16`.
+    #[must_use]
+    pub fn ideal(bits: u32) -> Self {
+        Adc::with_noise(bits, 0.0, 0)
+    }
+
+    /// Creates a converter with Gaussian input-referred noise of
+    /// `noise_lsb` LSBs (a SAR ADC typically sits near 0.3–0.5 LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=16` or `noise_lsb < 0`.
+    #[must_use]
+    pub fn with_noise(bits: u32, noise_lsb: f64, seed: u64) -> Self {
+        assert!((1..=16).contains(&bits), "adc resolution must be 1..=16");
+        assert!(noise_lsb >= 0.0, "noise must be non-negative");
+        Adc {
+            bits,
+            noise_lsb,
+            sampler: GaussianSampler::new(seed),
+            samples: 0,
+        }
+    }
+
+    /// ADC resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of conversions performed.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Maximum output code.
+    #[must_use]
+    pub fn max_code(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// Digitizes a raw population count with full-scale `full_scale`
+    /// (the stream length), returning the output code in
+    /// `0..=max_code()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::AdcOverRange`] if `count > full_scale`.
+    pub fn convert_count(&mut self, count: u64, full_scale: u64) -> Result<u64, ReramError> {
+        if count > full_scale {
+            return Err(ReramError::AdcOverRange {
+                count,
+                max: full_scale,
+            });
+        }
+        self.samples += 1;
+        let max_code = self.max_code() as f64;
+        let ideal = count as f64 / full_scale.max(1) as f64 * max_code;
+        let noisy = if self.noise_lsb > 0.0 {
+            self.sampler.normal(ideal, self.noise_lsb)
+        } else {
+            ideal
+        };
+        Ok(noisy.round().clamp(0.0, max_code) as u64)
+    }
+
+    /// Digitizes a whole bit-stream (bitline current accumulation over a
+    /// reference column): one-step stochastic-to-binary conversion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (cannot over-range for a valid
+    /// stream).
+    pub fn convert_stream(&mut self, s: &BitStream) -> Result<u64, ReramError> {
+        self.convert_count(s.count_ones(), s.len() as u64)
+    }
+
+    /// Converts a stream and rescales the code to a probability estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors.
+    pub fn convert_to_prob(&mut self, s: &BitStream) -> Result<f64, ReramError> {
+        let code = self.convert_stream(s)?;
+        Ok(code as f64 / self.max_code() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_conversion_is_exact_at_matching_resolution() {
+        let mut adc = Adc::ideal(8);
+        for count in [0u64, 1, 100, 255, 256] {
+            let code = adc.convert_count(count, 256).unwrap();
+            let expect = (count as f64 / 256.0 * 255.0).round() as u64;
+            assert_eq!(code, expect, "count {count}");
+        }
+        assert_eq!(adc.samples(), 5);
+    }
+
+    #[test]
+    fn over_range_is_an_error() {
+        let mut adc = Adc::ideal(8);
+        assert!(matches!(
+            adc.convert_count(300, 256),
+            Err(ReramError::AdcOverRange { .. })
+        ));
+    }
+
+    #[test]
+    fn noise_perturbs_but_tracks() {
+        let mut adc = Adc::with_noise(8, 0.5, 3);
+        let mut max_err = 0i64;
+        for _ in 0..200 {
+            let code = adc.convert_count(128, 256).unwrap() as i64;
+            max_err = max_err.max((code - 127).abs());
+        }
+        assert!(max_err <= 3, "max_err {max_err}");
+        assert!(max_err >= 1, "noise should perturb some codes");
+    }
+
+    #[test]
+    fn short_streams_upscale_to_full_code_range() {
+        let mut adc = Adc::ideal(8);
+        let s = BitStream::ones(32);
+        assert_eq!(adc.convert_stream(&s).unwrap(), 255);
+        let h = BitStream::from_fn(32, |i| i < 16);
+        assert_eq!(adc.convert_stream(&h).unwrap(), 128);
+    }
+
+    #[test]
+    fn prob_round_trip() {
+        let mut adc = Adc::ideal(8);
+        let s = BitStream::from_fn(256, |i| i < 64);
+        let p = adc.convert_to_prob(&s).unwrap();
+        assert!((p - 0.25).abs() < 0.01);
+    }
+}

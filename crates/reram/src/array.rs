@@ -1,0 +1,294 @@
+//! 1T1R crossbar array with row-granular access and multi-row activation.
+//!
+//! The array is the Fig. 1(a) structure: wordline rows holding binary
+//! data, random-number rows, and generated stochastic bit-streams; bitline
+//! columns shared by the scouting-logic sense amplifiers.
+
+use crate::cell::{CellState, DeviceParams, ReramCell};
+use crate::error::ReramError;
+use crate::math::GaussianSampler;
+use sc_core::BitStream;
+
+/// A 2-D grid of ReRAM cells with per-cell drawn resistances.
+///
+/// Reads and writes are counted for energy accounting and endurance
+/// studies. Digital reads are noiseless; the analog path
+/// ([`CrossbarArray::column_current`]) includes read noise and HRS
+/// instability and feeds the scouting-logic sense model.
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<ReramCell>,
+    params: DeviceParams,
+    sampler: GaussianSampler,
+    row_writes: u64,
+    row_reads: u64,
+}
+
+impl CrossbarArray {
+    /// Creates an array with every cell programmed to HRS (logic 0), using
+    /// default device parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn pristine(rows: usize, cols: usize, seed: u64) -> Self {
+        Self::with_params(rows, cols, DeviceParams::default(), seed)
+    }
+
+    /// Creates an all-HRS array with explicit device parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn with_params(rows: usize, cols: usize, params: DeviceParams, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+        let mut sampler = GaussianSampler::new(seed);
+        let cells = (0..rows * cols)
+            .map(|_| ReramCell::programmed(CellState::Hrs, &params, &mut sampler))
+            .collect();
+        CrossbarArray {
+            rows,
+            cols,
+            cells,
+            params,
+            sampler,
+            row_writes: 0,
+            row_reads: 0,
+        }
+    }
+
+    /// Number of wordline rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitline columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The device parameters of this array.
+    #[must_use]
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Total row-write operations issued (energy/endurance accounting).
+    #[must_use]
+    pub fn row_writes(&self) -> u64 {
+        self.row_writes
+    }
+
+    /// Total row-read (or multi-row activation) operations issued.
+    #[must_use]
+    pub fn row_reads(&self) -> u64 {
+        self.row_reads
+    }
+
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    fn check_row(&self, row: usize) -> Result<(), ReramError> {
+        if row >= self.rows {
+            Err(ReramError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Writes a full row from a bit-stream (differential write: only cells
+    /// whose value changes are reprogrammed, as the L0/L1 latch pair
+    /// implements in hardware).
+    ///
+    /// Returns the number of cells actually reprogrammed.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReramError::RowOutOfRange`] — `row` exceeds the array height.
+    /// * [`ReramError::WidthMismatch`] — `data.len() != cols`.
+    pub fn write_row(&mut self, row: usize, data: &BitStream) -> Result<usize, ReramError> {
+        self.check_row(row)?;
+        if data.len() != self.cols {
+            return Err(ReramError::WidthMismatch {
+                data: data.len(),
+                cols: self.cols,
+            });
+        }
+        self.row_writes += 1;
+        let mut changed = 0;
+        for col in 0..self.cols {
+            let bit = data.get(col).unwrap_or(false);
+            let i = self.idx(row, col);
+            if self.cells[i].state().as_bool() != bit {
+                let state = CellState::from_bool(bit);
+                self.cells[i].program(state, &self.params, &mut self.sampler);
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Reads a full row digitally (programmed states, no analog noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::RowOutOfRange`] if `row` exceeds the height.
+    pub fn read_row(&mut self, row: usize) -> Result<BitStream, ReramError> {
+        self.check_row(row)?;
+        self.row_reads += 1;
+        let cols = self.cols;
+        Ok(BitStream::from_fn(cols, |col| {
+            self.cells[row * cols + col].state().as_bool()
+        }))
+    }
+
+    /// Reads a single cell's programmed state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error for out-of-bounds coordinates.
+    pub fn read_bit(&self, row: usize, col: usize) -> Result<bool, ReramError> {
+        self.check_row(row)?;
+        if col >= self.cols {
+            return Err(ReramError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        Ok(self.cells[self.idx(row, col)].state().as_bool())
+    }
+
+    /// Writes a single cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error for out-of-bounds coordinates.
+    pub fn write_bit(&mut self, row: usize, col: usize, bit: bool) -> Result<(), ReramError> {
+        self.check_row(row)?;
+        if col >= self.cols {
+            return Err(ReramError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        let i = self.idx(row, col);
+        if self.cells[i].state().as_bool() != bit {
+            self.cells[i].program(CellState::from_bool(bit), &self.params, &mut self.sampler);
+        }
+        Ok(())
+    }
+
+    /// Analog multi-row activation: the total bitline current (amperes)
+    /// through `col` when every row in `active_rows` is asserted — the raw
+    /// quantity the scouting-logic sense amplifier compares against its
+    /// reference current.
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error for out-of-bounds coordinates.
+    pub fn column_current(&mut self, active_rows: &[usize], col: usize) -> Result<f64, ReramError> {
+        if col >= self.cols {
+            return Err(ReramError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            });
+        }
+        let mut total = 0.0;
+        for &row in active_rows {
+            self.check_row(row)?;
+            let i = self.idx(row, col);
+            let cell = self.cells[i];
+            total += cell.read_current(&self.params, &mut self.sampler);
+        }
+        Ok(total)
+    }
+
+    /// The maximum per-cell write count in the array (endurance hotspot).
+    #[must_use]
+    pub fn max_cell_writes(&self) -> u64 {
+        self.cells.iter().map(ReramCell::writes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut a = CrossbarArray::pristine(4, 128, 1);
+        let data = BitStream::from_fn(128, |i| i % 3 == 0);
+        a.write_row(2, &data).unwrap();
+        assert_eq!(a.read_row(2).unwrap(), data);
+        assert_eq!(a.read_row(0).unwrap().count_ones(), 0);
+    }
+
+    #[test]
+    fn differential_write_counts_changed_cells() {
+        let mut a = CrossbarArray::pristine(2, 64, 2);
+        let data = BitStream::from_fn(64, |i| i < 10);
+        let changed = a.write_row(0, &data).unwrap();
+        assert_eq!(changed, 10); // pristine array: only the new ones flip
+        let changed = a.write_row(0, &data).unwrap();
+        assert_eq!(changed, 0); // rewriting identical data programs nothing
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut a = CrossbarArray::pristine(2, 8, 3);
+        assert!(matches!(
+            a.read_row(2),
+            Err(ReramError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.write_row(0, &BitStream::zeros(9)),
+            Err(ReramError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.read_bit(0, 8),
+            Err(ReramError::ColOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn column_current_scales_with_lrs_count() {
+        let mut a = CrossbarArray::pristine(3, 4, 4);
+        a.write_row(0, &BitStream::ones(4)).unwrap();
+        a.write_row(1, &BitStream::ones(4)).unwrap();
+        // rows 0,1 LRS; row 2 HRS.
+        let i2 = a.column_current(&[0, 1], 0).unwrap();
+        let i1 = a.column_current(&[0], 0).unwrap();
+        let i0 = a.column_current(&[2], 0).unwrap();
+        assert!(i2 > 1.5 * i1, "i2 {i2} vs i1 {i1}");
+        assert!(i1 > 5.0 * i0, "i1 {i1} vs i0 {i0}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = CrossbarArray::pristine(2, 8, 5);
+        a.write_row(0, &BitStream::ones(8)).unwrap();
+        a.read_row(0).unwrap();
+        a.read_row(1).unwrap();
+        assert_eq!(a.row_writes(), 1);
+        assert_eq!(a.row_reads(), 2);
+        assert!(a.max_cell_writes() >= 2); // initial program + write
+    }
+
+    #[test]
+    fn write_bit_updates_single_cell() {
+        let mut a = CrossbarArray::pristine(1, 8, 6);
+        a.write_bit(0, 3, true).unwrap();
+        assert!(a.read_bit(0, 3).unwrap());
+        assert!(!a.read_bit(0, 2).unwrap());
+    }
+}

@@ -1,0 +1,313 @@
+//! Single ReRAM (memristor) cell model.
+//!
+//! Data is stored as a resistance state: **LRS** (low-resistance state,
+//! logic `1`) or **HRS** (high-resistance state, logic `0`). Each cell's
+//! actual resistance is drawn from a lognormal distribution on every SET /
+//! RESET (cycle-to-cycle variability), and HRS additionally suffers the
+//! instability documented for VCM cells (Wiefels et al., TED 2020): the
+//! HRS distribution has a pronounced low-resistance tail that collides
+//! with the sensing window and causes CIM misreads.
+
+use crate::error::ReramError;
+use crate::math::GaussianSampler;
+
+/// The programmed logic state of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellState {
+    /// Low-resistance state — logic `1`.
+    Lrs,
+    /// High-resistance state — logic `0`.
+    Hrs,
+}
+
+impl CellState {
+    /// The logic value this state encodes.
+    #[must_use]
+    pub fn as_bool(self) -> bool {
+        matches!(self, CellState::Lrs)
+    }
+
+    /// The state encoding the given logic value.
+    #[must_use]
+    pub fn from_bool(bit: bool) -> Self {
+        if bit {
+            CellState::Lrs
+        } else {
+            CellState::Hrs
+        }
+    }
+}
+
+/// Device-level parameters of the ReRAM technology.
+///
+/// Defaults follow common HfO₂ VCM numbers: 10 kΩ median LRS, 1 MΩ median
+/// HRS, lognormal spreads, 0.2 V read voltage, ~20 ns / ~2 pJ-per-bit SET.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Median LRS resistance in ohms.
+    pub lrs_median_ohm: f64,
+    /// Lognormal sigma of the LRS distribution (log domain).
+    pub lrs_sigma: f64,
+    /// Median HRS resistance in ohms.
+    pub hrs_median_ohm: f64,
+    /// Lognormal sigma of the HRS distribution (log domain).
+    pub hrs_sigma: f64,
+    /// Probability that an HRS cell momentarily presents a tail resistance
+    /// (HRS instability); tail reads sample a lowered distribution.
+    pub hrs_tail_prob: f64,
+    /// Factor by which the HRS median drops in a tail event.
+    pub hrs_tail_factor: f64,
+    /// Read voltage in volts.
+    pub read_voltage: f64,
+    /// Gaussian sigma of read-current noise, as a fraction of the nominal
+    /// current (models read noise exploited by the TRNG).
+    pub read_noise_frac: f64,
+}
+
+impl DeviceParams {
+    /// Parameters for a well-behaved HfO₂ VCM device.
+    #[must_use]
+    pub fn hfo2() -> Self {
+        DeviceParams {
+            lrs_median_ohm: 10e3,
+            lrs_sigma: 0.15,
+            hrs_median_ohm: 1e6,
+            hrs_sigma: 0.45,
+            hrs_tail_prob: 0.01,
+            hrs_tail_factor: 0.05,
+            read_voltage: 0.2,
+            read_noise_frac: 0.05,
+        }
+    }
+
+    /// A deliberately noisy corner (wider spreads, stronger HRS
+    /// instability) for worst-case fault studies.
+    #[must_use]
+    pub fn noisy_corner() -> Self {
+        DeviceParams {
+            lrs_sigma: 0.25,
+            hrs_sigma: 0.6,
+            hrs_tail_prob: 0.05,
+            ..DeviceParams::hfo2()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidParameter`] for non-positive
+    /// resistances/voltages or out-of-range probabilities.
+    pub fn validate(&self) -> Result<(), ReramError> {
+        let checks: [(&'static str, f64, bool); 8] = [
+            (
+                "lrs_median_ohm",
+                self.lrs_median_ohm,
+                self.lrs_median_ohm > 0.0,
+            ),
+            ("lrs_sigma", self.lrs_sigma, self.lrs_sigma >= 0.0),
+            (
+                "hrs_median_ohm",
+                self.hrs_median_ohm,
+                self.hrs_median_ohm > 0.0,
+            ),
+            ("hrs_sigma", self.hrs_sigma, self.hrs_sigma >= 0.0),
+            (
+                "hrs_tail_prob",
+                self.hrs_tail_prob,
+                (0.0..=1.0).contains(&self.hrs_tail_prob),
+            ),
+            (
+                "hrs_tail_factor",
+                self.hrs_tail_factor,
+                self.hrs_tail_factor > 0.0 && self.hrs_tail_factor <= 1.0,
+            ),
+            ("read_voltage", self.read_voltage, self.read_voltage > 0.0),
+            (
+                "read_noise_frac",
+                self.read_noise_frac,
+                self.read_noise_frac >= 0.0,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(ReramError::InvalidParameter { name, value });
+            }
+        }
+        if self.hrs_median_ohm <= self.lrs_median_ohm {
+            return Err(ReramError::InvalidParameter {
+                name: "hrs_median_ohm",
+                value: self.hrs_median_ohm,
+            });
+        }
+        Ok(())
+    }
+
+    /// Nominal LRS read current in amperes.
+    #[must_use]
+    pub fn lrs_current(&self) -> f64 {
+        self.read_voltage / self.lrs_median_ohm
+    }
+
+    /// Nominal HRS read current in amperes.
+    #[must_use]
+    pub fn hrs_current(&self) -> f64 {
+        self.read_voltage / self.hrs_median_ohm
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams::hfo2()
+    }
+}
+
+/// One ReRAM cell: a programmed state plus the concrete resistance drawn
+/// at programming time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReramCell {
+    state: CellState,
+    resistance_ohm: f64,
+    writes: u64,
+}
+
+impl ReramCell {
+    /// Creates a cell programmed to `state`, drawing its resistance from
+    /// the device distribution.
+    #[must_use]
+    pub fn programmed(
+        state: CellState,
+        params: &DeviceParams,
+        sampler: &mut GaussianSampler,
+    ) -> Self {
+        let resistance_ohm = Self::draw_resistance(state, params, sampler);
+        ReramCell {
+            state,
+            resistance_ohm,
+            writes: 1,
+        }
+    }
+
+    fn draw_resistance(
+        state: CellState,
+        params: &DeviceParams,
+        sampler: &mut GaussianSampler,
+    ) -> f64 {
+        match state {
+            CellState::Lrs => sampler.lognormal(params.lrs_median_ohm.ln(), params.lrs_sigma),
+            CellState::Hrs => sampler.lognormal(params.hrs_median_ohm.ln(), params.hrs_sigma),
+        }
+    }
+
+    /// The programmed logic state.
+    #[must_use]
+    pub fn state(&self) -> CellState {
+        self.state
+    }
+
+    /// The drawn static resistance in ohms.
+    #[must_use]
+    pub fn resistance_ohm(&self) -> f64 {
+        self.resistance_ohm
+    }
+
+    /// Number of program operations this cell has seen (endurance
+    /// accounting).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reprograms the cell, redrawing its resistance (cycle-to-cycle
+    /// variability) and bumping the endurance counter.
+    pub fn program(
+        &mut self,
+        state: CellState,
+        params: &DeviceParams,
+        sampler: &mut GaussianSampler,
+    ) {
+        self.state = state;
+        self.resistance_ohm = Self::draw_resistance(state, params, sampler);
+        self.writes += 1;
+    }
+
+    /// The instantaneous read current in amperes, including read noise and
+    /// HRS tail instability.
+    pub fn read_current(&self, params: &DeviceParams, sampler: &mut GaussianSampler) -> f64 {
+        let mut r = self.resistance_ohm;
+        if self.state == CellState::Hrs && sampler.uniform() < params.hrs_tail_prob {
+            // HRS instability event: the cell momentarily presents a much
+            // lower resistance (Wiefels et al. 2020).
+            r *= params.hrs_tail_factor;
+        }
+        let nominal = params.read_voltage / r;
+        let noisy = sampler.normal(nominal, nominal * params.read_noise_frac);
+        noisy.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        DeviceParams::hfo2().validate().unwrap();
+        DeviceParams::noisy_corner().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_detected() {
+        let mut p = DeviceParams::hfo2();
+        p.lrs_median_ohm = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = DeviceParams::hfo2();
+        p.hrs_median_ohm = 1e3; // below LRS median
+        assert!(p.validate().is_err());
+        let mut p = DeviceParams::hfo2();
+        p.hrs_tail_prob = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn lrs_current_exceeds_hrs_current() {
+        let p = DeviceParams::hfo2();
+        assert!(p.lrs_current() > 10.0 * p.hrs_current());
+    }
+
+    #[test]
+    fn programming_redraws_resistance() {
+        let p = DeviceParams::hfo2();
+        let mut g = GaussianSampler::new(1);
+        let mut cell = ReramCell::programmed(CellState::Lrs, &p, &mut g);
+        let r1 = cell.resistance_ohm();
+        cell.program(CellState::Lrs, &p, &mut g);
+        assert_ne!(cell.resistance_ohm(), r1);
+        assert_eq!(cell.writes(), 2);
+    }
+
+    #[test]
+    fn read_currents_separate_states() {
+        let p = DeviceParams::hfo2();
+        let mut g = GaussianSampler::new(2);
+        let lrs = ReramCell::programmed(CellState::Lrs, &p, &mut g);
+        let hrs = ReramCell::programmed(CellState::Hrs, &p, &mut g);
+        let mut lrs_min = f64::MAX;
+        let mut hrs_max: f64 = 0.0;
+        for _ in 0..200 {
+            lrs_min = lrs_min.min(lrs.read_current(&p, &mut g));
+            hrs_max = hrs_max.max(hrs.read_current(&p, &mut g));
+        }
+        // Even with noise and tails, single-cell margins hold at these
+        // medians (tails matter for multi-row scouting ops, not raw reads).
+        assert!(lrs_min > hrs_max, "lrs_min {lrs_min} hrs_max {hrs_max}");
+    }
+
+    #[test]
+    fn state_round_trips_bool() {
+        assert_eq!(CellState::from_bool(true), CellState::Lrs);
+        assert_eq!(CellState::from_bool(false), CellState::Hrs);
+        assert!(CellState::Lrs.as_bool());
+        assert!(!CellState::Hrs.as_bool());
+    }
+}

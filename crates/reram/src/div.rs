@@ -1,0 +1,106 @@
+//! Periphery-executed CORDIV division (§III-B, "Division").
+//!
+//! Prior SC work implements division with CMOS flip-flops and MUXes; the
+//! paper maps the same JK/D-latch state machine onto the *existing* L0/L1
+//! write-driver latches: intermediate values stay in the periphery and are
+//! forwarded to the bitline as voltages, eliminating intermediate write
+//! operations entirely. The computation remains sequential — `O(N)`
+//! latency — but each step touches only latch state, never the array.
+
+use sc_core::div::CordivUnit;
+use sc_core::{BitStream, ScError};
+
+/// A CORDIV execution unit living in the write-driver latches.
+///
+/// Wraps the bit-level [`CordivUnit`] with periphery bookkeeping: steps
+/// executed and (zero) array writes, making the "no intermediate writes"
+/// property checkable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CordivPeriphery {
+    steps: u64,
+}
+
+impl CordivPeriphery {
+    /// Creates an idle unit.
+    #[must_use]
+    pub fn new() -> Self {
+        CordivPeriphery::default()
+    }
+
+    /// Latch-state steps executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs CORDIV over whole operand streams: `x / y` for correlated
+    /// streams with `p_x ≤ p_y`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScError::LengthMismatch`] — operand lengths differ.
+    /// * [`ScError::EmptyBitStream`] — operands are empty.
+    /// * [`ScError::DivisionByZero`] — all-zero divisor.
+    pub fn run(&mut self, dividend: &BitStream, divisor: &BitStream) -> Result<BitStream, ScError> {
+        if dividend.len() != divisor.len() {
+            return Err(ScError::LengthMismatch {
+                left: dividend.len(),
+                right: divisor.len(),
+            });
+        }
+        if dividend.is_empty() {
+            return Err(ScError::EmptyBitStream);
+        }
+        if divisor.count_ones() == 0 {
+            return Err(ScError::DivisionByZero);
+        }
+        let mut unit = CordivUnit::new();
+        let mut out = BitStream::zeros(dividend.len());
+        for i in 0..dividend.len() {
+            self.steps += 1;
+            let q = unit.step(
+                dividend.get(i).unwrap_or(false),
+                divisor.get(i).unwrap_or(false),
+            );
+            if q {
+                out.set(i, true);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_cordiv() {
+        let x = BitStream::from_fn(64, |i| i % 4 == 0);
+        let y = BitStream::from_fn(64, |i| i % 2 == 0);
+        let mut p = CordivPeriphery::new();
+        let got = p.run(&x, &y).unwrap();
+        let want = sc_core::div::cordiv(&x, &y).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(p.steps(), 64);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut p = CordivPeriphery::new();
+        let x = BitStream::zeros(8);
+        assert_eq!(p.run(&x, &x), Err(ScError::DivisionByZero));
+        let y = BitStream::ones(9);
+        assert!(matches!(p.run(&x, &y), Err(ScError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn steps_accumulate_across_runs() {
+        let x = BitStream::from_fn(32, |i| i < 8);
+        let y = BitStream::from_fn(32, |i| i < 16);
+        let mut p = CordivPeriphery::new();
+        p.run(&x, &y).unwrap();
+        p.run(&x, &y).unwrap();
+        assert_eq!(p.steps(), 64);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the ReRAM substrate.
+
+use std::fmt;
+
+/// Errors produced by ReRAM array and periphery operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReramError {
+    /// A row index exceeded the array height.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// The array height.
+        rows: usize,
+    },
+    /// A column index exceeded the array width.
+    ColOutOfRange {
+        /// The offending column index.
+        col: usize,
+        /// The array width.
+        cols: usize,
+    },
+    /// A written stream's length differed from the array width.
+    WidthMismatch {
+        /// Length of the data being written.
+        data: usize,
+        /// Array width.
+        cols: usize,
+    },
+    /// A scouting-logic operation was issued with an unsupported operand
+    /// row count (e.g. XOR over three rows).
+    BadOperandCount {
+        /// The operation name.
+        op: &'static str,
+        /// Number of operand rows supplied.
+        got: usize,
+        /// Number of operand rows expected.
+        expected: usize,
+    },
+    /// A device or model parameter was out of its physical range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+    /// The ADC was asked to digitize more ones than its input range covers.
+    AdcOverRange {
+        /// Population count presented on the bitline.
+        count: u64,
+        /// Maximum representable count.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ReramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (array has {rows} rows)")
+            }
+            ReramError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range (array has {cols} columns)")
+            }
+            ReramError::WidthMismatch { data, cols } => {
+                write!(f, "data length {data} does not match array width {cols}")
+            }
+            ReramError::BadOperandCount { op, got, expected } => {
+                write!(f, "{op} expects {expected} operand rows, got {got}")
+            }
+            ReramError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} is out of range")
+            }
+            ReramError::AdcOverRange { count, max } => {
+                write!(f, "bitline count {count} exceeds adc range {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_values() {
+        let e = ReramError::RowOutOfRange { row: 9, rows: 8 };
+        assert!(e.to_string().contains("row 9"));
+        let e = ReramError::AdcOverRange {
+            count: 300,
+            max: 255,
+        };
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReramError>();
+    }
+}

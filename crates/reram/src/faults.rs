@@ -1,0 +1,206 @@
+//! Seeded fault injection for CIM operations.
+//!
+//! In digital CIM a fault is a bit flip: the sensed result of a bulk
+//! bitwise operation inverts from its expected value (§IV-C). Failure
+//! *rates* are derived from the device statistics (see [`crate::vcm`]);
+//! this module applies them: every output bit of an in-memory operation is
+//! flipped independently with the operation's failure probability.
+
+use crate::scouting::SlOp;
+use sc_core::rng::Xoshiro256;
+use sc_core::BitStream;
+
+/// Per-operation fault probabilities for scouting-logic outputs.
+///
+/// Different operations have different sensing margins: XOR's window
+/// detector fails more often than OR's single wide threshold, and MAJ's
+/// mid reference sits in the most crowded current region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Flip probability for AND / NAND outputs.
+    pub and: f64,
+    /// Flip probability for OR / NOR outputs.
+    pub or: f64,
+    /// Flip probability for XOR / XNOR outputs.
+    pub xor: f64,
+    /// Flip probability for 3-input majority outputs.
+    pub maj: f64,
+    /// Flip probability for single-row NOT reads.
+    pub not: f64,
+    /// Flip probability per written SBS bit (write disturbance).
+    pub write: f64,
+}
+
+impl FaultRates {
+    /// A fault-free configuration (the paper's ✗ columns).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultRates {
+            and: 0.0,
+            or: 0.0,
+            xor: 0.0,
+            maj: 0.0,
+            not: 0.0,
+            write: 0.0,
+        }
+    }
+
+    /// A uniform flip probability across all operations.
+    #[must_use]
+    pub fn uniform(p: f64) -> Self {
+        FaultRates {
+            and: p,
+            or: p,
+            xor: p,
+            maj: p,
+            not: p,
+            write: p,
+        }
+    }
+
+    /// The flip probability for a given scouting-logic operation.
+    #[must_use]
+    pub fn for_op(&self, op: SlOp) -> f64 {
+        match op {
+            SlOp::And | SlOp::Nand => self.and,
+            SlOp::Or | SlOp::Nor => self.or,
+            SlOp::Xor | SlOp::Xnor => self.xor,
+            SlOp::Maj => self.maj,
+            SlOp::Not => self.not,
+        }
+    }
+
+    /// Whether every rate is zero.
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.and == 0.0
+            && self.or == 0.0
+            && self.xor == 0.0
+            && self.maj == 0.0
+            && self.not == 0.0
+            && self.write == 0.0
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::none()
+    }
+}
+
+/// A seeded injector that flips bits of operation outputs according to a
+/// [`FaultRates`] table.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rates: FaultRates,
+    rng: Xoshiro256,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given rates and seed.
+    #[must_use]
+    pub fn new(rates: FaultRates, seed: u64) -> Self {
+        FaultInjector {
+            rates,
+            rng: Xoshiro256::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// Total bit flips injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Applies op-dependent bit flips to an operation output in place.
+    pub fn corrupt_op_output(&mut self, op: SlOp, out: &mut BitStream) {
+        let p = self.rates.for_op(op);
+        self.corrupt_with_prob(p, out);
+    }
+
+    /// Applies write-disturbance flips to a stream about to be stored.
+    pub fn corrupt_write(&mut self, out: &mut BitStream) {
+        let p = self.rates.write;
+        self.corrupt_with_prob(p, out);
+    }
+
+    fn corrupt_with_prob(&mut self, p: f64, out: &mut BitStream) {
+        if p <= 0.0 {
+            return;
+        }
+        for i in 0..out.len() {
+            if self.rng.next_f64() < p {
+                out.flip(i);
+                self.injected += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_flip() {
+        let mut inj = FaultInjector::new(FaultRates::none(), 1);
+        let mut s = BitStream::ones(1024);
+        inj.corrupt_op_output(SlOp::And, &mut s);
+        assert_eq!(s.count_ones(), 1024);
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn uniform_rate_flips_expected_fraction() {
+        let mut inj = FaultInjector::new(FaultRates::uniform(0.1), 2);
+        let mut s = BitStream::zeros(100_000);
+        inj.corrupt_op_output(SlOp::Xor, &mut s);
+        let flips = s.count_ones();
+        assert!((8_000..12_000).contains(&flips), "flips {flips}");
+        assert_eq!(inj.injected(), flips);
+    }
+
+    #[test]
+    fn per_op_rates_are_selected() {
+        let rates = FaultRates {
+            and: 0.0,
+            or: 0.5,
+            xor: 0.0,
+            maj: 0.0,
+            not: 0.0,
+            write: 0.0,
+        };
+        let mut inj = FaultInjector::new(rates, 3);
+        let mut s = BitStream::zeros(10_000);
+        inj.corrupt_op_output(SlOp::And, &mut s);
+        assert_eq!(s.count_ones(), 0);
+        inj.corrupt_op_output(SlOp::Or, &mut s);
+        assert!(s.count_ones() > 4_000);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultRates::uniform(0.05), seed);
+            let mut s = BitStream::zeros(4096);
+            inj.corrupt_op_output(SlOp::Maj, &mut s);
+            s
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fault_free_detection() {
+        assert!(FaultRates::none().is_fault_free());
+        assert!(!FaultRates::uniform(0.01).is_fault_free());
+    }
+}

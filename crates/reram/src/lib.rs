@@ -1,0 +1,65 @@
+//! # reram — ReRAM device, array, and compute-in-memory models
+//!
+//! The physical substrate of the DAC'25 reproduction: everything below the
+//! accelerator architecture. The crate models
+//!
+//! * [`cell`] — metal-oxide (VCM) ReRAM cells with lognormal LRS/HRS
+//!   resistance distributions and cycle-to-cycle variability,
+//! * [`array`] — 1T1R crossbar arrays with row-granular access and
+//!   multi-row activation,
+//! * [`sense`] — the modified sense amplifier of scouting logic with
+//!   per-operation reference currents,
+//! * [`scouting`] — single-cycle in-memory (N)AND / (N)OR / X(N)OR / MAJ
+//!   over activated rows, including the variability-induced misread model,
+//! * [`trng`] — true-random-number rows from read-noise stochasticity
+//!   (the RNG-agnostic entropy supply of IMSNG),
+//! * [`latch`] — the L0/L1 write-driver latches used for predicated
+//!   sensing (IMSNG-opt) and in-periphery CORDIV state,
+//! * [`adc`] — the 8-bit SAR ADC digitizing bitline population counts
+//!   (stochastic→binary conversion),
+//! * [`vcm`] — the VCM-style device statistics from which per-operation
+//!   CIM failure rates are derived,
+//! * [`faults`] — seeded fault injection used by the reliability study,
+//! * [`energy`] — per-operation latency/energy constants shared with the
+//!   architecture-level cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use reram::array::CrossbarArray;
+//! use reram::scouting::{ScoutingLogic, SlOp};
+//! use sc_core::BitStream;
+//!
+//! # fn main() -> Result<(), reram::ReramError> {
+//! let mut array = CrossbarArray::pristine(16, 64, 42);
+//! array.write_row(0, &BitStream::from_fn(64, |i| i % 2 == 0))?;
+//! array.write_row(1, &BitStream::from_fn(64, |i| i % 4 < 2))?;
+//! let sl = ScoutingLogic::ideal();
+//! let and = sl.execute(&array, SlOp::And, &[0, 1])?;
+//! assert_eq!(and.count_ones(), 16); // 0.5 × 0.5 over 64 columns
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adc;
+pub mod array;
+pub mod cell;
+pub mod div;
+pub mod energy;
+pub mod error;
+pub mod faults;
+pub mod latch;
+pub mod math;
+pub mod scouting;
+pub mod sense;
+pub mod trng;
+pub mod vcm;
+
+pub use array::CrossbarArray;
+pub use cell::{CellState, DeviceParams, ReramCell};
+pub use error::ReramError;
+pub use scouting::{ScoutingLogic, SlOp};
+pub use trng::TrngEngine;

@@ -1,0 +1,136 @@
+//! Deterministic sampling helpers (normal / lognormal) used by the device
+//! models.
+//!
+//! Implemented in-crate (Box–Muller over [`Xoshiro256`]) so the whole
+//! simulation stays bit-exactly reproducible from a `u64` seed without an
+//! external distributions dependency.
+
+use sc_core::rng::Xoshiro256;
+
+/// A seeded Gaussian sampler (Box–Muller, caching the second variate).
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    rng: Xoshiro256,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        GaussianSampler {
+            rng: Xoshiro256::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Returns a standard-normal sample.
+    pub fn standard(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller; u1 is kept away from 0 to avoid ln(0).
+        let u1 = (self.rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Returns a `N(mean, sigma²)` sample.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.standard()
+    }
+
+    /// Returns a lognormal sample with the given *log-domain* parameters
+    /// (`ln X ~ N(mu, sigma²)`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Returns a uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+}
+
+/// Converts a (median, log-domain sigma) pair into lognormal `mu`.
+///
+/// ReRAM resistance distributions are conventionally reported as a median
+/// resistance and a lognormal spread; `median = e^mu`.
+#[must_use]
+pub fn lognormal_mu_from_median(median: f64) -> f64 {
+    median.ln()
+}
+
+/// Standard normal cumulative distribution function (Abramowitz–Stegun
+/// rational approximation, |error| < 7.5e-8).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    if x < -8.0 {
+        return 0.0;
+    }
+    if x > 8.0 {
+        return 1.0;
+    }
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let tail = pdf * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut g = GaussianSampler::new(17);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.standard()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut g = GaussianSampler::new(23);
+        let mu = lognormal_mu_from_median(10_000.0);
+        let mut samples: Vec<f64> = (0..50_001).map(|_| g.lognormal(mu, 0.3)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[25_000];
+        assert!(
+            (median - 10_000.0).abs() / 10_000.0 < 0.05,
+            "median {median}"
+        );
+    }
+
+    #[test]
+    fn cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.158_655_3).abs() < 1e-6);
+        assert!((normal_cdf(2.0) - 0.977_249_9).abs() < 1e-6);
+        assert_eq!(normal_cdf(-10.0), 0.0);
+        assert_eq!(normal_cdf(10.0), 1.0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = GaussianSampler::new(5);
+        let mut b = GaussianSampler::new(5);
+        for _ in 0..64 {
+            assert_eq!(a.standard(), b.standard());
+        }
+    }
+}

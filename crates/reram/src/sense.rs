@@ -1,0 +1,117 @@
+//! Scouting-logic sense amplifier with per-operation reference currents.
+//!
+//! During a scouting-logic operation two or more rows are activated
+//! simultaneously and the summed bitline current is compared against a
+//! reference `I_ref` (Fig. 1c). The choice of `I_ref` selects the Boolean
+//! function: detecting ≥1 LRS cell realizes OR, ≥2 realizes 2-input AND —
+//! and, on three activated rows, the same ≥2 reference realizes the
+//! 3-input majority the paper uses for scaled addition. XOR uses *two*
+//! references (a window detector on the L0/L1 latch pair).
+
+use crate::cell::DeviceParams;
+use crate::error::ReramError;
+
+/// A sense amplifier calibrated to the device's nominal LRS current.
+///
+/// Thresholds are expressed in multiples of the nominal single-cell LRS
+/// read current; `threshold_for(k)` places `I_ref` halfway between the
+/// `k−1`-cell and `k`-cell current levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmp {
+    lrs_current: f64,
+}
+
+impl SenseAmp {
+    /// Calibrates a sense amplifier for the given device parameters.
+    #[must_use]
+    pub fn calibrated(params: &DeviceParams) -> Self {
+        SenseAmp {
+            lrs_current: params.lrs_current(),
+        }
+    }
+
+    /// The nominal single-LRS-cell current this amplifier is calibrated
+    /// to, in amperes.
+    #[must_use]
+    pub fn lrs_current(&self) -> f64 {
+        self.lrs_current
+    }
+
+    /// The reference current that detects "at least `k` LRS cells".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidParameter`] if `k == 0`.
+    pub fn threshold_for(&self, k: usize) -> Result<f64, ReramError> {
+        if k == 0 {
+            return Err(ReramError::InvalidParameter {
+                name: "k",
+                value: 0.0,
+            });
+        }
+        Ok((k as f64 - 0.5) * self.lrs_current)
+    }
+
+    /// Single-reference sensing: `true` iff the bitline current exceeds
+    /// the "at least `k`" reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidParameter`] if `k == 0`.
+    pub fn sense_at_least(&self, current: f64, k: usize) -> Result<bool, ReramError> {
+        Ok(current > self.threshold_for(k)?)
+    }
+
+    /// Window sensing for XOR: `true` iff the current indicates *exactly
+    /// one* LRS cell (above the ≥1 reference on L0, below the ≥2 reference
+    /// on L1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold errors (cannot occur for the fixed 1/2 pair).
+    pub fn sense_exactly_one(&self, current: f64) -> Result<bool, ReramError> {
+        Ok(current > self.threshold_for(1)? && current <= self.threshold_for(2)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp() -> SenseAmp {
+        SenseAmp::calibrated(&DeviceParams::hfo2())
+    }
+
+    #[test]
+    fn thresholds_are_halfway_points() {
+        let a = amp();
+        let i = a.lrs_current();
+        assert!((a.threshold_for(1).unwrap() - 0.5 * i).abs() < 1e-12);
+        assert!((a.threshold_for(2).unwrap() - 1.5 * i).abs() < 1e-12);
+        assert!(a.threshold_for(0).is_err());
+    }
+
+    #[test]
+    fn sense_at_least_discriminates_counts() {
+        let a = amp();
+        let i = a.lrs_current();
+        // 0 cells: ~0 current.
+        assert!(!a.sense_at_least(0.01 * i, 1).unwrap());
+        // 1 cell.
+        assert!(a.sense_at_least(1.0 * i, 1).unwrap());
+        assert!(!a.sense_at_least(1.0 * i, 2).unwrap());
+        // 2 cells.
+        assert!(a.sense_at_least(2.0 * i, 2).unwrap());
+        // 3 cells vs majority reference.
+        assert!(a.sense_at_least(3.0 * i, 2).unwrap());
+    }
+
+    #[test]
+    fn xor_window() {
+        let a = amp();
+        let i = a.lrs_current();
+        assert!(!a.sense_exactly_one(0.02 * i).unwrap());
+        assert!(a.sense_exactly_one(1.0 * i).unwrap());
+        assert!(!a.sense_exactly_one(2.0 * i).unwrap());
+    }
+}

@@ -1,0 +1,216 @@
+//! In-memory true random number generation from ReRAM stochasticity.
+//!
+//! The paper builds on threshold-switching / read-noise TRNGs (Woo et al.,
+//! Adv. Electron. Mater. 2019; Schnieders et al. 2024): reading a cell
+//! biased near its switching point yields a random bit, and whole rows of
+//! random bits are stored directly in the array — a *single-step*
+//! operation from the architecture's perspective (§III-A).
+//!
+//! [`TrngEngine`] models the statistical reality of such a source: each
+//! generator cell has a small static bias around the ideal 50% point
+//! (device-to-device variation) plus unbiased shot-to-shot randomness.
+//! The engine fills array rows and doubles as a [`BitSource`] for the
+//! segmented random numbers IMSNG consumes. [`VonNeumannWhitened`] wraps
+//! any bit source with the classic de-biasing extractor.
+
+use crate::array::CrossbarArray;
+use crate::error::ReramError;
+use crate::math::GaussianSampler;
+use sc_core::rng::BitSource;
+use sc_core::BitStream;
+
+/// Statistical model of a row of TRNG cells.
+///
+/// # Example
+///
+/// ```
+/// use reram::trng::TrngEngine;
+/// use sc_core::rng::BitSource;
+///
+/// let mut trng = TrngEngine::new(64, 0.02, 77);
+/// let ones = (0..10_000).filter(|_| trng.next_bit()).count();
+/// assert!((4_000..6_000).contains(&ones));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrngEngine {
+    cell_bias: Vec<f64>,
+    sampler: GaussianSampler,
+    cursor: usize,
+    bits_generated: u64,
+}
+
+impl TrngEngine {
+    /// Creates an engine with `cells` generator cells whose one-probability
+    /// is `0.5 + N(0, bias_sigma)` (clamped to `[0.05, 0.95]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` or `bias_sigma < 0`.
+    #[must_use]
+    pub fn new(cells: usize, bias_sigma: f64, seed: u64) -> Self {
+        assert!(cells > 0, "at least one trng cell required");
+        assert!(bias_sigma >= 0.0, "bias sigma must be non-negative");
+        let mut sampler = GaussianSampler::new(seed);
+        let cell_bias = (0..cells)
+            .map(|_| (0.5 + sampler.normal(0.0, bias_sigma)).clamp(0.05, 0.95))
+            .collect();
+        TrngEngine {
+            cell_bias,
+            sampler,
+            cursor: 0,
+            bits_generated: 0,
+        }
+    }
+
+    /// An ideal engine: every cell exactly unbiased.
+    #[must_use]
+    pub fn ideal(cells: usize, seed: u64) -> Self {
+        TrngEngine::new(cells, 0.0, seed)
+    }
+
+    /// Number of generator cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.cell_bias.len()
+    }
+
+    /// Total bits generated so far.
+    #[must_use]
+    pub fn bits_generated(&self) -> u64 {
+        self.bits_generated
+    }
+
+    /// The per-cell one-probabilities (for inspection/tests).
+    #[must_use]
+    pub fn cell_probabilities(&self) -> &[f64] {
+        &self.cell_bias
+    }
+
+    /// Generates a full random row of the given width.
+    #[must_use]
+    pub fn generate_row(&mut self, width: usize) -> BitStream {
+        BitStream::from_fn(width, |_| self.next_bit())
+    }
+
+    /// Generates a random row and stores it in `array` at `row` — the
+    /// paper's single-step TRNG write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates array range errors.
+    pub fn fill_row(&mut self, array: &mut CrossbarArray, row: usize) -> Result<(), ReramError> {
+        let bits = self.generate_row(array.cols());
+        array.write_row(row, &bits)?;
+        Ok(())
+    }
+}
+
+impl BitSource for TrngEngine {
+    fn next_bit(&mut self) -> bool {
+        let p = self.cell_bias[self.cursor];
+        self.cursor = (self.cursor + 1) % self.cell_bias.len();
+        self.bits_generated += 1;
+        self.sampler.uniform() < p
+    }
+}
+
+/// Von Neumann whitening over any bit source: consumes bit pairs, emitting
+/// `0` for `01` and `1` for `10`, discarding `00`/`11`. Removes static
+/// bias at a ≥ 4× rate cost.
+#[derive(Debug, Clone)]
+pub struct VonNeumannWhitened<B> {
+    inner: B,
+    consumed: u64,
+}
+
+impl<B: BitSource> VonNeumannWhitened<B> {
+    /// Wraps a bit source with the extractor.
+    #[must_use]
+    pub fn new(inner: B) -> Self {
+        VonNeumannWhitened { inner, consumed: 0 }
+    }
+
+    /// Raw bits consumed from the inner source so far.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Consumes the wrapper, returning the inner source.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: BitSource> BitSource for VonNeumannWhitened<B> {
+    fn next_bit(&mut self) -> bool {
+        loop {
+            let a = self.inner.next_bit();
+            let b = self.inner.next_bit();
+            self.consumed += 2;
+            if a != b {
+                return a;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_engine_is_unbiased() {
+        let mut t = TrngEngine::ideal(32, 1);
+        let ones = (0..100_000).filter(|_| t.next_bit()).count();
+        assert!((48_500..51_500).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn biased_cells_spread_around_half() {
+        let t = TrngEngine::new(1000, 0.05, 2);
+        let probs = t.cell_probabilities();
+        let mean: f64 = probs.iter().sum::<f64>() / probs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let spread = probs.iter().map(|p| (p - 0.5).abs()).fold(0.0f64, f64::max);
+        assert!(spread > 0.05, "spread {spread}"); // some cells clearly biased
+    }
+
+    #[test]
+    fn fill_row_stores_random_bits() {
+        let mut t = TrngEngine::ideal(64, 3);
+        let mut a = CrossbarArray::pristine(2, 256, 4);
+        t.fill_row(&mut a, 1).unwrap();
+        let row = a.read_row(1).unwrap();
+        let ones = row.count_ones();
+        assert!((96..160).contains(&ones), "ones {ones}"); // ~128 ± 4σ
+        assert_eq!(t.bits_generated(), 256);
+    }
+
+    #[test]
+    fn whitening_removes_bias() {
+        let biased = TrngEngine::new(16, 0.0, 5);
+        // Construct an overtly biased source instead: p = 0.8.
+        #[derive(Debug)]
+        struct Biased(GaussianSampler);
+        impl BitSource for Biased {
+            fn next_bit(&mut self) -> bool {
+                self.0.uniform() < 0.8
+            }
+        }
+        drop(biased);
+        let mut w = VonNeumannWhitened::new(Biased(GaussianSampler::new(6)));
+        let ones = (0..20_000).filter(|_| w.next_bit()).count();
+        assert!((9_500..10_500).contains(&ones), "ones {ones}");
+        assert!(w.consumed() >= 40_000);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let mut a = TrngEngine::new(16, 0.03, 9);
+        let mut b = TrngEngine::new(16, 0.03, 9);
+        for _ in 0..256 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+}

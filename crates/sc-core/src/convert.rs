@@ -1,0 +1,168 @@
+//! Stochastic-to-binary conversion (step ❸ of the SC flow).
+//!
+//! The reference CMOS design counts the ones of the output stream with a
+//! `log₂N`-bit counter over `N` clock cycles ([`CounterConverter`]).
+//! The paper's in-memory alternative measures the whole population count
+//! in a single step through bitline current accumulation into an ADC; that
+//! analog path is modeled in the `reram` crate (`reram::adc`), while
+//! [`to_binary`] provides the ideal (noise-free) digital reference both
+//! converge to.
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+use crate::prob::Fixed;
+
+/// Ideal stochastic-to-binary conversion: quantizes `popcount / N` to a
+/// `bits`-bit fixed-point value (round-to-nearest).
+///
+/// # Errors
+///
+/// * [`ScError::EmptyBitStream`] — the stream is empty.
+/// * [`ScError::InvalidBitWidth`] — `bits` not in `1..=63`.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::{convert::to_binary, BitStream};
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let s = BitStream::from_fn(256, |i| i < 192);
+/// let x = to_binary(&s, 8)?;
+/// assert_eq!(x.value(), 192);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_binary(s: &BitStream, bits: u32) -> Result<Fixed, ScError> {
+    if s.is_empty() {
+        return Err(ScError::EmptyBitStream);
+    }
+    s.prob().to_fixed(bits)
+}
+
+/// A cycle-accurate model of the CMOS `log₂N`-bit up-counter converter.
+///
+/// Feed bits with [`CounterConverter::clock`]; the count saturates at the
+/// counter's capacity, mirroring hardware overflow protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterConverter {
+    count: u64,
+    capacity: u64,
+    cycles: u64,
+}
+
+impl CounterConverter {
+    /// Creates a converter with a `bits`-wide counter (capacity `2^bits−1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidBitWidth`] if `bits` is not in `1..=63`.
+    pub fn new(bits: u32) -> Result<Self, ScError> {
+        if bits == 0 || bits > 63 {
+            return Err(ScError::InvalidBitWidth(bits));
+        }
+        Ok(CounterConverter {
+            count: 0,
+            capacity: (1u64 << bits) - 1,
+            cycles: 0,
+        })
+    }
+
+    /// Clocks one stream bit into the counter.
+    pub fn clock(&mut self, bit: bool) {
+        self.cycles += 1;
+        if bit && self.count < self.capacity {
+            self.count += 1;
+        }
+    }
+
+    /// Clocks an entire stream through the counter.
+    pub fn clock_stream(&mut self, s: &BitStream) {
+        for b in s {
+            self.clock(b);
+        }
+    }
+
+    /// The accumulated count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of clock cycles consumed — the serial-conversion latency the
+    /// paper's Table III charges the CMOS designs for.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The estimated value `count / cycles`, or 0 for an unclocked counter.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.cycles as f64
+        }
+    }
+
+    /// Resets count and cycle statistics.
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_conversion_round_trips() {
+        for x in [0u8, 1, 127, 128, 200, 255] {
+            let s = BitStream::from_fn(256, |i| i < usize::from(x));
+            let f = to_binary(&s, 8).unwrap();
+            assert_eq!(f.value(), u64::from(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn conversion_rejects_empty() {
+        let s = BitStream::zeros(0);
+        assert_eq!(to_binary(&s, 8), Err(ScError::EmptyBitStream));
+    }
+
+    #[test]
+    fn counter_matches_popcount() {
+        let s = BitStream::from_fn(200, |i| i % 3 == 0);
+        let mut c = CounterConverter::new(8).unwrap();
+        c.clock_stream(&s);
+        assert_eq!(c.count(), s.count_ones());
+        assert_eq!(c.cycles(), 200);
+        assert!((c.value() - s.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = CounterConverter::new(3).unwrap(); // capacity 7
+        for _ in 0..20 {
+            c.clock(true);
+        }
+        assert_eq!(c.count(), 7);
+        assert_eq!(c.cycles(), 20);
+    }
+
+    #[test]
+    fn counter_reset() {
+        let mut c = CounterConverter::new(8).unwrap();
+        c.clock(true);
+        c.reset();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.cycles(), 0);
+    }
+
+    #[test]
+    fn invalid_width_rejected() {
+        assert!(CounterConverter::new(0).is_err());
+        assert!(CounterConverter::new(64).is_err());
+    }
+}

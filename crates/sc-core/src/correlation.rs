@@ -1,0 +1,177 @@
+//! Stochastic cross-correlation (SCC) measurement and manipulation.
+//!
+//! SC operations have correlation *requirements*: AND-multiplication and
+//! MUX/MAJ-addition need uncorrelated inputs (SCC ≈ 0), while XOR
+//! subtraction, CORDIV division, minimum and maximum need maximally
+//! positively correlated inputs (SCC ≈ +1). The paper's key claim over
+//! prior in-memory SC designs is *correlation control*: sharing or not
+//! sharing the in-memory random-number rows sets SCC by construction.
+//!
+//! SCC is the similarity measure of Alaghi & Hayes (2013): it normalizes
+//! the covariance of two streams by the maximum achievable for their
+//! marginal probabilities, giving a value in `[-1, +1]` that is invariant
+//! to the encoded values themselves.
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+
+/// Computes the stochastic cross-correlation of two equal-length streams.
+///
+/// Returns a value in `[-1, +1]`: `+1` for maximal overlap, `0` for
+/// independence, `-1` for maximal anti-overlap. Degenerate streams (all
+/// zeros or all ones) have undefined correlation; `0.0` is returned.
+///
+/// # Errors
+///
+/// * [`ScError::LengthMismatch`] — stream lengths differ.
+/// * [`ScError::EmptyBitStream`] — streams are empty.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::{correlation::scc, BitStream};
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let a = BitStream::from_fn(8, |i| i < 6);
+/// let b = BitStream::from_fn(8, |i| i < 3);
+/// assert_eq!(scc(&a, &b)?, 1.0); // nested ones: maximally correlated
+/// # Ok(())
+/// # }
+/// ```
+pub fn scc(a: &BitStream, b: &BitStream) -> Result<f64, ScError> {
+    if a.len() != b.len() {
+        return Err(ScError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(ScError::EmptyBitStream);
+    }
+    let n = a.len() as f64;
+    let pa = a.count_ones() as f64 / n;
+    let pb = b.count_ones() as f64 / n;
+    let pab = a.and(b)?.count_ones() as f64 / n;
+    let delta = pab - pa * pb;
+    let denom = if delta > 0.0 {
+        pa.min(pb) - pa * pb
+    } else {
+        pa * pb - (pa + pb - 1.0).max(0.0)
+    };
+    if denom.abs() < 1e-15 {
+        Ok(0.0)
+    } else {
+        Ok((delta / denom).clamp(-1.0, 1.0))
+    }
+}
+
+/// Summary statistics of the pairwise overlap of two streams
+/// (the `a`, `b`, `c`, `d` cells of the 2×2 contingency table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapCounts {
+    /// Positions where both streams are 1.
+    pub both: u64,
+    /// Positions where only the first stream is 1.
+    pub only_a: u64,
+    /// Positions where only the second stream is 1.
+    pub only_b: u64,
+    /// Positions where both are 0.
+    pub neither: u64,
+}
+
+/// Computes the 2×2 overlap contingency table of two streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn overlap(a: &BitStream, b: &BitStream) -> Result<OverlapCounts, ScError> {
+    let both = a.and(b)?.count_ones();
+    let ones_a = a.count_ones();
+    let ones_b = b.count_ones();
+    let n = a.len() as u64;
+    // neither = n − |a ∪ b|; compute the union first so no intermediate
+    // underflows (ones_a + ones_b may exceed n).
+    let union = ones_a + ones_b - both;
+    Ok(OverlapCounts {
+        both,
+        only_a: ones_a - both,
+        only_b: ones_b - both,
+        neither: n - union,
+    })
+}
+
+/// Decorrelates a stream by rotating it `k` positions — a zero-hardware
+/// trick usable in memory by shifting the row read-out window.
+///
+/// The rotated stream encodes the same value but, for streams generated
+/// from pseudo-random sources, has near-zero SCC against the original.
+#[must_use]
+pub fn decorrelate_by_rotation(s: &BitStream, k: usize) -> BitStream {
+    s.rotate_left(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::Fixed;
+    use crate::rng::UniformSource;
+    use crate::sng::Sng;
+
+    #[test]
+    fn identical_streams_have_scc_one() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(1));
+        let s = sng.generate_fixed(Fixed::from_u8(100), 1024);
+        assert_eq!(scc(&s, &s).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn complementary_streams_have_scc_minus_one() {
+        let s = BitStream::from_fn(256, |i| i % 2 == 0);
+        let t = s.not();
+        assert_eq!(scc(&s, &t).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn independent_streams_have_scc_near_zero() {
+        let mut a = Sng::new(UniformSource::seed_from_u64(2));
+        let mut b = Sng::new(UniformSource::seed_from_u64(3));
+        let sa = a.generate_fixed(Fixed::from_u8(128), 16384);
+        let sb = b.generate_fixed(Fixed::from_u8(128), 16384);
+        assert!(scc(&sa, &sb).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_streams_return_zero() {
+        let z = BitStream::zeros(64);
+        let o = BitStream::ones(64);
+        assert_eq!(scc(&z, &o).unwrap(), 0.0);
+        assert_eq!(scc(&z, &z).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn overlap_counts_sum_to_length() {
+        let a = BitStream::from_fn(100, |i| i % 3 == 0);
+        let b = BitStream::from_fn(100, |i| i % 5 == 0);
+        let c = overlap(&a, &b).unwrap();
+        assert_eq!(c.both + c.only_a + c.only_b + c.neither, 100);
+        assert_eq!(c.both, 7); // multiples of 15 in 0..100
+    }
+
+    #[test]
+    fn rotation_decorrelates_but_preserves_value() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(5));
+        let s = sng.generate_fixed(Fixed::from_u8(128), 8192);
+        let r = decorrelate_by_rotation(&s, 1);
+        assert_eq!(s.count_ones(), r.count_ones());
+        assert!(scc(&s, &r).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn scc_errors() {
+        let a = BitStream::zeros(4);
+        let b = BitStream::zeros(5);
+        assert!(scc(&a, &b).is_err());
+        let e = BitStream::zeros(0);
+        assert_eq!(scc(&e, &e), Err(ScError::EmptyBitStream));
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic stochastic computing (extension).
+//!
+//! Najafi et al., *"Performing stochastic computation deterministically"*
+//! (the paper's reference \[9\]), remove randomness entirely: operands are
+//! encoded as **unary** streams and paired so that every bit of one
+//! operand meets every bit of the other exactly once. The AND of the two
+//! streams then computes the product *exactly* in `n_a · n_b` bits — the
+//! accuracy ceiling any RNG-based SNG (Tables I–II) can only approach.
+//!
+//! Two classic pairing mechanisms are provided:
+//!
+//! * [`repeat_whole`] — replay the whole stream `k` times
+//!   (clock-divided "relatively prime length" style), and
+//! * [`hold_each`] — hold each bit for `k` positions.
+//!
+//! Combining one of each on the two operands yields the exhaustive
+//! cross-product ([`exact_multiply`]).
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+use crate::prob::Fixed;
+
+/// Encodes a fixed-point value as a unary stream of length `2^bits`:
+/// the first `value` positions are `1`.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::deterministic::unary;
+/// use sc_core::Fixed;
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let s = unary(Fixed::new(3, 3)?);
+/// assert_eq!(s.len(), 8);
+/// assert_eq!(s.count_ones(), 3);
+/// assert_eq!(s.get(2), Some(true));
+/// assert_eq!(s.get(3), Some(false));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn unary(x: Fixed) -> BitStream {
+    let n = 1usize << x.bits();
+    let v = x.value() as usize;
+    BitStream::from_fn(n, |i| i < v)
+}
+
+/// Replays the whole stream `times` times (`A A A …`).
+///
+/// # Errors
+///
+/// Returns [`ScError::EmptyBitStream`] for an empty input and
+/// [`ScError::InvalidBitWidth`] for `times == 0`.
+pub fn repeat_whole(s: &BitStream, times: usize) -> Result<BitStream, ScError> {
+    if s.is_empty() {
+        return Err(ScError::EmptyBitStream);
+    }
+    if times == 0 {
+        return Err(ScError::InvalidBitWidth(0));
+    }
+    Ok(BitStream::from_fn(s.len() * times, |i| {
+        s.get(i % s.len()).unwrap_or(false)
+    }))
+}
+
+/// Holds each bit for `times` positions (`a₀ a₀ … a₁ a₁ …`).
+///
+/// # Errors
+///
+/// Returns [`ScError::EmptyBitStream`] for an empty input and
+/// [`ScError::InvalidBitWidth`] for `times == 0`.
+pub fn hold_each(s: &BitStream, times: usize) -> Result<BitStream, ScError> {
+    if s.is_empty() {
+        return Err(ScError::EmptyBitStream);
+    }
+    if times == 0 {
+        return Err(ScError::InvalidBitWidth(0));
+    }
+    Ok(BitStream::from_fn(s.len() * times, |i| {
+        s.get(i / times).unwrap_or(false)
+    }))
+}
+
+/// Exact deterministic multiplication: AND of the replayed `x` stream and
+/// the held `y` stream — every `x` bit meets every `y` bit exactly once,
+/// so `popcount = x_value · y_value` with **zero** error.
+///
+/// Returns the product stream of length `2^(x.bits() + y.bits())`.
+///
+/// # Errors
+///
+/// Propagates pairing errors (cannot occur for valid operands).
+///
+/// # Example
+///
+/// ```
+/// use sc_core::deterministic::exact_multiply;
+/// use sc_core::Fixed;
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let p = exact_multiply(Fixed::from_u8(96), Fixed::from_u8(128))?;
+/// // 0.375 × 0.5 = 0.1875, bit-exact:
+/// assert_eq!(p.value(), 0.1875);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_multiply(x: Fixed, y: Fixed) -> Result<BitStream, ScError> {
+    let ux = unary(x);
+    let uy = unary(y);
+    let a = repeat_whole(&ux, uy.len())?;
+    let b = hold_each(&uy, ux.len())?;
+    a.and(&b)
+}
+
+/// Exact deterministic scaled addition `(x + y)/2` by interleaving the
+/// two unary streams position-by-position.
+///
+/// # Errors
+///
+/// Returns [`ScError::InvalidBitWidth`] if the operand widths differ.
+pub fn exact_scaled_add(x: Fixed, y: Fixed) -> Result<BitStream, ScError> {
+    if x.bits() != y.bits() {
+        return Err(ScError::InvalidBitWidth(y.bits()));
+    }
+    let ux = unary(x);
+    let uy = unary(y);
+    Ok(BitStream::from_fn(2 * ux.len(), |i| {
+        if i % 2 == 0 {
+            ux.get(i / 2).unwrap_or(false)
+        } else {
+            uy.get(i / 2).unwrap_or(false)
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_is_a_prefix_code() {
+        for v in 0..16u64 {
+            let s = unary(Fixed::new(v, 4).expect("in range"));
+            assert_eq!(s.count_ones(), v);
+            for i in 0..16 {
+                assert_eq!(s.get(i), Some((i as u64) < v));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_exact_multiplication_4bit() {
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let x = Fixed::new(a, 4).expect("in range");
+                let y = Fixed::new(b, 4).expect("in range");
+                let p = exact_multiply(x, y).expect("valid operands");
+                assert_eq!(p.len(), 256);
+                assert_eq!(p.count_ones(), a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_beats_stochastic_by_construction() {
+        use crate::prob::Prob;
+        use crate::rng::UniformSource;
+        use crate::sng::Sng;
+        // Deterministic product is bit-exact at the same total length a
+        // stochastic product only approximates.
+        let x = Fixed::new(11, 4).expect("in range");
+        let y = Fixed::new(7, 4).expect("in range");
+        let exact = exact_multiply(x, y).expect("valid operands");
+        assert_eq!(exact.value(), (11.0 / 16.0) * (7.0 / 16.0));
+
+        let mut a = Sng::new(UniformSource::seed_from_u64(1));
+        let mut b = Sng::new(UniformSource::seed_from_u64(2));
+        let sx = a.generate_prob(Prob::saturating(11.0 / 16.0), 256);
+        let sy = b.generate_prob(Prob::saturating(7.0 / 16.0), 256);
+        let stochastic = sx.and(&sy).expect("equal lengths");
+        let exact_err = (exact.value() - (11.0 / 16.0) * (7.0 / 16.0)).abs();
+        let sto_err = (stochastic.value() - (11.0 / 16.0) * (7.0 / 16.0)).abs();
+        assert_eq!(exact_err, 0.0);
+        assert!(sto_err > 0.0);
+    }
+
+    #[test]
+    fn scaled_add_is_exact() {
+        for (a, b) in [(0u64, 0u64), (15, 15), (3, 12), (8, 7)] {
+            let s = exact_scaled_add(
+                Fixed::new(a, 4).expect("in range"),
+                Fixed::new(b, 4).expect("in range"),
+            )
+            .expect("equal widths");
+            assert_eq!(s.count_ones(), a + b, "a={a} b={b}");
+            assert_eq!(s.len(), 32);
+        }
+    }
+
+    #[test]
+    fn pairing_validation() {
+        let empty = BitStream::zeros(0);
+        assert!(repeat_whole(&empty, 2).is_err());
+        assert!(hold_each(&empty, 2).is_err());
+        let s = BitStream::ones(4);
+        assert!(repeat_whole(&s, 0).is_err());
+        assert!(hold_each(&s, 0).is_err());
+        assert!(exact_scaled_add(
+            Fixed::new(1, 3).expect("in range"),
+            Fixed::new(1, 4).expect("in range")
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pairings_preserve_value() {
+        let s = BitStream::from_fn(8, |i| i % 3 == 0);
+        let r = repeat_whole(&s, 5).expect("valid");
+        let h = hold_each(&s, 5).expect("valid");
+        assert!((r.value() - s.value()).abs() < 1e-12);
+        assert!((h.value() - s.value()).abs() < 1e-12);
+    }
+}

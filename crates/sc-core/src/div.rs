@@ -1,0 +1,228 @@
+//! Stochastic division.
+//!
+//! The paper adopts **CORDIV** (Chen & Hayes, ISVLSI'16) for `x / y` with
+//! correlated inputs and `x ≤ y` (Fig. 2 and the image-matting application
+//! of Fig. 3c). CORDIV is inherently sequential — a stored state bit is
+//! replayed whenever the divisor bit is 0 — which is why the paper's
+//! Table III shows the division row with `O(N)` latency even in memory.
+//! The in-ReRAM mapping keeps the state bit in the peripheral write-driver
+//! latch instead of writing it back to the array (§III-B).
+//!
+//! A [`jk_divide`] variant based on the JK flip-flop's truth table is also
+//! provided; it computes `p_J / (p_J + p_K)` and is the building block the
+//! paper references for latch-based division.
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+
+/// A cycle-accurate CORDIV division unit.
+///
+/// Processes one (dividend, divisor) bit pair per step; the internal state
+/// bit models the D-latch in the ReRAM periphery. Use [`cordiv`] for the
+/// whole-stream convenience form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CordivUnit {
+    stored: bool,
+}
+
+impl CordivUnit {
+    /// Creates a unit with the stored bit cleared.
+    #[must_use]
+    pub fn new() -> Self {
+        CordivUnit { stored: false }
+    }
+
+    /// Processes one bit pair and returns the quotient bit.
+    ///
+    /// When the divisor bit is 1, the dividend bit is both emitted and
+    /// latched; when it is 0, the latched bit is replayed.
+    pub fn step(&mut self, dividend: bool, divisor: bool) -> bool {
+        if divisor {
+            self.stored = dividend;
+            dividend
+        } else {
+            self.stored
+        }
+    }
+
+    /// The current latched bit.
+    #[must_use]
+    pub fn stored(&self) -> bool {
+        self.stored
+    }
+}
+
+/// CORDIV stochastic division `x / y` over *correlated* streams with
+/// `p_x ≤ p_y`.
+///
+/// With maximal positive correlation, every dividend 1-bit coincides with a
+/// divisor 1-bit, so conditioning on `y_i = 1` yields fair samples of
+/// `x/y`; divisor-0 positions replay the last fair sample.
+///
+/// # Errors
+///
+/// * [`ScError::LengthMismatch`] — stream lengths differ.
+/// * [`ScError::EmptyBitStream`] — streams are empty.
+/// * [`ScError::DivisionByZero`] — the divisor stream contains no ones.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::prelude::*;
+///
+/// # fn main() -> Result<(), ScError> {
+/// let mut sng = Sng::new(UniformSource::seed_from_u64(1));
+/// let (x, y) = sng.generate_correlated(
+///     Fixed::from_u8(60), Fixed::from_u8(120), 4096)?;
+/// let q = cordiv(&x, &y)?;
+/// assert!((q.value() - 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cordiv(dividend: &BitStream, divisor: &BitStream) -> Result<BitStream, ScError> {
+    if dividend.len() != divisor.len() {
+        return Err(ScError::LengthMismatch {
+            left: dividend.len(),
+            right: divisor.len(),
+        });
+    }
+    if dividend.is_empty() {
+        return Err(ScError::EmptyBitStream);
+    }
+    if divisor.count_ones() == 0 {
+        return Err(ScError::DivisionByZero);
+    }
+    let mut unit = CordivUnit::new();
+    let mut out = BitStream::zeros(dividend.len());
+    for i in 0..dividend.len() {
+        let q = unit.step(
+            dividend.get(i).unwrap_or(false),
+            divisor.get(i).unwrap_or(false),
+        );
+        if q {
+            out.set(i, true);
+        }
+    }
+    Ok(out)
+}
+
+/// JK-flip-flop stochastic division: output probability converges to
+/// `p_J / (p_J + p_K)` for uncorrelated inputs.
+///
+/// The JK truth table (J=K=0: hold, J=1 K=0: set, J=0 K=1: reset,
+/// J=K=1: toggle) is exactly what the paper implements with the existing
+/// L0/L1 latch pair in the ReRAM periphery.
+///
+/// # Errors
+///
+/// * [`ScError::LengthMismatch`] — stream lengths differ.
+/// * [`ScError::EmptyBitStream`] — streams are empty.
+pub fn jk_divide(j: &BitStream, k: &BitStream) -> Result<BitStream, ScError> {
+    if j.len() != k.len() {
+        return Err(ScError::LengthMismatch {
+            left: j.len(),
+            right: k.len(),
+        });
+    }
+    if j.is_empty() {
+        return Err(ScError::EmptyBitStream);
+    }
+    let mut q = false;
+    let mut out = BitStream::zeros(j.len());
+    for i in 0..j.len() {
+        let jb = j.get(i).unwrap_or(false);
+        let kb = k.get(i).unwrap_or(false);
+        q = match (jb, kb) {
+            (false, false) => q,
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => !q,
+        };
+        if q {
+            out.set(i, true);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::Fixed;
+    use crate::rng::UniformSource;
+    use crate::sng::Sng;
+
+    #[test]
+    fn cordiv_unit_truth_table() {
+        let mut u = CordivUnit::new();
+        assert!(!u.step(false, false)); // replay initial 0
+        assert!(u.step(true, true)); // pass & latch 1
+        assert!(u.step(false, false)); // replay latched 1
+        assert!(u.stored());
+        assert!(!u.step(false, true)); // pass & latch 0
+        assert!(!u.step(true, false)); // replay latched 0
+    }
+
+    #[test]
+    fn cordiv_estimates_ratio() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(77));
+        for &(x, y) in &[(30u8, 200u8), (100, 150), (10, 240), (128, 128)] {
+            let (sx, sy) = sng
+                .generate_correlated(Fixed::from_u8(x), Fixed::from_u8(y), 8192)
+                .unwrap();
+            let q = cordiv(&sx, &sy).unwrap();
+            let expect = f64::from(x) / f64::from(y);
+            assert!(
+                (q.value() - expect).abs() < 0.06,
+                "{x}/{y}: got {} want {expect}",
+                q.value()
+            );
+        }
+    }
+
+    #[test]
+    fn cordiv_rejects_zero_divisor() {
+        let x = BitStream::zeros(64);
+        let y = BitStream::zeros(64);
+        assert_eq!(cordiv(&x, &y), Err(ScError::DivisionByZero));
+    }
+
+    #[test]
+    fn cordiv_rejects_empty() {
+        let x = BitStream::zeros(0);
+        assert_eq!(cordiv(&x, &x), Err(ScError::EmptyBitStream));
+    }
+
+    #[test]
+    fn cordiv_length_mismatch() {
+        let x = BitStream::zeros(8);
+        let y = BitStream::ones(16);
+        assert!(matches!(
+            cordiv(&x, &y),
+            Err(ScError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn jk_converges_to_j_over_j_plus_k() {
+        let mut a = Sng::new(UniformSource::seed_from_u64(8));
+        let mut b = Sng::new(UniformSource::seed_from_u64(9));
+        let j = a.generate_fixed(Fixed::from_u8(60), 16384);
+        let k = b.generate_fixed(Fixed::from_u8(180), 16384);
+        let q = jk_divide(&j, &k).unwrap();
+        let expect = 60.0 / (60.0 + 180.0);
+        assert!((q.value() - expect).abs() < 0.03, "{}", q.value());
+    }
+
+    #[test]
+    fn division_of_equal_streams_is_one() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(4));
+        let (sx, sy) = sng
+            .generate_correlated(Fixed::from_u8(99), Fixed::from_u8(99), 1024)
+            .unwrap();
+        let q = cordiv(&sx, &sy).unwrap();
+        // x/y = 1, every divisor-1 position passes a 1; zero positions
+        // replay — allow the initial-state transient.
+        assert!(q.value() > 0.95, "{}", q.value());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types shared across the stochastic-computing stack.
+
+use std::fmt;
+
+/// Errors produced by stochastic-computing operations.
+///
+/// All fallible public functions in this crate return `Result<_, ScError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScError {
+    /// A probability was outside the closed interval `[0, 1]`.
+    InvalidProbability(f64),
+    /// Two bit-streams that must have equal length did not.
+    LengthMismatch {
+        /// Length of the left-hand operand.
+        left: usize,
+        /// Length of the right-hand operand.
+        right: usize,
+    },
+    /// A bit width was zero or larger than the supported maximum (63).
+    InvalidBitWidth(u32),
+    /// A fixed-point value did not fit in the requested bit width.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u64,
+        /// The bit width it was supposed to fit in.
+        bits: u32,
+    },
+    /// No maximal-length feedback polynomial is known for the requested
+    /// LFSR width.
+    UnsupportedLfsrWidth(u32),
+    /// An LFSR was seeded with the all-zero (locked-up) state.
+    ZeroLfsrSeed,
+    /// The requested Sobol dimension exceeds the built-in direction-number
+    /// table.
+    UnsupportedSobolDimension(usize),
+    /// A bit-stream was empty where a non-empty stream is required.
+    EmptyBitStream,
+    /// Division was requested with a divisor stream encoding zero.
+    DivisionByZero,
+    /// A segmented bit source was configured with a zero segment size.
+    ZeroSegmentSize,
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScError::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside [0, 1]")
+            }
+            ScError::LengthMismatch { left, right } => {
+                write!(f, "bit-stream lengths differ: {left} vs {right}")
+            }
+            ScError::InvalidBitWidth(bits) => {
+                write!(f, "bit width {bits} is not in 1..=63")
+            }
+            ScError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+            ScError::UnsupportedLfsrWidth(bits) => {
+                write!(
+                    f,
+                    "no maximal-length polynomial table entry for {bits}-bit lfsr"
+                )
+            }
+            ScError::ZeroLfsrSeed => write!(f, "lfsr seed must be nonzero"),
+            ScError::UnsupportedSobolDimension(d) => {
+                write!(f, "sobol dimension {d} exceeds the built-in table")
+            }
+            ScError::EmptyBitStream => write!(f, "bit-stream must not be empty"),
+            ScError::DivisionByZero => write!(f, "divisor bit-stream encodes zero"),
+            ScError::ZeroSegmentSize => write!(f, "segment size must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ScError::InvalidProbability(1.5);
+        assert_eq!(e.to_string(), "probability 1.5 is outside [0, 1]");
+        let e = ScError::LengthMismatch { left: 8, right: 16 };
+        assert!(e.to_string().contains("8 vs 16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScError>();
+    }
+}

@@ -1,0 +1,77 @@
+//! # sc-core — stochastic computing fundamentals
+//!
+//! This crate implements the stochastic-computing (SC) substrate used by the
+//! in-ReRAM SC accelerator reproduction of *"All-in-Memory Stochastic
+//! Computing using ReRAM"* (DAC 2025):
+//!
+//! * [`BitStream`] — a packed stochastic bit-stream where a value
+//!   `x ∈ [0, 1]` is encoded by the probability of observing a `1`.
+//! * [`rng`] — the random-number sources the paper compares: maximal-length
+//!   LFSRs (PRNG), Sobol sequences (QRNG), a software uniform generator
+//!   (xoshiro256++), and segmented true-random bit sources (the in-memory
+//!   TRNG abstraction).
+//! * [`sng`] — stochastic number generation by comparison of a binary
+//!   operand against a sequence of random numbers.
+//! * [`ops`] — the SC arithmetic of the paper's Fig. 2: AND multiplication,
+//!   MUX/MAJ scaled addition, OR approximate addition, XOR absolute
+//!   subtraction, AND minimum, OR maximum.
+//! * [`div`] — CORDIV correlated division and JK-flip-flop division.
+//! * [`correlation`] — stochastic cross-correlation (SCC) measurement and
+//!   correlation control utilities.
+//! * [`convert`] — stochastic-to-binary conversion (population count and
+//!   saturating-counter models).
+//! * [`metrics`] — the MSE evaluation harness behind Tables I and II.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_core::prelude::*;
+//!
+//! # fn main() -> Result<(), ScError> {
+//! // Encode 0.75 and 0.5 as 256-bit streams from two independent LFSRs,
+//! // multiply them with a bitwise AND, and read the result back.
+//! let mut sng_a = Sng::new(Lfsr::maximal(8, 0xACu64)?);
+//! let mut sng_b = Sng::new(Lfsr::maximal(8, 0x5Du64)?);
+//! let a = sng_a.generate_prob(Prob::new(0.75)?, 256);
+//! let b = sng_b.generate_prob(Prob::new(0.5)?, 256);
+//! let product = a.and(&b)?;
+//! assert!((product.value() - 0.375).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitstream;
+pub mod convert;
+pub mod correlation;
+pub mod deterministic;
+pub mod div;
+pub mod error;
+pub mod metrics;
+pub mod ops;
+pub mod prob;
+pub mod rng;
+pub mod sng;
+
+pub use bitstream::BitStream;
+pub use error::ScError;
+pub use prob::{Fixed, Prob};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::bitstream::BitStream;
+    pub use crate::convert::{to_binary, CounterConverter};
+    pub use crate::correlation::scc;
+    pub use crate::div::{cordiv, CordivUnit};
+    pub use crate::error::ScError;
+    pub use crate::metrics::{mse_percent, MseEvaluator};
+    pub use crate::ops;
+    pub use crate::prob::{Fixed, Prob};
+    pub use crate::rng::{
+        BitSource, Lfsr, RandomSource, SegmentedSource, Sobol, SplitMix64, UniformSource,
+        Xoshiro256,
+    };
+    pub use crate::sng::Sng;
+}

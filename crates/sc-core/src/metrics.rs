@@ -1,0 +1,240 @@
+//! Accuracy-evaluation harness (the machinery behind Tables I and II).
+//!
+//! The paper reports MSE(%) of stochastic representations and operations
+//! over 1,000,000 samples drawn uniformly from `[0, 1]`. [`MseEvaluator`]
+//! reproduces that protocol for arbitrary unary and binary SC kernels.
+
+use crate::bitstream::BitStream;
+use crate::rng::Xoshiro256;
+
+/// Mean squared error between paired estimates and references, as a
+/// percentage (`100 × mean((est − ref)²)`), matching the paper's "MSE (%)"
+/// convention.
+///
+/// Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mse_percent(estimates: &[f64], references: &[f64]) -> f64 {
+    assert_eq!(
+        estimates.len(),
+        references.len(),
+        "estimate/reference length mismatch"
+    );
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = estimates
+        .iter()
+        .zip(references)
+        .map(|(e, r)| (e - r) * (e - r))
+        .sum();
+    100.0 * sum / estimates.len() as f64
+}
+
+/// Mean absolute error between paired estimates and references.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mae(estimates: &[f64], references: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), references.len());
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = estimates
+        .iter()
+        .zip(references)
+        .map(|(e, r)| (e - r).abs())
+        .sum();
+    sum / estimates.len() as f64
+}
+
+/// Root-mean-square error between paired estimates and references.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn rmse(estimates: &[f64], references: &[f64]) -> f64 {
+    (mse_percent(estimates, references) / 100.0).sqrt()
+}
+
+/// Monte-Carlo MSE evaluator over uniformly sampled operands.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::metrics::MseEvaluator;
+/// use sc_core::prelude::*;
+///
+/// // MSE of representing x with a 64-bit stream from a software RNG:
+/// let eval = MseEvaluator::new(2000, 42);
+/// let mse = eval.eval_unary(|x, trial| {
+///     let mut sng = Sng::new(UniformSource::seed_from_u64(trial));
+///     let s = sng.generate_prob(Prob::saturating(x), 64);
+///     s.value()
+/// }, |x| x);
+/// assert!(mse > 0.1 && mse < 0.5); // ≈ 100/(6·64) ≈ 0.26
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MseEvaluator {
+    samples: usize,
+    seed: u64,
+}
+
+impl MseEvaluator {
+    /// Creates an evaluator drawing `samples` uniform operands with the
+    /// given seed (the paper uses 1,000,000 samples).
+    #[must_use]
+    pub fn new(samples: usize, seed: u64) -> Self {
+        MseEvaluator { samples, seed }
+    }
+
+    /// Number of Monte-Carlo samples.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Evaluates a unary kernel: `estimate(x, trial)` against `exact(x)`
+    /// for uniform `x`, returning MSE(%).
+    pub fn eval_unary<E, X>(&self, mut estimate: E, exact: X) -> f64
+    where
+        E: FnMut(f64, u64) -> f64,
+        X: Fn(f64) -> f64,
+    {
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let mut sum = 0.0;
+        for trial in 0..self.samples {
+            let x = rng.next_f64();
+            let e = estimate(x, trial as u64);
+            let r = exact(x);
+            sum += (e - r) * (e - r);
+        }
+        100.0 * sum / self.samples as f64
+    }
+
+    /// Evaluates a binary kernel: `estimate(x, y, trial)` against
+    /// `exact(x, y)` for uniform `(x, y)`, returning MSE(%).
+    pub fn eval_binary<E, X>(&self, mut estimate: E, exact: X) -> f64
+    where
+        E: FnMut(f64, f64, u64) -> f64,
+        X: Fn(f64, f64) -> f64,
+    {
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let mut sum = 0.0;
+        for trial in 0..self.samples {
+            let x = rng.next_f64();
+            let y = rng.next_f64();
+            let e = estimate(x, y, trial as u64);
+            let r = exact(x, y);
+            sum += (e - r) * (e - r);
+        }
+        100.0 * sum / self.samples as f64
+    }
+
+    /// Evaluates a binary kernel over a restricted operand range
+    /// `[lo, hi]` (e.g. the paper's `[0, 0.5]` for OR-addition).
+    pub fn eval_binary_in<E, X>(&self, lo: f64, hi: f64, mut estimate: E, exact: X) -> f64
+    where
+        E: FnMut(f64, f64, u64) -> f64,
+        X: Fn(f64, f64) -> f64,
+    {
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let span = hi - lo;
+        let mut sum = 0.0;
+        for trial in 0..self.samples {
+            let x = lo + span * rng.next_f64();
+            let y = lo + span * rng.next_f64();
+            let e = estimate(x, y, trial as u64);
+            let r = exact(x, y);
+            sum += (e - r) * (e - r);
+        }
+        100.0 * sum / self.samples as f64
+    }
+}
+
+/// Convenience: the empirical value of a stream (`popcount / N`), exposed
+/// here so metric call sites read symmetrically.
+#[must_use]
+pub fn stream_value(s: &BitStream) -> f64 {
+    s.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::Prob;
+    use crate::rng::UniformSource;
+    use crate::sng::Sng;
+
+    #[test]
+    fn mse_of_exact_estimates_is_zero() {
+        let v = [0.1, 0.5, 0.9];
+        assert_eq!(mse_percent(&v, &v), 0.0);
+        assert_eq!(mae(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let est = [0.2, 0.2, 0.2];
+        let r = [0.1, 0.1, 0.1];
+        assert!((mse_percent(&est, &r) - 1.0).abs() < 1e-12); // 100 * 0.01
+        assert!((mae(&est, &r) - 0.1).abs() < 1e-12);
+        assert!((rmse(&est, &r) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(mse_percent(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sampling_mse_matches_binomial_theory() {
+        // Var(p̂) = p(1-p)/N; averaged over uniform p: 1/(6N).
+        // For N = 128: MSE(%) ≈ 100/(6·128) ≈ 0.130.
+        let n = 128usize;
+        let eval = MseEvaluator::new(20_000, 7);
+        let mse = eval.eval_unary(
+            |x, trial| {
+                let mut sng = Sng::new(UniformSource::seed_from_u64(trial * 2 + 1));
+                sng.generate_prob(Prob::saturating(x), n).value()
+            },
+            |x| x,
+        );
+        let theory = 100.0 / (6.0 * n as f64);
+        assert!(
+            (mse - theory).abs() < theory * 0.15,
+            "mse {mse} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn binary_eval_multiplication_error_is_small_for_long_streams() {
+        let eval = MseEvaluator::new(2_000, 13);
+        let mse = eval.eval_binary(
+            |x, y, trial| {
+                let mut a = Sng::new(UniformSource::seed_from_u64(trial * 4 + 1));
+                let mut b = Sng::new(UniformSource::seed_from_u64(trial * 4 + 2));
+                let sx = a.generate_prob(Prob::saturating(x), 512);
+                let sy = b.generate_prob(Prob::saturating(y), 512);
+                sx.and(&sy).unwrap().value()
+            },
+            |x, y| x * y,
+        );
+        assert!(mse < 0.08, "mse {mse}");
+    }
+
+    #[test]
+    fn restricted_range_eval() {
+        let eval = MseEvaluator::new(1_000, 3);
+        // Exact kernel on the restricted range has zero error.
+        let mse = eval.eval_binary_in(0.0, 0.5, |x, y, _| x + y, |x, y| x + y);
+        assert_eq!(mse, 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Stochastic arithmetic operations (the paper's Fig. 2 basic SC unit).
+//!
+//! | Operation | Logic | Input correlation | Result |
+//! |---|---|---|---|
+//! | [`multiply`] | AND | uncorrelated | `x·y` |
+//! | [`scaled_add_mux`] | 2-to-1 MUX, `P(sel)=0.5` | uncorrelated | `(x+y)/2` |
+//! | [`scaled_add_maj`] | 3-input majority | uncorrelated | `≈(x+y)/2` |
+//! | [`approx_add`] | OR | uncorrelated, `x,y ∈ [0,0.5]` | `≈x+y` |
+//! | [`abs_subtract`] | XOR | correlated | `\|x−y\|` |
+//! | [`minimum`] | AND | correlated | `min(x,y)` |
+//! | [`maximum`] | OR | correlated | `max(x,y)` |
+//!
+//! Division lives in [`crate::div`] (CORDIV). The MAJ variant of scaled
+//! addition is the paper's CIM-friendly replacement for the MUX: a 3-input
+//! majority is a single scouting-logic cycle, whereas a MUX needs a select
+//! stream routed through peripheral logic.
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+
+/// SC multiplication: bitwise AND of two *uncorrelated* streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::{ops, BitStream};
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let x = BitStream::from_fn(64, |i| i % 2 == 0); // 0.5
+/// let y = BitStream::from_fn(64, |i| i % 4 < 2);  // 0.5, independent pattern
+/// assert_eq!(ops::multiply(&x, &y)?.value(), 0.25);
+/// # Ok(())
+/// # }
+/// ```
+pub fn multiply(x: &BitStream, y: &BitStream) -> Result<BitStream, ScError> {
+    x.and(y)
+}
+
+/// SC scaled addition `(x + y) / 2` via a 2-to-1 MUX with a select stream
+/// of probability 0.5.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn scaled_add_mux(
+    x: &BitStream,
+    y: &BitStream,
+    select: &BitStream,
+) -> Result<BitStream, ScError> {
+    x.mux(y, select)
+}
+
+/// CIM-friendly SC scaled addition: 3-input majority of `x`, `y`, and a
+/// 0.5-probability select stream (single scouting-logic cycle).
+///
+/// For uncorrelated inputs, `P(maj) = ½(x + y)` exactly in expectation:
+/// `maj(x,y,s) = xy + s(x ⊕ y)` and `E[s] = ½`.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn scaled_add_maj(
+    x: &BitStream,
+    y: &BitStream,
+    select: &BitStream,
+) -> Result<BitStream, ScError> {
+    x.maj3(y, select)
+}
+
+/// SC approximate (unscaled) addition: bitwise OR.
+///
+/// Accurate when `x + y` stays well below 1 (the paper restricts inputs to
+/// `[0, 0.5]`): `P(or) = x + y − xy`.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn approx_add(x: &BitStream, y: &BitStream) -> Result<BitStream, ScError> {
+    x.or(y)
+}
+
+/// SC absolute subtraction `|x − y|`: bitwise XOR of *correlated* streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn abs_subtract(x: &BitStream, y: &BitStream) -> Result<BitStream, ScError> {
+    x.xor(y)
+}
+
+/// SC minimum `min(x, y)`: bitwise AND of *correlated* streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn minimum(x: &BitStream, y: &BitStream) -> Result<BitStream, ScError> {
+    x.and(y)
+}
+
+/// SC maximum `max(x, y)`: bitwise OR of *correlated* streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+pub fn maximum(x: &BitStream, y: &BitStream) -> Result<BitStream, ScError> {
+    x.or(y)
+}
+
+/// Bitwise 4-to-1 MUX: selects among `inputs` with two select streams
+/// (`s0` low bit, `s1` high bit) — the bilinear-interpolation kernel of the
+/// paper's Fig. 3(b):
+///
+/// `out = (1−s1)(1−s0)·i0 + (1−s1)s0·i1 + s1(1−s0)·i2 + s1·s0·i3`.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if any stream length differs from
+/// `inputs[0]`.
+pub fn mux4(
+    inputs: &[&BitStream; 4],
+    s0: &BitStream,
+    s1: &BitStream,
+) -> Result<BitStream, ScError> {
+    let low0 = inputs[0].mux(inputs[1], &s0.not())?; // s0=0 -> i0, s0=1 -> i1
+    let low1 = inputs[2].mux(inputs[3], &s0.not())?; // s0=0 -> i2, s0=1 -> i3
+    low0.mux(&low1, &s1.not()) // s1=0 -> low0, s1=1 -> low1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::Prob;
+    use crate::rng::UniformSource;
+    use crate::sng::Sng;
+
+    fn stream(p: f64, n: usize, seed: u64) -> BitStream {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(seed));
+        sng.generate_prob(Prob::new(p).unwrap(), n)
+    }
+
+    #[test]
+    fn multiply_uncorrelated() {
+        let x = stream(0.6, 65536, 1);
+        let y = stream(0.5, 65536, 2);
+        let z = multiply(&x, &y).unwrap();
+        assert!((z.value() - 0.3).abs() < 0.02, "{}", z.value());
+    }
+
+    #[test]
+    fn scaled_add_mux_halves_sum() {
+        let x = stream(0.8, 65536, 3);
+        let y = stream(0.2, 65536, 4);
+        let s = stream(0.5, 65536, 5);
+        let z = scaled_add_mux(&x, &y, &s).unwrap();
+        assert!((z.value() - 0.5).abs() < 0.02, "{}", z.value());
+    }
+
+    #[test]
+    fn scaled_add_maj_matches_mux_in_expectation() {
+        let x = stream(0.7, 65536, 6);
+        let y = stream(0.1, 65536, 7);
+        let s = stream(0.5, 65536, 8);
+        let z = scaled_add_maj(&x, &y, &s).unwrap();
+        assert!((z.value() - 0.4).abs() < 0.02, "{}", z.value());
+    }
+
+    #[test]
+    fn approx_add_small_inputs() {
+        let x = stream(0.2, 65536, 9);
+        let y = stream(0.25, 65536, 10);
+        let z = approx_add(&x, &y).unwrap();
+        // OR gives x + y - xy = 0.4
+        assert!((z.value() - 0.4).abs() < 0.02, "{}", z.value());
+    }
+
+    #[test]
+    fn correlated_ops_via_shared_rng() {
+        use crate::prob::Fixed;
+        let mut sng = Sng::new(UniformSource::seed_from_u64(11));
+        let (sx, sy) = sng
+            .generate_correlated(Fixed::from_u8(200), Fixed::from_u8(80), 65536)
+            .unwrap();
+        let diff = abs_subtract(&sx, &sy).unwrap();
+        assert!((diff.value() - 120.0 / 256.0).abs() < 0.02);
+        let mn = minimum(&sx, &sy).unwrap();
+        assert!((mn.value() - 80.0 / 256.0).abs() < 0.02);
+        let mx = maximum(&sx, &sy).unwrap();
+        assert!((mx.value() - 200.0 / 256.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn mux4_interpolates_four_inputs() {
+        let n = 65536;
+        let i0 = stream(0.0, n, 20);
+        let i1 = stream(1.0, n, 21);
+        let i2 = stream(1.0, n, 22);
+        let i3 = stream(0.0, n, 23);
+        let s0 = stream(0.25, n, 24);
+        let s1 = stream(0.75, n, 25);
+        let z = mux4(&[&i0, &i1, &i2, &i3], &s0, &s1).unwrap();
+        // expected = (1-.75)(1-.25)*0 + (1-.75)(.25)*1 + (.75)(1-.25)*1 + (.75)(.25)*0
+        let expect = 0.25 * 0.25 + 0.75 * 0.75;
+        assert!((z.value() - expect).abs() < 0.02, "{}", z.value());
+    }
+
+    #[test]
+    fn length_mismatch_propagates() {
+        let x = BitStream::zeros(8);
+        let y = BitStream::zeros(9);
+        assert!(multiply(&x, &y).is_err());
+        assert!(approx_add(&x, &y).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Probability and fixed-point value types.
+//!
+//! Stochastic computing encodes a value `x ∈ [0, 1]` as the probability of a
+//! `1` in a bit-stream. [`Prob`] is a validated probability; [`Fixed`] is an
+//! unsigned fixed-point fraction `value / 2^bits`, the binary-radix operand
+//! format the in-memory comparator consumes (the paper uses 8-bit image
+//! pixels, i.e. `Fixed { bits: 8 }`).
+
+use crate::error::ScError;
+use std::fmt;
+
+/// A probability in the closed interval `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::Prob;
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let p = Prob::new(0.25)?;
+/// assert_eq!(p.get(), 0.25);
+/// assert!(Prob::new(1.5).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Prob(f64);
+
+impl Prob {
+    /// A probability of exactly zero.
+    pub const ZERO: Prob = Prob(0.0);
+    /// A probability of exactly one.
+    pub const ONE: Prob = Prob(1.0);
+    /// A probability of exactly one half (the MUX select weight).
+    pub const HALF: Prob = Prob(0.5);
+
+    /// Creates a validated probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidProbability`] if `p` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ScError> {
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            Err(ScError::InvalidProbability(p))
+        } else {
+            Ok(Prob(p))
+        }
+    }
+
+    /// Creates a probability, clamping into `[0, 1]` (NaN maps to 0).
+    #[must_use]
+    pub fn saturating(p: f64) -> Self {
+        if p.is_nan() {
+            Prob(0.0)
+        } else {
+            Prob(p.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the inner `f64`.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the complement probability `1 - p`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Prob(1.0 - self.0)
+    }
+
+    /// Quantizes this probability to an `bits`-bit fixed-point fraction by
+    /// rounding to the nearest representable value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidBitWidth`] if `bits` is not in `1..=63`.
+    pub fn to_fixed(self, bits: u32) -> Result<Fixed, ScError> {
+        if bits == 0 || bits > 63 {
+            return Err(ScError::InvalidBitWidth(bits));
+        }
+        let scale = (1u64 << bits) as f64;
+        let value = (self.0 * scale).round().min(scale) as u64;
+        // A probability of exactly 1.0 saturates to the all-ones code, the
+        // closest representable value in the `value / 2^bits` format.
+        let value = value.min((1u64 << bits) - 1);
+        Fixed::new(value, bits)
+    }
+}
+
+impl fmt::Display for Prob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Prob> for f64 {
+    fn from(p: Prob) -> f64 {
+        p.0
+    }
+}
+
+/// An unsigned fixed-point fraction `value / 2^bits` with `bits ∈ 1..=63`.
+///
+/// This is the binary operand format consumed by stochastic number
+/// generators: an 8-bit pixel `X` is `Fixed::new(X, 8)` and encodes the
+/// probability `X / 256`.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::Fixed;
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let x = Fixed::new(192, 8)?;
+/// assert_eq!(x.to_prob().get(), 0.75);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    value: u64,
+    bits: u32,
+}
+
+impl Fixed {
+    /// Creates a fixed-point fraction `value / 2^bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidBitWidth`] if `bits` is not in `1..=63`, or
+    /// [`ScError::ValueOutOfRange`] if `value >= 2^bits`.
+    pub fn new(value: u64, bits: u32) -> Result<Self, ScError> {
+        if bits == 0 || bits > 63 {
+            return Err(ScError::InvalidBitWidth(bits));
+        }
+        if value >= (1u64 << bits) {
+            return Err(ScError::ValueOutOfRange { value, bits });
+        }
+        Ok(Fixed { value, bits })
+    }
+
+    /// Creates an 8-bit fixed-point fraction from a pixel intensity.
+    #[must_use]
+    pub fn from_u8(value: u8) -> Self {
+        Fixed {
+            value: u64::from(value),
+            bits: 8,
+        }
+    }
+
+    /// Returns the raw integer value.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Returns the bit width.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Returns the encoded probability `value / 2^bits`.
+    #[must_use]
+    pub fn to_prob(self) -> Prob {
+        Prob::saturating(self.value as f64 / (1u64 << self.bits) as f64)
+    }
+
+    /// Re-quantizes to a different bit width, rounding to nearest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidBitWidth`] if `bits` is not in `1..=63`.
+    pub fn requantize(self, bits: u32) -> Result<Self, ScError> {
+        self.to_prob().to_fixed(bits)
+    }
+
+    /// Compares this fraction against another fraction of possibly
+    /// different width: returns `true` when `self > other` as exact
+    /// rationals (`self.value * 2^other.bits > other.value * 2^self.bits`).
+    #[must_use]
+    pub fn gt_fraction(self, other: Fixed) -> bool {
+        let lhs = u128::from(self.value) << other.bits;
+        let rhs = u128::from(other.value) << self.bits;
+        lhs > rhs
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/2^{}", self.value, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prob_rejects_out_of_range() {
+        assert!(Prob::new(-0.1).is_err());
+        assert!(Prob::new(1.1).is_err());
+        assert!(Prob::new(f64::NAN).is_err());
+        assert!(Prob::new(0.0).is_ok());
+        assert!(Prob::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn prob_saturating_clamps() {
+        assert_eq!(Prob::saturating(-3.0).get(), 0.0);
+        assert_eq!(Prob::saturating(42.0).get(), 1.0);
+        assert_eq!(Prob::saturating(f64::NAN).get(), 0.0);
+    }
+
+    #[test]
+    fn prob_complement() {
+        assert_eq!(Prob::new(0.25).unwrap().complement().get(), 0.75);
+    }
+
+    #[test]
+    fn fixed_round_trips_probability() {
+        let p = Prob::new(0.5).unwrap();
+        let f = p.to_fixed(8).unwrap();
+        assert_eq!(f.value(), 128);
+        assert_eq!(f.to_prob().get(), 0.5);
+    }
+
+    #[test]
+    fn fixed_one_saturates_to_all_ones() {
+        let f = Prob::ONE.to_fixed(8).unwrap();
+        assert_eq!(f.value(), 255);
+    }
+
+    #[test]
+    fn fixed_rejects_overflow() {
+        assert!(Fixed::new(256, 8).is_err());
+        assert!(Fixed::new(255, 8).is_ok());
+        assert!(Fixed::new(0, 0).is_err());
+        assert!(Fixed::new(0, 64).is_err());
+    }
+
+    #[test]
+    fn fixed_fraction_comparison_across_widths() {
+        // 3/8 > 5/16 (0.375 > 0.3125)
+        let a = Fixed::new(3, 3).unwrap();
+        let b = Fixed::new(5, 4).unwrap();
+        assert!(a.gt_fraction(b));
+        assert!(!b.gt_fraction(a));
+        // equal fractions are not greater: 2/4 vs 8/16
+        let c = Fixed::new(2, 2).unwrap();
+        let d = Fixed::new(8, 4).unwrap();
+        assert!(!c.gt_fraction(d));
+        assert!(!d.gt_fraction(c));
+    }
+
+    #[test]
+    fn requantize_rounds_to_nearest() {
+        let x = Fixed::from_u8(200); // 0.78125
+        let q = x.requantize(4).unwrap(); // nearest multiple of 1/16 is 12.5/16 -> 13/16
+        assert_eq!(q.value(), 13);
+    }
+}

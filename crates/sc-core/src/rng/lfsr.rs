@@ -1,0 +1,215 @@
+//! Maximal-length linear-feedback shift registers (the CMOS PRNG baseline).
+//!
+//! The paper's Table I footnote specifies the 8-bit maximal LFSR with
+//! feedback polynomial `x⁸ + x⁵ + x³ + x + 1` (tap set `[8, 5, 3, 1]`,
+//! period 255). [`Lfsr::maximal`] uses that polynomial for width 8 and
+//! known maximal tap sets for other widths.
+
+use super::RandomSource;
+use crate::error::ScError;
+
+/// Known maximal-length Fibonacci tap sets per register width.
+///
+/// Width 8 uses the paper's polynomial; the others follow the classic
+/// Xilinx XAPP052 table. Taps are 1-indexed bit positions whose XOR forms
+/// the feedback bit.
+const MAXIMAL_TAPS: &[(u32, &[u32])] = &[
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 5, 3, 1]), // paper polynomial x^8 + x^5 + x^3 + x + 1
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 6, 4, 1]),
+    (13, &[13, 4, 3, 1]),
+    (14, &[14, 5, 3, 1]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+    (18, &[18, 11]),
+    (19, &[19, 6, 2, 1]),
+    (20, &[20, 17]),
+    (24, &[24, 23, 22, 17]),
+    (32, &[32, 22, 2, 1]),
+];
+
+/// A Fibonacci linear-feedback shift register.
+///
+/// Each step shifts the register left by one and inserts the XOR of the tap
+/// bits; the full register state is the emitted random number, the common
+/// arrangement in CMOS stochastic number generators.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::rng::{Lfsr, RandomSource};
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let mut lfsr = Lfsr::maximal(8, 0x1)?;
+/// let v = lfsr.next_value();
+/// assert!(v < 256 && v != 0); // the zero state is unreachable
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    state: u64,
+    width: u32,
+    tap_mask: u64,
+}
+
+impl Lfsr {
+    /// Creates a maximal-length LFSR of the given width.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScError::UnsupportedLfsrWidth`] — no tap-set table entry for
+    ///   `width`.
+    /// * [`ScError::ZeroLfsrSeed`] — `seed` reduces to the locked-up
+    ///   all-zero state.
+    pub fn maximal(width: u32, seed: u64) -> Result<Self, ScError> {
+        let taps = MAXIMAL_TAPS
+            .iter()
+            .find(|(w, _)| *w == width)
+            .map(|(_, t)| *t)
+            .ok_or(ScError::UnsupportedLfsrWidth(width))?;
+        Lfsr::with_taps(width, taps, seed)
+    }
+
+    /// Creates an LFSR with explicit 1-indexed tap positions.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScError::InvalidBitWidth`] — `width` not in `2..=63` or a tap
+    ///   exceeds the width.
+    /// * [`ScError::ZeroLfsrSeed`] — `seed` reduces to the all-zero state.
+    pub fn with_taps(width: u32, taps: &[u32], seed: u64) -> Result<Self, ScError> {
+        if !(2..=63).contains(&width) || taps.is_empty() {
+            return Err(ScError::InvalidBitWidth(width));
+        }
+        let mut tap_mask = 0u64;
+        for &t in taps {
+            if t == 0 || t > width {
+                return Err(ScError::InvalidBitWidth(t));
+            }
+            tap_mask |= 1u64 << (t - 1);
+        }
+        let state = seed & ((1u64 << width) - 1);
+        if state == 0 {
+            return Err(ScError::ZeroLfsrSeed);
+        }
+        Ok(Lfsr {
+            state,
+            width,
+            tap_mask,
+        })
+    }
+
+    /// The register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register state (the last emitted value).
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances the register one step and returns the new state.
+    pub fn step(&mut self) -> u64 {
+        let fb = (self.state & self.tap_mask).count_ones() & 1;
+        self.state = ((self.state << 1) | u64::from(fb)) & ((1u64 << self.width) - 1);
+        self.state
+    }
+
+    /// Computes the period of this LFSR (≤ 2^width − 1).
+    ///
+    /// Intended for tests and validation of custom tap sets.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        let mut probe = self.clone();
+        let start = probe.state;
+        let mut n = 0u64;
+        loop {
+            probe.step();
+            n += 1;
+            if probe.state == start || n > (1u64 << self.width) {
+                return n;
+            }
+        }
+    }
+}
+
+impl RandomSource for Lfsr {
+    fn bits(&self) -> u32 {
+        self.width
+    }
+
+    fn next_value(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_polynomial_is_maximal() {
+        let lfsr = Lfsr::maximal(8, 1).unwrap();
+        assert_eq!(lfsr.period(), 255);
+    }
+
+    #[test]
+    fn all_table_entries_are_maximal() {
+        for (w, taps) in MAXIMAL_TAPS.iter().filter(|(w, _)| *w <= 16) {
+            let lfsr = Lfsr::with_taps(*w, taps, 1).unwrap();
+            assert_eq!(lfsr.period(), (1u64 << w) - 1, "width {w}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_rejected() {
+        assert_eq!(Lfsr::maximal(8, 0), Err(ScError::ZeroLfsrSeed));
+        assert_eq!(Lfsr::maximal(8, 256), Err(ScError::ZeroLfsrSeed)); // masks to 0
+    }
+
+    #[test]
+    fn unsupported_width_is_reported() {
+        assert_eq!(Lfsr::maximal(63, 1), Err(ScError::UnsupportedLfsrWidth(63)));
+    }
+
+    #[test]
+    fn never_emits_zero() {
+        let mut lfsr = Lfsr::maximal(8, 0xAB).unwrap();
+        for _ in 0..512 {
+            assert_ne!(lfsr.next_value(), 0);
+        }
+    }
+
+    #[test]
+    fn visits_every_nonzero_state_once_per_period() {
+        let mut lfsr = Lfsr::maximal(8, 0x3C).unwrap();
+        let mut seen = [false; 256];
+        for _ in 0..255 {
+            let v = lfsr.next_value() as usize;
+            assert!(!seen[v], "state {v} repeated within one period");
+            seen[v] = true;
+        }
+        assert!(!seen[0]);
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 255);
+    }
+
+    #[test]
+    fn invalid_taps_rejected() {
+        assert!(Lfsr::with_taps(8, &[9], 1).is_err());
+        assert!(Lfsr::with_taps(8, &[0], 1).is_err());
+        assert!(Lfsr::with_taps(8, &[], 1).is_err());
+    }
+}

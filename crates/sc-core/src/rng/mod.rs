@@ -1,0 +1,115 @@
+//! Random-number sources for stochastic number generation.
+//!
+//! The paper compares four source families (Tables I–II):
+//!
+//! * **PRNG** — maximal-length linear-feedback shift registers ([`Lfsr`]),
+//!   the conventional CMOS choice.
+//! * **QRNG** — Sobol low-discrepancy sequences ([`Sobol`]).
+//! * **Software** — a full-width uniform generator ([`UniformSource`],
+//!   backed by [`Xoshiro256`]), standing in for MATLAB's `rand`.
+//! * **TRNG** — true-random *bit* sources ([`BitSource`]) chopped into
+//!   `M`-bit numbers by [`SegmentedSource`]; the in-memory IMSNG path feeds
+//!   this from ReRAM read-noise rows (see the `reram` crate).
+
+mod lfsr;
+mod segmented;
+mod sobol;
+mod splitmix;
+mod uniform;
+mod xoshiro;
+
+pub use lfsr::Lfsr;
+pub use segmented::{BiasedBitSource, SegmentedSource};
+pub use sobol::Sobol;
+pub use splitmix::SplitMix64;
+pub use uniform::UniformSource;
+pub use xoshiro::Xoshiro256;
+
+/// A source of uniformly distributed `bits()`-bit random integers.
+///
+/// Implementors yield values in `[0, 2^bits)`. Stochastic number generators
+/// compare these against a binary operand to produce bit-streams.
+pub trait RandomSource {
+    /// Output width in bits (1..=63).
+    fn bits(&self) -> u32;
+
+    /// Returns the next value, uniform (or low-discrepancy) in
+    /// `[0, 2^bits)`.
+    fn next_value(&mut self) -> u64;
+}
+
+impl<T: RandomSource + ?Sized> RandomSource for &mut T {
+    fn bits(&self) -> u32 {
+        (**self).bits()
+    }
+    fn next_value(&mut self) -> u64 {
+        (**self).next_value()
+    }
+}
+
+impl<T: RandomSource + ?Sized> RandomSource for Box<T> {
+    fn bits(&self) -> u32 {
+        (**self).bits()
+    }
+    fn next_value(&mut self) -> u64 {
+        (**self).next_value()
+    }
+}
+
+/// A source of individual random bits (nominally 50% ones).
+///
+/// This is the abstraction of the in-ReRAM TRNG: a row of cells whose read
+/// noise yields one (possibly slightly biased) random bit per cell.
+pub trait BitSource {
+    /// Returns the next random bit.
+    fn next_bit(&mut self) -> bool;
+
+    /// Fills `out` with random bits (default: one call per bit).
+    fn fill_bits(&mut self, out: &mut [bool]) {
+        for b in out {
+            *b = self.next_bit();
+        }
+    }
+}
+
+impl<T: BitSource + ?Sized> BitSource for &mut T {
+    fn next_bit(&mut self) -> bool {
+        (**self).next_bit()
+    }
+}
+
+impl<T: BitSource + ?Sized> BitSource for Box<T> {
+    fn next_bit(&mut self) -> bool {
+        (**self).next_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_source_is_object_safe() {
+        let mut src: Box<dyn RandomSource> = Box::new(SplitMix64::new(1).into_source(8));
+        assert_eq!(src.bits(), 8);
+        let v = src.next_value();
+        assert!(v < 256);
+    }
+
+    #[test]
+    fn bit_source_is_object_safe() {
+        let mut src: Box<dyn BitSource> = Box::new(BiasedBitSource::unbiased(7));
+        let _ = src.next_bit();
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut lfsr = Lfsr::maximal(8, 1).unwrap();
+        let r = &mut lfsr;
+        fn takes_source<R: RandomSource>(mut r: R) -> u64 {
+            r.next_value()
+        }
+        let v = takes_source(r);
+        assert!(v < 256);
+    }
+}

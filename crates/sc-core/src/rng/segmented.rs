@@ -1,0 +1,191 @@
+//! Segmenting a true-random bit stream into M-bit random numbers.
+//!
+//! The paper's IMSNG (§III-A, Fig. 2) decouples random-number generation
+//! from bit-stream generation: an in-ReRAM TRNG fills rows with nominally
+//! 50%-ones random bits, and consecutive `M`-bit *segments* of those rows
+//! are interpreted as the `N` random numbers a comparator-based SNG needs.
+//! [`SegmentedSource`] implements that packing over any [`BitSource`];
+//! the device-accurate bit source lives in the `reram` crate, while
+//! [`BiasedBitSource`] provides a software model of a TRNG with per-source
+//! probability bias (device-level fluctuation around 50%).
+
+use super::xoshiro::Xoshiro256;
+use super::{BitSource, RandomSource};
+use crate::error::ScError;
+
+/// Packs `M` consecutive bits from a [`BitSource`] into each emitted
+/// `M`-bit random number (MSB first, matching the paper's segment layout).
+///
+/// # Example
+///
+/// ```
+/// use sc_core::rng::{BiasedBitSource, RandomSource, SegmentedSource};
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let trng = BiasedBitSource::unbiased(33);
+/// let mut src = SegmentedSource::new(trng, 8)?;
+/// assert_eq!(src.bits(), 8);
+/// assert!(src.next_value() < 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentedSource<B> {
+    source: B,
+    segment_bits: u32,
+}
+
+impl<B: BitSource> SegmentedSource<B> {
+    /// Creates a segmented source emitting `segment_bits`-bit numbers
+    /// (the paper sweeps `M = 5..=9`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ZeroSegmentSize`] when `segment_bits == 0` and
+    /// [`ScError::InvalidBitWidth`] when `segment_bits > 63`.
+    pub fn new(source: B, segment_bits: u32) -> Result<Self, ScError> {
+        if segment_bits == 0 {
+            return Err(ScError::ZeroSegmentSize);
+        }
+        if segment_bits > 63 {
+            return Err(ScError::InvalidBitWidth(segment_bits));
+        }
+        Ok(SegmentedSource {
+            source,
+            segment_bits,
+        })
+    }
+
+    /// Consumes the adapter and returns the underlying bit source.
+    pub fn into_inner(self) -> B {
+        self.source
+    }
+}
+
+impl<B: BitSource> RandomSource for SegmentedSource<B> {
+    fn bits(&self) -> u32 {
+        self.segment_bits
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let mut v = 0u64;
+        for _ in 0..self.segment_bits {
+            v = (v << 1) | u64::from(self.source.next_bit());
+        }
+        v
+    }
+}
+
+/// A software model of a true-random bit source with a fixed probability
+/// bias: emits `1` with probability `0.5 + bias`.
+///
+/// Real ReRAM TRNG cells fluctuate around the 50% point; the `reram` crate
+/// derives per-cell biases from the device model, while this type provides
+/// a cheap, deterministic stand-in for algorithm-level experiments.
+#[derive(Debug, Clone)]
+pub struct BiasedBitSource {
+    rng: Xoshiro256,
+    p_one: f64,
+}
+
+impl BiasedBitSource {
+    /// Creates an unbiased (p = 0.5) bit source.
+    #[must_use]
+    pub fn unbiased(seed: u64) -> Self {
+        BiasedBitSource {
+            rng: Xoshiro256::seed_from_u64(seed),
+            p_one: 0.5,
+        }
+    }
+
+    /// Creates a bit source emitting ones with probability `0.5 + bias`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidProbability`] if `0.5 + bias` leaves
+    /// `[0, 1]`.
+    pub fn with_bias(seed: u64, bias: f64) -> Result<Self, ScError> {
+        let p = 0.5 + bias;
+        if p.is_nan() || !(0.0..=1.0).contains(&p) {
+            return Err(ScError::InvalidProbability(p));
+        }
+        Ok(BiasedBitSource {
+            rng: Xoshiro256::seed_from_u64(seed),
+            p_one: p,
+        })
+    }
+
+    /// The probability of emitting a one.
+    #[must_use]
+    pub fn p_one(&self) -> f64 {
+        self.p_one
+    }
+}
+
+impl BitSource for BiasedBitSource {
+    fn next_bit(&mut self) -> bool {
+        self.rng.next_f64() < self.p_one
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_pack_msb_first() {
+        struct Fixed(Vec<bool>, usize);
+        impl BitSource for Fixed {
+            fn next_bit(&mut self) -> bool {
+                let b = self.0[self.1 % self.0.len()];
+                self.1 += 1;
+                b
+            }
+        }
+        let src = Fixed(vec![true, false, true, true], 0);
+        let mut seg = SegmentedSource::new(src, 4).unwrap();
+        assert_eq!(seg.next_value(), 0b1011);
+    }
+
+    #[test]
+    fn zero_segment_rejected() {
+        let trng = BiasedBitSource::unbiased(1);
+        assert!(matches!(
+            SegmentedSource::new(trng, 0),
+            Err(ScError::ZeroSegmentSize)
+        ));
+    }
+
+    #[test]
+    fn unbiased_source_is_roughly_half_ones() {
+        let mut src = BiasedBitSource::unbiased(42);
+        let ones = (0..100_000).filter(|_| src.next_bit()).count();
+        assert!((45_000..55_000).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn bias_shifts_the_mean() {
+        let mut src = BiasedBitSource::with_bias(42, 0.1).unwrap();
+        let ones = (0..100_000).filter(|_| src.next_bit()).count();
+        assert!((58_000..62_000).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn invalid_bias_rejected() {
+        assert!(BiasedBitSource::with_bias(1, 0.6).is_err());
+        assert!(BiasedBitSource::with_bias(1, -0.6).is_err());
+    }
+
+    #[test]
+    fn segmented_values_are_roughly_uniform() {
+        let trng = BiasedBitSource::unbiased(7);
+        let mut seg = SegmentedSource::new(trng, 3).unwrap();
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[seg.next_value() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+}

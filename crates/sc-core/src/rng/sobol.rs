@@ -1,0 +1,215 @@
+//! Sobol low-discrepancy sequences (the QRNG baseline).
+//!
+//! Quasi-random number generators trade true randomness for uniform
+//! coverage of the unit interval, which makes stochastic-number-generation
+//! error fall roughly as `O(1/N²)` instead of `O(1/N)` — the behaviour of
+//! the QRNG rows in the paper's Tables I–II.
+
+use super::RandomSource;
+use crate::error::ScError;
+
+/// Direction-number parameters for the first Sobol dimensions
+/// (`(s, a, m)` triplets from the Joe–Kuo "new-joe-kuo-6" table; dimension
+/// 0 is the van der Corput sequence in base 2 and has no entry).
+const JOE_KUO: &[(u32, u32, &[u32])] = &[
+    (1, 0, &[1]),
+    (2, 1, &[1, 3]),
+    (3, 1, &[1, 3, 1]),
+    (3, 2, &[1, 1, 1]),
+    (4, 1, &[1, 1, 3, 3]),
+    (4, 4, &[1, 3, 5, 13]),
+    (5, 2, &[1, 1, 5, 5, 17]),
+    (5, 4, &[1, 1, 5, 5, 5]),
+    (5, 7, &[1, 1, 7, 11, 19]),
+    (5, 11, &[1, 7, 5, 1, 1]),
+    (5, 13, &[1, 1, 1, 3, 11]),
+    (5, 14, &[1, 3, 5, 5, 31]),
+    (6, 1, &[1, 3, 3, 9, 7, 49]),
+    (6, 13, &[1, 1, 1, 15, 21, 21]),
+    (6, 16, &[1, 3, 1, 13, 27, 49]),
+];
+
+const SOBOL_BITS: u32 = 32;
+
+/// A one-dimensional slice of the Sobol sequence, emitting `bits`-bit
+/// integers.
+///
+/// Different `dimension` values give mutually low-correlation sequences —
+/// the QRNG analogue of using independent RNGs for uncorrelated bit-streams.
+///
+/// # Example
+///
+/// ```
+/// use sc_core::rng::{RandomSource, Sobol};
+///
+/// # fn main() -> Result<(), sc_core::ScError> {
+/// let mut q = Sobol::new(0, 8)?;
+/// // Dimension 0 in Gray-code order: 0, 128, 192, 64, ...
+/// assert_eq!(q.next_value(), 0);
+/// assert_eq!(q.next_value(), 128);
+/// assert_eq!(q.next_value(), 192);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sobol {
+    v: Vec<u32>,
+    x: u32,
+    index: u64,
+    bits: u32,
+}
+
+impl Sobol {
+    /// Creates the Sobol sequence for `dimension`, quantized to `bits`-bit
+    /// outputs.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScError::UnsupportedSobolDimension`] — `dimension` exceeds the
+    ///   built-in Joe–Kuo table (15 dimensions beyond dimension 0).
+    /// * [`ScError::InvalidBitWidth`] — `bits` not in `1..=32`.
+    pub fn new(dimension: usize, bits: u32) -> Result<Self, ScError> {
+        if bits == 0 || bits > SOBOL_BITS {
+            return Err(ScError::InvalidBitWidth(bits));
+        }
+        let mut v = vec![0u32; SOBOL_BITS as usize];
+        if dimension == 0 {
+            for (k, slot) in v.iter_mut().enumerate() {
+                *slot = 1u32 << (SOBOL_BITS - 1 - k as u32);
+            }
+        } else {
+            let (s, a, m) = *JOE_KUO
+                .get(dimension - 1)
+                .ok_or(ScError::UnsupportedSobolDimension(dimension))?;
+            let s = s as usize;
+            for k in 0..SOBOL_BITS as usize {
+                if k < s {
+                    v[k] = m[k] << (SOBOL_BITS - 1 - k as u32);
+                } else {
+                    let mut val = v[k - s] ^ (v[k - s] >> s);
+                    for j in 1..s {
+                        if (a >> (s - 1 - j)) & 1 == 1 {
+                            val ^= v[k - j];
+                        }
+                    }
+                    v[k] = val;
+                }
+            }
+        }
+        Ok(Sobol {
+            v,
+            x: 0,
+            index: 0,
+            bits,
+        })
+    }
+
+    /// The number of dimensions supported by the built-in table.
+    #[must_use]
+    pub fn max_dimensions() -> usize {
+        JOE_KUO.len() + 1
+    }
+
+    /// The zero-based index of the next point to be emitted.
+    #[must_use]
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Resets the sequence to its first point.
+    pub fn reset(&mut self) {
+        self.x = 0;
+        self.index = 0;
+    }
+}
+
+impl RandomSource for Sobol {
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn next_value(&mut self) -> u64 {
+        // Gray-code order: point n is x_{n-1} ^ v[ctz(n)].
+        let out = u64::from(self.x >> (SOBOL_BITS - self.bits));
+        let c = self.index.trailing_ones() as usize;
+        self.x ^= self.v[c.min(SOBOL_BITS as usize - 1)];
+        self.index += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_zero_is_gray_coded_van_der_corput() {
+        let mut q = Sobol::new(0, 8).unwrap();
+        let vals: Vec<u64> = (0..8).map(|_| q.next_value()).collect();
+        // Gray-code traversal of the van der Corput points.
+        assert_eq!(vals, vec![0, 128, 192, 64, 96, 224, 160, 32]);
+    }
+
+    #[test]
+    fn first_n_points_are_balanced() {
+        // Any 2^k-point prefix of a Sobol dimension hits every length-2^k
+        // dyadic interval exactly once.
+        for dim in 0..Sobol::max_dimensions() {
+            let mut q = Sobol::new(dim, 8).unwrap();
+            let mut seen = [false; 256];
+            for _ in 0..256 {
+                let v = q.next_value() as usize;
+                assert!(!seen[v], "dim {dim}: value {v} repeated in first 256");
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn dimensions_are_distinct() {
+        let mut a = Sobol::new(1, 16).unwrap();
+        let mut b = Sobol::new(2, 16).unwrap();
+        let va: Vec<u64> = (0..16).map(|_| a.next_value()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_value()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn reset_restarts_sequence() {
+        let mut q = Sobol::new(3, 8).unwrap();
+        let first: Vec<u64> = (0..10).map(|_| q.next_value()).collect();
+        q.reset();
+        let again: Vec<u64> = (0..10).map(|_| q.next_value()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn out_of_table_dimension_rejected() {
+        assert!(matches!(
+            Sobol::new(999, 8),
+            Err(ScError::UnsupportedSobolDimension(999))
+        ));
+    }
+
+    #[test]
+    fn invalid_bits_rejected() {
+        assert!(Sobol::new(0, 0).is_err());
+        assert!(Sobol::new(0, 33).is_err());
+    }
+
+    #[test]
+    fn estimation_error_beats_random_sampling() {
+        // Quasi-random estimate of p = 0.3 with N = 256 should be within
+        // 1/N of the target — far tighter than the ~sqrt(p(1-p)/N) of a
+        // true-random source.
+        let mut q = Sobol::new(0, 16).unwrap();
+        let threshold = (0.3 * f64::from(1u32 << 16)) as u64;
+        let n = 256;
+        let ones = (0..n).filter(|_| q.next_value() < threshold).count();
+        let p_hat = ones as f64 / n as f64;
+        assert!(
+            (p_hat - 0.3).abs() <= 1.0 / n as f64 + 1e-9,
+            "p_hat {p_hat}"
+        );
+    }
+}

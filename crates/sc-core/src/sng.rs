@@ -1,0 +1,200 @@
+//! Stochastic number generation (binary → bit-stream conversion).
+//!
+//! An SNG compares a binary operand `X` against `N` random numbers and
+//! emits a `1` whenever the random number is **less than** `X`; the result
+//! encodes `P(1) ≈ X / 2^bits`. The comparison is exact across differing
+//! operand/random widths (the paper compares 8-bit inputs against `M`-bit
+//! in-memory random numbers with `M = 5..=9`).
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+use crate::prob::{Fixed, Prob};
+use crate::rng::RandomSource;
+
+/// A comparator-based stochastic number generator over any
+/// [`RandomSource`].
+///
+/// Streams generated from the **same** source instance (and hence the same
+/// random-number sequence) are maximally correlated; streams from
+/// independent sources are uncorrelated. This is the correlation-control
+/// mechanism SC operations rely on (§II-B).
+///
+/// # Example
+///
+/// ```
+/// use sc_core::prelude::*;
+///
+/// # fn main() -> Result<(), ScError> {
+/// let mut sng = Sng::new(Sobol::new(0, 8)?);
+/// let s = sng.generate_fixed(Fixed::from_u8(64), 256);
+/// assert!((s.value() - 0.25).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sng<R> {
+    rng: R,
+}
+
+impl<R: RandomSource> Sng<R> {
+    /// Creates an SNG over the given random source.
+    pub fn new(rng: R) -> Self {
+        Sng { rng }
+    }
+
+    /// Borrows the underlying random source.
+    pub fn rng(&self) -> &R {
+        &self.rng
+    }
+
+    /// Mutably borrows the underlying random source.
+    pub fn rng_mut(&mut self) -> &mut R {
+        &mut self.rng
+    }
+
+    /// Consumes the SNG, returning the random source.
+    pub fn into_inner(self) -> R {
+        self.rng
+    }
+
+    /// Generates an `n`-bit stream encoding the fixed-point operand.
+    ///
+    /// Bit `i` is `1` iff `rn_i / 2^M < x / 2^B` exactly, where `M` is the
+    /// random-source width and `B` the operand width.
+    #[must_use]
+    pub fn generate_fixed(&mut self, x: Fixed, n: usize) -> BitStream {
+        let m = self.rng.bits();
+        let b = x.bits();
+        BitStream::from_fn(n, |_| {
+            let rn = self.rng.next_value();
+            // rn / 2^m < x / 2^b  <=>  rn << b < x << m
+            (u128::from(rn) << b) < (u128::from(x.value()) << m)
+        })
+    }
+
+    /// Generates an `n`-bit stream for a real-valued probability by
+    /// thresholding at full source resolution.
+    #[must_use]
+    pub fn generate_prob(&mut self, p: Prob, n: usize) -> BitStream {
+        let m = self.rng.bits();
+        let scale = (1u64 << m) as f64;
+        // Round to the nearest representable threshold; p = 1.0 maps to a
+        // threshold of 2^m, which every random value is below.
+        let threshold = (p.get() * scale).round() as u64;
+        BitStream::from_fn(n, |_| self.rng.next_value() < threshold)
+    }
+
+    /// Generates a pair of streams sharing the same random numbers —
+    /// maximally (positively) correlated, as required by XOR subtraction,
+    /// CORDIV division, minimum, and maximum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidBitWidth`] if the operand widths differ
+    /// from each other (equal widths are required so a single comparison
+    /// stream orders both operands consistently).
+    pub fn generate_correlated(
+        &mut self,
+        x: Fixed,
+        y: Fixed,
+        n: usize,
+    ) -> Result<(BitStream, BitStream), ScError> {
+        if x.bits() != y.bits() {
+            return Err(ScError::InvalidBitWidth(y.bits()));
+        }
+        let m = self.rng.bits();
+        let b = x.bits();
+        let mut sx = BitStream::zeros(n);
+        let mut sy = BitStream::zeros(n);
+        for i in 0..n {
+            let rn = u128::from(self.rng.next_value()) << b;
+            if rn < (u128::from(x.value()) << m) {
+                sx.set(i, true);
+            }
+            if rn < (u128::from(y.value()) << m) {
+                sy.set(i, true);
+            }
+        }
+        Ok((sx, sy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::scc;
+    use crate::rng::{Lfsr, Sobol, UniformSource};
+
+    #[test]
+    fn sobol_generation_is_nearly_exact() {
+        let mut sng = Sng::new(Sobol::new(0, 16).unwrap());
+        for &x in &[0u8, 1, 64, 128, 200, 255] {
+            let s = sng.generate_fixed(Fixed::from_u8(x), 256);
+            let expect = f64::from(x) / 256.0;
+            assert!(
+                (s.value() - expect).abs() <= 1.0 / 256.0 + 1e-12,
+                "x={x}: got {} want {expect}",
+                s.value()
+            );
+            sng.rng_mut().reset();
+        }
+    }
+
+    #[test]
+    fn lfsr_full_period_is_exact_for_8bit_operands() {
+        // Over exactly 255 steps a maximal 8-bit LFSR emits each value in
+        // 1..=255 once, so the count of values < X is X - 1 for X >= 1.
+        let mut sng = Sng::new(Lfsr::maximal(8, 0x5A).unwrap());
+        let x = 100u8;
+        let s = sng.generate_fixed(Fixed::from_u8(x), 255);
+        assert_eq!(s.count_ones(), u64::from(x) - 1);
+    }
+
+    #[test]
+    fn prob_extremes() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(3));
+        let zero = sng.generate_prob(Prob::ZERO, 128);
+        assert_eq!(zero.count_ones(), 0);
+        let one = sng.generate_prob(Prob::ONE, 128);
+        assert_eq!(one.count_ones(), 128);
+    }
+
+    #[test]
+    fn shared_rng_yields_maximal_correlation() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(17));
+        let (sx, sy) = sng
+            .generate_correlated(Fixed::from_u8(90), Fixed::from_u8(180), 4096)
+            .unwrap();
+        // Shared random numbers: x bit implies y bit (90 < 180), SCC ≈ +1.
+        let overlap = sx.and(&sy).unwrap();
+        assert_eq!(overlap.count_ones(), sx.count_ones());
+        assert!(scc(&sx, &sy).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn independent_rngs_yield_low_correlation() {
+        let mut a = Sng::new(UniformSource::seed_from_u64(100));
+        let mut b = Sng::new(UniformSource::seed_from_u64(200));
+        let sx = a.generate_fixed(Fixed::from_u8(128), 8192);
+        let sy = b.generate_fixed(Fixed::from_u8(128), 8192);
+        assert!(scc(&sx, &sy).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn mismatched_correlated_widths_rejected() {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(5));
+        let x = Fixed::new(3, 4).unwrap();
+        let y = Fixed::new(3, 5).unwrap();
+        assert!(sng.generate_correlated(x, y, 64).is_err());
+    }
+
+    #[test]
+    fn narrow_source_quantizes_but_tracks_target() {
+        // M = 5 against an 8-bit operand: expect quantization error bounded
+        // by one LSB of the 5-bit source over a full sweep.
+        let mut sng = Sng::new(Sobol::new(0, 5).unwrap());
+        let s = sng.generate_fixed(Fixed::from_u8(77), 32);
+        let expect = 77.0 / 256.0;
+        assert!((s.value() - expect).abs() <= 1.0 / 32.0 + 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the stochastic-computing core.
+
+use proptest::prelude::*;
+use sc_core::correlation::{overlap, scc};
+use sc_core::div::jk_divide;
+use sc_core::prelude::*;
+
+proptest! {
+    // --- BitStream algebra ---------------------------------------------
+
+    #[test]
+    fn de_morgan_holds(bits_a in proptest::collection::vec(any::<bool>(), 1..300),
+                       seed in any::<u64>()) {
+        let a: BitStream = bits_a.iter().copied().collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let b = BitStream::from_fn(a.len(), |_| rng.next_f64() < 0.5);
+        let lhs = a.and(&b).expect("equal lengths").not();
+        let rhs = a.not().or(&b.not()).expect("equal lengths");
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_is_add_without_carry(bits in proptest::collection::vec(any::<bool>(), 1..300),
+                                seed in any::<u64>()) {
+        let a: BitStream = bits.iter().copied().collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let b = BitStream::from_fn(a.len(), |_| rng.next_f64() < 0.5);
+        let xor = a.xor(&b).expect("equal lengths");
+        let and = a.and(&b).expect("equal lengths");
+        let or = a.or(&b).expect("equal lengths");
+        // a ⊕ b = (a ∨ b) ∧ ¬(a ∧ b)
+        let expect = or.and(&and.not()).expect("equal lengths");
+        prop_assert_eq!(xor, expect);
+    }
+
+    #[test]
+    fn maj_is_monotone(seed in any::<u64>(), n in 1usize..300) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let a = BitStream::from_fn(n, |_| rng.next_f64() < 0.5);
+        let b = BitStream::from_fn(n, |_| rng.next_f64() < 0.5);
+        let c = BitStream::from_fn(n, |_| rng.next_f64() < 0.5);
+        let m = a.maj3(&b, &c).expect("equal lengths");
+        // Raising any input can only raise the majority.
+        let m_up = a.or(&c).expect("equal lengths")
+            .maj3(&b, &c).expect("equal lengths");
+        prop_assert_eq!(m_up.and(&m).expect("equal lengths"), m);
+    }
+
+    // --- RNG families ---------------------------------------------------
+
+    #[test]
+    fn lfsr_periods_divide_the_maximal_period(width in 3u32..=10, seed in 0u64..10_000) {
+        // Map the raw seed into the nonzero state space of this width.
+        let state = (seed % ((1u64 << width) - 1)) + 1;
+        let lfsr = Lfsr::maximal(width, state).expect("nonzero seed in range");
+        prop_assert_eq!(lfsr.period(), (1u64 << width) - 1);
+    }
+
+    #[test]
+    fn sobol_prefixes_are_balanced(dim in 0usize..8, k in 1u32..=6) {
+        // Every 2^k-point prefix hits each dyadic bucket exactly once.
+        let mut q = Sobol::new(dim, k).expect("dimension in table");
+        let buckets = 1usize << k;
+        let mut seen = vec![0u32; buckets];
+        for _ in 0..buckets {
+            seen[q.next_value() as usize] += 1;
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    // --- SNG + conversion round trips ------------------------------------
+
+    #[test]
+    fn sobol_sng_estimates_within_one_over_n(x in 0u8..=255, log_n in 5u32..=10) {
+        let n = 1usize << log_n;
+        let mut sng = Sng::new(Sobol::new(0, 16).expect("dimension in table"));
+        let s = sng.generate_fixed(Fixed::from_u8(x), n);
+        let expect = f64::from(x) / 256.0;
+        prop_assert!((s.value() - expect).abs() <= 1.0 / n as f64 + 1.0 / 256.0,
+            "x={x} n={n}: {} vs {expect}", s.value());
+    }
+
+    #[test]
+    fn counter_converter_equals_ideal_popcount(bits in proptest::collection::vec(any::<bool>(), 1..256)) {
+        let s: BitStream = bits.iter().copied().collect();
+        let mut c = CounterConverter::new(16).expect("valid width");
+        c.clock_stream(&s);
+        prop_assert_eq!(c.count(), s.count_ones());
+        let ideal = to_binary(&s, 8).expect("nonempty");
+        let from_counter = Prob::saturating(c.value()).to_fixed(8).expect("valid width");
+        prop_assert_eq!(ideal, from_counter);
+    }
+
+    // --- correlation ------------------------------------------------------
+
+    #[test]
+    fn overlap_table_is_consistent_with_scc_sign(xa in 1u8..=254, xb in 1u8..=254,
+                                                 seed in 0u64..300) {
+        let mut sng = Sng::new(UniformSource::seed_from_u64(seed));
+        let (a, b) = sng.generate_correlated(
+            Fixed::from_u8(xa), Fixed::from_u8(xb), 512).expect("equal widths");
+        let o = overlap(&a, &b).expect("equal lengths");
+        // Correlated generation nests the streams: the smaller operand's
+        // ones are a subset of the larger's.
+        prop_assert_eq!(o.only_a.min(o.only_b), 0);
+        if a.count_ones() > 0 && b.count_ones() > 0
+            && a.count_ones() < 512 && b.count_ones() < 512 {
+            let c = scc(&a, &b).expect("equal lengths");
+            prop_assert!(c > 0.99, "scc {c}");
+        }
+    }
+
+    // --- division ----------------------------------------------------------
+
+    #[test]
+    fn jk_division_is_bounded(pj in 0.05f64..0.95, pk in 0.05f64..0.95, seed in 0u64..200) {
+        let n = 2048;
+        let mut a = Sng::new(UniformSource::seed_from_u64(seed * 2 + 1));
+        let mut b = Sng::new(UniformSource::seed_from_u64(seed * 2 + 2));
+        let j = a.generate_prob(Prob::saturating(pj), n);
+        let k = b.generate_prob(Prob::saturating(pk), n);
+        let q = jk_divide(&j, &k).expect("equal lengths");
+        let expect = pj / (pj + pk);
+        prop_assert!((q.value() - expect).abs() < 0.12,
+            "jk {} vs {expect}", q.value());
+    }
+
+    // --- fixed-point --------------------------------------------------------
+
+    #[test]
+    fn gt_fraction_matches_rational_comparison(araw in 0u64..4096, ab in 1u32..=6,
+                                               braw in 0u64..4096, bb in 1u32..=6) {
+        // Map raw draws into each width's value range by construction.
+        let av = araw % (1 << ab);
+        let bv = braw % (1 << bb);
+        let a = Fixed::new(av, ab).expect("in range");
+        let b = Fixed::new(bv, bb).expect("in range");
+        let exact = (av as f64 / (1u64 << ab) as f64) > (bv as f64 / (1u64 << bb) as f64);
+        prop_assert_eq!(a.gt_fraction(b), exact);
+    }
+}

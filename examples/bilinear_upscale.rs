@@ -1,0 +1,48 @@
+//! Bilinear up-scaling through nested in-memory MAJ blends — the paper's
+//! second application (Fig. 3b).
+//!
+//! Run with `cargo run --release --example bilinear_upscale`.
+
+use reram_sc::apps::scbackend::{CmosScConfig, CmosSngKind, ScReramConfig};
+use reram_sc::apps::{bilinear, metrics, synth};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = synth::blobs(16, 16, 3, 9);
+    let factor = 2;
+    let reference = bilinear::software(&src, factor)?;
+    println!(
+        "up-scaling {}x{} -> {}x{}",
+        src.width(),
+        src.height(),
+        reference.width(),
+        reference.height()
+    );
+    println!("{:<26}{:>12}{:>12}", "backend", "SSIM (%)", "PSNR (dB)");
+
+    for n in [32usize, 128] {
+        let out = bilinear::sc_reram(&src, factor, &ScReramConfig::new(n, 5))?;
+        println!(
+            "{:<26}{:>12.1}{:>12.1}",
+            format!("SC-ReRAM N={n}"),
+            metrics::ssim_percent(&reference, &out)?,
+            metrics::psnr(&reference, &out)?
+        );
+    }
+
+    let cmos = bilinear::sc_cmos(&src, factor, &CmosScConfig::new(128, CmosSngKind::Sobol, 5))?;
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "SC-CMOS Sobol N=128",
+        metrics::ssim_percent(&reference, &cmos)?,
+        metrics::psnr(&reference, &cmos)?
+    );
+
+    let cim = bilinear::binary_cim(&src, factor, 0.0, 0)?;
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "binary CIM",
+        metrics::ssim_percent(&reference, &cim)?,
+        metrics::psnr(&reference, &cim)?
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the full in-memory SC flow on a handful of scalars.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use reram_sc::accel::Accelerator;
+use reram_sc::sc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An accelerator with 1024-bit streams (long, for a crisp demo; the
+    // paper's default is 256) and the latch-optimized IMSNG.
+    let mut acc = Accelerator::builder().stream_len(1024).seed(2025).build()?;
+
+    // ❶ Binary → stochastic: encode 0.75 and 0.5 against independent
+    //    in-memory random-number rows.
+    let x = acc.encode(Fixed::from_u8(192))?; // 192/256 = 0.75
+    let y = acc.encode(Fixed::from_u8(128))?; // 128/256 = 0.50
+
+    // ❷ In-memory SC arithmetic.
+    let product = acc.multiply(x, y)?;
+    let sum = acc.scaled_add(x, y)?;
+
+    // ❸ Stochastic → binary through the reference column and ADC.
+    println!(
+        "0.75 × 0.50  ≈ {:.4} (exact 0.3750)",
+        acc.read_value(product)?
+    );
+    println!("(0.75+0.50)/2 ≈ {:.4} (exact 0.6250)", acc.read_value(sum)?);
+
+    // Correlated operations share random-number rows.
+    let (a, b) = acc.encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))?;
+    let diff = acc.abs_subtract(a, b)?;
+    let quot = acc.divide(a, b)?;
+    println!(
+        "|0.234-0.703| ≈ {:.4} (exact 0.4688)",
+        acc.read_value(diff)?
+    );
+    println!("0.234/0.703  ≈ {:.4} (exact 0.3333)", acc.read_value(quot)?);
+
+    // What did that cost in the memory?
+    let costs = reram_sc::device::energy::ReramCosts::calibrated();
+    let ledger = acc.ledger();
+    println!(
+        "\nledger: {} IMSNG sense steps, {} CORDIV steps, {} ADC samples",
+        ledger.imsng.sense_ops, ledger.cordiv_steps, ledger.adc_samples
+    );
+    println!(
+        "estimated cost: {:.1} ns, {:.2} nJ (per-op model, N-bit rows)",
+        ledger.latency_ns(&costs),
+        ledger.energy_nj(&costs, 1024)
+    );
+    Ok(())
+}

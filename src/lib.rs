@@ -1,0 +1,46 @@
+//! # reram-sc — all-in-memory stochastic computing using ReRAM
+//!
+//! Umbrella crate for the full simulation stack reproducing
+//! *"All-in-Memory Stochastic Computing using ReRAM"* (DAC 2025). It
+//! re-exports every layer so examples and downstream users need a single
+//! dependency:
+//!
+//! * [`sc`] ([`sc_core`]) — bit-streams, RNGs, SNG, SC arithmetic,
+//!   correlation control, conversion, accuracy metrics.
+//! * [`device`] ([`reram`]) — ReRAM cells, crossbar arrays, scouting
+//!   logic, TRNG rows, peripheral latches, ADC, variability and fault
+//!   models.
+//! * [`mem`] ([`nvsim`]) — NVMain-style trace-driven timing and energy
+//!   simulation.
+//! * [`accel`] ([`imsc`]) — the paper's contribution: the in-memory SC
+//!   accelerator (IMSNG generation, in-place SC operations, ADC-based
+//!   conversion, cost model).
+//! * [`baseline`] ([`baselines`]) — CMOS SC designs and the binary-CIM
+//!   comparator.
+//! * [`apps`] ([`imgproc`]) — image compositing, bilinear interpolation,
+//!   and image matting over software / SC / binary-CIM backends.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reram_sc::accel::Accelerator;
+//! use reram_sc::sc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Multiply 0.75 × 0.5 entirely "in memory".
+//! let mut acc = Accelerator::builder().stream_len(256).seed(7).build()?;
+//! let a = acc.encode(Fixed::from_u8(192))?;
+//! let b = acc.encode(Fixed::from_u8(128))?;
+//! let prod = acc.multiply(a, b)?;
+//! let result = acc.read_value(prod)?;
+//! assert!((result - 0.375).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use baselines as baseline;
+pub use imgproc as apps;
+pub use imsc as accel;
+pub use nvsim as mem;
+pub use reram as device;
+pub use sc_core as sc;

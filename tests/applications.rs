@@ -1,0 +1,103 @@
+//! Integration tests across the application layer: every backend of each
+//! kernel agrees with the software reference within SC tolerances.
+
+use reram_sc::apps::scbackend::{CmosScConfig, CmosSngKind, ScReramConfig};
+use reram_sc::apps::{bilinear, compositing, matting, metrics, synth, GrayImage};
+
+fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
+    metrics::psnr(a, b).expect("matching dims")
+}
+
+#[test]
+fn compositing_backends_agree() {
+    let set = synth::app_images(16, 16, 31);
+    let reference =
+        compositing::software(&set.foreground, &set.background, &set.alpha).expect("dims");
+
+    let cim = compositing::binary_cim(&set.foreground, &set.background, &set.alpha, 0.0, 1)
+        .expect("dims");
+    assert!(psnr(&reference, &cim) > 45.0);
+
+    let sc = compositing::sc_reram(
+        &set.foreground,
+        &set.background,
+        &set.alpha,
+        &ScReramConfig::new(256, 2),
+    )
+    .expect("substrate");
+    assert!(psnr(&reference, &sc) > 20.0);
+
+    let cmos = compositing::sc_cmos(
+        &set.foreground,
+        &set.background,
+        &set.alpha,
+        &CmosScConfig::new(256, CmosSngKind::Sobol, 3),
+    )
+    .expect("streams");
+    assert!(psnr(&reference, &cmos) > 20.0);
+}
+
+#[test]
+fn bilinear_backends_agree() {
+    let src = synth::blobs(8, 8, 2, 11);
+    let reference = bilinear::software(&src, 2).expect("factor");
+    let cim = bilinear::binary_cim(&src, 2, 0.0, 1).expect("factor");
+    assert!(psnr(&reference, &cim) > 35.0);
+    let sc = bilinear::sc_reram(&src, 2, &ScReramConfig::new(256, 5)).expect("substrate");
+    assert!(psnr(&reference, &sc) > 18.0);
+}
+
+#[test]
+fn matting_round_trip_through_all_backends() {
+    let set = synth::app_images(12, 12, 55);
+    let observed =
+        compositing::software(&set.foreground, &set.background, &set.alpha).expect("dims");
+    let rec_true =
+        matting::recomposite(&set.foreground, &set.background, &set.alpha).expect("dims");
+
+    for (label, est) in [
+        (
+            "software",
+            matting::software(&observed, &set.background, &set.foreground).expect("dims"),
+        ),
+        (
+            "binary_cim",
+            matting::binary_cim(&observed, &set.background, &set.foreground, 0.0, 1).expect("dims"),
+        ),
+        (
+            "sc_reram",
+            matting::sc_reram(
+                &observed,
+                &set.background,
+                &set.foreground,
+                &ScReramConfig::new(256, 7),
+            )
+            .expect("substrate"),
+        ),
+    ] {
+        let rec = matting::recomposite(&set.foreground, &set.background, &est).expect("dims");
+        let p = psnr(&rec_true, &rec);
+        let floor = if label == "sc_reram" { 15.0 } else { 28.0 };
+        assert!(p > floor, "{label}: psnr {p}");
+    }
+}
+
+#[test]
+fn sc_reram_is_deterministic_per_seed() {
+    let set = synth::app_images(8, 8, 3);
+    let cfg = ScReramConfig::new(64, 9);
+    let a = compositing::sc_reram(&set.foreground, &set.background, &set.alpha, &cfg)
+        .expect("substrate");
+    let b = compositing::sc_reram(&set.foreground, &set.background, &set.alpha, &cfg)
+        .expect("substrate");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pgm_round_trip_of_app_output() {
+    let set = synth::app_images(16, 16, 5);
+    let out = compositing::software(&set.foreground, &set.background, &set.alpha).expect("dims");
+    let bytes = out.to_pgm();
+    let back = GrayImage::from_pgm(&bytes).expect("well-formed pgm");
+    assert_eq!(back, out);
+}

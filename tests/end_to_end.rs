@@ -1,0 +1,138 @@
+//! Cross-crate integration: the full ❶❷❸ flow from device model to
+//! application quality, exercised through the umbrella crate.
+
+use reram_sc::accel::engine::Accelerator;
+use reram_sc::accel::imsng::ImsngVariant;
+use reram_sc::device::faults::FaultRates;
+use reram_sc::mem::prelude::*;
+use reram_sc::sc::prelude::*;
+
+#[test]
+fn full_flow_accuracy_improves_with_stream_length() {
+    let mut errors = Vec::new();
+    for n in [32usize, 128, 512, 2048] {
+        let mut total = 0.0;
+        let trials = 20;
+        for t in 0..trials {
+            let mut acc = Accelerator::builder()
+                .stream_len(n)
+                .seed(t)
+                .build()
+                .expect("valid configuration");
+            let x = acc.encode(Fixed::from_u8(180)).expect("rows");
+            let y = acc.encode(Fixed::from_u8(90)).expect("rows");
+            let p = acc.multiply(x, y).expect("uncorrelated");
+            let v = acc.read_value(p).expect("alive");
+            let exact = (180.0 / 256.0) * (90.0 / 256.0);
+            total += (v - exact).abs();
+        }
+        errors.push(total / trials as f64);
+    }
+    // Monotone-ish improvement: the longest streams beat the shortest by
+    // a wide margin.
+    assert!(errors[3] < errors[0] / 2.0, "errors by length: {errors:?}");
+}
+
+#[test]
+fn all_three_variants_compute_the_same_function() {
+    let mut values = Vec::new();
+    for variant in [
+        ImsngVariant::Baseline,
+        ImsngVariant::Naive,
+        ImsngVariant::Opt,
+    ] {
+        let mut acc = Accelerator::builder()
+            .stream_len(512)
+            .variant(variant)
+            .seed(42)
+            .trng_bias_sigma(0.0)
+            .build()
+            .expect("valid configuration");
+        let x = acc.encode(Fixed::from_u8(100)).expect("rows");
+        values.push(acc.read_value(x).expect("alive"));
+    }
+    // Same seed, same randomness, same function: identical results.
+    assert_eq!(values[0], values[1]);
+    assert_eq!(values[1], values[2]);
+    // Single-draw tolerance: ~3.5σ of a 512-bit binomial estimate.
+    assert!((values[0] - 100.0 / 256.0).abs() < 0.08, "{}", values[0]);
+}
+
+#[test]
+fn recorded_trace_replays_in_nvmain() {
+    let mut acc = Accelerator::builder()
+        .stream_len(256)
+        .seed(3)
+        .record_trace(true)
+        .build()
+        .expect("valid configuration");
+    let (a, b) = acc
+        .encode_correlated(Fixed::from_u8(40), Fixed::from_u8(200))
+        .expect("rows");
+    let d = acc.abs_subtract(a, b).expect("correlated");
+    let _ = acc.read_value(d).expect("alive");
+
+    let trace = acc.trace().expect("tracing enabled").clone();
+    // The trace round-trips through the text format.
+    let text = trace.to_text();
+    let parsed = Trace::parse(&text).expect("well-formed trace");
+    assert_eq!(parsed, trace);
+
+    let mut sim = Simulator::new(MemoryConfig::reram_default());
+    let stats = sim.run(&trace).expect("valid trace");
+    assert!(stats.total_time_ns > 0.0);
+    assert!(stats.total_energy_nj > 0.0);
+    // Two conversions' sensing steps are present.
+    assert_eq!(stats.command_counts["SCOUT"], 81); // 2×40 + 1 XOR
+}
+
+#[test]
+fn fault_injection_shifts_results_but_preserves_scale() {
+    let exact = 150.0 / 256.0;
+    let mut clean_err = 0.0;
+    let mut faulty_err = 0.0;
+    let trials = 30;
+    for t in 0..trials {
+        let mut clean = Accelerator::builder()
+            .stream_len(256)
+            .seed(t)
+            .build()
+            .expect("valid configuration");
+        let h = clean.encode(Fixed::from_u8(150)).expect("rows");
+        clean_err += (clean.read_value(h).expect("alive") - exact).abs();
+
+        let mut faulty = Accelerator::builder()
+            .stream_len(256)
+            .seed(t)
+            .fault_rates(FaultRates::uniform(0.02))
+            .build()
+            .expect("valid configuration");
+        let h = faulty.encode(Fixed::from_u8(150)).expect("rows");
+        faulty_err += (faulty.read_value(h).expect("alive") - exact).abs();
+    }
+    clean_err /= trials as f64;
+    faulty_err /= trials as f64;
+    // Faults hurt, but gracefully (no catastrophic error scale).
+    assert!(faulty_err >= clean_err * 0.8, "{clean_err} vs {faulty_err}");
+    assert!(faulty_err < 0.15, "faulty error {faulty_err}");
+}
+
+#[test]
+fn umbrella_reexports_compose() {
+    // Every layer is reachable through the umbrella crate.
+    let costs = reram_sc::device::energy::ReramCosts::calibrated();
+    let cost = reram_sc::accel::cost::reram_op_cost(
+        reram_sc::accel::cost::ScOperation::Multiply,
+        256,
+        8,
+        ImsngVariant::Opt,
+        &costs,
+    );
+    assert!((cost.latency_ns - 80.8).abs() < 0.1);
+    let d = reram_sc::baseline::cmos::CmosDesign::new(reram_sc::baseline::cmos::CmosSng::Lfsr);
+    assert!(
+        d.op_cost(reram_sc::accel::cost::ScOperation::Multiply, 256)
+            .latency_ns
+            > cost.latency_ns
+    );
+}
