@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the packed-word engine fast path: crossbar
+//! row I/O, scouting-logic ops (packed vs per-cell reference), and the
+//! end-to-end tiled bilinear upscale.
+//!
+//! Run with `CRITERION_JSON=path` to collect machine-readable results
+//! (see `bench_engine` for the committed `BENCH_engine.json` summary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imgproc::scbackend::ScReramConfig;
+use imgproc::{bilinear, synth};
+use reram::array::CrossbarArray;
+use reram::scouting::{ScoutingLogic, SlOp};
+use sc_core::rng::Xoshiro256;
+use sc_core::BitStream;
+use std::hint::black_box;
+
+fn loaded_array(rows: usize, cols: usize, seed: u64) -> CrossbarArray {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut a = CrossbarArray::pristine(rows, cols, seed);
+    for r in 0..rows {
+        let s = BitStream::from_fn(cols, |_| rng.next_f64() < 0.5);
+        a.write_row(r, &s).expect("row in range");
+    }
+    a
+}
+
+fn bench_row_io(c: &mut Criterion) {
+    let cols = 4096;
+    let mut g = c.benchmark_group("crossbar_row_io_4096");
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let data_a = BitStream::from_fn(cols, |_| rng.next_f64() < 0.5);
+    let data_b = BitStream::from_fn(cols, |_| rng.next_f64() < 0.5);
+    let mut array = CrossbarArray::pristine(4, cols, 2);
+    let mut toggle = false;
+    g.bench_function("write_row", |b| {
+        b.iter(|| {
+            toggle = !toggle;
+            let d = if toggle { &data_a } else { &data_b };
+            black_box(array.write_row(0, d).expect("row in range"))
+        })
+    });
+    g.bench_function("read_row", |b| {
+        b.iter(|| black_box(array.read_row(0).expect("row in range")))
+    });
+    g.finish();
+}
+
+fn bench_scouting(c: &mut Criterion) {
+    let mut array = loaded_array(3, 4096, 3);
+    let reference = array.clone();
+    let mut sl = ScoutingLogic::ideal();
+    let mut g = c.benchmark_group("scouting_4096");
+    for (name, op, rows) in [
+        ("and2_packed", SlOp::And, &[0usize, 1][..]),
+        ("xor2_packed", SlOp::Xor, &[0, 1][..]),
+        ("maj3_packed", SlOp::Maj, &[0, 1, 2][..]),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(sl.execute_mut(&mut array, op, rows).expect("valid rows")))
+        });
+    }
+    // The per-cell reference path, for the packed-vs-reference ratio.
+    g.sample_size(10);
+    g.bench_function("and2_reference", |b| {
+        b.iter(|| {
+            black_box(
+                ScoutingLogic::digital_reference(&reference, SlOp::And, &[0, 1])
+                    .expect("valid rows"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_bilinear(c: &mut Criterion) {
+    let src = synth::value_noise(16, 16, 4, 9);
+    let cfg = ScReramConfig::new(256, 42);
+    let mut g = c.benchmark_group("bilinear_sc_reram");
+    g.sample_size(10);
+    g.bench_function("16_to_32_n256", |b| {
+        b.iter(|| black_box(bilinear::sc_reram(&src, 2, &cfg).expect("valid input")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_row_io, bench_scouting, bench_bilinear);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Engine fast-path benchmark: times the crossbar/scouting substrate and
+//! the end-to-end `imgproc::bilinear::sc_reram` upscale, writing a
+//! machine-readable summary to `BENCH_engine.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_engine [-- --out PATH]`
+
+use imgproc::scbackend::ScReramConfig;
+use imgproc::{bilinear, synth};
+use reram::array::CrossbarArray;
+use reram::scouting::{ScoutingLogic, SlOp};
+use sc_core::rng::Xoshiro256;
+use sc_core::BitStream;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Pre-PR reference timings (nanoseconds) of the identical workloads,
+/// measured on the per-cell seed implementation (one `ReramCell` struct
+/// per bit, per-pixel unbatched image kernels, single-threaded) on the
+/// benchmark container, immediately before the packed-word fast path
+/// landed. Committed so every future run of this harness reports the
+/// trajectory against the same anchor.
+const PRE_PR_BASELINE_NS: [(&str, f64); 6] = [
+    ("write_row_4096", 117_612.3),
+    ("read_row_4096", 5_999.8),
+    ("scout_and2_4096", 69_068.3),
+    ("scout_xor2_4096", 75_438.8),
+    ("scout_maj3_4096", 101_473.1),
+    ("bilinear_sc_reram_64_to_128_n256", 10_641_851_936.0),
+];
+
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One warm-up call, then the mean of `reps` timed calls.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = bench::arg_or(&args, "--out", "BENCH_engine.json".to_string());
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<44} {:>14.1} ns", ns);
+        results.push((name.to_string(), ns));
+    };
+
+    // --- Substrate: row write/read and scouting ops, 4096-bit rows -----
+    let cols = 4096;
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let data_a = BitStream::from_fn(cols, |_| rng.next_f64() < 0.5);
+    let data_b = BitStream::from_fn(cols, |_| rng.next_f64() < 0.5);
+    let mut array = CrossbarArray::pristine(8, cols, 7);
+    array.write_row(0, &data_a).expect("row in range");
+    array.write_row(1, &data_b).expect("row in range");
+
+    let mut toggle = false;
+    record(
+        "write_row_4096",
+        time_ns(2000, || {
+            toggle = !toggle;
+            let d = if toggle { &data_a } else { &data_b };
+            black_box(array.write_row(2, d).expect("row in range"));
+        }),
+    );
+    record(
+        "read_row_4096",
+        time_ns(2000, || {
+            black_box(array.read_row(0).expect("row in range"));
+        }),
+    );
+    let mut sl = ScoutingLogic::ideal();
+    for (name, op, rows) in [
+        ("scout_and2_4096", SlOp::And, &[0usize, 1][..]),
+        ("scout_xor2_4096", SlOp::Xor, &[0, 1][..]),
+        ("scout_maj3_4096", SlOp::Maj, &[0, 1, 2][..]),
+    ] {
+        record(
+            name,
+            time_ns(2000, || {
+                black_box(sl.execute_mut(&mut array, op, rows).expect("valid rows"));
+            }),
+        );
+    }
+
+    // --- End to end: bilinear upscale 64x64 -> 128x128, N = 256 --------
+    let src = synth::value_noise(64, 64, 4, 9);
+    let cfg = ScReramConfig::new(256, 42);
+    record(
+        "bilinear_sc_reram_64_to_128_n256",
+        time_ns(1, || {
+            black_box(bilinear::sc_reram(&src, 2, &cfg).expect("valid input"));
+        }),
+    );
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let baseline = PRE_PR_BASELINE_NS
+            .iter()
+            .find(|(b, _)| b == name)
+            .map(|&(_, ns)| ns);
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        match baseline {
+            Some(base) => {
+                let speedup = base / ns;
+                println!("{name:<44} {speedup:>10.1}x vs pre-PR baseline");
+                let _ = writeln!(
+                    json,
+                    "  \"{name}\": {{\"ns\": {ns:.1}, \"pre_pr_baseline_ns\": {base:.1}, \"speedup\": {speedup:.2}}}{comma}"
+                );
+            }
+            None => {
+                let _ = writeln!(json, "  \"{name}\": {{\"ns\": {ns:.1}}}{comma}");
+            }
+        }
+    }
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("writable output path");
+    println!("wrote {out}");
+}

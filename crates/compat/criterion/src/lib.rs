@@ -1,0 +1,258 @@
+//! A minimal, dependency-free subset of the `criterion` API.
+//!
+//! The workspace builds in hermetic environments with no crates registry,
+//! so the benchmarking surface the `bench` crate uses is provided in-repo:
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups with `sample_size`, and timed `bench_function`/`iter`.
+//!
+//! Measurements are real wall-clock timings: each benchmark is warmed up,
+//! then run for `sample_size` samples (auto-calibrated iteration counts
+//! per sample), and the median/mean/min per-iteration times are reported
+//! on stdout. When the `CRITERION_JSON` environment variable names a file,
+//! every completed benchmark appends a JSON record there so harnesses can
+//! collect machine-readable results (see `BENCH_engine.json`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark (split across samples).
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Warm-up time before sampling.
+const WARMUP: Duration = Duration::from_millis(60);
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl Sample {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            self.id.replace('"', "'"),
+            self.median_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample
+        );
+        s
+    }
+}
+
+fn emit(sample: &Sample) {
+    println!(
+        "bench {:<56} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        sample.id,
+        format_ns(sample.median_ns),
+        format_ns(sample.mean_ns),
+        sample.samples,
+        sample.iters_per_sample
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = writeln!(f, "{}", sample.to_json());
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark runner handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(id.into(), 20, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            format!("{}/{}", self.name, id.into()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Iterations requested in measure mode.
+    iters: u64,
+    /// Measured elapsed time for the routine body.
+    elapsed: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the elapsed wall-clock duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = match self.mode {
+            Mode::Calibrate => 1,
+            Mode::Measure => self.iters,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, sample_size: usize, mut f: F) {
+    // Calibrate: how long does one iteration take?
+    let mut b = Bencher {
+        mode: Mode::Calibrate,
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+    // Warm up for a fixed budget, refining the per-iteration estimate.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARMUP {
+        f(&mut b);
+        per_iter = (per_iter + b.elapsed.max(Duration::from_nanos(1))) / 2;
+    }
+
+    // Choose iterations per sample so the whole run hits TARGET_MEASURE.
+    let budget_per_sample = TARGET_MEASURE.as_nanos() / sample_size.max(1) as u128;
+    let iters = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut times_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut m = Bencher {
+        mode: Mode::Measure,
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    for _ in 0..sample_size {
+        f(&mut m);
+        times_ns.push(m.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = times_ns[times_ns.len() / 2];
+    let mean = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+    emit(&Sample {
+        id,
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: times_ns[0],
+        samples: sample_size,
+        iters_per_sample: iters,
+    });
+}
+
+/// Declares a benchmark group function (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark main function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

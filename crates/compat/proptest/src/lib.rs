@@ -1,0 +1,405 @@
+//! A minimal, dependency-free subset of the `proptest` API.
+//!
+//! This workspace builds in hermetic environments with no access to a
+//! crates registry, so the property-testing surface the test-suite uses is
+//! provided in-repo: the [`proptest!`] macro, `prop_assert*` macros,
+//! [`any`], integer-range and [`collection::vec`] strategies.
+//!
+//! Semantics intentionally kept from the real crate:
+//!
+//! * each property runs over many generated cases (default 64, override
+//!   with `PROPTEST_CASES`),
+//! * generation is deterministic per test name (override the seed with
+//!   `PROPTEST_SEED` to explore different cases),
+//! * `prop_assert!`/`prop_assert_eq!` report the failing case values.
+//!
+//! Shrinking is not implemented — failures report the raw generated case.
+
+use std::fmt;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Returns the configured case count (`PROPTEST_CASES` env override).
+#[must_use]
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// A failed or rejected test case, carried through the property body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be skipped.
+    Reject(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic test RNG (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG deterministically from a test name, honouring the
+    /// `PROPTEST_SEED` environment override.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        let mut h = base;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound` (`bound = 0` yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A `Vec` strategy with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length falls in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Constant strategy (`Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+/// The common imports of the real crate's prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Declares deterministic property tests (subset of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let rng = $crate::TestRng::for_test(stringify!($name));
+                let cases = ($cfg).cases;
+                $crate::__proptest_case_loop!(rng, cases, $name, ($($arg in $strat),+), $body);
+            }
+        )+
+    };
+    ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let rng = $crate::TestRng::for_test(stringify!($name));
+                let cases = $crate::cases();
+                $crate::__proptest_case_loop!(rng, cases, $name, ($($arg in $strat),+), $body);
+            }
+        )+
+    };
+}
+
+/// Internal: runs the generated-case loop for one property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case_loop {
+    ($rng:ident, $cases:ident, $name:ident, ($($arg:ident in $strat:expr),+), $body:block) => {{
+        let mut rng = $rng;
+        let cases = $cases;
+        for case in 0..cases {
+            $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+            let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                (|| { $body Ok(()) })();
+            match outcome {
+                Ok(()) | Err($crate::TestCaseError::Reject(_)) => {}
+                Err($crate::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property {} failed at case {case}/{cases}: {msg}\n  inputs: {}",
+                        stringify!($name),
+                        [$(format!("{} = {:?}", stringify!($arg), &$arg)),+].join(", "),
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(stringify!($cond).to_string()));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..=10, y in 0u64..1000, z in 1usize..300) {
+            prop_assert!((3..=10).contains(&x));
+            prop_assert!(y < 1000);
+            prop_assert!((1..300).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<bool>(), 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..=255) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

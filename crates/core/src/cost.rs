@@ -127,6 +127,21 @@ pub struct CostLedger {
 }
 
 impl CostLedger {
+    /// Accumulates another ledger into this one — the deterministic merge
+    /// used when a workload is executed over per-tile accelerators
+    /// (tiles merge in tile order, so totals are independent of thread
+    /// scheduling).
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.imsng.accumulate(&other.imsng);
+        self.sl_single_ops += other.sl_single_ops;
+        self.sl_xor_ops += other.sl_xor_ops;
+        self.cordiv_steps += other.cordiv_steps;
+        self.stream_writes += other.stream_writes;
+        self.stream_reads += other.stream_reads;
+        self.adc_samples += other.adc_samples;
+        self.trng_fills += other.trng_fills;
+    }
+
     /// Sequential-execution makespan in nanoseconds.
     #[must_use]
     pub fn latency_ns(&self, costs: &ReramCosts) -> f64 {

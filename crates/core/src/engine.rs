@@ -28,6 +28,7 @@ use reram::faults::FaultRates;
 use reram::scouting::{ScoutingLogic, SlOp};
 use reram::trng::TrngEngine;
 use sc_core::{BitStream, Fixed};
+use std::collections::HashMap;
 
 /// A handle to a stochastic stream stored in the accelerator's array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -173,11 +174,13 @@ impl AcceleratorBuilder {
             self.trng_bias_sigma,
             self.seed ^ 0x5EED_0003,
         );
+        let rn_rows = allocator.rn_rows();
         Ok(Accelerator {
             stream_len: self.stream_len,
             imsng,
             array,
             allocator,
+            rn_rows,
             sl,
             trng,
             s2b: StochasticToBinary::ideal8(),
@@ -189,11 +192,53 @@ impl AcceleratorBuilder {
             } else {
                 None
             },
+            cache_enabled: self.fault_rates.is_fault_free(),
+            encode_cache: HashMap::new(),
+            cache_hits: 0,
         })
     }
 }
 
+/// One operation of a batched program for
+/// [`Accelerator::execute_many`]. Each variant mirrors the corresponding
+/// single-operation method and yields one result handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchOp {
+    /// SC multiplication (AND over uncorrelated streams).
+    Multiply(StreamHandle, StreamHandle),
+    /// MAJ scaled addition over uncorrelated streams.
+    ScaledAdd(StreamHandle, StreamHandle),
+    /// OR approximate addition over uncorrelated streams.
+    ApproxAdd(StreamHandle, StreamHandle),
+    /// XOR absolute subtraction over correlated streams.
+    AbsSubtract(StreamHandle, StreamHandle),
+    /// AND minimum over correlated streams.
+    Minimum(StreamHandle, StreamHandle),
+    /// OR maximum over correlated streams.
+    Maximum(StreamHandle, StreamHandle),
+    /// CORDIV division over correlated streams.
+    Divide(StreamHandle, StreamHandle),
+    /// Inverted-read complement.
+    Complement(StreamHandle),
+    /// Directed MAJ blend of two correlated streams with an independent
+    /// select.
+    Blend(StreamHandle, StreamHandle, StreamHandle),
+}
+
 /// The all-in-memory stochastic-computing accelerator.
+///
+/// # Encode cache
+///
+/// Within one random-number realization (one refresh of the RN rows), an
+/// ideal-mode IMSNG conversion is a pure function of the operand: the
+/// same operand always produces bit-identical stream rows. The
+/// accelerator therefore memoizes conversions per `(operand, RN epoch)`
+/// — repeated operands in a correlated batch (e.g. equal neighbouring
+/// pixels) replay the cached row with one packed row write instead of
+/// re-running the `5·M`-step comparison schedule. Cost accounting records
+/// the *modeled* hardware work, which is identical on hit and miss, so
+/// ledgers and traces are unaffected by caching. The cache is disabled
+/// under fault injection, where every conversion draws fresh faults.
 ///
 /// # Example
 ///
@@ -211,12 +256,13 @@ impl AcceleratorBuilder {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Accelerator {
     stream_len: usize,
     imsng: Imsng,
     array: CrossbarArray,
     allocator: RowAllocator,
+    rn_rows: Vec<usize>,
     sl: ScoutingLogic,
     trng: TrngEngine,
     s2b: StochasticToBinary,
@@ -224,6 +270,12 @@ pub struct Accelerator {
     next_group: u64,
     ledger: CostLedger,
     trace: Option<Trace>,
+    cache_enabled: bool,
+    /// Memoized conversions for the current RN realization: the stream
+    /// *and* the cost `generate` reported for it, so hit and miss cost
+    /// come from the same source of truth.
+    encode_cache: HashMap<Fixed, (BitStream, crate::imsng::ImsngCost)>,
+    cache_hits: u64,
 }
 
 impl Accelerator {
@@ -275,12 +327,43 @@ impl Accelerator {
     }
 
     fn refresh_rn_rows(&mut self) -> Result<(), ImscError> {
-        for row in self.allocator.rn_rows() {
+        // A new RN realization invalidates all memoized conversions.
+        self.encode_cache.clear();
+        for i in 0..self.rn_rows.len() {
+            let row = self.rn_rows[i];
             self.trng.fill_row(&mut self.array, row)?;
             self.ledger.trng_fills += 1;
             self.record(CmdKind::Write, row);
         }
         Ok(())
+    }
+
+    /// Converts `x` into `dest`, replaying a cached stream when the same
+    /// operand was already converted under the current RN realization.
+    /// Modeled cost is identical either way.
+    fn generate_into(&mut self, x: Fixed, dest: usize) -> Result<crate::imsng::ImsngCost, ImscError> {
+        let m = self.imsng.segment_bits();
+        if self.cache_enabled {
+            let key = x.requantize(m)?;
+            if let Some((stream, cost)) = self.encode_cache.get(&key) {
+                let (stream, cost) = (stream.clone(), *cost);
+                self.array.write_row(dest, &stream)?;
+                // The modeled hardware still runs the full comparison
+                // schedule; keep the scouting-op counter faithful to it.
+                self.sl.note_ops(u64::from(m));
+                self.cache_hits += 1;
+                return Ok(cost);
+            }
+            let cost =
+                self.imsng
+                    .generate(&mut self.array, &mut self.sl, &self.rn_rows, x, dest)?;
+            let stream = BitStream::from_words(self.array.row_words(dest)?.to_vec(), self.stream_len);
+            self.encode_cache.insert(key, (stream, cost));
+            Ok(cost)
+        } else {
+            self.imsng
+                .generate(&mut self.array, &mut self.sl, &self.rn_rows, x, dest)
+        }
     }
 
     fn record_imsng(&mut self, dest: usize) {
@@ -326,11 +409,7 @@ impl Accelerator {
     pub fn encode(&mut self, x: Fixed) -> Result<StreamHandle, ImscError> {
         self.refresh_rn_rows()?;
         let dest = self.allocator.alloc()?;
-        let rn_rows = self.allocator.rn_rows();
-        match self
-            .imsng
-            .generate(&mut self.array, &mut self.sl, &rn_rows, x, dest)
-        {
+        match self.generate_into(x, dest) {
             Ok(cost) => {
                 self.ledger.imsng.accumulate(&cost);
                 self.record_imsng(dest);
@@ -342,6 +421,31 @@ impl Accelerator {
                 Err(e)
             }
         }
+    }
+
+    /// Encodes a batch of operands, each in its own fresh correlation
+    /// domain (the batched form of [`Accelerator::encode`]). Row and slot
+    /// bookkeeping is reserved once for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Accelerator::encode`]; on failure, rows already encoded
+    /// by this call are released.
+    pub fn encode_many(&mut self, operands: &[Fixed]) -> Result<Vec<StreamHandle>, ImscError> {
+        self.slots.reserve(operands.len());
+        let mut handles = Vec::with_capacity(operands.len());
+        for &x in operands {
+            match self.encode(x) {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    for h in handles {
+                        let _ = self.release(h);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(handles)
     }
 
     /// Encodes two operands against the *same* random-number realization,
@@ -380,7 +484,6 @@ impl Accelerator {
             ));
         }
         self.refresh_rn_rows()?;
-        let rn_rows = self.allocator.rn_rows();
         let mut dests = Vec::with_capacity(operands.len());
         let mut costs = Vec::with_capacity(operands.len());
         for &op in operands {
@@ -393,10 +496,7 @@ impl Accelerator {
                     return Err(e);
                 }
             };
-            match self
-                .imsng
-                .generate(&mut self.array, &mut self.sl, &rn_rows, op, dest)
-            {
+            match self.generate_into(op, dest) {
                 Ok(c) => {
                     dests.push(dest);
                     costs.push(c);
@@ -740,6 +840,64 @@ impl Accelerator {
         let row = self.slot(h)?.row;
         self.ledger.stream_reads += 1;
         Ok(self.array.read_row(row)?)
+    }
+
+    /// Executes a whole program of SC operations, yielding one result
+    /// handle per [`BatchOp`] — the batched form of the single-operation
+    /// methods. Slot storage is reserved once for the batch and the
+    /// per-op ledger/trace updates stay cache-hot across the program.
+    ///
+    /// # Errors
+    ///
+    /// The first failing operation's error; handles produced by earlier
+    /// operations of the batch remain valid (callers can release them).
+    pub fn execute_many(&mut self, ops: &[BatchOp]) -> Result<Vec<StreamHandle>, ImscError> {
+        self.slots.reserve(ops.len());
+        let mut out = Vec::with_capacity(ops.len());
+        for &op in ops {
+            let h = match op {
+                BatchOp::Multiply(a, b) => self.multiply(a, b)?,
+                BatchOp::ScaledAdd(a, b) => self.scaled_add(a, b)?,
+                BatchOp::ApproxAdd(a, b) => self.approx_add(a, b)?,
+                BatchOp::AbsSubtract(a, b) => self.abs_subtract(a, b)?,
+                BatchOp::Minimum(a, b) => self.minimum(a, b)?,
+                BatchOp::Maximum(a, b) => self.maximum(a, b)?,
+                BatchOp::Divide(a, b) => self.divide(a, b)?,
+                BatchOp::Complement(a) => self.complement(a)?,
+                BatchOp::Blend(a, b, sel) => self.blend(a, b, sel)?,
+            };
+            out.push(h);
+        }
+        Ok(out)
+    }
+
+    /// Reads several streams back as probability estimates (batched
+    /// [`Accelerator::read_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid handle or substrate error.
+    pub fn read_values(&mut self, handles: &[StreamHandle]) -> Result<Vec<f64>, ImscError> {
+        handles.iter().map(|&h| self.read_value(h)).collect()
+    }
+
+    /// Releases a batch of stream rows (batched [`Accelerator::release`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first already-released or foreign handle; remaining
+    /// handles are left untouched.
+    pub fn release_many(&mut self, handles: &[StreamHandle]) -> Result<(), ImscError> {
+        for &h in handles {
+            self.release(h)?;
+        }
+        Ok(())
+    }
+
+    /// Conversions served from the encode cache (see the type-level docs).
+    #[must_use]
+    pub fn encode_cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// Releases a stream's row for reuse.

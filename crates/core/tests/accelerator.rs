@@ -1,11 +1,93 @@
 //! Integration tests of the accelerator beyond module level: ledger/trace
 //! consistency, correlation-domain algebra, and long operation chains.
 
-use imsc::engine::Accelerator;
+use imsc::engine::{Accelerator, BatchOp};
 use imsc::ImscError;
 use nvsim::{CmdKind, MemoryConfig, Simulator};
 use proptest::prelude::*;
 use sc_core::Fixed;
+
+#[test]
+fn encode_cache_replays_identical_streams_with_identical_costs() {
+    // Correlated duplicate operands must come back bit-identical (the
+    // conversion is a pure function of the RN realization), and the
+    // modeled cost must not depend on whether the cache served them.
+    let mut acc = Accelerator::builder()
+        .stream_len(256)
+        .seed(3)
+        .build()
+        .expect("valid configuration");
+    let handles = acc
+        .encode_correlated_many(&[
+            Fixed::from_u8(90),
+            Fixed::from_u8(90),
+            Fixed::from_u8(200),
+            Fixed::from_u8(90),
+        ])
+        .expect("rows available");
+    let s0 = acc.read_stream(handles[0]).expect("alive");
+    let s1 = acc.read_stream(handles[1]).expect("alive");
+    let s3 = acc.read_stream(handles[3]).expect("alive");
+    assert_eq!(s0, s1);
+    assert_eq!(s0, s3);
+    assert!(acc.encode_cache_hits() >= 2);
+    // Four conversions' worth of modeled IMSNG work, hits included.
+    assert_eq!(acc.ledger().imsng.sense_ops, 4 * 40);
+    assert_eq!(acc.ledger().imsng.sbs_writes, 4);
+}
+
+#[test]
+fn fault_injection_disables_the_encode_cache() {
+    use reram::faults::FaultRates;
+    let mut acc = Accelerator::builder()
+        .stream_len(1024)
+        .seed(5)
+        .fault_rates(FaultRates::uniform(0.05))
+        .build()
+        .expect("valid configuration");
+    let handles = acc
+        .encode_correlated_many(&[Fixed::from_u8(128), Fixed::from_u8(128)])
+        .expect("rows available");
+    assert_eq!(acc.encode_cache_hits(), 0);
+    // Every conversion draws fresh faults: duplicates must differ.
+    let a = acc.read_stream(handles[0]).expect("alive");
+    let b = acc.read_stream(handles[1]).expect("alive");
+    assert_ne!(a, b);
+}
+
+#[test]
+fn batched_apis_match_the_single_op_flow() {
+    let run = |batched: bool| {
+        let mut acc = Accelerator::builder()
+            .stream_len(2048)
+            .seed(21)
+            .trng_bias_sigma(0.0)
+            .build()
+            .expect("valid configuration");
+        let (v, ledger) = if batched {
+            let h = acc
+                .encode_many(&[Fixed::from_u8(200), Fixed::from_u8(128)])
+                .expect("rows available");
+            let out = acc
+                .execute_many(&[BatchOp::Multiply(h[0], h[1])])
+                .expect("uncorrelated");
+            let v = acc.read_values(&out).expect("alive")[0];
+            acc.release_many(&h).expect("alive");
+            acc.release_many(&out).expect("alive");
+            (v, *acc.ledger())
+        } else {
+            let a = acc.encode(Fixed::from_u8(200)).expect("rows");
+            let b = acc.encode(Fixed::from_u8(128)).expect("rows");
+            let p = acc.multiply(a, b).expect("uncorrelated");
+            let v = acc.read_value(p).expect("alive");
+            (v, *acc.ledger())
+        };
+        (v, ledger.imsng.sense_ops, ledger.sl_single_ops)
+    };
+    // Identical seeds and identical operation sequences: the batched API
+    // is a pure convenience layer, so values and ledgers must agree.
+    assert_eq!(run(true), run(false));
+}
 
 #[test]
 fn ledger_and_trace_agree_on_operation_counts() {

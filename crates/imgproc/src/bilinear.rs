@@ -11,8 +11,10 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats, TileOut};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
+use imsc::engine::{Accelerator, BatchOp};
 use sc_core::Fixed;
 
 /// The four neighbours and fractional offsets of one output pixel.
@@ -70,8 +72,68 @@ pub fn software(src: &GrayImage, factor: usize) -> Result<GrayImage, ImgError> {
     ))
 }
 
+/// Computes one output pixel on a tile's accelerator: correlated 4-tap
+/// encode, two horizontal directed blends (batched), one vertical blend,
+/// ADC read-out.
+fn sc_reram_pixel(
+    acc: &mut Accelerator,
+    src: &GrayImage,
+    ox: usize,
+    oy: usize,
+    factor: usize,
+) -> Result<u8, ImgError> {
+    let t = tap(src, ox, oy, factor);
+    let handles = acc.encode_correlated_many(&[
+        Fixed::from_u8(t.i11),
+        Fixed::from_u8(t.i21),
+        Fixed::from_u8(t.i12),
+        Fixed::from_u8(t.i22),
+    ])?;
+    let (h11, h21, h12, h22) = (handles[0], handles[1], handles[2], handles[3]);
+    // Directed selects: MAJ weights the larger operand by `sel`,
+    // so complement dx/dy when the pair is descending.
+    let sel_top = if t.i21 >= t.i11 { t.dx } else { 255 - t.dx };
+    let sel_bot = if t.i22 >= t.i12 { t.dx } else { 255 - t.dx };
+    // The two horizontal selects share one RN realization (one refresh
+    // instead of two): they stay independent of the operand domain, and
+    // their mutual correlation only strengthens the top/bottom
+    // correlation the outer blend requires.
+    let (hst, hsb) =
+        acc.encode_correlated(Fixed::from_u8(sel_top), Fixed::from_u8(sel_bot))?;
+    let blends = acc.execute_many(&[
+        BatchOp::Blend(h11, h21, hst),
+        BatchOp::Blend(h12, h22, hsb),
+    ])?;
+    let (top, bottom) = (blends[0], blends[1]);
+    // Expected row values decide the vertical direction.
+    let et = sw::bilinear_f64(
+        f64::from(t.i11),
+        0.0,
+        f64::from(t.i21),
+        0.0,
+        f64::from(t.dx) / 256.0,
+        0.0,
+    );
+    let eb = sw::bilinear_f64(
+        f64::from(t.i12),
+        0.0,
+        f64::from(t.i22),
+        0.0,
+        f64::from(t.dx) / 256.0,
+        0.0,
+    );
+    let sel_v = if eb >= et { t.dy } else { 255 - t.dy };
+    let hsv = acc.encode(Fixed::from_u8(sel_v))?;
+    let result = acc.blend(top, bottom, hsv)?;
+    let v = acc.read_value(result)?;
+    acc.release_many(&[h11, h21, h12, h22, hst, hsb, top, bottom, hsv, result])?;
+    Ok(prob_to_pixel(v))
+}
+
 /// In-ReRAM SC up-scaling: nested directed MAJ blends over one shared
-/// correlation domain.
+/// correlation domain. Processes the output in row tiles — one
+/// accelerator instance per tile, optionally thread-parallel (`parallel`
+/// feature) — and merges per-tile cost ledgers deterministically.
 ///
 /// # Errors
 ///
@@ -81,55 +143,39 @@ pub fn sc_reram(
     factor: usize,
     cfg: &ScReramConfig,
 ) -> Result<GrayImage, ImgError> {
+    sc_reram_with_stats(src, factor, cfg).map(|(img, _)| img)
+}
+
+/// [`sc_reram`] returning the merged hardware-cost statistics alongside
+/// the image.
+///
+/// # Errors
+///
+/// Parameter or substrate errors.
+pub fn sc_reram_with_stats(
+    src: &GrayImage,
+    factor: usize,
+    cfg: &ScReramConfig,
+) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_factor(factor)?;
-    let mut acc = cfg.build()?;
-    let mut out = GrayImage::new(src.width() * factor, src.height() * factor);
-    for oy in 0..out.height() {
-        for ox in 0..out.width() {
-            let t = tap(src, ox, oy, factor);
-            let handles = acc.encode_correlated_many(&[
-                Fixed::from_u8(t.i11),
-                Fixed::from_u8(t.i21),
-                Fixed::from_u8(t.i12),
-                Fixed::from_u8(t.i22),
-            ])?;
-            let (h11, h21, h12, h22) = (handles[0], handles[1], handles[2], handles[3]);
-            // Directed selects: MAJ weights the larger operand by `sel`,
-            // so complement dx/dy when the pair is descending.
-            let sel_top = if t.i21 >= t.i11 { t.dx } else { 255 - t.dx };
-            let sel_bot = if t.i22 >= t.i12 { t.dx } else { 255 - t.dx };
-            let hst = acc.encode(Fixed::from_u8(sel_top))?;
-            let hsb = acc.encode(Fixed::from_u8(sel_bot))?;
-            let top = acc.blend(h11, h21, hst)?;
-            let bottom = acc.blend(h12, h22, hsb)?;
-            // Expected row values decide the vertical direction.
-            let et = sw::bilinear_f64(
-                f64::from(t.i11),
-                0.0,
-                f64::from(t.i21),
-                0.0,
-                f64::from(t.dx) / 256.0,
-                0.0,
-            );
-            let eb = sw::bilinear_f64(
-                f64::from(t.i12),
-                0.0,
-                f64::from(t.i22),
-                0.0,
-                f64::from(t.dx) / 256.0,
-                0.0,
-            );
-            let sel_v = if eb >= et { t.dy } else { 255 - t.dy };
-            let hsv = acc.encode(Fixed::from_u8(sel_v))?;
-            let result = acc.blend(top, bottom, hsv)?;
-            let v = acc.read_value(result)?;
-            out.set(ox, oy, prob_to_pixel(v));
-            for h in [h11, h21, h12, h22, hst, hsb, top, bottom, hsv, result] {
-                acc.release(h)?;
+    let width = src.width() * factor;
+    let height = src.height() * factor;
+    let tiles = tile::run_row_tiles(height, |t, rows| {
+        let mut acc = cfg.build_for_tile(t)?;
+        let mut pixels = Vec::with_capacity(rows.len() * width);
+        for oy in rows {
+            for ox in 0..width {
+                pixels.push(sc_reram_pixel(&mut acc, src, ox, oy, factor)?);
             }
         }
-    }
-    Ok(out)
+        Ok(TileOut {
+            pixels,
+            ledger: *acc.ledger(),
+            cache_hits: acc.encode_cache_hits(),
+        })
+    })?;
+    let (pixels, stats) = tile::assemble(tiles);
+    Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
 }
 
 /// Functional CMOS SC up-scaling with the same nested-MAJ kernel.

@@ -10,6 +10,7 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats, TileOut};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
 use sc_core::Fixed;
@@ -43,7 +44,9 @@ pub fn software(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<GrayI
 }
 
 /// In-ReRAM SC compositing: correlated F/B encoding, directed MAJ blend,
-/// ADC read-out — the full ❶❷❸ flow per pixel.
+/// ADC read-out — the full ❶❷❸ flow per pixel. Processes the image in
+/// row tiles (one accelerator per tile, optionally thread-parallel) and
+/// merges per-tile cost ledgers deterministically.
 ///
 /// # Errors
 ///
@@ -54,27 +57,49 @@ pub fn sc_reram(
     alpha: &GrayImage,
     cfg: &ScReramConfig,
 ) -> Result<GrayImage, ImgError> {
+    sc_reram_with_stats(f, b, alpha, cfg).map(|(img, _)| img)
+}
+
+/// [`sc_reram`] returning the merged hardware-cost statistics alongside
+/// the image.
+///
+/// # Errors
+///
+/// Dimension or substrate errors.
+pub fn sc_reram_with_stats(
+    f: &GrayImage,
+    b: &GrayImage,
+    alpha: &GrayImage,
+    cfg: &ScReramConfig,
+) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(f, b, alpha)?;
-    let mut acc = cfg.build()?;
-    let mut out = GrayImage::new(f.width(), f.height());
-    for y in 0..f.height() {
-        for x in 0..f.width() {
-            let pf = f.get(x, y).expect("checked dims");
-            let pb = b.get(x, y).expect("checked dims");
-            let pa = alpha.get(x, y).expect("checked dims");
-            // Directed select: MAJ weights the larger operand by `sel`.
-            let sel = if pf >= pb { pa } else { 255 - pa };
-            let (hf, hb) = acc.encode_correlated(Fixed::from_u8(pf), Fixed::from_u8(pb))?;
-            let hs = acc.encode(Fixed::from_u8(sel))?;
-            let hc = acc.blend(hf, hb, hs)?;
-            let v = acc.read_value(hc)?;
-            out.set(x, y, prob_to_pixel(v));
-            for h in [hf, hb, hs, hc] {
-                acc.release(h)?;
+    let width = f.width();
+    let tiles = tile::run_row_tiles(f.height(), |t, rows| {
+        let mut acc = cfg.build_for_tile(t)?;
+        let mut pixels = Vec::with_capacity(rows.len() * width);
+        for y in rows {
+            for x in 0..width {
+                let pf = f.get(x, y).expect("checked dims");
+                let pb = b.get(x, y).expect("checked dims");
+                let pa = alpha.get(x, y).expect("checked dims");
+                // Directed select: MAJ weights the larger operand by `sel`.
+                let sel = if pf >= pb { pa } else { 255 - pa };
+                let (hf, hb) = acc.encode_correlated(Fixed::from_u8(pf), Fixed::from_u8(pb))?;
+                let hs = acc.encode(Fixed::from_u8(sel))?;
+                let hc = acc.blend(hf, hb, hs)?;
+                let v = acc.read_value(hc)?;
+                pixels.push(prob_to_pixel(v));
+                acc.release_many(&[hf, hb, hs, hc])?;
             }
         }
-    }
-    Ok(out)
+        Ok(TileOut {
+            pixels,
+            ledger: *acc.ledger(),
+            cache_hits: acc.encode_cache_hits(),
+        })
+    })?;
+    let (pixels, stats) = tile::assemble(tiles);
+    Ok((GrayImage::from_pixels(width, f.height(), pixels)?, stats))
 }
 
 /// Functional CMOS SC compositing (LFSR/Sobol/software SNG), with the

@@ -13,7 +13,9 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats, TileOut};
 use baselines::bincim::BinaryCim;
+use imsc::engine::BatchOp;
 use sc_core::Fixed;
 
 /// The 2×2 neighbourhood of the Roberts cross at `(x, y)`.
@@ -34,44 +36,69 @@ pub fn software(img: &GrayImage) -> GrayImage {
 }
 
 /// In-ReRAM SC edge detection: correlated 4-tap encode, two XOR
-/// subtractions, one MAJ scaled addition, ADC read-out.
+/// subtractions (batched), one MAJ scaled addition, ADC read-out.
+/// Processes the image in row tiles (one accelerator per tile, optionally
+/// thread-parallel) and merges per-tile cost ledgers deterministically.
 ///
 /// # Errors
 ///
 /// Substrate errors only.
 pub fn sc_reram(img: &GrayImage, cfg: &ScReramConfig) -> Result<GrayImage, ImgError> {
-    let mut acc = cfg.build()?;
-    let mut out = GrayImage::new(img.width(), img.height());
-    for y in 0..img.height() {
-        for x in 0..img.width() {
-            let (a, b, c, d) = taps(img, x, y);
-            let handles = acc.encode_correlated_many(&[
-                Fixed::from_u8(a),
-                Fixed::from_u8(b),
-                Fixed::from_u8(c),
-                Fixed::from_u8(d),
-            ])?;
-            let g1 = acc.abs_subtract(handles[0], handles[1])?;
-            let g2 = acc.abs_subtract(handles[2], handles[3])?;
-            // |a−b| and |c−d| are interval indicators over the same
-            // random numbers; their overlap makes them *correlated*, so
-            // the uncorrelated-input scaled_add is not applicable — use
-            // blend with a 0.5 select, which is exact for correlated
-            // inputs: 0.5·max + 0.5·min = (g1 + g2)/2.
-            let half = Fixed::new(1 << (acc.segment_bits() - 1), acc.segment_bits())
-                .map_err(ImgError::Stochastic)?;
-            let sel = acc.encode(half)?;
-            let e = acc.blend(g1, g2, sel)?;
-            let v = acc.read_value(e)?;
-            out.set(x, y, prob_to_pixel(v));
-            for h in [
-                handles[0], handles[1], handles[2], handles[3], g1, g2, sel, e,
-            ] {
-                acc.release(h)?;
+    sc_reram_with_stats(img, cfg).map(|(out, _)| out)
+}
+
+/// [`sc_reram`] returning the merged hardware-cost statistics alongside
+/// the image.
+///
+/// # Errors
+///
+/// Substrate errors only.
+pub fn sc_reram_with_stats(
+    img: &GrayImage,
+    cfg: &ScReramConfig,
+) -> Result<(GrayImage, ScRunStats), ImgError> {
+    let width = img.width();
+    let tiles = tile::run_row_tiles(img.height(), |t, rows| {
+        let mut acc = cfg.build_for_tile(t)?;
+        let mut pixels = Vec::with_capacity(rows.len() * width);
+        for y in rows {
+            for x in 0..width {
+                let (a, b, c, d) = taps(img, x, y);
+                let handles = acc.encode_correlated_many(&[
+                    Fixed::from_u8(a),
+                    Fixed::from_u8(b),
+                    Fixed::from_u8(c),
+                    Fixed::from_u8(d),
+                ])?;
+                let grads = acc.execute_many(&[
+                    BatchOp::AbsSubtract(handles[0], handles[1]),
+                    BatchOp::AbsSubtract(handles[2], handles[3]),
+                ])?;
+                let (g1, g2) = (grads[0], grads[1]);
+                // |a−b| and |c−d| are interval indicators over the same
+                // random numbers; their overlap makes them *correlated*, so
+                // the uncorrelated-input scaled_add is not applicable — use
+                // blend with a 0.5 select, which is exact for correlated
+                // inputs: 0.5·max + 0.5·min = (g1 + g2)/2.
+                let half = Fixed::new(1 << (acc.segment_bits() - 1), acc.segment_bits())
+                    .map_err(ImgError::Stochastic)?;
+                let sel = acc.encode(half)?;
+                let e = acc.blend(g1, g2, sel)?;
+                let v = acc.read_value(e)?;
+                pixels.push(prob_to_pixel(v));
+                acc.release_many(&[
+                    handles[0], handles[1], handles[2], handles[3], g1, g2, sel, e,
+                ])?;
             }
         }
-    }
-    Ok(out)
+        Ok(TileOut {
+            pixels,
+            ledger: *acc.ledger(),
+            cache_hits: acc.encode_cache_hits(),
+        })
+    })?;
+    let (pixels, stats) = tile::assemble(tiles);
+    Ok((GrayImage::from_pixels(width, img.height(), pixels)?, stats))
 }
 
 /// Functional CMOS SC edge detection with the same kernel.

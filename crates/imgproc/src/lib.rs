@@ -34,7 +34,9 @@ pub mod matting;
 pub mod metrics;
 pub mod scbackend;
 pub mod synth;
+pub mod tile;
 
 pub use error::ImgError;
 pub use image::GrayImage;
 pub use scbackend::{CmosScConfig, ScReramConfig};
+pub use tile::ScRunStats;

@@ -11,6 +11,7 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats, TileOut};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
 use imsc::ImscError;
@@ -58,42 +59,66 @@ pub fn sc_reram(
     f: &GrayImage,
     cfg: &ScReramConfig,
 ) -> Result<GrayImage, ImgError> {
+    sc_reram_with_stats(i, b, f, cfg).map(|(img, _)| img)
+}
+
+/// [`sc_reram`] returning the merged hardware-cost statistics alongside
+/// the matte. Processes the image in row tiles (one accelerator per
+/// tile, optionally thread-parallel) with deterministically merged
+/// ledgers.
+///
+/// # Errors
+///
+/// Same as [`sc_reram`].
+pub fn sc_reram_with_stats(
+    i: &GrayImage,
+    b: &GrayImage,
+    f: &GrayImage,
+    cfg: &ScReramConfig,
+) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(i, b, f)?;
-    let mut acc = cfg.build()?;
-    let mut out = GrayImage::new(i.width(), i.height());
-    for y in 0..i.height() {
-        for x in 0..i.width() {
-            let pi = i.get(x, y).expect("checked dims");
-            let pb = b.get(x, y).expect("checked dims");
-            let pf = f.get(x, y).expect("checked dims");
-            if pf == pb {
-                out.set(x, y, 0);
-                continue;
-            }
-            let handles = acc.encode_correlated_many(&[
-                Fixed::from_u8(pi),
-                Fixed::from_u8(pb),
-                Fixed::from_u8(pf),
-            ])?;
-            let (hi, hb, hf) = (handles[0], handles[1], handles[2]);
-            let d_num = acc.abs_subtract(hi, hb)?;
-            let d_den = acc.abs_subtract(hf, hb)?;
-            let alpha = match acc.divide(d_num, d_den) {
-                Ok(q) => {
-                    let v = acc.read_value(q)?;
-                    acc.release(q)?;
-                    prob_to_pixel(v)
+    let width = i.width();
+    let tiles = tile::run_row_tiles(i.height(), |t, rows| {
+        let mut acc = cfg.build_for_tile(t)?;
+        let mut pixels = Vec::with_capacity(rows.len() * width);
+        for y in rows {
+            for x in 0..width {
+                let pi = i.get(x, y).expect("checked dims");
+                let pb = b.get(x, y).expect("checked dims");
+                let pf = f.get(x, y).expect("checked dims");
+                if pf == pb {
+                    pixels.push(0);
+                    continue;
                 }
-                Err(ImscError::Stochastic(ScError::DivisionByZero)) => 0,
-                Err(e) => return Err(e.into()),
-            };
-            out.set(x, y, alpha);
-            for h in [hi, hb, hf, d_num, d_den] {
-                acc.release(h)?;
+                let handles = acc.encode_correlated_many(&[
+                    Fixed::from_u8(pi),
+                    Fixed::from_u8(pb),
+                    Fixed::from_u8(pf),
+                ])?;
+                let (hi, hb, hf) = (handles[0], handles[1], handles[2]);
+                let d_num = acc.abs_subtract(hi, hb)?;
+                let d_den = acc.abs_subtract(hf, hb)?;
+                let alpha = match acc.divide(d_num, d_den) {
+                    Ok(q) => {
+                        let v = acc.read_value(q)?;
+                        acc.release(q)?;
+                        prob_to_pixel(v)
+                    }
+                    Err(ImscError::Stochastic(ScError::DivisionByZero)) => 0,
+                    Err(e) => return Err(e.into()),
+                };
+                pixels.push(alpha);
+                acc.release_many(&[hi, hb, hf, d_num, d_den])?;
             }
         }
-    }
-    Ok(out)
+        Ok(TileOut {
+            pixels,
+            ledger: *acc.ledger(),
+            cache_hits: acc.encode_cache_hits(),
+        })
+    })?;
+    let (pixels, stats) = tile::assemble(tiles);
+    Ok((GrayImage::from_pixels(width, i.height(), pixels)?, stats))
 }
 
 /// Functional CMOS SC α estimation with the same correlated kernel.

@@ -50,10 +50,22 @@ impl ScReramConfig {
     ///
     /// Propagates accelerator construction errors.
     pub fn build(&self) -> Result<Accelerator, ImgError> {
+        self.build_for_tile(0)
+    }
+
+    /// Builds the accelerator instance driving one row tile of a tiled
+    /// kernel run. Tile 0 uses the master seed unchanged; other tiles
+    /// derive independent seeds deterministically, so tiled results do
+    /// not depend on execution order or thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator construction errors.
+    pub fn build_for_tile(&self, tile: usize) -> Result<Accelerator, ImgError> {
         Ok(Accelerator::builder()
             .stream_len(self.stream_len)
             .segment_bits(self.segment_bits)
-            .seed(self.seed)
+            .seed(crate::tile::tile_seed(self.seed, tile))
             .fault_rates(self.fault_rates)
             .trng_bias_sigma(self.trng_bias_sigma)
             .variant(self.variant)

@@ -1,0 +1,207 @@
+//! Deterministic row-tile execution for the SC-ReRAM image kernels.
+//!
+//! The in-memory kernels are embarrassingly parallel across pixels, but a
+//! hardware accelerator instance is stateful (TRNG, row allocator, cost
+//! ledger). The tiling layer therefore splits the *output* image into
+//! fixed-height row tiles and runs one accelerator instance per tile —
+//! mirroring how a multi-array deployment shards a frame across banks
+//! (cf. `imsc::pipeline`). Tile geometry and per-tile seeds are pure
+//! functions of the image size and the configured master seed, so results
+//! are bit-identical whether tiles execute sequentially or on a thread
+//! pool, and per-tile [`CostLedger`]s merge in tile order so accumulated
+//! hardware-cost numbers (the Table III / Fig. 4–5 inputs) are unchanged
+//! by parallelism.
+//!
+//! With the `parallel` feature enabled, tiles are distributed over
+//! `std::thread::scope` workers via an atomic work queue (this
+//! environment pins dependencies, so no rayon; the seam is the same one a
+//! rayon pool would plug into).
+
+use crate::error::ImgError;
+use imsc::cost::CostLedger;
+
+/// Output rows per tile. Small enough to parallelize modest images,
+/// large enough to amortize accelerator construction per tile.
+pub(crate) const TILE_ROWS: usize = 8;
+
+/// The result of processing one row tile.
+#[derive(Debug, Clone)]
+pub(crate) struct TileOut {
+    /// Row-major pixels of this tile (`rows.len() * width` entries).
+    pub pixels: Vec<u8>,
+    /// The tile accelerator's accumulated hardware-cost ledger.
+    pub ledger: CostLedger,
+    /// Encode-cache hits observed by the tile accelerator.
+    pub cache_hits: u64,
+}
+
+/// Aggregate statistics of one tiled SC-ReRAM kernel run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScRunStats {
+    /// Hardware-cost totals, merged deterministically across tiles.
+    pub ledger: CostLedger,
+    /// Total encode-cache hits across tile accelerators.
+    pub encode_cache_hits: u64,
+    /// Number of tiles executed.
+    pub tiles: usize,
+}
+
+/// Derives the per-tile accelerator seed from a master seed. Tile 0 keeps
+/// the master seed, so a single-tile run is identical to the untiled
+/// flow.
+#[must_use]
+pub(crate) fn tile_seed(master: u64, tile: usize) -> u64 {
+    master ^ (tile as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn tile_ranges(height: usize) -> Vec<std::ops::Range<usize>> {
+    (0..height.div_ceil(TILE_ROWS))
+        .map(|t| t * TILE_ROWS..((t + 1) * TILE_ROWS).min(height))
+        .collect()
+}
+
+/// Runs `worker` over every row tile of an output image of the given
+/// `height`, returning tile outputs in tile order. The worker receives
+/// `(tile_index, row_range)` and must be deterministic in those inputs.
+pub(crate) fn run_row_tiles<W>(height: usize, worker: W) -> Result<Vec<TileOut>, ImgError>
+where
+    W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
+{
+    let ranges = tile_ranges(height);
+    run_tiles_impl(&ranges, &worker)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_tiles_impl<W>(
+    ranges: &[std::ops::Range<usize>],
+    worker: &W,
+) -> Result<Vec<TileOut>, ImgError>
+where
+    W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
+{
+    ranges
+        .iter()
+        .enumerate()
+        .map(|(t, r)| worker(t, r.clone()))
+        .collect()
+}
+
+#[cfg(feature = "parallel")]
+fn run_tiles_impl<W>(
+    ranges: &[std::ops::Range<usize>],
+    worker: &W,
+) -> Result<Vec<TileOut>, ImgError>
+where
+    W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // `IMGPROC_TILE_THREADS` overrides the worker count (useful to force
+    // the threaded path on single-core CI or to pin thread counts).
+    let threads = std::env::var("IMGPROC_TILE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(ranges.len());
+    if threads <= 1 {
+        return ranges
+            .iter()
+            .enumerate()
+            .map(|(t, r)| worker(t, r.clone()))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<TileOut, ImgError>>>> =
+        ranges.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= ranges.len() {
+                    break;
+                }
+                let result = worker(t, ranges[t].clone());
+                *slots[t].lock().expect("tile slot lock") = Some(result);
+            });
+        }
+    });
+    // Collect in tile order; scheduling cannot affect the merged result.
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("tile slot lock")
+                .expect("every tile index was claimed")
+        })
+        .collect()
+}
+
+/// Assembles tile outputs into `(pixels, stats)`, merging ledgers in tile
+/// order.
+pub(crate) fn assemble(tiles: Vec<TileOut>) -> (Vec<u8>, ScRunStats) {
+    let mut pixels = Vec::with_capacity(tiles.iter().map(|t| t.pixels.len()).sum());
+    let mut stats = ScRunStats {
+        tiles: tiles.len(),
+        ..ScRunStats::default()
+    };
+    for tile in tiles {
+        pixels.extend_from_slice(&tile.pixels);
+        stats.ledger.merge(&tile.ledger);
+        stats.encode_cache_hits += tile.cache_hits;
+    }
+    (pixels, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_tile(t: usize, rows: std::ops::Range<usize>) -> Result<TileOut, ImgError> {
+        Ok(TileOut {
+            pixels: rows.map(|r| (r * 10 + t) as u8).collect(),
+            ledger: CostLedger {
+                adc_samples: 1,
+                ..CostLedger::default()
+            },
+            cache_hits: t as u64,
+        })
+    }
+
+    #[test]
+    fn tiles_cover_the_height_in_order() {
+        let outs = run_row_tiles(19, constant_tile).unwrap();
+        assert_eq!(outs.len(), 3);
+        let (pixels, stats) = assemble(outs);
+        assert_eq!(pixels.len(), 19);
+        assert_eq!(pixels[0], 0); // row 0, tile 0
+        assert_eq!(pixels[8], 81); // row 8, tile 1
+        assert_eq!(stats.tiles, 3);
+        assert_eq!(stats.ledger.adc_samples, 3);
+        assert_eq!(stats.encode_cache_hits, 0 + 1 + 2);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = run_row_tiles(16, |t, rows| {
+            if t == 1 {
+                Err(ImgError::InvalidParameter("boom"))
+            } else {
+                constant_tile(t, rows)
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tile_seed_is_stable_and_tile0_is_master() {
+        assert_eq!(tile_seed(42, 0), 42);
+        assert_ne!(tile_seed(42, 1), tile_seed(42, 2));
+        assert_eq!(tile_seed(7, 3), tile_seed(7, 3));
+    }
+}

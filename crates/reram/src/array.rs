@@ -3,13 +3,31 @@
 //! The array is the Fig. 1(a) structure: wordline rows holding binary
 //! data, random-number rows, and generated stochastic bit-streams; bitline
 //! columns shared by the scouting-logic sense amplifiers.
+//!
+//! # Packed digital fast path
+//!
+//! The scouting-logic substrate executes bulk bitwise operations
+//! row-parallel in a single sensing cycle, so the *digital* state of a row
+//! is, semantically, a machine word vector — exactly the representation
+//! [`BitStream`] already uses. The array therefore stores programmed
+//! states as packed `u64` words (`⌈cols/64⌉` per row): `write_row`,
+//! `read_row`, and the digital scouting path run word-at-a-time instead of
+//! cell-by-cell.
+//!
+//! The *analog* quantities (per-cell drawn resistances feeding
+//! [`CrossbarArray::column_current`] and the sense model) are materialized
+//! lazily on first analog access and kept in sync by differential writes
+//! afterwards, so fault-rate derivation ([`crate::vcm`]) sees the same
+//! lognormal variability model as before while purely digital workloads
+//! never pay for it.
 
-use crate::cell::{CellState, DeviceParams, ReramCell};
+use crate::cell::{read_current_from, sample_resistance, CellState, DeviceParams};
 use crate::error::ReramError;
 use crate::math::GaussianSampler;
 use sc_core::BitStream;
 
-/// A 2-D grid of ReRAM cells with per-cell drawn resistances.
+/// A 2-D grid of ReRAM cells with packed digital state and lazily drawn
+/// per-cell resistances.
 ///
 /// Reads and writes are counted for energy accounting and endurance
 /// studies. Digital reads are noiseless; the analog path
@@ -19,7 +37,15 @@ use sc_core::BitStream;
 pub struct CrossbarArray {
     rows: usize,
     cols: usize,
-    cells: Vec<ReramCell>,
+    words_per_row: usize,
+    /// Packed programmed states, row-major: bit = 1 ⇔ LRS.
+    words: Vec<u64>,
+    /// Per-cell program counts (endurance accounting), row-major. Kept
+    /// at the old per-cell model's u64 width so long endurance studies
+    /// cannot wrap.
+    cell_writes: Vec<u64>,
+    /// Per-cell drawn resistances, materialized on first analog access.
+    resistances: Option<Vec<f64>>,
     params: DeviceParams,
     sampler: GaussianSampler,
     row_writes: u64,
@@ -46,16 +72,16 @@ impl CrossbarArray {
     #[must_use]
     pub fn with_params(rows: usize, cols: usize, params: DeviceParams, seed: u64) -> Self {
         assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
-        let mut sampler = GaussianSampler::new(seed);
-        let cells = (0..rows * cols)
-            .map(|_| ReramCell::programmed(CellState::Hrs, &params, &mut sampler))
-            .collect();
+        let words_per_row = cols.div_ceil(64);
         CrossbarArray {
             rows,
             cols,
-            cells,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+            cell_writes: vec![1; rows * cols],
+            resistances: None,
             params,
-            sampler,
+            sampler: GaussianSampler::new(seed),
             row_writes: 0,
             row_reads: 0,
         }
@@ -71,6 +97,12 @@ impl CrossbarArray {
     #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Packed words per row (`⌈cols/64⌉`).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
     }
 
     /// The device parameters of this array.
@@ -91,6 +123,12 @@ impl CrossbarArray {
         self.row_reads
     }
 
+    /// Whether the analog per-cell state has been materialized.
+    #[must_use]
+    pub fn analog_materialized(&self) -> bool {
+        self.resistances.is_some()
+    }
+
     fn idx(&self, row: usize, col: usize) -> usize {
         row * self.cols + col
     }
@@ -106,9 +144,75 @@ impl CrossbarArray {
         }
     }
 
+    fn check_col(&self, col: usize) -> Result<(), ReramError> {
+        if col >= self.cols {
+            Err(ReramError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The packed digital words of a row (bit = 1 ⇔ LRS). Does not count
+    /// as a sensed read; the scouting engine records activations through
+    /// [`CrossbarArray::activate_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::RowOutOfRange`] if `row` exceeds the height.
+    pub fn row_words(&self, row: usize) -> Result<&[u64], ReramError> {
+        self.check_row(row)?;
+        let start = row * self.words_per_row;
+        Ok(&self.words[start..start + self.words_per_row])
+    }
+
+    /// Validates a set of operand rows and records one multi-row
+    /// activation per row (the accounting hook of the scouting engine's
+    /// digital fast path, mirroring the per-row sensed reads of the
+    /// original cell-by-cell implementation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::RowOutOfRange`] for any out-of-range row.
+    pub fn activate_rows(&mut self, rows: &[usize]) -> Result<(), ReramError> {
+        for &row in rows {
+            self.check_row(row)?;
+        }
+        self.row_reads += rows.len() as u64;
+        Ok(())
+    }
+
+    /// Draws per-cell resistances for the current programmed states.
+    /// Called on first analog access; afterwards differential writes keep
+    /// the drawn values in sync (reprogrammed cells redraw, untouched
+    /// cells keep their resistance — the same cycle-to-cycle variability
+    /// semantics as the per-cell model).
+    fn materialize_analog(&mut self) {
+        if self.resistances.is_some() {
+            return;
+        }
+        let mut resistances = Vec::with_capacity(self.rows * self.cols);
+        for row in 0..self.rows {
+            let base = row * self.words_per_row;
+            for col in 0..self.cols {
+                let bit = (self.words[base + col / 64] >> (col % 64)) & 1 == 1;
+                resistances.push(sample_resistance(
+                    CellState::from_bool(bit),
+                    &self.params,
+                    &mut self.sampler,
+                ));
+            }
+        }
+        self.resistances = Some(resistances);
+    }
+
     /// Writes a full row from a bit-stream (differential write: only cells
     /// whose value changes are reprogrammed, as the L0/L1 latch pair
-    /// implements in hardware).
+    /// implements in hardware). Runs word-at-a-time; per-cell bookkeeping
+    /// (endurance counters, analog resistance redraw) is only done for the
+    /// changed bits of each word.
     ///
     /// Returns the number of cells actually reprogrammed.
     ///
@@ -125,20 +229,35 @@ impl CrossbarArray {
             });
         }
         self.row_writes += 1;
-        let mut changed = 0;
-        for col in 0..self.cols {
-            let bit = data.get(col).unwrap_or(false);
-            let i = self.idx(row, col);
-            if self.cells[i].state().as_bool() != bit {
-                let state = CellState::from_bool(bit);
-                self.cells[i].program(state, &self.params, &mut self.sampler);
-                changed += 1;
+        let base = row * self.words_per_row;
+        let cell_base = row * self.cols;
+        let mut changed = 0usize;
+        for (w, &new) in data.as_words().iter().enumerate() {
+            let old = self.words[base + w];
+            let mut diff = old ^ new;
+            if diff == 0 {
+                continue;
+            }
+            changed += diff.count_ones() as usize;
+            self.words[base + w] = new;
+            // Per-cell bookkeeping only for the flipped bits.
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let col = w * 64 + bit;
+                let i = cell_base + col;
+                self.cell_writes[i] += 1;
+                if let Some(res) = self.resistances.as_mut() {
+                    let state = CellState::from_bool(new >> bit & 1 == 1);
+                    res[i] = sample_resistance(state, &self.params, &mut self.sampler);
+                }
             }
         }
         Ok(changed)
     }
 
-    /// Reads a full row digitally (programmed states, no analog noise).
+    /// Reads a full row digitally (programmed states, no analog noise) —
+    /// a single word-level copy of the packed row.
     ///
     /// # Errors
     ///
@@ -146,10 +265,11 @@ impl CrossbarArray {
     pub fn read_row(&mut self, row: usize) -> Result<BitStream, ReramError> {
         self.check_row(row)?;
         self.row_reads += 1;
-        let cols = self.cols;
-        Ok(BitStream::from_fn(cols, |col| {
-            self.cells[row * cols + col].state().as_bool()
-        }))
+        let start = row * self.words_per_row;
+        Ok(BitStream::from_words(
+            self.words[start..start + self.words_per_row].to_vec(),
+            self.cols,
+        ))
     }
 
     /// Reads a single cell's programmed state.
@@ -159,13 +279,9 @@ impl CrossbarArray {
     /// Returns a range error for out-of-bounds coordinates.
     pub fn read_bit(&self, row: usize, col: usize) -> Result<bool, ReramError> {
         self.check_row(row)?;
-        if col >= self.cols {
-            return Err(ReramError::ColOutOfRange {
-                col,
-                cols: self.cols,
-            });
-        }
-        Ok(self.cells[self.idx(row, col)].state().as_bool())
+        self.check_col(col)?;
+        let w = row * self.words_per_row + col / 64;
+        Ok((self.words[w] >> (col % 64)) & 1 == 1)
     }
 
     /// Writes a single cell.
@@ -175,15 +291,18 @@ impl CrossbarArray {
     /// Returns a range error for out-of-bounds coordinates.
     pub fn write_bit(&mut self, row: usize, col: usize, bit: bool) -> Result<(), ReramError> {
         self.check_row(row)?;
-        if col >= self.cols {
-            return Err(ReramError::ColOutOfRange {
-                col,
-                cols: self.cols,
-            });
+        self.check_col(col)?;
+        let w = row * self.words_per_row + col / 64;
+        let mask = 1u64 << (col % 64);
+        let old = self.words[w] & mask != 0;
+        if old == bit {
+            return Ok(());
         }
+        self.words[w] ^= mask;
         let i = self.idx(row, col);
-        if self.cells[i].state().as_bool() != bit {
-            self.cells[i].program(CellState::from_bool(bit), &self.params, &mut self.sampler);
+        self.cell_writes[i] += 1;
+        if let Some(res) = self.resistances.as_mut() {
+            res[i] = sample_resistance(CellState::from_bool(bit), &self.params, &mut self.sampler);
         }
         Ok(())
     }
@@ -193,22 +312,28 @@ impl CrossbarArray {
     /// quantity the scouting-logic sense amplifier compares against its
     /// reference current.
     ///
+    /// Materializes the per-cell resistances on first use.
+    ///
     /// # Errors
     ///
     /// Returns a range error for out-of-bounds coordinates.
     pub fn column_current(&mut self, active_rows: &[usize], col: usize) -> Result<f64, ReramError> {
-        if col >= self.cols {
-            return Err(ReramError::ColOutOfRange {
-                col,
-                cols: self.cols,
-            });
-        }
-        let mut total = 0.0;
+        self.check_col(col)?;
         for &row in active_rows {
             self.check_row(row)?;
-            let i = self.idx(row, col);
-            let cell = self.cells[i];
-            total += cell.read_current(&self.params, &mut self.sampler);
+        }
+        self.materialize_analog();
+        let res = self.resistances.as_ref().expect("just materialized");
+        let mut total = 0.0;
+        for &row in active_rows {
+            let i = row * self.cols + col;
+            let bit = (self.words[row * self.words_per_row + col / 64] >> (col % 64)) & 1 == 1;
+            total += read_current_from(
+                CellState::from_bool(bit),
+                res[i],
+                &self.params,
+                &mut self.sampler,
+            );
         }
         Ok(total)
     }
@@ -216,7 +341,7 @@ impl CrossbarArray {
     /// The maximum per-cell write count in the array (endurance hotspot).
     #[must_use]
     pub fn max_cell_writes(&self) -> u64 {
-        self.cells.iter().map(ReramCell::writes).max().unwrap_or(0)
+        self.cell_writes.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -290,5 +415,46 @@ mod tests {
         a.write_bit(0, 3, true).unwrap();
         assert!(a.read_bit(0, 3).unwrap());
         assert!(!a.read_bit(0, 2).unwrap());
+    }
+
+    #[test]
+    fn analog_state_is_lazy_and_tracks_writes() {
+        let mut a = CrossbarArray::pristine(2, 70, 7);
+        a.write_row(0, &BitStream::ones(70)).unwrap();
+        assert!(!a.analog_materialized());
+        let i_before = a.column_current(&[0], 3).unwrap();
+        assert!(a.analog_materialized());
+        assert!(i_before > 0.0);
+        // Reprogramming to HRS must drop the cell current by orders of
+        // magnitude (the resistance is redrawn for the new state).
+        a.write_row(0, &BitStream::zeros(70)).unwrap();
+        let mut lrs_min = f64::MAX;
+        let mut hrs_max: f64 = 0.0;
+        let mut b = CrossbarArray::pristine(1, 70, 8);
+        b.write_row(0, &BitStream::ones(70)).unwrap();
+        for _ in 0..50 {
+            lrs_min = lrs_min.min(b.column_current(&[0], 3).unwrap());
+            hrs_max = hrs_max.max(a.column_current(&[0], 3).unwrap());
+        }
+        assert!(lrs_min > hrs_max, "lrs {lrs_min} vs hrs {hrs_max}");
+    }
+
+    #[test]
+    fn row_words_expose_packed_state() {
+        let mut a = CrossbarArray::pristine(2, 130, 9);
+        let data = BitStream::from_fn(130, |i| i % 7 == 0);
+        a.write_row(1, &data).unwrap();
+        assert_eq!(a.words_per_row(), 3);
+        assert_eq!(a.row_words(1).unwrap(), data.as_words());
+        assert!(a.row_words(2).is_err());
+    }
+
+    #[test]
+    fn activate_rows_counts_reads() {
+        let mut a = CrossbarArray::pristine(4, 16, 10);
+        a.activate_rows(&[0, 1, 2]).unwrap();
+        assert_eq!(a.row_reads(), 3);
+        assert!(a.activate_rows(&[4]).is_err());
+        assert_eq!(a.row_reads(), 3);
     }
 }

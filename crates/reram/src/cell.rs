@@ -162,6 +162,44 @@ impl Default for DeviceParams {
     }
 }
 
+/// Draws a fresh resistance for a cell programmed to `state` from the
+/// device's lognormal distribution (the per-program cycle-to-cycle
+/// variability draw). Shared by [`ReramCell`] and the packed
+/// [`crate::array::CrossbarArray`], whose analog state is materialized
+/// lazily.
+#[must_use]
+pub fn sample_resistance(
+    state: CellState,
+    params: &DeviceParams,
+    sampler: &mut GaussianSampler,
+) -> f64 {
+    match state {
+        CellState::Lrs => sampler.lognormal(params.lrs_median_ohm.ln(), params.lrs_sigma),
+        CellState::Hrs => sampler.lognormal(params.hrs_median_ohm.ln(), params.hrs_sigma),
+    }
+}
+
+/// The instantaneous read current in amperes for a cell in `state` with
+/// drawn resistance `resistance_ohm`, including read noise and HRS tail
+/// instability (Wiefels et al. 2020).
+#[must_use]
+pub fn read_current_from(
+    state: CellState,
+    resistance_ohm: f64,
+    params: &DeviceParams,
+    sampler: &mut GaussianSampler,
+) -> f64 {
+    let mut r = resistance_ohm;
+    if state == CellState::Hrs && sampler.uniform() < params.hrs_tail_prob {
+        // HRS instability event: the cell momentarily presents a much
+        // lower resistance.
+        r *= params.hrs_tail_factor;
+    }
+    let nominal = params.read_voltage / r;
+    let noisy = sampler.normal(nominal, nominal * params.read_noise_frac);
+    noisy.max(0.0)
+}
+
 /// One ReRAM cell: a programmed state plus the concrete resistance drawn
 /// at programming time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,10 +231,7 @@ impl ReramCell {
         params: &DeviceParams,
         sampler: &mut GaussianSampler,
     ) -> f64 {
-        match state {
-            CellState::Lrs => sampler.lognormal(params.lrs_median_ohm.ln(), params.lrs_sigma),
-            CellState::Hrs => sampler.lognormal(params.hrs_median_ohm.ln(), params.hrs_sigma),
-        }
+        sample_resistance(state, params, sampler)
     }
 
     /// The programmed logic state.
@@ -234,15 +269,7 @@ impl ReramCell {
     /// The instantaneous read current in amperes, including read noise and
     /// HRS tail instability.
     pub fn read_current(&self, params: &DeviceParams, sampler: &mut GaussianSampler) -> f64 {
-        let mut r = self.resistance_ohm;
-        if self.state == CellState::Hrs && sampler.uniform() < params.hrs_tail_prob {
-            // HRS instability event: the cell momentarily presents a much
-            // lower resistance (Wiefels et al. 2020).
-            r *= params.hrs_tail_factor;
-        }
-        let nominal = params.read_voltage / r;
-        let noisy = sampler.normal(nominal, nominal * params.read_noise_frac);
-        noisy.max(0.0)
+        read_current_from(self.state, self.resistance_ohm, params, sampler)
     }
 }
 

@@ -133,13 +133,41 @@ impl FaultInjector {
     }
 
     fn corrupt_with_prob(&mut self, p: f64, out: &mut BitStream) {
-        if p <= 0.0 {
+        if p <= 0.0 || out.is_empty() {
             return;
         }
-        for i in 0..out.len() {
-            if self.rng.next_f64() < p {
-                out.flip(i);
-                self.injected += 1;
+        if p >= 1.0 {
+            let flipped = out.not();
+            self.injected += out.len() as u64;
+            *out = flipped;
+            return;
+        }
+        // Sample the flip positions directly instead of tossing a coin per
+        // bit: the gap to the next flipped bit is geometric with parameter
+        // `p`, so one `ln` draw per *fault* replaces one uniform draw per
+        // *bit* — the sampled positions form exactly the same independent
+        // per-bit Bernoulli process, and the flips land as XOR masks on
+        // the packed words. Deterministic per seed.
+        let ln_keep = (1.0 - p).ln();
+        if ln_keep == 0.0 {
+            // p below ~1e-16: (1 − p) rounds to 1.0, so the expected flip
+            // count is zero for any realistic stream length.
+            return;
+        }
+        let mut i = 0usize;
+        loop {
+            let u = self.rng.next_f64();
+            // `1 - u` is in (0, 1], keeping the log finite.
+            let gap = ((1.0 - u).ln() / ln_keep).floor();
+            if gap >= (out.len() - i) as f64 {
+                return;
+            }
+            i += gap as usize;
+            out.flip(i);
+            self.injected += 1;
+            i += 1;
+            if i >= out.len() {
+                return;
             }
         }
     }
@@ -202,5 +230,25 @@ mod tests {
     fn fault_free_detection() {
         assert!(FaultRates::none().is_fault_free());
         assert!(!FaultRates::uniform(0.01).is_fault_free());
+    }
+
+    #[test]
+    fn subnormal_rates_flip_nothing() {
+        // p below f64 resolution of (1 − p): ln(1 − p) collapses to 0;
+        // the sampler must degrade to "no flips", not "flip everything".
+        let mut inj = FaultInjector::new(FaultRates::uniform(1e-18), 4);
+        let mut s = BitStream::zeros(4096);
+        inj.corrupt_op_output(SlOp::And, &mut s);
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn certain_rate_flips_everything() {
+        let mut inj = FaultInjector::new(FaultRates::uniform(1.0), 5);
+        let mut s = BitStream::zeros(100);
+        inj.corrupt_op_output(SlOp::Or, &mut s);
+        assert_eq!(s.count_ones(), 100);
+        assert_eq!(inj.injected(), 100);
     }
 }

@@ -81,7 +81,10 @@ impl SlOp {
         }
     }
 
-    fn combine(self, bits: &[bool]) -> bool {
+    /// Combines one column's operand bits — the per-cell truth-table
+    /// semantics, kept as the reference for the packed word path.
+    #[must_use]
+    pub fn combine(self, bits: &[bool]) -> bool {
         match self {
             SlOp::And => bits.iter().all(|&b| b),
             SlOp::Nand => !bits.iter().all(|&b| b),
@@ -92,6 +95,11 @@ impl SlOp {
             SlOp::Maj => bits.iter().filter(|&&b| b).count() >= 2,
             SlOp::Not => !bits[0],
         }
+    }
+
+    /// Whether the op's word-level form is a complemented accumulation.
+    fn inverted(self) -> bool {
+        matches!(self, SlOp::Nand | SlOp::Nor | SlOp::Xnor | SlOp::Not)
     }
 }
 
@@ -187,8 +195,7 @@ impl ScoutingLogic {
         rows: &[usize],
     ) -> Result<BitStream, ReramError> {
         op.check_operands(rows.len())?;
-        let mut clone = array.clone();
-        Self::digital(&mut clone, op, rows)
+        Self::digital_words(array, op, rows)
     }
 
     /// Executes `op` over the operand rows with full mode semantics
@@ -217,23 +224,103 @@ impl ScoutingLogic {
         }
     }
 
+    /// Records per-op statistics for work that was modeled but not
+    /// re-simulated (e.g. the accelerator's encode cache replaying an
+    /// identical conversion). Keeps `ops_executed` faithful to the
+    /// hardware schedule.
+    pub fn note_ops(&mut self, n: u64) {
+        self.ops_executed += n;
+    }
+
     fn digital(
         array: &mut CrossbarArray,
         op: SlOp,
         rows: &[usize],
     ) -> Result<BitStream, ReramError> {
-        let operands: Vec<BitStream> = rows
-            .iter()
-            .map(|&r| array.read_row(r))
-            .collect::<Result<_, _>>()?;
+        array.activate_rows(rows)?;
+        Self::digital_words(array, op, rows)
+    }
+
+    /// The packed fast path: combines whole 64-bit words of the operand
+    /// rows per machine op instead of iterating cells. One word op per
+    /// `⌈cols/64⌉` chunk models the single-sensing-cycle row-parallelism
+    /// of the hardware.
+    fn digital_words(
+        array: &CrossbarArray,
+        op: SlOp,
+        rows: &[usize],
+    ) -> Result<BitStream, ReramError> {
+        let cols = array.cols();
+        let mut acc = array.row_words(rows[0])?.to_vec();
+        match op {
+            SlOp::And | SlOp::Nand => {
+                for &r in &rows[1..] {
+                    for (a, &b) in acc.iter_mut().zip(array.row_words(r)?) {
+                        *a &= b;
+                    }
+                }
+            }
+            SlOp::Or | SlOp::Nor => {
+                for &r in &rows[1..] {
+                    for (a, &b) in acc.iter_mut().zip(array.row_words(r)?) {
+                        *a |= b;
+                    }
+                }
+            }
+            SlOp::Xor | SlOp::Xnor => {
+                for (a, &b) in acc.iter_mut().zip(array.row_words(rows[1])?) {
+                    *a ^= b;
+                }
+            }
+            SlOp::Maj => {
+                let b = array.row_words(rows[1])?;
+                let c = array.row_words(rows[2])?;
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = (*a & b[i]) | (*a & c[i]) | (b[i] & c[i]);
+                }
+            }
+            SlOp::Not => {}
+        }
+        if op.inverted() {
+            for a in &mut acc {
+                *a = !*a;
+            }
+        }
+        // from_words masks the bits beyond `cols` in the last word.
+        Ok(BitStream::from_words(acc, cols))
+    }
+
+    /// The cell-by-cell reference implementation of the digital path:
+    /// reads every operand bit individually and applies the per-column
+    /// truth table. Kept public so differential tests (and benches) can
+    /// prove the packed word path bit-exact against it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReramError::BadOperandCount`] — operand count unsupported.
+    /// * [`ReramError::RowOutOfRange`] — a row index is out of range.
+    pub fn digital_reference(
+        array: &CrossbarArray,
+        op: SlOp,
+        rows: &[usize],
+    ) -> Result<BitStream, ReramError> {
+        op.check_operands(rows.len())?;
+        for &r in rows {
+            // Surface range errors exactly like the packed path.
+            array.row_words(r)?;
+        }
         let cols = array.cols();
         let mut bits = vec![false; rows.len()];
-        Ok(BitStream::from_fn(cols, |col| {
-            for (slot, s) in bits.iter_mut().zip(&operands) {
-                *slot = s.get(col).unwrap_or(false);
+        let mut out = BitStream::zeros(cols);
+        for col in 0..cols {
+            for (slot, &r) in bits.iter_mut().zip(rows) {
+                *slot = array.read_bit(r, col)?;
             }
-            op.combine(&bits)
-        }))
+            if op.combine(&bits) {
+                out.set(col, true);
+            }
+        }
+        Ok(out)
     }
 
     fn analog_sense(

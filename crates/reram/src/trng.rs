@@ -108,7 +108,12 @@ impl TrngEngine {
 impl BitSource for TrngEngine {
     fn next_bit(&mut self) -> bool {
         let p = self.cell_bias[self.cursor];
-        self.cursor = (self.cursor + 1) % self.cell_bias.len();
+        // Branchy wrap instead of a modulo: this is the innermost loop of
+        // every RN-row refresh.
+        self.cursor += 1;
+        if self.cursor == self.cell_bias.len() {
+            self.cursor = 0;
+        }
         self.bits_generated += 1;
         self.sampler.uniform() < p
     }

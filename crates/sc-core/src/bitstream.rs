@@ -50,26 +50,38 @@ impl BitStream {
         s
     }
 
-    /// Builds a stream from an iterator of booleans.
+    /// Builds a stream from an iterator of booleans, reserving the word
+    /// vector up front from the iterator's size hint.
     #[must_use]
     pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let mut s = BitStream::zeros(0);
-        for b in bits {
-            s.push(b);
-        }
+        let iter = bits.into_iter();
+        let (lower, _) = iter.size_hint();
+        let mut s = BitStream {
+            words: Vec::with_capacity(lower.div_ceil(64)),
+            len: 0,
+        };
+        s.extend(iter);
         s
     }
 
-    /// Builds a stream of `len` bits by calling `f(i)` for each position.
+    /// Builds a stream of `len` bits by calling `f(i)` for each position,
+    /// assembling whole 64-bit words instead of setting bits one by one.
     #[must_use]
     pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
-        let mut s = BitStream::zeros(len);
-        for i in 0..len {
-            if f(i) {
-                s.set(i, true);
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut i = 0;
+        while i < len {
+            let n = (len - i).min(64);
+            let mut w = 0u64;
+            for b in 0..n {
+                if f(i + b) {
+                    w |= 1u64 << b;
+                }
             }
+            words.push(w);
+            i += n;
         }
-        s
+        BitStream { words, len }
     }
 
     /// Builds a stream directly from packed words.
@@ -228,6 +240,52 @@ impl BitStream {
         self.zip_words(other, |a, b| a ^ b)
     }
 
+    /// In-place bitwise AND (`self &= other`), avoiding an allocation on
+    /// hot paths such as the IMSNG latch updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn and_assign(&mut self, other: &BitStream) -> Result<(), ScError> {
+        self.zip_assign(other, |a, b| a & b)
+    }
+
+    /// In-place bitwise OR (`self |= other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn or_assign(&mut self, other: &BitStream) -> Result<(), ScError> {
+        self.zip_assign(other, |a, b| a | b)
+    }
+
+    /// In-place bitwise XOR (`self ^= other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if lengths differ.
+    pub fn xor_assign(&mut self, other: &BitStream) -> Result<(), ScError> {
+        self.zip_assign(other, |a, b| a ^ b)
+    }
+
+    fn zip_assign<F: Fn(u64, u64) -> u64>(
+        &mut self,
+        other: &BitStream,
+        f: F,
+    ) -> Result<(), ScError> {
+        if self.len != other.len {
+            return Err(ScError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a = f(*a, b);
+        }
+        self.mask_tail();
+        Ok(())
+    }
+
     /// Bitwise NOT — SC complement `1 - x`.
     #[must_use]
     pub fn not(&self) -> BitStream {
@@ -309,14 +367,75 @@ impl BitStream {
     /// Rotates the stream left by `k` positions (bit `k` becomes bit 0).
     ///
     /// Rotation is the classic low-cost decorrelation trick: a stream and
-    /// its rotation have SCC ≈ 0 for most encodings.
+    /// its rotation have SCC ≈ 0 for most encodings. Runs word-at-a-time
+    /// (this sits on the decorrelation hot path): the result is
+    /// `(self >> k) | (self << (len − k))` over the packed words, with the
+    /// shift carries threaded between adjacent words.
     #[must_use]
     pub fn rotate_left(&self, k: usize) -> BitStream {
         if self.len == 0 {
             return self.clone();
         }
         let k = k % self.len;
-        BitStream::from_fn(self.len, |i| self.get((i + k) % self.len).unwrap_or(false))
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = self.shifted_down(k);
+        let high = self.shifted_up(self.len - k);
+        for (o, h) in out.words.iter_mut().zip(&high.words) {
+            *o |= h;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Logical shift toward lower bit indices: `out[i] = self[i + k]` for
+    /// `i < len − k`, zero above. (Bit `i` lives at `words[i/64]`, so this
+    /// is a right shift of the word representation.)
+    fn shifted_down(&self, k: usize) -> BitStream {
+        debug_assert!(k <= self.len);
+        let nwords = self.words.len();
+        let ws = k / 64;
+        let bs = (k % 64) as u32;
+        let mut words = vec![0u64; nwords];
+        for (w, out) in words.iter_mut().enumerate() {
+            let lo = self.words.get(w + ws).copied().unwrap_or(0);
+            let hi = self.words.get(w + ws + 1).copied().unwrap_or(0);
+            *out = if bs == 0 {
+                lo
+            } else {
+                (lo >> bs) | (hi << (64 - bs))
+            };
+        }
+        BitStream {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Logical shift toward higher bit indices: `out[i] = self[i − k]` for
+    /// `i ≥ k`, zero below.
+    fn shifted_up(&self, k: usize) -> BitStream {
+        debug_assert!(k <= self.len);
+        let nwords = self.words.len();
+        let ws = k / 64;
+        let bs = (k % 64) as u32;
+        let mut words = vec![0u64; nwords];
+        for (w, out) in words.iter_mut().enumerate() {
+            let hi = if w >= ws { self.words[w - ws] } else { 0 };
+            let lo = if w > ws { self.words[w - ws - 1] } else { 0 };
+            *out = if bs == 0 {
+                hi
+            } else {
+                (hi << bs) | (lo >> (64 - bs))
+            };
+        }
+        let mut s = BitStream {
+            words,
+            len: self.len,
+        };
+        s.mask_tail();
+        s
     }
 
     fn zip_words<F: Fn(u64, u64) -> u64>(
@@ -378,6 +497,10 @@ impl FromIterator<bool> for BitStream {
 
 impl Extend<bool> for BitStream {
     fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        let (lower, _) = iter.size_hint();
+        let needed = (self.len + lower).div_ceil(64);
+        self.words.reserve(needed.saturating_sub(self.words.len()));
         for b in iter {
             self.push(b);
         }

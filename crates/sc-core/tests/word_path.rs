@@ -1,0 +1,73 @@
+//! Differential properties of the word-level `BitStream` fast paths
+//! against their per-bit reference semantics.
+
+use proptest::prelude::*;
+use sc_core::rng::Xoshiro256;
+use sc_core::BitStream;
+
+fn random_stream(n: usize, seed: u64) -> BitStream {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    BitStream::from_fn(n, |_| rng.next_f64() < 0.5)
+}
+
+proptest! {
+    #[test]
+    fn rotate_left_matches_per_bit_reference(n in 1usize..300, k in 0usize..700, seed in any::<u64>()) {
+        let s = random_stream(n, seed);
+        let rotated = s.rotate_left(k);
+        // Per-bit reference: out[i] = s[(i + k) mod n].
+        let reference = BitStream::from_fn(n, |i| s.get((i + k) % n).unwrap_or(false));
+        prop_assert_eq!(&rotated, &reference, "n={} k={}", n, k);
+        prop_assert_eq!(rotated.count_ones(), s.count_ones());
+    }
+
+    #[test]
+    fn rotate_left_is_cyclic(n in 1usize..200, k in 0usize..200, seed in any::<u64>()) {
+        let s = random_stream(n, seed);
+        // Rotating by k then by n - (k mod n) is the identity.
+        let back = s.rotate_left(k).rotate_left(n - k % n);
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn from_bools_round_trips_any_iterator(bits in proptest::collection::vec(any::<bool>(), 0usize..300)) {
+        let s = BitStream::from_bools(bits.iter().copied());
+        prop_assert_eq!(s.len(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(s.get(i), Some(b));
+        }
+        // Capacity reservation must not change the packed representation.
+        let pushed: BitStream = bits.iter().copied().collect();
+        prop_assert_eq!(s, pushed);
+    }
+
+    #[test]
+    fn extend_matches_repeated_push(n1 in 0usize..150, n2 in 0usize..150, seed in any::<u64>()) {
+        let head = random_stream(n1, seed ^ 1);
+        let tail = random_stream(n2, seed ^ 2);
+        let mut extended = head.clone();
+        extended.extend(tail.iter());
+        let mut pushed = head;
+        for b in tail.iter() {
+            pushed.push(b);
+        }
+        prop_assert_eq!(extended, pushed);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops(n in 1usize..300, seed in any::<u64>()) {
+        let a = random_stream(n, seed ^ 1);
+        let b = random_stream(n, seed ^ 2);
+        let mut x = a.clone();
+        x.and_assign(&b).expect("equal lengths");
+        prop_assert_eq!(x, a.and(&b).expect("equal lengths"));
+        let mut x = a.clone();
+        x.or_assign(&b).expect("equal lengths");
+        prop_assert_eq!(x, a.or(&b).expect("equal lengths"));
+        let mut x = a.clone();
+        x.xor_assign(&b).expect("equal lengths");
+        prop_assert_eq!(x, a.xor(&b).expect("equal lengths"));
+        let mut x = a.clone();
+        prop_assert!(x.and_assign(&random_stream(n + 1, seed)).is_err());
+    }
+}
