@@ -8,7 +8,8 @@ use imgproc::scbackend::ScReramConfig;
 use imgproc::{bilinear, synth};
 use reram::array::CrossbarArray;
 use reram::scouting::{ScoutingLogic, SlOp};
-use sc_core::rng::Xoshiro256;
+use reram::trng::TrngEngine;
+use sc_core::rng::{BitSource, Xoshiro256};
 use sc_core::BitStream;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -28,6 +29,10 @@ const PRE_PR_BASELINE_NS: [(&str, f64); 6] = [
     ("scout_maj3_4096", 101_473.1),
     ("bilinear_sc_reram_64_to_128_n256", 10_641_851_936.0),
 ];
+
+/// The end-to-end anchor committed by the packed-word PR (`1.19 s`):
+/// the word-level TRNG + RN-refresh-policy work is measured against it.
+const PACKED_PR_BILINEAR_NS: f64 = 1_186_652_682.0;
 
 fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     // One warm-up call, then the mean of `reps` timed calls.
@@ -86,6 +91,25 @@ fn main() {
         );
     }
 
+    // --- TRNG row fill: word-parallel vs per-bit reference -------------
+    // Same engine model (4096 cells, device-bias sigma 0.04); the word
+    // path bit-slices 64 Bernoulli draws per comparison, the per-bit path
+    // is the reference semantics it is differential-tested against.
+    let mut trng_word = TrngEngine::new(cols, 0.04, 21);
+    let word_ns = time_ns(2000, || {
+        black_box(trng_word.generate_row(cols));
+    });
+    let mut trng_bit = TrngEngine::new(cols, 0.04, 21);
+    let bit_ns = time_ns(200, || {
+        black_box(BitStream::from_fn(cols, |_| trng_bit.next_bit()));
+    });
+    println!(
+        "trng_fill_word_4096                          {:>10.1}x vs per-bit path",
+        bit_ns / word_ns
+    );
+    record("trng_fill_per_bit_4096", bit_ns);
+    record("trng_fill_word_4096", word_ns);
+
     // --- End to end: bilinear upscale 64x64 -> 128x128, N = 256 --------
     let src = synth::value_noise(64, 64, 4, 9);
     let cfg = ScReramConfig::new(256, 42);
@@ -103,17 +127,39 @@ fn main() {
             .find(|(b, _)| b == name)
             .map(|&(_, ns)| ns);
         let comma = if i + 1 == results.len() { "" } else { "," };
+        // Extra per-entry anchors beyond the seed baseline.
+        let mut extra = String::new();
+        if name == "bilinear_sc_reram_64_to_128_n256" {
+            let _ = write!(
+                extra,
+                ", \"packed_pr_anchor_ns\": {PACKED_PR_BILINEAR_NS:.1}, \"speedup_vs_packed_pr\": {:.2}",
+                PACKED_PR_BILINEAR_NS / ns
+            );
+            println!(
+                "{name:<44} {:>10.1}x vs packed-word PR anchor",
+                PACKED_PR_BILINEAR_NS / ns
+            );
+        }
+        if name == "trng_fill_word_4096" {
+            if let Some(per_bit) = results
+                .iter()
+                .find(|(n, _)| n.as_str() == "trng_fill_per_bit_4096")
+                .map(|(_, reference)| *reference)
+            {
+                let _ = write!(extra, ", \"speedup_vs_per_bit\": {:.2}", per_bit / ns);
+            }
+        }
         match baseline {
             Some(base) => {
                 let speedup = base / ns;
                 println!("{name:<44} {speedup:>10.1}x vs pre-PR baseline");
                 let _ = writeln!(
                     json,
-                    "  \"{name}\": {{\"ns\": {ns:.1}, \"pre_pr_baseline_ns\": {base:.1}, \"speedup\": {speedup:.2}}}{comma}"
+                    "  \"{name}\": {{\"ns\": {ns:.1}, \"pre_pr_baseline_ns\": {base:.1}, \"speedup\": {speedup:.2}{extra}}}{comma}"
                 );
             }
             None => {
-                let _ = writeln!(json, "  \"{name}\": {{\"ns\": {ns:.1}}}{comma}");
+                let _ = writeln!(json, "  \"{name}\": {{\"ns\": {ns:.1}{extra}}}{comma}");
             }
         }
     }

@@ -68,7 +68,11 @@ fn emit(sample: &Sample) {
     if let Ok(path) = std::env::var("CRITERION_JSON") {
         if !path.is_empty() {
             use std::io::Write;
-            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
                 let _ = writeln!(f, "{}", sample.to_json());
             }
         }
@@ -135,11 +139,7 @@ impl BenchmarkGroup<'_> {
         id: I,
         f: F,
     ) -> &mut Self {
-        run_benchmark(
-            format!("{}/{}", self.name, id.into()),
-            self.sample_size,
-            f,
-        );
+        run_benchmark(format!("{}/{}", self.name, id.into()), self.sample_size, f);
         self
     }
 

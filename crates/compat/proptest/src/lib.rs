@@ -389,8 +389,8 @@ mod tests {
 
         #[test]
         fn assume_rejects_without_failing(x in 0u8..=255) {
-            prop_assume!(x % 2 == 0);
-            prop_assert!(x % 2 == 0);
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert!(x.is_multiple_of(2));
         }
     }
 

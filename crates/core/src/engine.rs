@@ -18,7 +18,7 @@
 use crate::cost::CostLedger;
 use crate::error::ImscError;
 use crate::imsng::{Imsng, ImsngVariant};
-use crate::layout::RowAllocator;
+use crate::layout::{RnRefreshPolicy, RowAllocator};
 use crate::s2b::StochasticToBinary;
 use nvsim::{CmdKind, Command, Trace};
 use reram::array::CrossbarArray;
@@ -53,6 +53,7 @@ pub struct AcceleratorBuilder {
     stream_rows: usize,
     device: DeviceParams,
     record_trace: bool,
+    refresh_policy: RnRefreshPolicy,
 }
 
 impl AcceleratorBuilder {
@@ -67,6 +68,7 @@ impl AcceleratorBuilder {
             stream_rows: 64,
             device: DeviceParams::default(),
             record_trace: false,
+            refresh_policy: RnRefreshPolicy::PerEncode,
         }
     }
 
@@ -135,6 +137,15 @@ impl AcceleratorBuilder {
         self
     }
 
+    /// Random-number refresh policy (default
+    /// [`RnRefreshPolicy::PerEncode`]). See the policy's docs for the
+    /// stream-correlation consequences of realization reuse.
+    #[must_use]
+    pub fn refresh_policy(mut self, policy: RnRefreshPolicy) -> Self {
+        self.refresh_policy = policy;
+        self
+    }
+
     /// Builds the accelerator.
     ///
     /// # Errors
@@ -153,6 +164,11 @@ impl AcceleratorBuilder {
                 "trng_bias_sigma must be in [0, 0.5)",
             ));
         }
+        if self.refresh_policy == RnRefreshPolicy::EveryN(0) {
+            return Err(ImscError::InvalidConfig(
+                "EveryN refresh interval must be nonzero",
+            ));
+        }
         self.device.validate()?;
         let imsng = Imsng::new(self.variant, self.segment_bits)?;
         let m = self.segment_bits as usize;
@@ -169,8 +185,10 @@ impl AcceleratorBuilder {
         } else {
             ScoutingLogic::with_faults(self.fault_rates, self.seed ^ 0x5EED_0002)
         };
+        // Cell count rounded up to a 64-multiple so row fills always take
+        // the TRNG's word-parallel path.
         let trng = TrngEngine::new(
-            4096.max(self.stream_len),
+            4096.max(self.stream_len.next_multiple_of(64)),
             self.trng_bias_sigma,
             self.seed ^ 0x5EED_0003,
         );
@@ -194,7 +212,11 @@ impl AcceleratorBuilder {
             },
             cache_enabled: self.fault_rates.is_fault_free(),
             encode_cache: HashMap::new(),
+            encode_cache_epoch: 0,
             cache_hits: 0,
+            refresh_policy: self.refresh_policy,
+            rn_epoch: 0,
+            encodes_since_refresh: 0,
         })
     }
 }
@@ -227,18 +249,32 @@ pub enum BatchOp {
 
 /// The all-in-memory stochastic-computing accelerator.
 ///
+/// # RN refresh policy
+///
+/// The random-number rows are rewritten ("refreshed") according to the
+/// builder's [`RnRefreshPolicy`]; each rewrite starts a new *RN epoch*
+/// ([`Accelerator::rn_epoch`]). Streams encoded within one epoch share a
+/// realization and are maximally correlated (SCC ≈ +1) even though their
+/// correlation-domain labels differ — reusing realizations across encode
+/// batches trades entropy cost against that correlation, which is
+/// harmless only when the affected streams never meet in one operation
+/// (see the policy docs for when reuse is harmless, required, or
+/// harmful).
+///
 /// # Encode cache
 ///
-/// Within one random-number realization (one refresh of the RN rows), an
-/// ideal-mode IMSNG conversion is a pure function of the operand: the
-/// same operand always produces bit-identical stream rows. The
-/// accelerator therefore memoizes conversions per `(operand, RN epoch)`
-/// — repeated operands in a correlated batch (e.g. equal neighbouring
-/// pixels) replay the cached row with one packed row write instead of
-/// re-running the `5·M`-step comparison schedule. Cost accounting records
-/// the *modeled* hardware work, which is identical on hit and miss, so
-/// ledgers and traces are unaffected by caching. The cache is disabled
-/// under fault injection, where every conversion draws fresh faults.
+/// Within one RN epoch, an ideal-mode IMSNG conversion is a pure
+/// function of the operand: the same operand always produces
+/// bit-identical stream rows. The accelerator therefore memoizes
+/// conversions per `(operand, RN epoch)` — repeated operands under one
+/// realization (e.g. equal neighbouring pixels) replay the cached row
+/// with one packed row write instead of re-running the `5·M`-step
+/// comparison schedule. A refresh does not clear the cache inline;
+/// entries simply stop matching once the epoch moves on and are pruned
+/// lazily. Cost accounting records the *modeled* hardware work, which is
+/// identical on hit and miss, so ledgers and traces are unaffected by
+/// caching. The cache is disabled under fault injection, where every
+/// conversion draws fresh faults.
 ///
 /// # Example
 ///
@@ -271,11 +307,22 @@ pub struct Accelerator {
     ledger: CostLedger,
     trace: Option<Trace>,
     cache_enabled: bool,
-    /// Memoized conversions for the current RN realization: the stream
-    /// *and* the cost `generate` reported for it, so hit and miss cost
-    /// come from the same source of truth.
+    /// Memoized conversions keyed by the RN epoch they were generated
+    /// under ([`Accelerator::rn_epoch`]): the stream *and* the cost
+    /// `generate` reported for it, so hit and miss cost come from the
+    /// same source of truth. `encode_cache_epoch` records which epoch the
+    /// map's entries belong to; entries from older epochs are pruned
+    /// lazily on first use after a refresh (no inline clearing on the
+    /// refresh path).
     encode_cache: HashMap<Fixed, (BitStream, crate::imsng::ImsngCost)>,
+    encode_cache_epoch: u64,
     cache_hits: u64,
+    refresh_policy: RnRefreshPolicy,
+    /// Count of RN realizations so far; 0 means the RN rows have never
+    /// been filled.
+    rn_epoch: u64,
+    /// Encode batches since the last refresh (drives `EveryN`).
+    encodes_since_refresh: u64,
 }
 
 impl Accelerator {
@@ -326,9 +373,19 @@ impl Accelerator {
         }
     }
 
-    fn refresh_rn_rows(&mut self) -> Result<(), ImscError> {
-        // A new RN realization invalidates all memoized conversions.
-        self.encode_cache.clear();
+    /// Rewrites all RN rows with fresh TRNG output, starting a new RN
+    /// realization (epoch). Called automatically according to the
+    /// configured [`RnRefreshPolicy`]; under
+    /// [`RnRefreshPolicy::Explicit`] this is the caller's scheduling
+    /// handle. Conversions memoized under older epochs stop matching (the
+    /// encode cache is keyed by epoch) without being cleared inline.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors only.
+    pub fn refresh_rn_rows(&mut self) -> Result<(), ImscError> {
+        self.rn_epoch += 1;
+        self.encodes_since_refresh = 0;
         for i in 0..self.rn_rows.len() {
             let row = self.rn_rows[i];
             self.trng.fill_row(&mut self.array, row)?;
@@ -338,12 +395,50 @@ impl Accelerator {
         Ok(())
     }
 
+    /// The current RN-realization counter (0 until the first fill).
+    #[must_use]
+    pub fn rn_epoch(&self) -> u64 {
+        self.rn_epoch
+    }
+
+    /// The configured refresh policy.
+    #[must_use]
+    pub fn refresh_policy(&self) -> RnRefreshPolicy {
+        self.refresh_policy
+    }
+
+    /// Runs the policy-scheduled refresh in front of one encode batch.
+    /// The very first batch always fills the rows, whatever the policy.
+    fn refresh_for_encode(&mut self) -> Result<(), ImscError> {
+        let due = self.rn_epoch == 0
+            || match self.refresh_policy {
+                RnRefreshPolicy::PerEncode => true,
+                RnRefreshPolicy::EveryN(n) => self.encodes_since_refresh >= n,
+                RnRefreshPolicy::Explicit => false,
+            };
+        if due {
+            self.refresh_rn_rows()?;
+        }
+        self.encodes_since_refresh += 1;
+        Ok(())
+    }
+
     /// Converts `x` into `dest`, replaying a cached stream when the same
     /// operand was already converted under the current RN realization.
     /// Modeled cost is identical either way.
-    fn generate_into(&mut self, x: Fixed, dest: usize) -> Result<crate::imsng::ImsngCost, ImscError> {
+    fn generate_into(
+        &mut self,
+        x: Fixed,
+        dest: usize,
+    ) -> Result<crate::imsng::ImsngCost, ImscError> {
         let m = self.imsng.segment_bits();
         if self.cache_enabled {
+            // Lazy epoch keying: entries belong to `encode_cache_epoch`;
+            // a realization change simply stops them from matching.
+            if self.encode_cache_epoch != self.rn_epoch {
+                self.encode_cache.clear();
+                self.encode_cache_epoch = self.rn_epoch;
+            }
             let key = x.requantize(m)?;
             if let Some((stream, cost)) = self.encode_cache.get(&key) {
                 let (stream, cost) = (stream.clone(), *cost);
@@ -357,7 +452,8 @@ impl Accelerator {
             let cost =
                 self.imsng
                     .generate(&mut self.array, &mut self.sl, &self.rn_rows, x, dest)?;
-            let stream = BitStream::from_words(self.array.row_words(dest)?.to_vec(), self.stream_len);
+            let stream =
+                BitStream::from_words(self.array.row_words(dest)?.to_vec(), self.stream_len);
             self.encode_cache.insert(key, (stream, cost));
             Ok(cost)
         } else {
@@ -368,8 +464,11 @@ impl Accelerator {
 
     fn record_imsng(&mut self, dest: usize) {
         let m = self.imsng.segment_bits() as usize;
+        // The comparison schedule senses against the destination latches;
+        // record the scout reads at the conversion's destination row, not
+        // at a (misleading) fixed RN row.
         for _ in 0..5 * m {
-            self.record(CmdKind::ScoutRead { rows: 2 }, 0);
+            self.record(CmdKind::ScoutRead { rows: 2 }, dest);
         }
         let writes = match self.imsng.variant() {
             ImsngVariant::Baseline => 4 * m,
@@ -399,7 +498,14 @@ impl Accelerator {
     }
 
     /// Encodes a binary operand into a stochastic stream with a fresh
-    /// (independent) correlation domain — step ❶ of the SC flow.
+    /// correlation domain — step ❶ of the SC flow. Whether the stream is
+    /// actually independent of earlier encodes is governed by the
+    /// [`RnRefreshPolicy`]: under realization reuse (`EveryN`,
+    /// `Explicit`) streams of distinct domains can still be maximally
+    /// correlated — see the policy docs.
+    ///
+    /// The destination row is allocated before any cost is charged, so a
+    /// failed allocation leaves the ledger and trace untouched.
     ///
     /// # Errors
     ///
@@ -407,9 +513,11 @@ impl Accelerator {
     /// * [`ImscError::Device`] / [`ImscError::Stochastic`] — substrate
     ///   failures.
     pub fn encode(&mut self, x: Fixed) -> Result<StreamHandle, ImscError> {
-        self.refresh_rn_rows()?;
         let dest = self.allocator.alloc()?;
-        match self.generate_into(x, dest) {
+        let generated = self
+            .refresh_for_encode()
+            .and_then(|()| self.generate_into(x, dest));
+        match generated {
             Ok(cost) => {
                 self.ledger.imsng.accumulate(&cost);
                 self.record_imsng(dest);
@@ -483,32 +591,34 @@ impl Accelerator {
                 "encode_correlated_many needs at least one operand",
             ));
         }
-        self.refresh_rn_rows()?;
+        // All destination rows are reserved before any cost is charged,
+        // so row exhaustion anywhere in the batch leaves the ledger and
+        // trace untouched.
         let mut dests = Vec::with_capacity(operands.len());
-        let mut costs = Vec::with_capacity(operands.len());
-        for &op in operands {
-            let dest = match self.allocator.alloc() {
-                Ok(d) => d,
+        for _ in operands {
+            match self.allocator.alloc() {
+                Ok(d) => dests.push(d),
                 Err(e) => {
-                    for d in dests {
-                        self.allocator.release(d);
-                    }
-                    return Err(e);
-                }
-            };
-            match self.generate_into(op, dest) {
-                Ok(c) => {
-                    dests.push(dest);
-                    costs.push(c);
-                }
-                Err(e) => {
-                    self.allocator.release(dest);
                     for d in dests {
                         self.allocator.release(d);
                     }
                     return Err(e);
                 }
             }
+        }
+        let mut costs = Vec::with_capacity(operands.len());
+        let mut generate_all = || -> Result<(), ImscError> {
+            self.refresh_for_encode()?;
+            for (&op, &dest) in operands.iter().zip(&dests) {
+                costs.push(self.generate_into(op, dest)?);
+            }
+            Ok(())
+        };
+        if let Err(e) = generate_all() {
+            for d in dests {
+                self.allocator.release(d);
+            }
+            return Err(e);
         }
         let group = self.fresh_group();
         let mut handles = Vec::with_capacity(dests.len());
@@ -569,16 +679,48 @@ impl Accelerator {
                 requires_correlated: false,
             });
         }
-        let result = self
+        // Destination first: no phantom costs on row exhaustion.
+        let dest = self.allocator.alloc()?;
+        let result = match self
             .sl
-            .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, rs])?;
+            .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, rs])
+        {
+            Ok(r) => r,
+            Err(e) => {
+                self.allocator.release(dest);
+                return Err(e.into());
+            }
+        };
         self.ledger.sl_single_ops += 1;
         self.record(CmdKind::ScoutRead { rows: 3 }, ra);
-        let dest = self.allocator.alloc()?;
         self.array.write_row(dest, &result)?;
         self.ledger.stream_writes += 1;
         self.record(CmdKind::Write, dest);
         Ok(self.new_slot(dest, ga))
+    }
+
+    /// Writes one fresh TRNG row into a stream slot and returns it as a
+    /// ~0.5-probability select stream in its own correlation domain.
+    ///
+    /// This is the paper's native select source: the MUX-replacement MAJ
+    /// of §III-B takes a *random row* on its select port, and the
+    /// in-array TRNG produces one in a single-step write — no IMSNG
+    /// conversion, no RN-row refresh, and (crucially) no correlation with
+    /// any stream encoded from the RN rows, whatever the refresh policy.
+    /// Per-cell device bias (the builder's `trng_bias_sigma`) applies, as
+    /// it does to the RN rows themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`ImscError::OutOfRows`] or substrate errors.
+    pub fn trng_select(&mut self) -> Result<StreamHandle, ImscError> {
+        let dest = self.allocator.alloc()?;
+        let row = self.trng.generate_row(self.stream_len);
+        self.array.write_row(dest, &row)?;
+        self.ledger.trng_fills += 1;
+        self.record(CmdKind::Write, dest);
+        let group = self.fresh_group();
+        Ok(self.new_slot(dest, group))
     }
 
     /// Loads an externally produced stream into the array (fresh
@@ -626,13 +768,21 @@ impl Accelerator {
                 requires_correlated: require_correlated,
             });
         }
-        let result = self.sl.execute_mut(&mut self.array, op, &[ra, rb])?;
+        // Destination first: a failed allocation must not leave phantom
+        // op costs in the ledger or trace.
+        let dest = self.allocator.alloc()?;
+        let result = match self.sl.execute_mut(&mut self.array, op, &[ra, rb]) {
+            Ok(r) => r,
+            Err(e) => {
+                self.allocator.release(dest);
+                return Err(e.into());
+            }
+        };
         match op {
             SlOp::Xor | SlOp::Xnor => self.ledger.sl_xor_ops += 1,
             _ => self.ledger.sl_single_ops += 1,
         }
         self.record(CmdKind::ScoutRead { rows: 2 }, ra);
-        let dest = self.allocator.alloc()?;
         self.array.write_row(dest, &result)?;
         self.ledger.stream_writes += 1;
         self.record(CmdKind::Write, dest);
@@ -661,8 +811,14 @@ impl Accelerator {
         self.binary_sl_op(SlOp::And, a, b, false, "multiply")
     }
 
-    /// CIM-friendly scaled addition `(x + y)/2`: 3-input majority with an
-    /// in-memory generated 0.5 select stream (§III-B).
+    /// CIM-friendly scaled addition `(x + y)/2`: 3-input majority with a
+    /// fresh in-memory TRNG row on the select port (§III-B).
+    ///
+    /// The select is one single-step [`Accelerator::trng_select`] row —
+    /// *not* an IMSNG conversion — so it is independent of both operands
+    /// under every refresh policy, never touches the RN rows, and leaves
+    /// the encode cache's realization intact. Total cost on top of the
+    /// MAJ: one TRNG row fill and the two row writes (select + result).
     ///
     /// # Errors
     ///
@@ -687,17 +843,30 @@ impl Accelerator {
                 requires_correlated: false,
             });
         }
-        // Select stream: a fresh 0.5-probability stream (one IMSNG run).
-        let half = Fixed::new(1 << (self.segment_bits() - 1), self.segment_bits())?;
-        let sel = self.encode(half)?;
-        let rs = self.slot(sel)?.row;
-        let result = self
+        // Destination first: no phantom costs on row exhaustion.
+        let dest = self.allocator.alloc()?;
+        // The select row is generated *into* the destination — the MAJ
+        // consumes it and the result overwrites it — so the operation
+        // peaks at one extra row, like the pre-policy implementation.
+        let select = self.trng.generate_row(self.stream_len);
+        if let Err(e) = self.array.write_row(dest, &select) {
+            self.allocator.release(dest);
+            return Err(e.into());
+        }
+        self.ledger.trng_fills += 1;
+        self.record(CmdKind::Write, dest);
+        let result = match self
             .sl
-            .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, rs])?;
+            .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, dest])
+        {
+            Ok(r) => r,
+            Err(e) => {
+                self.allocator.release(dest);
+                return Err(e.into());
+            }
+        };
         self.ledger.sl_single_ops += 1;
         self.record(CmdKind::ScoutRead { rows: 3 }, ra);
-        self.release(sel)?;
-        let dest = self.allocator.alloc()?;
         self.array.write_row(dest, &result)?;
         self.ledger.stream_writes += 1;
         self.record(CmdKind::Write, dest);
@@ -772,23 +941,42 @@ impl Accelerator {
                 requires_correlated: true,
             });
         }
+        // Destination first: no phantom costs on row exhaustion.
+        let dest = self.allocator.alloc()?;
         // Sense both operand rows (faults apply on the sensing path).
-        let x = self
-            .sl
-            .execute_mut(&mut self.array, SlOp::Not, &[ra])?
-            .not();
-        let y = self
-            .sl
-            .execute_mut(&mut self.array, SlOp::Not, &[rb])?
-            .not();
-        self.ledger.sl_single_ops += 2;
-        self.record(CmdKind::ScoutRead { rows: 2 }, ra);
-        let quotient = CordivPeriphery::new().run(&x, &y)?;
+        // Each is its own single-row NOT sense read — the ledger charges
+        // two single ops, so the trace records two single-row scout
+        // reads, one per operand row.
+        let sense = |this: &mut Self, row: usize| match this.sl.execute_mut(
+            &mut this.array,
+            SlOp::Not,
+            &[row],
+        ) {
+            Ok(s) => {
+                this.ledger.sl_single_ops += 1;
+                this.record(CmdKind::ScoutRead { rows: 1 }, row);
+                Ok(s.not())
+            }
+            Err(e) => {
+                this.allocator.release(dest);
+                Err(ImscError::from(e))
+            }
+        };
+        let x = sense(self, ra)?;
+        let y = sense(self, rb)?;
+        let quotient = match CordivPeriphery::new().run(&x, &y) {
+            Ok(q) => q,
+            Err(e) => {
+                // The sense reads above were real work and stay charged;
+                // the CORDIV steps never ran.
+                self.allocator.release(dest);
+                return Err(e.into());
+            }
+        };
         self.ledger.cordiv_steps += self.stream_len as u64;
         if let Some(t) = self.trace.as_mut() {
             t.push_repeated(Command::new(0, ra, CmdKind::CordivStep), self.stream_len);
         }
-        let dest = self.allocator.alloc()?;
         self.array.write_row(dest, &quotient)?;
         self.ledger.stream_writes += 1;
         self.record(CmdKind::Write, dest);
@@ -804,10 +992,18 @@ impl Accelerator {
     pub fn complement(&mut self, a: StreamHandle) -> Result<StreamHandle, ImscError> {
         let ra = self.slot(a)?.row;
         let ga = self.slot(a)?.correlation_group;
-        let result = self.sl.execute_mut(&mut self.array, SlOp::Not, &[ra])?;
-        self.ledger.sl_single_ops += 1;
-        self.record(CmdKind::ScoutRead { rows: 2 }, ra);
+        // Destination first: no phantom costs on row exhaustion.
         let dest = self.allocator.alloc()?;
+        let result = match self.sl.execute_mut(&mut self.array, SlOp::Not, &[ra]) {
+            Ok(r) => r,
+            Err(e) => {
+                self.allocator.release(dest);
+                return Err(e.into());
+            }
+        };
+        self.ledger.sl_single_ops += 1;
+        // An inverted read senses a single row.
+        self.record(CmdKind::ScoutRead { rows: 1 }, ra);
         self.array.write_row(dest, &result)?;
         self.ledger.stream_writes += 1;
         self.record(CmdKind::Write, dest);
@@ -1054,6 +1250,36 @@ mod tests {
         assert_eq!(l.trng_fills, 16);
     }
 
+    /// Asserts that every command class in the trace matches the ledger's
+    /// corresponding counters exactly.
+    fn assert_trace_matches_ledger(a: &Accelerator, context: &str) {
+        let l = a.ledger();
+        let trace = a.trace().expect("tracing enabled");
+        let count = |pred: &dyn Fn(&CmdKind) -> bool| -> u64 {
+            trace.commands().iter().filter(|c| pred(&c.kind)).count() as u64
+        };
+        assert_eq!(
+            count(&|k| matches!(k, CmdKind::ScoutRead { .. })),
+            l.imsng.sense_ops + l.sl_single_ops + l.sl_xor_ops,
+            "{context}: scout reads"
+        );
+        assert_eq!(
+            count(&|k| *k == CmdKind::Write),
+            l.trng_fills + l.stream_writes + l.imsng.intermediate_writes + l.imsng.sbs_writes,
+            "{context}: writes"
+        );
+        assert_eq!(
+            count(&|k| *k == CmdKind::AdcSample),
+            l.adc_samples,
+            "{context}: adc samples"
+        );
+        assert_eq!(
+            count(&|k| *k == CmdKind::CordivStep),
+            l.cordiv_steps,
+            "{context}: cordiv steps"
+        );
+    }
+
     #[test]
     fn trace_recording_matches_ledger() {
         let mut a = Accelerator::builder()
@@ -1077,6 +1303,278 @@ mod tests {
             .filter(|c| c.kind == CmdKind::AdcSample)
             .count();
         assert_eq!(adcs, 1);
+        // Divide performs two single-row NOT sense reads; the trace must
+        // record them as two `ScoutRead { rows: 1 }` commands (one per
+        // operand row), keeping the scout count equal to the ledger's.
+        let (p, q) = a
+            .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+            .unwrap();
+        let d = a.divide(p, q).unwrap();
+        let _ = a.read_value(d).unwrap();
+        let trace = a.trace().unwrap();
+        let single_row_scouts = trace
+            .commands()
+            .iter()
+            .filter(|c| matches!(c.kind, CmdKind::ScoutRead { rows: 1 }))
+            .count();
+        assert_eq!(single_row_scouts, 2);
+        assert_trace_matches_ledger(&a, "divide");
+    }
+
+    #[test]
+    fn ledger_and_trace_agree_for_every_batch_op() {
+        // Parity across the whole operation surface: one accelerator per
+        // `BatchOp` variant, every command class checked against the
+        // ledger.
+        type Prep = fn(&mut Accelerator) -> BatchOp;
+        let preps: [(&str, Prep); 9] = [
+            ("multiply", |a| {
+                let x = a.encode(Fixed::from_u8(96)).unwrap();
+                let y = a.encode(Fixed::from_u8(160)).unwrap();
+                BatchOp::Multiply(x, y)
+            }),
+            ("scaled_add", |a| {
+                let x = a.encode(Fixed::from_u8(96)).unwrap();
+                let y = a.encode(Fixed::from_u8(160)).unwrap();
+                BatchOp::ScaledAdd(x, y)
+            }),
+            ("approx_add", |a| {
+                let x = a.encode(Fixed::from_u8(40)).unwrap();
+                let y = a.encode(Fixed::from_u8(50)).unwrap();
+                BatchOp::ApproxAdd(x, y)
+            }),
+            ("abs_subtract", |a| {
+                let (x, y) = a
+                    .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+                    .unwrap();
+                BatchOp::AbsSubtract(x, y)
+            }),
+            ("minimum", |a| {
+                let (x, y) = a
+                    .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+                    .unwrap();
+                BatchOp::Minimum(x, y)
+            }),
+            ("maximum", |a| {
+                let (x, y) = a
+                    .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+                    .unwrap();
+                BatchOp::Maximum(x, y)
+            }),
+            ("divide", |a| {
+                let (x, y) = a
+                    .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+                    .unwrap();
+                BatchOp::Divide(x, y)
+            }),
+            ("complement", |a| {
+                let x = a.encode(Fixed::from_u8(77)).unwrap();
+                BatchOp::Complement(x)
+            }),
+            ("blend", |a| {
+                let (x, y) = a
+                    .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+                    .unwrap();
+                let s = a.trng_select().unwrap();
+                BatchOp::Blend(x, y, s)
+            }),
+        ];
+        for (name, prep) in preps {
+            let mut a = Accelerator::builder()
+                .stream_len(256)
+                .seed(33)
+                .record_trace(true)
+                .build()
+                .unwrap();
+            let op = prep(&mut a);
+            let out = a.execute_many(&[op]).unwrap();
+            let _ = a.read_value(out[0]).unwrap();
+            assert_trace_matches_ledger(&a, name);
+        }
+    }
+
+    #[test]
+    fn failed_allocations_charge_nothing() {
+        // Exhaust the stream rows, then check that every operation's
+        // OutOfRows failure leaves both the ledger and the trace exactly
+        // as they were (no phantom op costs).
+        let mut a = Accelerator::builder()
+            .stream_len(64)
+            .stream_rows(5)
+            .seed(44)
+            .trng_bias_sigma(0.0)
+            .record_trace(true)
+            .build()
+            .unwrap();
+        let (x, y) = a
+            .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+            .unwrap();
+        let u = a.encode(Fixed::from_u8(100)).unwrap();
+        let sel = a.trng_select().unwrap();
+        let _fill = a.trng_select().unwrap(); // occupy the last row
+        assert_eq!(a.available_rows(), 0);
+
+        let ledger_before = *a.ledger();
+        let trace_before = a.trace().unwrap().commands().len();
+        assert!(matches!(a.multiply(x, u), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.approx_add(x, u), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.abs_subtract(x, y), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.minimum(x, y), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.divide(x, y), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.scaled_add(x, u), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.blend(x, y, sel), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.complement(x), Err(ImscError::OutOfRows)));
+        assert!(matches!(a.trng_select(), Err(ImscError::OutOfRows)));
+        assert!(matches!(
+            a.encode(Fixed::from_u8(1)),
+            Err(ImscError::OutOfRows)
+        ));
+        assert!(matches!(
+            a.encode_correlated(Fixed::from_u8(1), Fixed::from_u8(2)),
+            Err(ImscError::OutOfRows)
+        ));
+        assert_eq!(*a.ledger(), ledger_before, "phantom costs charged");
+        assert_eq!(a.trace().unwrap().commands().len(), trace_before);
+    }
+
+    #[test]
+    fn scaled_add_cost_is_pinned() {
+        // The 0.5 select is one single-step TRNG row: scaled_add must
+        // charge exactly one TRNG fill, one MAJ scouting op, and one
+        // result-row write on top of the operand encodes — no IMSNG run,
+        // no RN-row refresh.
+        let mut a = acc(256, 12);
+        let x = a.encode(Fixed::from_u8(200)).unwrap();
+        let y = a.encode(Fixed::from_u8(56)).unwrap();
+        let before = *a.ledger();
+        let s = a.scaled_add(x, y).unwrap();
+        let l = a.ledger();
+        assert_eq!(l.trng_fills, before.trng_fills + 1);
+        assert_eq!(l.sl_single_ops, before.sl_single_ops + 1);
+        assert_eq!(l.stream_writes, before.stream_writes + 1);
+        assert_eq!(l.imsng, before.imsng, "no IMSNG conversion");
+        let _ = s;
+    }
+
+    #[test]
+    fn scaled_add_succeeds_with_one_free_row() {
+        // The select lives in the destination row until the MAJ result
+        // overwrites it, so one free row is enough (as before the
+        // refresh-policy rework).
+        let mut a = Accelerator::builder()
+            .stream_len(2048)
+            .stream_rows(3)
+            .seed(51)
+            .trng_bias_sigma(0.0)
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(200)).unwrap();
+        let y = a.encode(Fixed::from_u8(56)).unwrap();
+        assert_eq!(a.available_rows(), 1);
+        let s = a.scaled_add(x, y).unwrap();
+        let v = a.read_value(s).unwrap();
+        assert!((v - 0.5).abs() < 0.05, "{v}");
+    }
+
+    #[test]
+    fn scaled_add_leaves_the_encode_cache_realization_intact() {
+        // Under an explicit policy the cached conversion for an operand
+        // must survive a scaled_add (the old implementation refreshed the
+        // RN rows mid-operation, killing the realization).
+        let mut a = Accelerator::builder()
+            .stream_len(512)
+            .seed(19)
+            .refresh_policy(RnRefreshPolicy::Explicit)
+            .build()
+            .unwrap();
+        let h1 = a.encode(Fixed::from_u8(90)).unwrap();
+        let s1 = a.read_stream(h1).unwrap();
+        let u = a.encode(Fixed::from_u8(30)).unwrap();
+        let epoch = a.rn_epoch();
+        let _sum = a.scaled_add(h1, u).unwrap();
+        assert_eq!(a.rn_epoch(), epoch, "scaled_add must not refresh");
+        let h2 = a.encode(Fixed::from_u8(90)).unwrap();
+        assert!(a.encode_cache_hits() >= 1);
+        assert_eq!(a.read_stream(h2).unwrap(), s1, "same realization");
+    }
+
+    #[test]
+    fn every_n_policy_shares_realizations() {
+        let mut a = Accelerator::builder()
+            .stream_len(2048)
+            .seed(23)
+            .trng_bias_sigma(0.0)
+            .refresh_policy(RnRefreshPolicy::EveryN(4))
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(60)).unwrap();
+        let y = a.encode(Fixed::from_u8(180)).unwrap();
+        assert_eq!(a.rn_epoch(), 1, "4 batches share one realization");
+        assert_eq!(a.ledger().trng_fills, 8);
+        let sx = a.read_stream(x).unwrap();
+        let sy = a.read_stream(y).unwrap();
+        // Shared realization: maximally correlated despite distinct
+        // correlation-domain labels.
+        assert!(sc_core::correlation::scc(&sx, &sy).unwrap() > 0.99);
+        let _ = a.encode(Fixed::from_u8(10)).unwrap();
+        let _ = a.encode(Fixed::from_u8(11)).unwrap();
+        let _ = a.encode(Fixed::from_u8(12)).unwrap();
+        assert_eq!(a.rn_epoch(), 2, "5th batch starts the next realization");
+        assert_eq!(a.ledger().trng_fills, 16);
+    }
+
+    #[test]
+    fn explicit_policy_refreshes_only_on_request() {
+        let mut a = Accelerator::builder()
+            .stream_len(2048)
+            .seed(29)
+            .trng_bias_sigma(0.0)
+            .refresh_policy(RnRefreshPolicy::Explicit)
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(60)).unwrap();
+        let sx = a.read_stream(x).unwrap();
+        for i in 0..6 {
+            let _ = a.encode(Fixed::from_u8(i)).unwrap();
+        }
+        assert_eq!(a.rn_epoch(), 1, "only the initial fill");
+        a.refresh_rn_rows().unwrap();
+        let z = a.encode(Fixed::from_u8(60)).unwrap();
+        let sz = a.read_stream(z).unwrap();
+        assert_eq!(a.rn_epoch(), 2);
+        // Fresh realization: the equal-valued streams decorrelate.
+        assert!(sc_core::correlation::scc(&sx, &sz).unwrap() < 0.3);
+    }
+
+    #[test]
+    fn trng_select_is_half_and_independent_of_encodes() {
+        let mut a = Accelerator::builder()
+            .stream_len(4096)
+            .seed(31)
+            .trng_bias_sigma(0.0)
+            .refresh_policy(RnRefreshPolicy::Explicit)
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(128)).unwrap();
+        let s = a.trng_select().unwrap();
+        let v = a.read_value(s).unwrap();
+        assert!((v - 0.5).abs() < 0.03, "{v}");
+        let sx = a.read_stream(x).unwrap();
+        let ss = a.read_stream(s).unwrap();
+        // Even under full realization reuse the select is fresh entropy.
+        assert!(sc_core::correlation::scc(&sx, &ss).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_refresh_policy_rejected() {
+        assert!(Accelerator::builder()
+            .refresh_policy(RnRefreshPolicy::EveryN(0))
+            .build()
+            .is_err());
+        assert!(Accelerator::builder()
+            .refresh_policy(RnRefreshPolicy::EveryN(1))
+            .build()
+            .is_ok());
     }
 
     #[test]

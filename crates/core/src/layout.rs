@@ -8,6 +8,45 @@
 
 use crate::error::ImscError;
 
+/// When the accelerator rewrites its random-number rows with fresh TRNG
+/// output (one *RN realization* per rewrite).
+///
+/// Every stream encoded under one realization is an indicator function of
+/// the *same* column-parallel random numbers, so streams that share a
+/// realization are maximally correlated (SCC ≈ +1) regardless of their
+/// correlation-domain labels. Reuse is therefore a fidelity decision, not
+/// just a cost knob:
+///
+/// * **harmless** when the correlated streams never meet in one operation
+///   (e.g. operand sets of *different* pixels of an image kernel — each
+///   pixel's result only combines streams from its own batches);
+/// * **required** for the correlated-input operations (XOR subtraction,
+///   CORDIV division, min/max), which is exactly what
+///   [`crate::engine::Accelerator::encode_correlated_many`] provides
+///   within a single batch;
+/// * **harmful** when two streams that an operation needs independent
+///   (e.g. a MAJ select against its operands) land in one realization —
+///   the correlation-domain check cannot catch this, because the batches
+///   still receive distinct domain labels.
+///
+/// The policy only schedules refreshes *between* encode batches; within a
+/// batch, operands always share the batch's realization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RnRefreshPolicy {
+    /// Refresh before every encode batch (the default): every batch gets
+    /// an independent realization, matching the paper's per-conversion
+    /// entropy accounting. `EveryN(1)` is bit-identical to this.
+    PerEncode,
+    /// Refresh before every `N`-th encode batch: up to `N` consecutive
+    /// batches share one realization. `N` must be nonzero
+    /// (validated at build time).
+    EveryN(u64),
+    /// Never refresh automatically (beyond the initial fill); the caller
+    /// schedules realizations via
+    /// [`crate::engine::Accelerator::refresh_rn_rows`].
+    Explicit,
+}
+
 /// Allocates rows of one array among random-number and stream storage.
 #[derive(Debug, Clone)]
 pub struct RowAllocator {

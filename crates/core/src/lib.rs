@@ -54,3 +54,4 @@ pub mod xag;
 pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
 pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
+pub use layout::RnRefreshPolicy;

@@ -2,7 +2,7 @@
 //! consistency, correlation-domain algebra, and long operation chains.
 
 use imsc::engine::{Accelerator, BatchOp};
-use imsc::ImscError;
+use imsc::{ImscError, RnRefreshPolicy};
 use nvsim::{CmdKind, MemoryConfig, Simulator};
 use proptest::prelude::*;
 use sc_core::Fixed;
@@ -109,8 +109,10 @@ fn ledger_and_trace_agree_on_operation_counts() {
     let count = |pred: &dyn Fn(&CmdKind) -> bool| {
         trace.commands().iter().filter(|c| pred(&c.kind)).count() as u64
     };
-    // scaled_add internally encodes a select stream: 3 conversions total.
-    assert_eq!(ledger.imsng.sense_ops, 3 * 40);
+    // scaled_add's select is a single-step TRNG row, not an IMSNG
+    // conversion: only the two operand encodes run the comparator.
+    assert_eq!(ledger.imsng.sense_ops, 2 * 40);
+    assert_eq!(ledger.trng_fills, 2 * 8 + 1);
     assert_eq!(
         count(&|k| matches!(k, CmdKind::ScoutRead { .. })),
         ledger.imsng.sense_ops + ledger.sl_single_ops + ledger.sl_xor_ops
@@ -257,6 +259,67 @@ proptest! {
             acc.release(h).expect("alive");
             prop_assert_eq!(acc.available_rows(), before + 1);
         }
+    }
+
+    #[test]
+    fn reused_realization_maximally_correlates_encodes(
+        lo in 0u8..=255, hi in 0u8..=255, seed in 0u64..300,
+    ) {
+        // Two operands encoded without an intervening refresh share one
+        // RN realization: their streams are nested indicator functions of
+        // the same random numbers, so SCC ≈ +1 (exactly +1 in the
+        // similar-bits formulation whenever both streams are non-trivial).
+        let mut acc = Accelerator::builder()
+            .stream_len(1024)
+            .seed(seed)
+            .refresh_policy(RnRefreshPolicy::Explicit)
+            .build()
+            .expect("valid configuration");
+        let a = acc.encode(Fixed::from_u8(lo)).expect("rows");
+        let b = acc.encode(Fixed::from_u8(hi)).expect("rows");
+        let sa = acc.read_stream(a).expect("alive");
+        let sb = acc.read_stream(b).expect("alive");
+        // Nested: the smaller operand's ones are a subset of the larger's.
+        let overlap = sa.and(&sb).expect("equal lengths").count_ones();
+        prop_assert_eq!(overlap, sa.count_ones().min(sb.count_ones()));
+        // SCC is only defined away from the constant streams.
+        if sa.count_ones() > 0 && sb.count_ones() > 0
+            && sa.count_ones() < sa.len() as u64 && sb.count_ones() < sb.len() as u64
+        {
+            let scc = sc_core::correlation::scc(&sa, &sb).expect("lengths");
+            prop_assert!(scc > 0.99, "scc {}", scc);
+        }
+    }
+
+    #[test]
+    fn every_n_1_is_bit_identical_to_per_encode(
+        x in 0u8..=255, y in 0u8..=255, seed in 0u64..300,
+    ) {
+        // EveryN(1) refreshes before every batch — exactly PerEncode's
+        // schedule — so identical seeds must give bit-identical streams
+        // and identical ledgers.
+        let run = |policy: RnRefreshPolicy| {
+            let mut acc = Accelerator::builder()
+                .stream_len(512)
+                .seed(seed)
+                .refresh_policy(policy)
+                .build()
+                .expect("valid configuration");
+            let a = acc.encode(Fixed::from_u8(x)).expect("rows");
+            let (b, c) = acc
+                .encode_correlated(Fixed::from_u8(y), Fixed::from_u8(x))
+                .expect("rows");
+            let streams = (
+                acc.read_stream(a).expect("alive"),
+                acc.read_stream(b).expect("alive"),
+                acc.read_stream(c).expect("alive"),
+            );
+            (streams, *acc.ledger(), acc.rn_epoch())
+        };
+        prop_assert_eq!(
+            run(RnRefreshPolicy::PerEncode),
+            run(RnRefreshPolicy::EveryN(1))
+        );
     }
 
     #[test]

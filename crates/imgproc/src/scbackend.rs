@@ -3,6 +3,7 @@
 use crate::error::ImgError;
 use imsc::engine::Accelerator;
 use imsc::imsng::ImsngVariant;
+use imsc::RnRefreshPolicy;
 use reram::faults::FaultRates;
 use sc_core::prelude::*;
 
@@ -21,6 +22,14 @@ pub struct ScReramConfig {
     pub trng_bias_sigma: f64,
     /// IMSNG variant.
     pub variant: ImsngVariant,
+    /// RN refresh policy override. `None` (the default) lets each kernel
+    /// pick its documented realization-reuse schedule — the kernels only
+    /// reuse realizations across *different* pixels, where the resulting
+    /// stream correlation is harmless (see [`RnRefreshPolicy`]). Setting
+    /// `Some(policy)` forces one policy onto the kernel's accelerators;
+    /// `Some(RnRefreshPolicy::PerEncode)` reproduces the
+    /// fresh-realization-per-batch behaviour everywhere.
+    pub refresh_policy: Option<RnRefreshPolicy>,
 }
 
 impl ScReramConfig {
@@ -34,6 +43,7 @@ impl ScReramConfig {
             fault_rates: FaultRates::none(),
             trng_bias_sigma: 0.04,
             variant: ImsngVariant::Opt,
+            refresh_policy: None,
         }
     }
 
@@ -41,6 +51,14 @@ impl ScReramConfig {
     #[must_use]
     pub fn with_faults(mut self, rates: FaultRates) -> Self {
         self.fault_rates = rates;
+        self
+    }
+
+    /// Same configuration with a forced RN refresh policy (overriding the
+    /// per-kernel reuse schedules).
+    #[must_use]
+    pub fn with_refresh_policy(mut self, policy: RnRefreshPolicy) -> Self {
+        self.refresh_policy = Some(policy);
         self
     }
 
@@ -62,6 +80,21 @@ impl ScReramConfig {
     ///
     /// Propagates accelerator construction errors.
     pub fn build_for_tile(&self, tile: usize) -> Result<Accelerator, ImgError> {
+        self.build_for_tile_with(tile, RnRefreshPolicy::PerEncode)
+    }
+
+    /// [`ScReramConfig::build_for_tile`] with the calling kernel's default
+    /// refresh policy, which a user-set [`ScReramConfig::refresh_policy`]
+    /// overrides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator construction errors.
+    pub fn build_for_tile_with(
+        &self,
+        tile: usize,
+        kernel_default: RnRefreshPolicy,
+    ) -> Result<Accelerator, ImgError> {
         Ok(Accelerator::builder()
             .stream_len(self.stream_len)
             .segment_bits(self.segment_bits)
@@ -69,9 +102,21 @@ impl ScReramConfig {
             .fault_rates(self.fault_rates)
             .trng_bias_sigma(self.trng_bias_sigma)
             .variant(self.variant)
+            .refresh_policy(self.refresh_policy.unwrap_or(kernel_default))
             .stream_rows(24)
             .build()?)
     }
+}
+
+/// Requests a fresh RN realization at a kernel-chosen independence point
+/// — a no-op unless the accelerator runs under
+/// [`RnRefreshPolicy::Explicit`] (any other policy schedules its own
+/// refreshes).
+pub(crate) fn explicit_refresh(acc: &mut Accelerator) -> Result<(), ImgError> {
+    if acc.refresh_policy() == RnRefreshPolicy::Explicit {
+        acc.refresh_rn_rows()?;
+    }
+    Ok(())
 }
 
 /// The RNG family of the functional CMOS SC backend.

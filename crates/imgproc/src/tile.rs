@@ -33,6 +33,8 @@ pub(crate) struct TileOut {
     pub ledger: CostLedger,
     /// Encode-cache hits observed by the tile accelerator.
     pub cache_hits: u64,
+    /// RN realizations (epochs) the tile accelerator consumed.
+    pub rn_epochs: u64,
 }
 
 /// Aggregate statistics of one tiled SC-ReRAM kernel run.
@@ -42,6 +44,10 @@ pub struct ScRunStats {
     pub ledger: CostLedger,
     /// Total encode-cache hits across tile accelerators.
     pub encode_cache_hits: u64,
+    /// Total RN realizations consumed across tile accelerators — the
+    /// direct measure of how much the kernel's refresh policy reuses
+    /// random-number rows.
+    pub rn_epochs: u64,
     /// Number of tiles executed.
     pub tiles: usize,
 }
@@ -154,6 +160,7 @@ pub(crate) fn assemble(tiles: Vec<TileOut>) -> (Vec<u8>, ScRunStats) {
         pixels.extend_from_slice(&tile.pixels);
         stats.ledger.merge(&tile.ledger);
         stats.encode_cache_hits += tile.cache_hits;
+        stats.rn_epochs += tile.rn_epochs;
     }
     (pixels, stats)
 }
@@ -170,6 +177,7 @@ mod tests {
                 ..CostLedger::default()
             },
             cache_hits: t as u64,
+            rn_epochs: 1,
         })
     }
 
@@ -183,7 +191,8 @@ mod tests {
         assert_eq!(pixels[8], 81); // row 8, tile 1
         assert_eq!(stats.tiles, 3);
         assert_eq!(stats.ledger.adc_samples, 3);
-        assert_eq!(stats.encode_cache_hits, 0 + 1 + 2);
+        assert_eq!(stats.encode_cache_hits, 1 + 2);
+        assert_eq!(stats.rn_epochs, 3);
     }
 
     #[test]

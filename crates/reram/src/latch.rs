@@ -103,10 +103,12 @@ impl WriteDriverLatches {
     /// width.
     pub fn mask_flags(&mut self, keep: &BitStream) -> Result<(), ReramError> {
         self.check(keep)?;
-        self.l1.and_assign(keep).map_err(|_| ReramError::WidthMismatch {
-            data: keep.len(),
-            cols: self.width(),
-        })
+        self.l1
+            .and_assign(keep)
+            .map_err(|_| ReramError::WidthMismatch {
+                data: keep.len(),
+                cols: self.width(),
+            })
     }
 
     /// Accumulates a predicated result into the data latch
@@ -119,10 +121,12 @@ impl WriteDriverLatches {
     /// width.
     pub fn accumulate(&mut self, sensed: &BitStream) -> Result<(), ReramError> {
         let gated = self.predicated_sense(sensed)?;
-        self.l0.or_assign(&gated).map_err(|_| ReramError::WidthMismatch {
-            data: gated.len(),
-            cols: self.width(),
-        })
+        self.l0
+            .or_assign(&gated)
+            .map_err(|_| ReramError::WidthMismatch {
+                data: gated.len(),
+                cols: self.width(),
+            })
     }
 
     /// Differential-write mask: the columns whose stored value differs

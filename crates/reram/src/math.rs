@@ -53,6 +53,22 @@ impl GaussianSampler {
     pub fn uniform(&mut self) -> f64 {
         self.rng.next_f64()
     }
+
+    /// Returns one raw uniform 64-bit word — the input of the
+    /// word-parallel threshold-sampling paths (one word feeds 64 lanes of
+    /// a bit-sliced Bernoulli comparison, where the per-bit path consumes
+    /// one full `f64` draw per single bit).
+    pub fn uniform_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Fills `out` with uniform 64-bit words (batched
+    /// [`GaussianSampler::uniform_u64`]).
+    pub fn fill_uniform_u64(&mut self, out: &mut [u64]) {
+        for w in out {
+            *w = self.rng.next_u64();
+        }
+    }
 }
 
 /// Converts a (median, log-domain sigma) pair into lognormal `mu`.

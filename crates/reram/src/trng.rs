@@ -9,6 +9,17 @@
 //! [`TrngEngine`] models the statistical reality of such a source: each
 //! generator cell has a small static bias around the ideal 50% point
 //! (device-to-device variation) plus unbiased shot-to-shot randomness.
+//! Because the hardware fills a whole row in one step, the engine's hot
+//! path is word-parallel: per-cell one-probabilities are quantized to
+//! [`THRESHOLD_BITS`]-bit thresholds at construction and expanded into
+//! bit-plane masks per aligned 64-cell window, so one
+//! [`sc_core::rng::bernoulli_words`] comparison draws 64 biased Bernoulli
+//! bits from (in expectation) about two uniform words. The per-bit
+//! [`BitSource::next_bit`] path remains the reference semantics: the word
+//! path visits the same cells in the same ring order with the same
+//! marginal probabilities (exact for ideal 0.5 cells, quantized to
+//! `2^-16` for biased cells) and is differential-tested against it.
+//!
 //! The engine fills array rows and doubles as a [`BitSource`] for the
 //! segmented random numbers IMSNG consumes. [`VonNeumannWhitened`] wraps
 //! any bit source with the classic de-biasing extractor.
@@ -16,8 +27,14 @@
 use crate::array::CrossbarArray;
 use crate::error::ReramError;
 use crate::math::GaussianSampler;
-use sc_core::rng::BitSource;
+use sc_core::rng::{bernoulli_words, clear_past_len, probability_threshold, BitSource};
 use sc_core::BitStream;
+
+/// Threshold precision of the word-parallel fill path: per-cell
+/// one-probabilities quantize to `1/2^16`. An ideal 0.5 cell is
+/// represented exactly (`2^15`), so the quantization only touches the
+/// modeled device bias, at 1/256 of its smallest clamp step.
+const THRESHOLD_BITS: u32 = 16;
 
 /// Statistical model of a row of TRNG cells.
 ///
@@ -34,6 +51,10 @@ use sc_core::BitStream;
 #[derive(Debug, Clone)]
 pub struct TrngEngine {
     cell_bias: Vec<f64>,
+    /// MSB-first threshold bit-planes per aligned 64-cell window, for
+    /// the bit-sliced fill path. Empty when `cells % 64 != 0`, in which
+    /// case word fills fall back to the per-bit reference path.
+    window_planes: Vec<[u64; THRESHOLD_BITS as usize]>,
     sampler: GaussianSampler,
     cursor: usize,
     bits_generated: u64,
@@ -43,6 +64,10 @@ impl TrngEngine {
     /// Creates an engine with `cells` generator cells whose one-probability
     /// is `0.5 + N(0, bias_sigma)` (clamped to `[0.05, 0.95]`).
     ///
+    /// When `cells` is a multiple of 64, row fills run word-parallel
+    /// (bit-sliced Bernoulli sampling over precomputed per-cell
+    /// thresholds); otherwise they fall back to the per-bit path.
+    ///
     /// # Panics
     ///
     /// Panics if `cells == 0` or `bias_sigma < 0`.
@@ -51,11 +76,33 @@ impl TrngEngine {
         assert!(cells > 0, "at least one trng cell required");
         assert!(bias_sigma >= 0.0, "bias sigma must be non-negative");
         let mut sampler = GaussianSampler::new(seed);
-        let cell_bias = (0..cells)
+        let cell_bias: Vec<f64> = (0..cells)
             .map(|_| (0.5 + sampler.normal(0.0, bias_sigma)).clamp(0.05, 0.95))
             .collect();
+        let window_planes = if cells.is_multiple_of(64) {
+            cell_bias
+                .chunks_exact(64)
+                .map(|window| {
+                    let mut planes = [0u64; THRESHOLD_BITS as usize];
+                    for (lane, &p) in window.iter().enumerate() {
+                        // p is clamped to [0.05, 0.95], so the threshold is
+                        // strictly inside (0, 2^16): never certainty.
+                        let t = probability_threshold(p, THRESHOLD_BITS);
+                        for (j, plane) in planes.iter_mut().enumerate() {
+                            if (t >> (THRESHOLD_BITS as usize - 1 - j)) & 1 == 1 {
+                                *plane |= 1 << lane;
+                            }
+                        }
+                    }
+                    planes
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         TrngEngine {
             cell_bias,
+            window_planes,
             sampler,
             cursor: 0,
             bits_generated: 0,
@@ -86,10 +133,27 @@ impl TrngEngine {
         &self.cell_bias
     }
 
-    /// Generates a full random row of the given width.
+    /// Draws up to 64 random bits in one step (bit `i` of the result is
+    /// stream bit `i`; bits at `bits..` are zero) — the single-word form
+    /// of the row fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64`.
+    #[must_use]
+    pub fn next_word(&mut self, bits: usize) -> u64 {
+        let mut word = [0u64; 1];
+        self.fill_words(&mut word, bits);
+        word[0]
+    }
+
+    /// Generates a full random row of the given width (word-parallel when
+    /// the cell count allows it).
     #[must_use]
     pub fn generate_row(&mut self, width: usize) -> BitStream {
-        BitStream::from_fn(width, |_| self.next_bit())
+        let mut words = vec![0u64; width.div_ceil(64)];
+        self.fill_words(&mut words, width);
+        BitStream::from_words(words, width)
     }
 
     /// Generates a random row and stores it in `array` at `row` — the
@@ -103,19 +167,64 @@ impl TrngEngine {
         array.write_row(row, &bits)?;
         Ok(())
     }
+
+    /// Per-bit fallback for [`BitSource::fill_words`] (mirrors the trait's
+    /// default body; also used when the cell count is not word-aligned).
+    fn fill_words_per_bit(&mut self, words: &mut [u64], len: usize) {
+        words.fill(0);
+        for i in 0..len {
+            if self.next_bit() {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
 }
 
 impl BitSource for TrngEngine {
     fn next_bit(&mut self) -> bool {
         let p = self.cell_bias[self.cursor];
         // Branchy wrap instead of a modulo: this is the innermost loop of
-        // every RN-row refresh.
+        // the per-bit reference path.
         self.cursor += 1;
         if self.cursor == self.cell_bias.len() {
             self.cursor = 0;
         }
         self.bits_generated += 1;
         self.sampler.uniform() < p
+    }
+
+    /// Word-parallel fill: each output word is one bit-sliced Bernoulli
+    /// draw over the next aligned 64-cell window of the generator ring.
+    /// Statistically equivalent to the per-bit path (same cells, same
+    /// ring order, thresholds exact for ideal cells); entropy is consumed
+    /// in whole windows, so a trailing partial word still advances the
+    /// cell cursor by 64 — the hardware fires the whole generator row.
+    fn fill_words(&mut self, words: &mut [u64], len: usize) {
+        assert!(
+            len <= words.len() * 64,
+            "{len} bits do not fit in {} words",
+            words.len()
+        );
+        if self.window_planes.is_empty() {
+            self.fill_words_per_bit(words, len);
+            return;
+        }
+        // Interleaved per-bit draws can leave the cursor mid-window; the
+        // word path restarts at the next aligned generator window.
+        if !self.cursor.is_multiple_of(64) {
+            self.cursor = self.cursor.div_ceil(64) * 64 % self.cell_bias.len();
+        }
+        let cells = self.cell_bias.len();
+        for word in words.iter_mut().take(len.div_ceil(64)) {
+            let planes = &self.window_planes[self.cursor / 64];
+            *word = bernoulli_words(planes, || self.sampler.uniform_u64());
+            self.cursor += 64;
+            if self.cursor == cells {
+                self.cursor = 0;
+            }
+        }
+        clear_past_len(words, len);
+        self.bits_generated += len as u64;
     }
 }
 
@@ -193,9 +302,91 @@ mod tests {
     }
 
     #[test]
+    fn word_path_matches_per_bit_statistics_per_cell() {
+        // Same cells, same ring order: for every generator cell, the
+        // word path's one-frequency must track the cell's modeled bias
+        // (and hence the per-bit path's frequency) within sampling noise.
+        let mut word_engine = TrngEngine::new(128, 0.08, 41);
+        let rounds = 4_000usize;
+        let mut ones = vec![0u64; 128];
+        for _ in 0..rounds {
+            let mut words = [0u64; 2];
+            word_engine.fill_words(&mut words, 128);
+            for (cell, count) in ones.iter_mut().enumerate() {
+                *count += (words[cell / 64] >> (cell % 64)) & 1;
+            }
+        }
+        for (cell, &p) in word_engine.cell_probabilities().iter().enumerate() {
+            let got = ones[cell] as f64 / rounds as f64;
+            // 4σ of Bernoulli(p) over `rounds` draws, plus 2^-16 quantization.
+            let tol = 4.0 * (p * (1.0 - p) / rounds as f64).sqrt() + 2e-5;
+            assert!((got - p).abs() < tol, "cell {cell}: {got} vs {p}");
+        }
+    }
+
+    #[test]
+    fn word_path_is_exact_for_ideal_cells() {
+        // p = 0.5 quantizes to exactly 2^15 / 2^16: the word path is a
+        // distribution-exact Bernoulli(1/2), not an approximation.
+        let mut t = TrngEngine::ideal(256, 6);
+        let rounds = 3_000usize;
+        let mut ones = 0u64;
+        for _ in 0..rounds {
+            let mut words = [0u64; 4];
+            t.fill_words(&mut words, 256);
+            ones += words.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+        }
+        let total = (rounds * 256) as f64;
+        let got = ones as f64 / total;
+        // 4.5σ of an exact fair coin.
+        assert!((got - 0.5).abs() < 4.5 * 0.5 / total.sqrt(), "{got}");
+    }
+
+    #[test]
+    fn unaligned_cell_count_falls_back_to_per_bit_path() {
+        // cells % 64 != 0: fill_words must be the per-bit path verbatim,
+        // i.e. bit-identical to draining next_bit from a clone.
+        let mut word_engine = TrngEngine::new(100, 0.05, 9);
+        let mut bit_engine = word_engine.clone();
+        let mut words = [0u64; 3];
+        word_engine.fill_words(&mut words, 150);
+        for i in 0..150 {
+            assert_eq!(
+                (words[i / 64] >> (i % 64)) & 1 == 1,
+                bit_engine.next_bit(),
+                "bit {i}"
+            );
+        }
+        assert_eq!(words[2] >> (150 % 64), 0, "tail must be clear");
+    }
+
+    #[test]
+    fn next_word_masks_past_requested_bits() {
+        let mut t = TrngEngine::ideal(64, 12);
+        for _ in 0..64 {
+            assert_eq!(t.next_word(10) >> 10, 0);
+        }
+        assert_eq!(t.next_word(0), 0);
+    }
+
+    #[test]
+    fn interleaving_per_bit_draws_keeps_the_word_path_sound() {
+        // A per-bit draw leaves the cursor unaligned; the next word fill
+        // realigns to a window boundary and stays statistically correct.
+        let mut t = TrngEngine::ideal(128, 15);
+        let mut ones = 0u64;
+        let rounds = 2_000;
+        for _ in 0..rounds {
+            let _ = t.next_bit();
+            ones += u64::from(t.next_word(64).count_ones());
+        }
+        let got = ones as f64 / (rounds * 64) as f64;
+        assert!((got - 0.5).abs() < 0.01, "{got}");
+    }
+
+    #[test]
     fn whitening_removes_bias() {
-        let biased = TrngEngine::new(16, 0.0, 5);
-        // Construct an overtly biased source instead: p = 0.8.
+        // An overtly biased source: p = 0.8.
         #[derive(Debug)]
         struct Biased(GaussianSampler);
         impl BitSource for Biased {
@@ -203,7 +394,6 @@ mod tests {
                 self.0.uniform() < 0.8
             }
         }
-        drop(biased);
         let mut w = VonNeumannWhitened::new(Biased(GaussianSampler::new(6)));
         let ones = (0..20_000).filter(|_| w.next_bit()).count();
         assert!((9_500..10_500).contains(&ones), "ones {ones}");
@@ -217,5 +407,8 @@ mod tests {
         for _ in 0..256 {
             assert_eq!(a.next_bit(), b.next_bit());
         }
+        let mut a = TrngEngine::new(128, 0.03, 9);
+        let mut b = TrngEngine::new(128, 0.03, 9);
+        assert_eq!(a.generate_row(512), b.generate_row(512));
     }
 }

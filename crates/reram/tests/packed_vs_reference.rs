@@ -159,4 +159,3 @@ proptest! {
         prop_assert_eq!(s.count_ones(), inj.injected());
     }
 }
-

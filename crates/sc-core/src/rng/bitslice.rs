@@ -1,0 +1,201 @@
+//! Bit-sliced Bernoulli sampling: 64 biased coin flips per comparison.
+//!
+//! The in-memory TRNG of the paper fills a whole array row with random
+//! bits in a *single step* (§III-A), so simulating it bit-by-bit is pure
+//! overhead. This module provides the word-parallel equivalent: each of
+//! 64 lanes carries an independent Bernoulli(`tᵢ/2^k`) draw, where the
+//! per-lane thresholds `tᵢ` are presented as `k` *bit-plane* masks
+//! (MSB first). One uniform random word per plane drives the classic
+//! binary-expansion comparison
+//!
+//! ```text
+//! lt |= eq & t_plane & !r      (lanes decided "below threshold")
+//! eq &= !(r ^ t_plane)         (lanes still undecided)
+//! ```
+//!
+//! which terminates, in expectation, after ~2 planes once the undecided
+//! mask empties — so a 64-lane draw costs a handful of word ops instead
+//! of 64 floating-point comparisons, while `P(lane i) = tᵢ/2^k` holds
+//! *exactly*.
+
+/// Draws 64 parallel Bernoulli bits from threshold bit-planes.
+///
+/// `planes[j]` is the mask of lanes whose threshold has bit
+/// `planes.len() - 1 - j` set (i.e. planes are ordered MSB first);
+/// `draw` must yield independent uniform 64-bit words. Lane `i` of the
+/// result is 1 with probability `tᵢ / 2^planes.len()` exactly, where
+/// `tᵢ` is lane `i`'s threshold.
+///
+/// The comparison early-exits as soon as every lane is decided — or as
+/// soon as no undecided lane has a threshold bit left, in which case the
+/// undecided lanes can only resolve to "not below" and the result is
+/// already final. For the all-lanes-at-`2^(k-1)` case (ideal 0.5 cells)
+/// that means exactly one `draw`, independent of the precision
+/// `planes.len()`.
+/// # Panics
+///
+/// Panics if more than 32 planes are supplied.
+#[must_use]
+pub fn bernoulli_words<F: FnMut() -> u64>(planes: &[u64], mut draw: F) -> u64 {
+    // suffix[j] = OR of planes[j..]: which lanes still have a threshold
+    // bit at or after plane j.
+    assert!(planes.len() <= 32, "more than 32 threshold planes");
+    let mut suffix = [0u64; 33];
+    for j in (0..planes.len()).rev() {
+        suffix[j] = suffix[j + 1] | planes[j];
+    }
+    let mut lt = 0u64;
+    let mut eq = !0u64;
+    for (j, &t) in planes.iter().enumerate() {
+        if eq & suffix[j] == 0 {
+            break;
+        }
+        let r = draw();
+        lt |= eq & t & !r;
+        eq &= !(r ^ t);
+        if eq == 0 {
+            break;
+        }
+    }
+    lt
+}
+
+/// Quantizes a probability to a `bits`-bit threshold for
+/// [`bernoulli_words`]: `round(p · 2^bits)`, clamped to `[0, 2^bits]`.
+///
+/// A threshold of `2^bits` cannot be represented in `bits` planes (it
+/// means certainty); callers that admit `p = 1` must special-case it.
+/// `p = 0.5` maps to exactly `2^(bits-1)`, so ideal cells lose nothing
+/// to quantization.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=32` or `p` is not in `[0, 1]`.
+#[must_use]
+pub fn probability_threshold(p: f64, bits: u32) -> u64 {
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let scale = (1u64 << bits) as f64;
+    ((p * scale).round() as u64).min(1u64 << bits)
+}
+
+/// Expands one shared threshold into MSB-first bit-planes (every lane
+/// carries the same probability) for [`bernoulli_words`].
+///
+/// # Panics
+///
+/// Panics if `threshold >= 2^bits` (use dedicated handling for
+/// certainty) or `bits` is not in `1..=32`.
+#[must_use]
+pub fn uniform_planes(threshold: u64, bits: u32) -> Vec<u64> {
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+    assert!(
+        threshold < (1u64 << bits),
+        "threshold {threshold} needs more than {bits} planes"
+    );
+    (0..bits)
+        .map(|j| {
+            if (threshold >> (bits - 1 - j)) & 1 == 1 {
+                !0u64
+            } else {
+                0u64
+            }
+        })
+        .collect()
+}
+
+/// Enforces the stream-order contract of
+/// [`crate::rng::BitSource::fill_words`] on a packed buffer: bits at
+/// positions `len..` are cleared (the partial tail word masked, all
+/// later words zeroed). Word-parallel `fill_words` implementations draw
+/// whole words and finish with this.
+pub fn clear_past_len(words: &mut [u64], len: usize) {
+    if !len.is_multiple_of(64) {
+        if let Some(tail) = words.get_mut(len / 64) {
+            *tail &= (1u64 << (len % 64)) - 1;
+        }
+    }
+    for word in words.iter_mut().skip(len.div_ceil(64)) {
+        *word = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn half_threshold_is_exactly_the_msb() {
+        // t = 2^(k-1): only the MSB plane is set, so the draw reduces to
+        // "first random bit is 0" — probability exactly 1/2 and exactly
+        // one word consumed.
+        let planes = uniform_planes(1 << 15, 16);
+        let mut draws = 0;
+        let out = bernoulli_words(&planes, || {
+            draws += 1;
+            0xAAAA_AAAA_AAAA_AAAA
+        });
+        assert_eq!(out, 0x5555_5555_5555_5555);
+        assert_eq!(draws, 1);
+    }
+
+    #[test]
+    fn probabilities_match_thresholds() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for &t in &[1u64, 100, 13_107, 32_768, 52_429, 65_535] {
+            let planes = uniform_planes(t, 16);
+            let mut ones = 0u64;
+            let words = 40_000;
+            for _ in 0..words {
+                ones += bernoulli_words(&planes, || rng.next_u64()).count_ones() as u64;
+            }
+            let got = ones as f64 / (words * 64) as f64;
+            let want = t as f64 / 65_536.0;
+            assert!((got - want).abs() < 4e-3, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn per_lane_thresholds_are_independent() {
+        // Lane 0 near-certain, lane 1 near-impossible, via hand-built
+        // planes: t0 = 0xFFFF, t1 = 0x0001.
+        let mut planes = vec![0u64; 16];
+        for p in planes.iter_mut().take(15) {
+            *p = 0b01; // lane 0 only
+        }
+        planes[15] = 0b11; // LSB set for both lanes
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let (mut ones0, mut ones1) = (0u64, 0u64);
+        for _ in 0..20_000 {
+            let w = bernoulli_words(&planes, || rng.next_u64());
+            ones0 += w & 1;
+            ones1 += (w >> 1) & 1;
+        }
+        assert!(ones0 > 19_500, "lane0 {ones0}");
+        assert!(ones1 < 500, "lane1 {ones1}");
+    }
+
+    #[test]
+    fn zero_threshold_never_fires() {
+        let planes = uniform_planes(0, 8);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(bernoulli_words(&planes, || rng.next_u64()), 0);
+        }
+    }
+
+    #[test]
+    fn threshold_quantization() {
+        assert_eq!(probability_threshold(0.5, 16), 1 << 15);
+        assert_eq!(probability_threshold(0.0, 16), 0);
+        assert_eq!(probability_threshold(1.0, 16), 1 << 16);
+        assert_eq!(probability_threshold(0.25, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs more than")]
+    fn certainty_threshold_rejected_by_planes() {
+        let _ = uniform_planes(1 << 16, 16);
+    }
+}

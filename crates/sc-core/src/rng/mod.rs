@@ -11,6 +11,7 @@
 //!   `M`-bit numbers by [`SegmentedSource`]; the in-memory IMSNG path feeds
 //!   this from ReRAM read-noise rows (see the `reram` crate).
 
+mod bitslice;
 mod lfsr;
 mod segmented;
 mod sobol;
@@ -18,6 +19,7 @@ mod splitmix;
 mod uniform;
 mod xoshiro;
 
+pub use bitslice::{bernoulli_words, clear_past_len, probability_threshold, uniform_planes};
 pub use lfsr::Lfsr;
 pub use segmented::{BiasedBitSource, SegmentedSource};
 pub use sobol::Sobol;
@@ -70,17 +72,55 @@ pub trait BitSource {
             *b = self.next_bit();
         }
     }
+
+    /// Fills packed words with `len` random bits in *stream order*: bit
+    /// `i` of the stream is bit `i % 64` of `words[i / 64]`, matching
+    /// [`crate::BitStream`]'s layout. Bits at positions `len..` are
+    /// cleared.
+    ///
+    /// The default draws one bit at a time; word-parallel sources (the
+    /// ReRAM TRNG, [`BiasedBitSource`]) override this with a bit-sliced
+    /// fast path that is statistically equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` cannot hold `len` bits.
+    fn fill_words(&mut self, words: &mut [u64], len: usize) {
+        assert!(
+            len <= words.len() * 64,
+            "{len} bits do not fit in {} words",
+            words.len()
+        );
+        words.fill(0);
+        for i in 0..len {
+            if self.next_bit() {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
 }
 
 impl<T: BitSource + ?Sized> BitSource for &mut T {
     fn next_bit(&mut self) -> bool {
         (**self).next_bit()
     }
+    fn fill_bits(&mut self, out: &mut [bool]) {
+        (**self).fill_bits(out);
+    }
+    fn fill_words(&mut self, words: &mut [u64], len: usize) {
+        (**self).fill_words(words, len);
+    }
 }
 
 impl<T: BitSource + ?Sized> BitSource for Box<T> {
     fn next_bit(&mut self) -> bool {
         (**self).next_bit()
+    }
+    fn fill_bits(&mut self, out: &mut [bool]) {
+        (**self).fill_bits(out);
+    }
+    fn fill_words(&mut self, words: &mut [u64], len: usize) {
+        (**self).fill_words(words, len);
     }
 }
 

@@ -9,9 +9,14 @@
 //! [`BiasedBitSource`] provides a software model of a TRNG with per-source
 //! probability bias (device-level fluctuation around 50%).
 
+use super::bitslice::{bernoulli_words, clear_past_len, probability_threshold, uniform_planes};
 use super::xoshiro::Xoshiro256;
 use super::{BitSource, RandomSource};
 use crate::error::ScError;
+
+/// Threshold precision of the word-parallel sampling path: probabilities
+/// quantize to `1/2^16` (an ideal 0.5 source is represented exactly).
+const THRESHOLD_BITS: u32 = 16;
 
 /// Packs `M` consecutive bits from a [`BitSource`] into each emitted
 /// `M`-bit random number (MSB first, matching the paper's segment layout).
@@ -126,6 +131,30 @@ impl BitSource for BiasedBitSource {
     fn next_bit(&mut self) -> bool {
         self.rng.next_f64() < self.p_one
     }
+
+    /// Word-parallel fill via bit-sliced binary-expansion sampling: the
+    /// per-bit probability is `round(p·2^16)/2^16` (exact for `p = 0.5`),
+    /// statistically equivalent to the per-bit path up to that
+    /// quantization.
+    fn fill_words(&mut self, words: &mut [u64], len: usize) {
+        assert!(
+            len <= words.len() * 64,
+            "{len} bits do not fit in {} words",
+            words.len()
+        );
+        let t = probability_threshold(self.p_one, THRESHOLD_BITS);
+        if t >= 1 << THRESHOLD_BITS {
+            // Certainty is not representable as a threshold; fill directly.
+            words.fill(!0);
+        } else {
+            let planes = uniform_planes(t, THRESHOLD_BITS);
+            // Only the words that carry requested bits consume entropy.
+            for w in words.iter_mut().take(len.div_ceil(64)) {
+                *w = bernoulli_words(&planes, || self.rng.next_u64());
+            }
+        }
+        clear_past_len(words, len);
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +203,33 @@ mod tests {
     fn invalid_bias_rejected() {
         assert!(BiasedBitSource::with_bias(1, 0.6).is_err());
         assert!(BiasedBitSource::with_bias(1, -0.6).is_err());
+    }
+
+    #[test]
+    fn fill_words_matches_per_bit_statistics() {
+        // The word path quantizes p to 16 bits; its per-bit frequency must
+        // match the per-bit path's within sampling noise.
+        for bias in [-0.3, 0.0, 0.2] {
+            let mut word_src = BiasedBitSource::with_bias(9, bias).unwrap();
+            let mut bit_src = BiasedBitSource::with_bias(10, bias).unwrap();
+            let len = 64 * 2_000;
+            let mut words = vec![0u64; len / 64];
+            word_src.fill_words(&mut words, len);
+            let word_ones: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+            let bit_ones = (0..len).filter(|_| bit_src.next_bit()).count() as u64;
+            let diff = (word_ones as f64 - bit_ones as f64).abs() / len as f64;
+            assert!(diff < 0.01, "bias {bias}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn fill_words_clears_past_len() {
+        let mut src = BiasedBitSource::with_bias(3, 0.5).unwrap(); // p = 1
+        let mut words = vec![0u64; 3];
+        src.fill_words(&mut words, 70);
+        assert_eq!(words[0], !0);
+        assert_eq!(words[1], 0b11_1111);
+        assert_eq!(words[2], 0);
     }
 
     #[test]

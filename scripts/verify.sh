@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command: formatting, lints, build, tests,
+# and a bench smoke run that refreshes BENCH_engine.json.
+#
+# Usage: scripts/verify.sh [--no-bench]
+#   --no-bench  skip the bench smoke run (e.g. on very slow machines)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=1
+for arg in "$@"; do
+    case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "$run_bench" = 1 ]; then
+    echo "==> bench smoke run (BENCH_engine.json)"
+    cargo run --release -p bench --bin bench_engine -- --out BENCH_engine.json
+fi
+
+echo "verify: OK"
