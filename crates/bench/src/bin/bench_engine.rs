@@ -34,6 +34,15 @@ const PRE_PR_BASELINE_NS: [(&str, f64); 6] = [
 /// the word-level TRNG + RN-refresh-policy work is measured against it.
 const PACKED_PR_BILINEAR_NS: f64 = 1_186_652_682.0;
 
+/// The end-to-end anchor committed by the TRNG/refresh-policy PR
+/// (`0.21 s`), measured on the *eager* per-pixel kernel immediately
+/// before the program-IR refactor. Today's bilinear path emits a
+/// `Program` per tile and runs it through the planner, so the ratio
+/// against this anchor is the program-vs-eager overhead (IR emission,
+/// last-use analysis, handle indirection) — it should stay within a few
+/// percent of 1.0.
+const EAGER_PR_BILINEAR_NS: f64 = 211_299_800.0;
+
 fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     // One warm-up call, then the mean of `reps` timed calls.
     f();
@@ -110,8 +119,23 @@ fn main() {
     record("trng_fill_per_bit_4096", bit_ns);
     record("trng_fill_word_4096", word_ns);
 
-    // --- End to end: bilinear upscale 64x64 -> 128x128, N = 256 --------
+    // --- Program IR: emission + planning overhead, one 8-row tile ------
+    // The planner's own cost (op emission, last-use analysis, release
+    // scheduling) for one 128-wide bilinear tile — the pure-software
+    // overhead the program path adds per tile before any simulated
+    // hardware work happens.
     let src = synth::value_noise(64, 64, 4, 9);
+    record(
+        "bilinear_program_emit_plan_tile128x8",
+        time_ns(200, || {
+            let program = bilinear::emit_program(&src, 2, 0..8);
+            black_box(program.plan().expect("well-formed program"));
+        }),
+    );
+
+    // --- End to end: bilinear upscale 64x64 -> 128x128, N = 256 --------
+    // Since the program-IR refactor this runs emit → plan → execute per
+    // tile; the eager-PR anchor below pins the program-vs-eager ratio.
     let cfg = ScReramConfig::new(256, 42);
     record(
         "bilinear_sc_reram_64_to_128_n256",
@@ -138,6 +162,15 @@ fn main() {
             println!(
                 "{name:<44} {:>10.1}x vs packed-word PR anchor",
                 PACKED_PR_BILINEAR_NS / ns
+            );
+            let _ = write!(
+                extra,
+                ", \"eager_pr_anchor_ns\": {EAGER_PR_BILINEAR_NS:.1}, \"program_vs_eager\": {:.3}",
+                ns / EAGER_PR_BILINEAR_NS
+            );
+            println!(
+                "{name:<44} {:>10.3}x program path vs eager PR anchor",
+                ns / EAGER_PR_BILINEAR_NS
             );
         }
         if name == "trng_fill_word_4096" {

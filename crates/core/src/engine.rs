@@ -54,6 +54,7 @@ pub struct AcceleratorBuilder {
     device: DeviceParams,
     record_trace: bool,
     refresh_policy: RnRefreshPolicy,
+    whiten_select: bool,
 }
 
 impl AcceleratorBuilder {
@@ -69,6 +70,7 @@ impl AcceleratorBuilder {
             device: DeviceParams::default(),
             record_trace: false,
             refresh_policy: RnRefreshPolicy::PerEncode,
+            whiten_select: false,
         }
     }
 
@@ -146,6 +148,20 @@ impl AcceleratorBuilder {
         self
     }
 
+    /// Von Neumann-whiten the [`Accelerator::trng_select`] path (default
+    /// off). Each select bit is then extracted from repeated shot-pairs
+    /// of one TRNG cell, cancelling the cell's static bias
+    /// (`trng_bias_sigma`) exactly at a ≥ 4× raw-bit cost — the raw-bit
+    /// consumption stays visible via [`Accelerator::trng_raw_bits`].
+    /// RN-row refreshes are unaffected: IMSNG's comparison against
+    /// biased random rows is bias-tolerant by construction, while the
+    /// select row's bias enters MAJ blends linearly.
+    #[must_use]
+    pub fn whiten_select(mut self, on: bool) -> Self {
+        self.whiten_select = on;
+        self
+    }
+
     /// Builds the accelerator.
     ///
     /// # Errors
@@ -215,6 +231,7 @@ impl AcceleratorBuilder {
             encode_cache_epoch: 0,
             cache_hits: 0,
             refresh_policy: self.refresh_policy,
+            whiten_select: self.whiten_select,
             rn_epoch: 0,
             encodes_since_refresh: 0,
         })
@@ -318,6 +335,7 @@ pub struct Accelerator {
     encode_cache_epoch: u64,
     cache_hits: u64,
     refresh_policy: RnRefreshPolicy,
+    whiten_select: bool,
     /// Count of RN realizations so far; 0 means the RN rows have never
     /// been filled.
     rn_epoch: u64,
@@ -715,12 +733,30 @@ impl Accelerator {
     /// [`ImscError::OutOfRows`] or substrate errors.
     pub fn trng_select(&mut self) -> Result<StreamHandle, ImscError> {
         let dest = self.allocator.alloc()?;
-        let row = self.trng.generate_row(self.stream_len);
+        let row = self.select_row();
         self.array.write_row(dest, &row)?;
         self.ledger.trng_fills += 1;
         self.record(CmdKind::Write, dest);
         let group = self.fresh_group();
         Ok(self.new_slot(dest, group))
+    }
+
+    /// One ~0.5 select row, whitened when the builder asked for it.
+    fn select_row(&mut self) -> BitStream {
+        if self.whiten_select {
+            self.trng.generate_row_whitened(self.stream_len)
+        } else {
+            self.trng.generate_row(self.stream_len)
+        }
+    }
+
+    /// Raw bits drawn from the in-memory TRNG so far (RN-row refreshes
+    /// and select rows). Under [`AcceleratorBuilder::whiten_select`] the
+    /// Von Neumann extractor's ≥ 4× raw-bit overhead shows up here while
+    /// the ledger keeps counting one `trng_fill` per row written.
+    #[must_use]
+    pub fn trng_raw_bits(&self) -> u64 {
+        self.trng.bits_generated()
     }
 
     /// Loads an externally produced stream into the array (fresh
@@ -848,7 +884,7 @@ impl Accelerator {
         // The select row is generated *into* the destination — the MAJ
         // consumes it and the result overwrites it — so the operation
         // peaks at one extra row, like the pre-policy implementation.
-        let select = self.trng.generate_row(self.stream_len);
+        let select = self.select_row();
         if let Err(e) = self.array.write_row(dest, &select) {
             self.allocator.release(dest);
             return Err(e.into());
@@ -1563,6 +1599,51 @@ mod tests {
         let ss = a.read_stream(s).unwrap();
         // Even under full realization reuse the select is fresh entropy.
         assert!(sc_core::correlation::scc(&sx, &ss).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn whiten_select_removes_per_cell_bias() {
+        // stream_len = TRNG cell count (4096): every select row visits
+        // each generator cell exactly once, so per-bit frequencies over
+        // many rows expose the per-cell bias directly. Under a large
+        // bias sigma the raw path reproduces the worst cell's bias; the
+        // whitened path sits at the fair-coin sampling-noise floor.
+        let rounds = 500u32;
+        let run = |whiten: bool| {
+            let mut a = Accelerator::builder()
+                .stream_len(4096)
+                .seed(91)
+                .trng_bias_sigma(0.3)
+                .whiten_select(whiten)
+                .build()
+                .unwrap();
+            let mut ones = vec![0u64; 4096];
+            for _ in 0..rounds {
+                let s = a.trng_select().unwrap();
+                let row = a.read_stream(s).unwrap();
+                for (i, o) in ones.iter_mut().enumerate() {
+                    *o += u64::from(row.get(i).unwrap());
+                }
+                a.release(s).unwrap();
+            }
+            let dev = ones
+                .iter()
+                .map(|&o| (o as f64 / f64::from(rounds) - 0.5).abs())
+                .fold(0.0f64, f64::max);
+            (dev, a.trng_raw_bits(), *a.ledger())
+        };
+        let (raw_dev, raw_bits, raw_ledger) = run(false);
+        let (white_dev, white_bits, white_ledger) = run(true);
+        assert!(raw_dev > 0.25, "raw worst per-cell deviation {raw_dev}");
+        assert!(
+            white_dev < 0.12,
+            "whitened worst per-cell deviation {white_dev}"
+        );
+        // The extractor pays ≥ 2 raw bits per emitted bit (≥ 4× in
+        // expectation once discards are counted); the modeled row-write
+        // cost is unchanged — one TRNG fill per select either way.
+        assert!(white_bits > 2 * raw_bits);
+        assert_eq!(raw_ledger.trng_fills, white_ledger.trng_fills);
     }
 
     #[test]

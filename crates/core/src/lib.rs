@@ -21,6 +21,13 @@
 //! [`pipeline`] the multi-array pipelining that underlies the throughput
 //! comparison (Fig. 5).
 //!
+//! On top of the imperative engine, [`program`] provides a declarative
+//! layer: kernels are emitted as [`program::Program`]s of SC ops over
+//! virtual registers (optionally tagged with RN
+//! [`program::RefreshGroup`]s), and the planner lowers them onto an
+//! accelerator with lifetime-based row allocation, coalesced encode
+//! batches, and refresh scheduling at group boundaries.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +55,7 @@ pub mod error;
 pub mod imsng;
 pub mod layout;
 pub mod pipeline;
+pub mod program;
 pub mod s2b;
 pub mod xag;
 
@@ -55,3 +63,4 @@ pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
 pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
 pub use layout::RnRefreshPolicy;
+pub use program::{Plan, Program, RefreshGroup, VReg};

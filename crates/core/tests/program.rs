@@ -1,0 +1,345 @@
+//! Program/Planner lowering tests: the declarative layer must be
+//! observationally identical to driving the [`Accelerator`] imperatively
+//! — values, cost ledger, command trace (including row assignment), and
+//! RN epochs — while adding lifetime-aware row allocation.
+
+use imsc::engine::Accelerator;
+use imsc::program::Program;
+use imsc::{ImscError, RnRefreshPolicy};
+use nvsim::CmdKind;
+use sc_core::{Fixed, ScError};
+
+fn builder(seed: u64) -> imsc::AcceleratorBuilder {
+    Accelerator::builder()
+        .stream_len(256)
+        .seed(seed)
+        .record_trace(true)
+}
+
+/// Every command class recorded in the trace must match the ledger's
+/// counters exactly (no phantom or missing entries).
+fn assert_trace_matches_ledger(a: &Accelerator, context: &str) {
+    let l = a.ledger();
+    let trace = a.trace().expect("tracing enabled");
+    let count = |pred: &dyn Fn(&CmdKind) -> bool| -> u64 {
+        trace.commands().iter().filter(|c| pred(&c.kind)).count() as u64
+    };
+    assert_eq!(
+        count(&|k| matches!(k, CmdKind::ScoutRead { .. })),
+        l.imsng.sense_ops + l.sl_single_ops + l.sl_xor_ops,
+        "{context}: scout reads"
+    );
+    assert_eq!(
+        count(&|k| *k == CmdKind::Write),
+        l.trng_fills + l.stream_writes + l.imsng.intermediate_writes + l.imsng.sbs_writes,
+        "{context}: writes"
+    );
+    assert_eq!(
+        count(&|k| *k == CmdKind::AdcSample),
+        l.adc_samples,
+        "{context}: adc samples"
+    );
+    assert_eq!(
+        count(&|k| *k == CmdKind::CordivStep),
+        l.cordiv_steps,
+        "{context}: cordiv steps"
+    );
+}
+
+/// One program exercising every op variant, plus its imperative mirror
+/// (same call sequence, operands released in the planner's order: right
+/// after their last use, ascending register index). The two runs must be
+/// indistinguishable — including row-level trace equality, i.e. the
+/// planner's register allocation is exactly eager last-use release.
+#[test]
+fn lowering_matches_imperative_mirror_bit_exactly() {
+    let mut p = Program::new();
+    let a = p.encode(Fixed::from_u8(96));
+    let b = p.encode(Fixed::from_u8(160)); // coalesces with `a`
+    let m = p.multiply(a, b);
+    let c = p.encode(Fixed::from_u8(40));
+    let sa = p.scaled_add(m, c);
+    let e = p.encode(Fixed::from_u8(50));
+    let aa = p.approx_add(sa, e);
+    let xy = p.encode_correlated(&[Fixed::from_u8(60), Fixed::from_u8(180)]);
+    let (x, y) = (xy[0], xy[1]);
+    let d = p.abs_subtract(x, y);
+    let mn = p.minimum(x, y);
+    let mx = p.maximum(x, y);
+    let s = p.trng_select();
+    let bl = p.blend(mn, mx, s);
+    let q = p.divide(mn, mx);
+    let cq = p.complement(q);
+    let _ = p.read(aa);
+    let _ = p.read(d);
+    let _ = p.read(bl);
+    let _ = p.read(cq);
+    let _ = p.read_const(0.25);
+
+    let mut planned = builder(7).build().unwrap();
+    let got = p.run_on(&mut planned).unwrap();
+
+    let mut acc = builder(7).build().unwrap();
+    let mut want = Vec::new();
+    {
+        let hs = acc
+            .encode_many(&[Fixed::from_u8(96), Fixed::from_u8(160)])
+            .unwrap();
+        let (ha, hb) = (hs[0], hs[1]);
+        let hm = acc.multiply(ha, hb).unwrap();
+        acc.release(ha).unwrap();
+        acc.release(hb).unwrap();
+        let hc = acc.encode(Fixed::from_u8(40)).unwrap();
+        let hsa = acc.scaled_add(hm, hc).unwrap();
+        acc.release(hm).unwrap();
+        acc.release(hc).unwrap();
+        let he = acc.encode(Fixed::from_u8(50)).unwrap();
+        let haa = acc.approx_add(hsa, he).unwrap();
+        acc.release(hsa).unwrap();
+        acc.release(he).unwrap();
+        let hxy = acc
+            .encode_correlated(Fixed::from_u8(60), Fixed::from_u8(180))
+            .unwrap();
+        let (hx, hy) = hxy;
+        let hd = acc.abs_subtract(hx, hy).unwrap();
+        let hmn = acc.minimum(hx, hy).unwrap();
+        let hmx = acc.maximum(hx, hy).unwrap();
+        acc.release(hx).unwrap();
+        acc.release(hy).unwrap();
+        let hs = acc.trng_select().unwrap();
+        let hbl = acc.blend(hmn, hmx, hs).unwrap();
+        acc.release(hs).unwrap();
+        let hq = acc.divide(hmn, hmx).unwrap();
+        acc.release(hmn).unwrap();
+        acc.release(hmx).unwrap();
+        let hcq = acc.complement(hq).unwrap();
+        acc.release(hq).unwrap();
+        want.push(acc.read_value(haa).unwrap());
+        acc.release(haa).unwrap();
+        want.push(acc.read_value(hd).unwrap());
+        acc.release(hd).unwrap();
+        want.push(acc.read_value(hbl).unwrap());
+        acc.release(hbl).unwrap();
+        want.push(acc.read_value(hcq).unwrap());
+        acc.release(hcq).unwrap();
+        want.push(0.25);
+    }
+
+    assert_eq!(got, want, "output values");
+    assert_eq!(planned.ledger(), acc.ledger(), "cost ledger");
+    assert_eq!(planned.trace(), acc.trace(), "command trace (incl. rows)");
+    assert_eq!(planned.rn_epoch(), acc.rn_epoch(), "rn epochs");
+    assert_eq!(
+        planned.available_rows(),
+        acc.available_rows(),
+        "all program rows returned"
+    );
+    assert_trace_matches_ledger(&planned, "planned run");
+}
+
+/// Refresh-group boundaries must reproduce the explicit `refresh_rn_rows`
+/// plumbing under `Explicit`, and stay inert under automatic policies.
+#[test]
+fn refresh_groups_subsume_explicit_plumbing() {
+    let emit = |pixels: &[(u8, u8, u8)]| {
+        let mut p = Program::new();
+        for &(f, b, sel) in pixels {
+            let fb = p.encode_correlated(&[Fixed::from_u8(f), Fixed::from_u8(b)]);
+            p.next_group();
+            let hs = p.encode(Fixed::from_u8(sel));
+            let hc = p.blend(fb[0], fb[1], hs);
+            p.read(hc);
+        }
+        p
+    };
+    let pixels = [(200, 40, 128), (90, 170, 30)];
+    let p = emit(&pixels);
+
+    let mut planned = builder(11)
+        .refresh_policy(RnRefreshPolicy::Explicit)
+        .build()
+        .unwrap();
+    let got = p.run_on(&mut planned).unwrap();
+
+    let mut acc = builder(11)
+        .refresh_policy(RnRefreshPolicy::Explicit)
+        .build()
+        .unwrap();
+    let mut want = Vec::new();
+    for &(f, b, sel) in &pixels {
+        let (hf, hb) = acc
+            .encode_correlated(Fixed::from_u8(f), Fixed::from_u8(b))
+            .unwrap();
+        acc.refresh_rn_rows().unwrap();
+        let hs = acc.encode(Fixed::from_u8(sel)).unwrap();
+        let hc = acc.blend(hf, hb, hs).unwrap();
+        acc.release(hf).unwrap();
+        acc.release(hb).unwrap();
+        acc.release(hs).unwrap();
+        want.push(acc.read_value(hc).unwrap());
+        acc.release(hc).unwrap();
+    }
+    assert_eq!(got, want);
+    assert_eq!(planned.ledger(), acc.ledger());
+    assert_eq!(planned.trace(), acc.trace());
+    // Initial fill + one boundary refresh per pixel (the next pixel's
+    // operand batch deliberately reuses the select's realization).
+    assert_eq!(planned.rn_epoch(), 1 + pixels.len() as u64);
+    assert_eq!(planned.rn_epoch(), acc.rn_epoch());
+
+    // Under PerEncode the tags are inert: one realization per encode
+    // batch, exactly as if no groups had been declared.
+    let mut fresh = builder(11).build().unwrap();
+    let _ = p.run_on(&mut fresh).unwrap();
+    assert_eq!(fresh.rn_epoch(), 4, "two encode batches per pixel");
+}
+
+/// The satellite regression: a program whose naive row demand (no early
+/// releases) exceeds the array must still run once planned, and a
+/// successful run leaves no phantom ledger entries and no leaked rows.
+#[test]
+fn planned_lifetimes_fit_where_naive_demand_overflows() {
+    let stream_rows = 6usize;
+    let mut p = Program::new();
+    for i in 0..8u8 {
+        let a = p.encode(Fixed::from_u8(10 + i));
+        let b = p.encode(Fixed::from_u8(200 - i));
+        let m = p.multiply(a, b);
+        p.read(m);
+    }
+    let plan = p.plan().unwrap();
+    assert_eq!(plan.naive_peak_rows(), 24);
+    assert!(
+        plan.naive_peak_rows() > stream_rows,
+        "naive demand overflows"
+    );
+    assert_eq!(plan.peak_rows(), 3);
+    assert!(plan.peak_rows() <= stream_rows, "planned demand fits");
+
+    let mut acc = builder(13).stream_rows(stream_rows).build().unwrap();
+    let out = plan.execute(&mut acc).unwrap();
+    assert_eq!(out.len(), 8);
+    for v in out {
+        assert!((0.0..=1.0).contains(&v));
+    }
+    assert_eq!(acc.available_rows(), stream_rows, "no leaked rows");
+    assert_trace_matches_ledger(&acc, "overflowing naive demand");
+
+    // The same demand *without* planning genuinely overflows.
+    let mut naive = builder(13).stream_rows(stream_rows).build().unwrap();
+    let mut handles = Vec::new();
+    let overflow = (0..8u8).try_for_each(|i| -> Result<(), ImscError> {
+        let a = naive.encode(Fixed::from_u8(10 + i))?;
+        handles.push(a);
+        let b = naive.encode(Fixed::from_u8(200 - i))?;
+        handles.push(b);
+        handles.push(naive.multiply(a, b)?);
+        Ok(())
+    });
+    assert!(matches!(overflow, Err(ImscError::OutOfRows)));
+}
+
+/// `divide_or` turns a stochastic all-zero divisor into a constant
+/// output instead of failing the program; the failed division's sense
+/// reads stay charged, nothing else does.
+#[test]
+fn divide_or_poisons_instead_of_failing() {
+    let mut p = Program::new();
+    let xy = p.encode_correlated(&[Fixed::from_u8(0), Fixed::from_u8(0)]);
+    let q = p.divide_or(xy[0], xy[1], 0.125);
+    p.read(q);
+    let mut acc = builder(17).build().unwrap();
+    let out = p.run_on(&mut acc).unwrap();
+    assert_eq!(out, vec![0.125]);
+    assert_eq!(acc.ledger().cordiv_steps, 0, "cordiv never ran");
+    assert_eq!(acc.ledger().adc_samples, 0, "constant output needs no ADC");
+    assert_eq!(
+        acc.ledger().sl_single_ops,
+        2,
+        "the sense reads stay charged"
+    );
+    assert_eq!(acc.available_rows(), 64, "no leaked rows");
+    assert_trace_matches_ledger(&acc, "divide_or fallback");
+
+    // Without a fallback the same program fails like the imperative API.
+    let mut strict = Program::new();
+    let xy = strict.encode_correlated(&[Fixed::from_u8(0), Fixed::from_u8(0)]);
+    let q = strict.divide(xy[0], xy[1]);
+    strict.read(q);
+    let mut acc = builder(17).build().unwrap();
+    assert!(matches!(
+        strict.run_on(&mut acc),
+        Err(ImscError::Stochastic(ScError::DivisionByZero))
+    ));
+}
+
+/// A failed execution must release every row the program still holds —
+/// the caller has no handles to clean up with, so a leak would be
+/// irrecoverable on a retained accelerator.
+#[test]
+fn failed_execution_releases_held_rows() {
+    let mut p = Program::new();
+    let keep = p.encode(Fixed::from_u8(33)); // still live at the failure
+    let xy = p.encode_correlated(&[Fixed::from_u8(0), Fixed::from_u8(0)]);
+    let q = p.divide(xy[0], xy[1]); // strict divide: all-zero divisor fails
+    let s = p.scaled_add(keep, q);
+    p.read(s);
+    let mut acc = builder(29).build().unwrap();
+    assert!(matches!(
+        p.run_on(&mut acc),
+        Err(ImscError::Stochastic(ScError::DivisionByZero))
+    ));
+    assert_eq!(acc.available_rows(), 64, "held rows returned on failure");
+    // The accelerator stays fully usable afterwards.
+    let out = p.run_on(&mut acc);
+    assert!(out.is_err(), "same program, same failure");
+    assert_eq!(acc.available_rows(), 64);
+    let h = acc.encode(Fixed::from_u8(10)).unwrap();
+    let _ = acc.read_value(h).unwrap();
+}
+
+/// A poisoned register may only be read.
+#[test]
+fn poisoned_register_rejects_compute_ops() {
+    let mut p = Program::new();
+    let xy = p.encode_correlated(&[Fixed::from_u8(0), Fixed::from_u8(0)]);
+    let q = p.divide_or(xy[0], xy[1], 0.0);
+    let c = p.complement(q);
+    p.read(c);
+    let mut acc = builder(19).build().unwrap();
+    assert!(matches!(
+        p.run_on(&mut acc),
+        Err(ImscError::InvalidConfig(_))
+    ));
+}
+
+/// Coalesced encode batches are behaviourally identical to one-at-a-time
+/// encodes (encode_many is a loop over encode by construction).
+#[test]
+fn coalescing_is_cost_and_value_neutral() {
+    let values = [Fixed::from_u8(9), Fixed::from_u8(9), Fixed::from_u8(77)];
+    let mut p = Program::new();
+    let regs: Vec<_> = values.iter().map(|&v| p.encode(v)).collect();
+    for &r in &regs {
+        p.read(r);
+    }
+    assert_eq!(p.plan().unwrap().coalesced_encodes(), 3);
+    let mut planned = builder(23).build().unwrap();
+    let got = p.run_on(&mut planned).unwrap();
+
+    let mut acc = builder(23).build().unwrap();
+    let mut handles = Vec::new();
+    for &v in &values {
+        handles.push(acc.encode(v).unwrap());
+    }
+    let mut want = Vec::new();
+    for &h in &handles {
+        want.push(acc.read_value(h).unwrap());
+    }
+    for &h in &handles {
+        acc.release(h).unwrap();
+    }
+    assert_eq!(got, want);
+    assert_eq!(planned.ledger(), acc.ledger());
+    assert_eq!(planned.rn_epoch(), acc.rn_epoch());
+}

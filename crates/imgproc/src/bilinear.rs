@@ -10,11 +10,11 @@
 
 use crate::error::ImgError;
 use crate::image::GrayImage;
-use crate::scbackend::{explicit_refresh, prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats, TileOut};
+use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
-use imsc::engine::{Accelerator, BatchOp};
+use imsc::program::Program;
 use imsc::RnRefreshPolicy;
 use sc_core::Fixed;
 
@@ -73,38 +73,31 @@ pub fn software(src: &GrayImage, factor: usize) -> Result<GrayImage, ImgError> {
     ))
 }
 
-/// Computes one output pixel on a tile's accelerator: correlated 4-tap
-/// encode, two horizontal directed blends (batched), one vertical blend,
-/// ADC read-out.
-fn sc_reram_pixel(
-    acc: &mut Accelerator,
-    src: &GrayImage,
-    ox: usize,
-    oy: usize,
-    factor: usize,
-) -> Result<u8, ImgError> {
+/// Emits one output pixel into the program: correlated 4-tap encode, the
+/// two horizontal directed blends, one vertical blend, one read. The two
+/// select encodes each start a new refresh group — see [`emit_program`].
+fn emit_pixel(p: &mut Program, src: &GrayImage, ox: usize, oy: usize, factor: usize) {
     let t = tap(src, ox, oy, factor);
-    let handles = acc.encode_correlated_many(&[
+    let taps = p.encode_correlated(&[
         Fixed::from_u8(t.i11),
         Fixed::from_u8(t.i21),
         Fixed::from_u8(t.i12),
         Fixed::from_u8(t.i22),
-    ])?;
-    let (h11, h21, h12, h22) = (handles[0], handles[1], handles[2], handles[3]);
+    ]);
     // Directed selects: MAJ weights the larger operand by `sel`,
     // so complement dx/dy when the pair is descending.
     let sel_top = if t.i21 >= t.i11 { t.dx } else { 255 - t.dx };
     let sel_bot = if t.i22 >= t.i12 { t.dx } else { 255 - t.dx };
-    // The selects must be independent of the operand realization, so this
-    // is an explicit within-pixel refresh point. The two horizontal
-    // selects then share one realization: they stay independent of the
-    // operand domain, and their mutual correlation only strengthens the
-    // top/bottom correlation the outer blend requires.
-    explicit_refresh(acc)?;
-    let (hst, hsb) = acc.encode_correlated(Fixed::from_u8(sel_top), Fixed::from_u8(sel_bot))?;
-    let blends =
-        acc.execute_many(&[BatchOp::Blend(h11, h21, hst), BatchOp::Blend(h12, h22, hsb)])?;
-    let (top, bottom) = (blends[0], blends[1]);
+    // The selects must be independent of the operand realization, so
+    // they start a new refresh group — the declarative form of a
+    // within-pixel refresh point. The two horizontal selects share one
+    // realization: they stay independent of the operand domain, and
+    // their mutual correlation only strengthens the top/bottom
+    // correlation the outer blend requires.
+    p.next_group();
+    let sels = p.encode_correlated(&[Fixed::from_u8(sel_top), Fixed::from_u8(sel_bot)]);
+    let top = p.blend(taps[0], taps[1], sels[0]);
+    let bottom = p.blend(taps[2], taps[3], sels[1]);
     // Expected row values decide the vertical direction.
     let et = sw::bilinear_f64(
         f64::from(t.i11),
@@ -126,13 +119,48 @@ fn sc_reram_pixel(
     // The vertical select must be independent of both the operand
     // realization (top/bottom live in the operand domain) and the
     // horizontal-select realization (top/bottom also depend on those
-    // bits), so it gets its own refresh point.
-    explicit_refresh(acc)?;
-    let hsv = acc.encode(Fixed::from_u8(sel_v))?;
-    let result = acc.blend(top, bottom, hsv)?;
-    let v = acc.read_value(result)?;
-    acc.release_many(&[h11, h21, h12, h22, hst, hsb, top, bottom, hsv, result])?;
-    Ok(prob_to_pixel(v))
+    // bits), so it gets its own refresh group too.
+    p.next_group();
+    let hsv = p.encode(Fixed::from_u8(sel_v));
+    let result = p.blend(top, bottom, hsv);
+    p.read(result);
+}
+
+/// Emits the bilinear up-scaling kernel for the given output rows as a
+/// [`Program`] of nested directed MAJ blends.
+///
+/// The refresh-group schedule declares two independence points per
+/// pixel, before the horizontal-select batch and before the vertical
+/// select — the two places where within-pixel independence is required.
+/// The 4-tap operand batch of the *next* pixel stays in the previous
+/// vertical select's group and reuses its realization, which is harmless
+/// (those streams never meet in one operation). Under the kernel's
+/// default `Explicit` policy this cuts RN refreshes from 3 to 2 per
+/// pixel versus `PerEncode`; measured on the 6×6 gradient at N = 256
+/// (`tests/refresh_policy.rs`), PSNR vs. the exact upscale is 33.1 dB
+/// under reuse against 32.9 dB fresh — no penalty.
+///
+/// # Panics
+///
+/// Panics when `factor < 2` or `rows` reaches past the output height
+/// (the `sc_reram` entry points validate and return errors instead).
+#[must_use]
+pub fn emit_program(src: &GrayImage, factor: usize, rows: std::ops::Range<usize>) -> Program {
+    assert!(factor >= 2, "scale factor must be at least 2");
+    assert!(
+        rows.end <= src.height() * factor,
+        "rows end {} past output height {}",
+        rows.end,
+        src.height() * factor
+    );
+    let width = src.width() * factor;
+    let mut p = Program::new();
+    for oy in rows {
+        for ox in 0..width {
+            emit_pixel(&mut p, src, ox, oy, factor);
+        }
+    }
+    p
 }
 
 /// In-ReRAM SC up-scaling: nested directed MAJ blends over one shared
@@ -165,30 +193,11 @@ pub fn sc_reram_with_stats(
     check_factor(factor)?;
     let width = src.width() * factor;
     let height = src.height() * factor;
-    // Default schedule: two explicit refreshes per pixel, before the
-    // horizontal-select batch and before the vertical select — the two
-    // points where within-pixel independence is required. The 4-tap
-    // operand batch of the *next* pixel reuses the previous vertical
-    // select's realization, which is harmless (those streams never meet
-    // in one operation). This cuts RN refreshes from 3 to 2 per pixel
-    // versus `PerEncode`; measured on the 6×6 gradient at N = 256
-    // (`tests/refresh_policy.rs`), PSNR vs. the exact upscale is 33.1 dB
-    // under reuse against 32.9 dB fresh — no penalty.
-    let tiles = tile::run_row_tiles(height, |t, rows| {
-        let mut acc = cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit)?;
-        let mut pixels = Vec::with_capacity(rows.len() * width);
-        for oy in rows {
-            for ox in 0..width {
-                pixels.push(sc_reram_pixel(&mut acc, src, ox, oy, factor)?);
-            }
-        }
-        Ok(TileOut {
-            pixels,
-            ledger: *acc.ledger(),
-            cache_hits: acc.encode_cache_hits(),
-            rn_epochs: acc.rn_epoch(),
-        })
-    })?;
+    let tiles = tile::run_tile_programs(
+        height,
+        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
+        |_, rows| emit_program(src, factor, rows),
+    )?;
     let (pixels, stats) = tile::assemble(tiles);
     Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
 }

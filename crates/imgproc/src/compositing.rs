@@ -9,10 +9,11 @@
 
 use crate::error::ImgError;
 use crate::image::GrayImage;
-use crate::scbackend::{explicit_refresh, prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats, TileOut};
+use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
+use imsc::program::Program;
 use imsc::RnRefreshPolicy;
 use sc_core::Fixed;
 
@@ -75,44 +76,68 @@ pub fn sc_reram_with_stats(
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(f, b, alpha)?;
     let width = f.width();
-    // Default schedule: one explicit refresh per pixel, placed between
-    // the F/B encode and the α-select encode. Within a pixel the select
-    // must be independent of the operands (a shared realization would
-    // bias the MAJ), so the select always gets a fresh realization; the
-    // F/B pair of the *next* pixel then reuses the select's realization,
-    // which is harmless — those streams never meet in one operation.
-    // This halves RN refreshes versus `PerEncode`; measured on the 12×12
-    // synthetic inputs at N = 256 (`tests/refresh_policy.rs`), PSNR vs.
-    // the exact composite is 31.9 dB under reuse against 31.4 dB fresh —
-    // no penalty.
-    let tiles = tile::run_row_tiles(f.height(), |t, rows| {
-        let mut acc = cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit)?;
-        let mut pixels = Vec::with_capacity(rows.len() * width);
-        for y in rows {
-            for x in 0..width {
-                let pf = f.get(x, y).expect("checked dims");
-                let pb = b.get(x, y).expect("checked dims");
-                let pa = alpha.get(x, y).expect("checked dims");
-                // Directed select: MAJ weights the larger operand by `sel`.
-                let sel = if pf >= pb { pa } else { 255 - pa };
-                let (hf, hb) = acc.encode_correlated(Fixed::from_u8(pf), Fixed::from_u8(pb))?;
-                explicit_refresh(&mut acc)?;
-                let hs = acc.encode(Fixed::from_u8(sel))?;
-                let hc = acc.blend(hf, hb, hs)?;
-                let v = acc.read_value(hc)?;
-                pixels.push(prob_to_pixel(v));
-                acc.release_many(&[hf, hb, hs, hc])?;
-            }
-        }
-        Ok(TileOut {
-            pixels,
-            ledger: *acc.ledger(),
-            cache_hits: acc.encode_cache_hits(),
-            rn_epochs: acc.rn_epoch(),
-        })
-    })?;
+    let tiles = tile::run_tile_programs(
+        f.height(),
+        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
+        |_, rows| emit_program(f, b, alpha, rows),
+    )?;
     let (pixels, stats) = tile::assemble(tiles);
     Ok((GrayImage::from_pixels(width, f.height(), pixels)?, stats))
+}
+
+/// Emits the compositing kernel for the given output rows as a
+/// [`Program`]: per pixel, one correlated F/B encode, the directed
+/// α-select encode in a fresh refresh group, one MAJ blend, one read.
+///
+/// The refresh-group schedule declares one independence point per pixel,
+/// between the F/B encode and the α-select encode. Within a pixel the
+/// select must be independent of the operands (a shared realization
+/// would bias the MAJ), so the select starts a new group; the F/B pair
+/// of the *next* pixel then stays in the select's group and reuses its
+/// realization, which is harmless — those streams never meet in one
+/// operation. Under the kernel's default `Explicit` policy this halves
+/// RN refreshes versus `PerEncode`; measured on the 12×12 synthetic
+/// inputs at N = 256 (`tests/refresh_policy.rs`), PSNR vs. the exact
+/// composite is 31.9 dB under reuse against 31.4 dB fresh — no penalty.
+///
+/// # Panics
+///
+/// Panics when `b` or `alpha` dimensions differ from `f`'s, or when
+/// `rows` reaches past the image height (the `sc_reram` entry points
+/// validate and return errors instead).
+#[must_use]
+pub fn emit_program(
+    f: &GrayImage,
+    b: &GrayImage,
+    alpha: &GrayImage,
+    rows: std::ops::Range<usize>,
+) -> Program {
+    assert!(
+        f.same_dims(b) && f.same_dims(alpha),
+        "compositing emitter needs equal-sized F/B/α images"
+    );
+    assert!(
+        rows.end <= f.height(),
+        "rows end {} past image height {}",
+        rows.end,
+        f.height()
+    );
+    let mut p = Program::new();
+    for y in rows {
+        for x in 0..f.width() {
+            let pf = f.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pa = alpha.get(x, y).expect("checked dims");
+            // Directed select: MAJ weights the larger operand by `sel`.
+            let sel = if pf >= pb { pa } else { 255 - pa };
+            let fb = p.encode_correlated(&[Fixed::from_u8(pf), Fixed::from_u8(pb)]);
+            p.next_group();
+            let hs = p.encode(Fixed::from_u8(sel));
+            let hc = p.blend(fb[0], fb[1], hs);
+            p.read(hc);
+        }
+    }
+    p
 }
 
 /// Functional CMOS SC compositing (LFSR/Sobol/software SNG), with the

@@ -13,9 +13,9 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats, TileOut};
+use crate::tile::{self, ScRunStats};
 use baselines::bincim::BinaryCim;
-use imsc::engine::BatchOp;
+use imsc::program::Program;
 use imsc::RnRefreshPolicy;
 use sc_core::Fixed;
 
@@ -32,7 +32,7 @@ use sc_core::Fixed;
 /// 10×10 gradient test image at N = 256 (`tests/refresh_policy.rs`),
 /// PSNR vs. the exact kernel is 34.9 dB under reuse against 33.1 dB
 /// under `PerEncode` — no penalty — while RN realizations drop ~8×.
-const RN_REUSE_PIXELS: u64 = 8;
+pub const RN_REUSE_PIXELS: u64 = 8;
 
 /// The 2×2 neighbourhood of the Roberts cross at `(x, y)`.
 fn taps(img: &GrayImage, x: usize, y: usize) -> (u8, u8, u8, u8) {
@@ -74,48 +74,61 @@ pub fn sc_reram_with_stats(
     cfg: &ScReramConfig,
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     let width = img.width();
-    let tiles = tile::run_row_tiles(img.height(), |t, rows| {
-        let mut acc = cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS))?;
-        let mut pixels = Vec::with_capacity(rows.len() * width);
-        for y in rows {
-            for x in 0..width {
-                let (a, b, c, d) = taps(img, x, y);
-                let handles = acc.encode_correlated_many(&[
-                    Fixed::from_u8(a),
-                    Fixed::from_u8(b),
-                    Fixed::from_u8(c),
-                    Fixed::from_u8(d),
-                ])?;
-                let grads = acc.execute_many(&[
-                    BatchOp::AbsSubtract(handles[0], handles[1]),
-                    BatchOp::AbsSubtract(handles[2], handles[3]),
-                ])?;
-                let (g1, g2) = (grads[0], grads[1]);
-                // |a−b| and |c−d| are interval indicators over the same
-                // random numbers; their overlap makes them *correlated*, so
-                // the uncorrelated-input scaled_add is not applicable — use
-                // blend with a 0.5 select, which is exact for correlated
-                // inputs: 0.5·max + 0.5·min = (g1 + g2)/2. The select is a
-                // single-step TRNG row: exactly the ~0.5 stream the MAJ
-                // wants, independent of the (reused) RN realization.
-                let sel = acc.trng_select()?;
-                let e = acc.blend(g1, g2, sel)?;
-                let v = acc.read_value(e)?;
-                pixels.push(prob_to_pixel(v));
-                acc.release_many(&[
-                    handles[0], handles[1], handles[2], handles[3], g1, g2, sel, e,
-                ])?;
-            }
-        }
-        Ok(TileOut {
-            pixels,
-            ledger: *acc.ledger(),
-            cache_hits: acc.encode_cache_hits(),
-            rn_epochs: acc.rn_epoch(),
-        })
-    })?;
+    let tiles = tile::run_tile_programs(
+        img.height(),
+        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
+        |_, rows| emit_program(img, rows),
+    )?;
     let (pixels, stats) = tile::assemble(tiles);
     Ok((GrayImage::from_pixels(width, img.height(), pixels)?, stats))
+}
+
+/// Emits the Roberts-cross kernel for the given rows as a [`Program`]:
+/// per pixel, one correlated 4-tap encode, two XOR subtractions, one
+/// 0.5-select MAJ blend, one read.
+///
+/// The program declares no refresh groups: under the kernel's default
+/// `EveryN` policy the accelerator schedules realization reuse by batch
+/// count (see [`RN_REUSE_PIXELS`]), and every within-pixel operation
+/// either *wants* the shared realization (the XOR gradients) or is
+/// independent of it by construction (the TRNG select row).
+///
+/// # Panics
+///
+/// Panics when `rows` reaches past the image height.
+#[must_use]
+pub fn emit_program(img: &GrayImage, rows: std::ops::Range<usize>) -> Program {
+    assert!(
+        rows.end <= img.height(),
+        "rows end {} past image height {}",
+        rows.end,
+        img.height()
+    );
+    let mut p = Program::new();
+    for y in rows {
+        for x in 0..img.width() {
+            let (a, b, c, d) = taps(img, x, y);
+            let taps = p.encode_correlated(&[
+                Fixed::from_u8(a),
+                Fixed::from_u8(b),
+                Fixed::from_u8(c),
+                Fixed::from_u8(d),
+            ]);
+            let g1 = p.abs_subtract(taps[0], taps[1]);
+            let g2 = p.abs_subtract(taps[2], taps[3]);
+            // |a−b| and |c−d| are interval indicators over the same
+            // random numbers; their overlap makes them *correlated*, so
+            // the uncorrelated-input scaled_add is not applicable — use
+            // blend with a 0.5 select, which is exact for correlated
+            // inputs: 0.5·max + 0.5·min = (g1 + g2)/2. The select is a
+            // single-step TRNG row: exactly the ~0.5 stream the MAJ
+            // wants, independent of the (reused) RN realization.
+            let sel = p.trng_select();
+            let e = p.blend(g1, g2, sel);
+            p.read(e);
+        }
+    }
+    p
 }
 
 /// Functional CMOS SC edge detection with the same kernel.

@@ -11,10 +11,11 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats, TileOut};
+use crate::tile::{self, ScRunStats};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
-use imsc::{ImscError, RnRefreshPolicy};
+use imsc::program::Program;
+use imsc::RnRefreshPolicy;
 use sc_core::{Fixed, ScError};
 
 /// Default realization reuse: consecutive pixels whose `(I, B, F)`
@@ -28,7 +29,7 @@ use sc_core::{Fixed, ScError};
 /// (`tests/refresh_policy.rs`), recomposited PSNR is 40.4 dB under reuse
 /// against 41.2 dB under `PerEncode` — a ≤ 0.8 dB cost, within the
 /// stochastic noise floor — while RN realizations drop ~8×.
-const RN_REUSE_PIXELS: u64 = 8;
+pub const RN_REUSE_PIXELS: u64 = 8;
 
 fn check_inputs(i: &GrayImage, b: &GrayImage, f: &GrayImage) -> Result<(), ImgError> {
     for img in [b, f] {
@@ -91,48 +92,69 @@ pub fn sc_reram_with_stats(
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(i, b, f)?;
     let width = i.width();
-    let tiles = tile::run_row_tiles(i.height(), |t, rows| {
-        let mut acc = cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS))?;
-        let mut pixels = Vec::with_capacity(rows.len() * width);
-        for y in rows {
-            for x in 0..width {
-                let pi = i.get(x, y).expect("checked dims");
-                let pb = b.get(x, y).expect("checked dims");
-                let pf = f.get(x, y).expect("checked dims");
-                if pf == pb {
-                    pixels.push(0);
-                    continue;
-                }
-                let handles = acc.encode_correlated_many(&[
-                    Fixed::from_u8(pi),
-                    Fixed::from_u8(pb),
-                    Fixed::from_u8(pf),
-                ])?;
-                let (hi, hb, hf) = (handles[0], handles[1], handles[2]);
-                let d_num = acc.abs_subtract(hi, hb)?;
-                let d_den = acc.abs_subtract(hf, hb)?;
-                let alpha = match acc.divide(d_num, d_den) {
-                    Ok(q) => {
-                        let v = acc.read_value(q)?;
-                        acc.release(q)?;
-                        prob_to_pixel(v)
-                    }
-                    Err(ImscError::Stochastic(ScError::DivisionByZero)) => 0,
-                    Err(e) => return Err(e.into()),
-                };
-                pixels.push(alpha);
-                acc.release_many(&[hi, hb, hf, d_num, d_den])?;
-            }
-        }
-        Ok(TileOut {
-            pixels,
-            ledger: *acc.ledger(),
-            cache_hits: acc.encode_cache_hits(),
-            rn_epochs: acc.rn_epoch(),
-        })
-    })?;
+    let tiles = tile::run_tile_programs(
+        i.height(),
+        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
+        |_, rows| emit_program(i, b, f, rows),
+    )?;
     let (pixels, stats) = tile::assemble(tiles);
     Ok((GrayImage::from_pixels(width, i.height(), pixels)?, stats))
+}
+
+/// Emits the matting kernel for the given rows as a [`Program`]: per
+/// pixel, one correlated `(I, B, F)` encode, two XOR differences, and a
+/// CORDIV division whose stochastic all-zero-divisor case falls back to
+/// α̂ = 0 ([`Program::divide_or`]), matching the software convention for
+/// an undefined matte. A degenerate pixel (`F == B`) resolves to a
+/// constant 0 at emission time.
+///
+/// The program declares no refresh groups: the kernel is all-correlated
+/// by design (the differences and the division *require* the triple's
+/// shared realization, and no independent select ever enters), so
+/// realization scheduling is left entirely to the accelerator's policy —
+/// `EveryN` reuse across pixels by default (see [`RN_REUSE_PIXELS`]).
+///
+/// # Panics
+///
+/// Panics when `b` or `f` dimensions differ from `i`'s, or when `rows`
+/// reaches past the image height (the `sc_reram` entry points validate
+/// and return errors instead).
+#[must_use]
+pub fn emit_program(
+    i: &GrayImage,
+    b: &GrayImage,
+    f: &GrayImage,
+    rows: std::ops::Range<usize>,
+) -> Program {
+    assert!(
+        i.same_dims(b) && i.same_dims(f),
+        "matting emitter needs equal-sized I/B/F images"
+    );
+    assert!(
+        rows.end <= i.height(),
+        "rows end {} past image height {}",
+        rows.end,
+        i.height()
+    );
+    let mut p = Program::new();
+    for y in rows {
+        for x in 0..i.width() {
+            let pi = i.get(x, y).expect("checked dims");
+            let pb = b.get(x, y).expect("checked dims");
+            let pf = f.get(x, y).expect("checked dims");
+            if pf == pb {
+                p.read_const(0.0);
+                continue;
+            }
+            let ibf =
+                p.encode_correlated(&[Fixed::from_u8(pi), Fixed::from_u8(pb), Fixed::from_u8(pf)]);
+            let d_num = p.abs_subtract(ibf[0], ibf[1]);
+            let d_den = p.abs_subtract(ibf[2], ibf[1]);
+            let alpha = p.divide_or(d_num, d_den, 0.0);
+            p.read(alpha);
+        }
+    }
+    p
 }
 
 /// Functional CMOS SC α estimation with the same correlated kernel.

@@ -108,17 +108,6 @@ impl ScReramConfig {
     }
 }
 
-/// Requests a fresh RN realization at a kernel-chosen independence point
-/// — a no-op unless the accelerator runs under
-/// [`RnRefreshPolicy::Explicit`] (any other policy schedules its own
-/// refreshes).
-pub(crate) fn explicit_refresh(acc: &mut Accelerator) -> Result<(), ImgError> {
-    if acc.refresh_policy() == RnRefreshPolicy::Explicit {
-        acc.refresh_rn_rows()?;
-    }
-    Ok(())
-}
-
 /// The RNG family of the functional CMOS SC backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmosSngKind {

@@ -1,4 +1,5 @@
-//! Deterministic row-tile execution for the SC-ReRAM image kernels.
+//! Deterministic program scheduling across row tiles for the SC-ReRAM
+//! image kernels.
 //!
 //! The in-memory kernels are embarrassingly parallel across pixels, but a
 //! hardware accelerator instance is stateful (TRNG, row allocator, cost
@@ -12,13 +13,23 @@
 //! hardware-cost numbers (the Table III / Fig. 4–5 inputs) are unchanged
 //! by parallelism.
 //!
-//! With the `parallel` feature enabled, tiles are distributed over
-//! `std::thread::scope` workers via an atomic work queue (this
-//! environment pins dependencies, so no rayon; the seam is the same one a
-//! rayon pool would plug into).
+//! Since the program-IR refactor, the kernels are *program emitters*: for
+//! each tile they emit one [`imsc::Program`] covering the tile's pixels,
+//! and [`run_tile_programs`] is the scheduler that partitions that
+//! program batch across per-tile accelerators — building the tile's
+//! accelerator, planning the tile's program (lifetime-aware row reuse,
+//! coalesced encodes, refresh-group boundaries), executing it, and
+//! quantizing the outputs to pixels. With the `parallel` feature enabled,
+//! whole programs run per tile on `std::thread::scope` workers via an
+//! atomic work queue (this environment pins dependencies, so no rayon;
+//! the seam is the same one a rayon pool would plug into), and the
+//! per-tile ledgers still merge in tile order.
 
 use crate::error::ImgError;
+use crate::scbackend::prob_to_pixel;
 use imsc::cost::CostLedger;
+use imsc::engine::Accelerator;
+use imsc::program::Program;
 
 /// Output rows per tile. Small enough to parallelize modest images,
 /// large enough to amortize accelerator construction per tile.
@@ -146,6 +157,34 @@ where
                 .expect("every tile index was claimed")
         })
         .collect()
+}
+
+/// Runs one emitted [`Program`] per row tile: `build` constructs the
+/// tile's accelerator, `emit` the tile's program (one output per pixel,
+/// row-major). Planning and execution happen per tile — on the work-queue
+/// threads under the `parallel` feature — and each tile's outputs are
+/// quantized to pixels, with ledgers/epochs collected for tile-ordered
+/// merging.
+pub(crate) fn run_tile_programs<B, E>(
+    height: usize,
+    build: B,
+    emit: E,
+) -> Result<Vec<TileOut>, ImgError>
+where
+    B: Fn(usize) -> Result<Accelerator, ImgError> + Sync,
+    E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
+{
+    run_row_tiles(height, |t, rows| {
+        let mut acc = build(t)?;
+        let program = emit(t, rows);
+        let values = program.run_on(&mut acc)?;
+        Ok(TileOut {
+            pixels: values.into_iter().map(prob_to_pixel).collect(),
+            ledger: *acc.ledger(),
+            cache_hits: acc.encode_cache_hits(),
+            rn_epochs: acc.rn_epoch(),
+        })
+    })
 }
 
 /// Assembles tile outputs into `(pixels, stats)`, merging ledgers in tile

@@ -1,0 +1,69 @@
+//! Exercises the `parallel` feature's thread work queue in CI: a
+//! multi-tile kernel run must produce bit-identical images and
+//! deterministically merged ledgers whatever the worker count — including
+//! on single-core machines, where `IMGPROC_TILE_THREADS` forces the
+//! threaded path.
+#![cfg(feature = "parallel")]
+
+use imgproc::{edge, matting, synth, ScReramConfig};
+
+/// Serializes env mutation: the test harness runs `#[test]`s on threads
+/// of one process, and `IMGPROC_TILE_THREADS` is process-global.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` with the tile worker count pinned to `threads`.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("IMGPROC_TILE_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("IMGPROC_TILE_THREADS");
+    out
+}
+
+#[test]
+fn threaded_tiles_match_serial_run_exactly() {
+    // 20 rows → 3 row tiles (TILE_ROWS = 8): genuinely ≥ 2 tiles, with a
+    // ragged final tile, so the work queue has real scheduling freedom.
+    let img = synth::value_noise(12, 20, 3, 11);
+    let cfg = ScReramConfig::new(256, 9);
+
+    let (serial_img, serial_stats) =
+        with_threads(1, || edge::sc_reram_with_stats(&img, &cfg).unwrap());
+    assert!(serial_stats.tiles >= 2, "need a multi-tile run");
+
+    for threads in [2, 4] {
+        let (par_img, par_stats) =
+            with_threads(threads, || edge::sc_reram_with_stats(&img, &cfg).unwrap());
+        assert_eq!(
+            par_img.pixels(),
+            serial_img.pixels(),
+            "{threads}-thread image"
+        );
+        // Tile-ordered merge: every cost counter, not just totals.
+        assert_eq!(
+            par_stats.ledger, serial_stats.ledger,
+            "{threads}-thread ledger"
+        );
+        assert_eq!(par_stats.rn_epochs, serial_stats.rn_epochs);
+        assert_eq!(par_stats.encode_cache_hits, serial_stats.encode_cache_hits);
+        assert_eq!(par_stats.tiles, serial_stats.tiles);
+    }
+}
+
+#[test]
+fn threaded_matting_is_deterministic_with_fallback_pixels() {
+    // Matting has data-dependent fallbacks (degenerate and zero-divisor
+    // pixels); determinism must hold through those too.
+    let set = synth::app_images(10, 18, 5);
+    let i = imgproc::compositing::software(&set.foreground, &set.background, &set.alpha).unwrap();
+    let cfg = ScReramConfig::new(64, 13);
+    let (serial, serial_stats) = with_threads(1, || {
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, &cfg).unwrap()
+    });
+    assert!(serial_stats.tiles >= 2);
+    let (threaded, threaded_stats) = with_threads(3, || {
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, &cfg).unwrap()
+    });
+    assert_eq!(threaded.pixels(), serial.pixels());
+    assert_eq!(threaded_stats.ledger, serial_stats.ledger);
+}

@@ -1,0 +1,284 @@
+//! Differential tests: each image kernel's emitted [`Program`] must be
+//! observationally identical to the pre-refactor *eager* path — the
+//! imperative per-pixel `Accelerator` call sequence the kernels used to
+//! hand-write, with explicit refresh plumbing and end-of-pixel releases.
+//!
+//! Compared per kernel: output values (bit-exact `f64`s), the full cost
+//! ledger, the RN-epoch count, and the command-trace schedule (the
+//! sequence of command kinds; row *assignment* legitimately differs —
+//! the planner's lifetime-aware register allocation releases rows
+//! eagerly where the eager path held them to the end of the pixel, and
+//! stream values are row-invariant). Row-exact trace equality of the
+//! planner against a release-mirrored imperative driver is pinned
+//! separately in `imsc`'s `tests/program.rs`.
+
+use imgproc::scbackend::prob_to_pixel;
+use imgproc::{bilinear, compositing, edge, matting, synth, GrayImage, ScReramConfig};
+use imsc::engine::Accelerator;
+use imsc::{ImscError, RnRefreshPolicy};
+use nvsim::CmdKind;
+use sc_core::{Fixed, ScError};
+
+/// The accelerator `ScReramConfig::build_for_tile_with` builds for tile
+/// 0, with tracing on (the config does not expose tracing; parameters
+/// must stay in lockstep with `scbackend.rs`).
+fn traced_acc(cfg: &ScReramConfig, policy: RnRefreshPolicy) -> Accelerator {
+    Accelerator::builder()
+        .stream_len(cfg.stream_len)
+        .segment_bits(cfg.segment_bits)
+        .seed(cfg.seed)
+        .trng_bias_sigma(cfg.trng_bias_sigma)
+        .variant(cfg.variant)
+        .refresh_policy(policy)
+        .stream_rows(24)
+        .record_trace(true)
+        .build()
+        .unwrap()
+}
+
+fn trace_kinds(acc: &Accelerator) -> Vec<CmdKind> {
+    acc.trace()
+        .unwrap()
+        .commands()
+        .iter()
+        .map(|c| c.kind)
+        .collect()
+}
+
+/// Asserts the planned run is indistinguishable from the eager run.
+fn assert_runs_match(planned: &Accelerator, eager: &Accelerator, got: &[f64], want: &[f64]) {
+    assert_eq!(got, want, "output values");
+    assert_eq!(planned.ledger(), eager.ledger(), "cost ledger");
+    assert_eq!(planned.rn_epoch(), eager.rn_epoch(), "rn epochs");
+    assert_eq!(trace_kinds(planned), trace_kinds(eager), "command schedule");
+}
+
+#[test]
+fn compositing_program_matches_eager_path() {
+    let set = synth::app_images(8, 8, 42);
+    let (f, b, a) = (&set.foreground, &set.background, &set.alpha);
+    let cfg = ScReramConfig::new(256, 7);
+
+    let mut planned = traced_acc(&cfg, RnRefreshPolicy::Explicit);
+    let got = compositing::emit_program(f, b, a, 0..f.height())
+        .run_on(&mut planned)
+        .unwrap();
+
+    let mut acc = traced_acc(&cfg, RnRefreshPolicy::Explicit);
+    let mut want = Vec::new();
+    for y in 0..f.height() {
+        for x in 0..f.width() {
+            let pf = f.get(x, y).unwrap();
+            let pb = b.get(x, y).unwrap();
+            let pa = a.get(x, y).unwrap();
+            let sel = if pf >= pb { pa } else { 255 - pa };
+            let (hf, hb) = acc
+                .encode_correlated(Fixed::from_u8(pf), Fixed::from_u8(pb))
+                .unwrap();
+            acc.refresh_rn_rows().unwrap();
+            let hs = acc.encode(Fixed::from_u8(sel)).unwrap();
+            let hc = acc.blend(hf, hb, hs).unwrap();
+            want.push(acc.read_value(hc).unwrap());
+            acc.release_many(&[hf, hb, hs, hc]).unwrap();
+        }
+    }
+    assert_runs_match(&planned, &acc, &got, &want);
+
+    // The public kernel (single tile at this size) returns the same image.
+    let img = compositing::sc_reram(f, b, a, &cfg).unwrap();
+    let from_program: Vec<u8> = got.iter().map(|&v| prob_to_pixel(v)).collect();
+    assert_eq!(img.pixels(), &from_program[..]);
+}
+
+#[test]
+fn bilinear_program_matches_eager_path() {
+    let src = synth::gradient(4, 4, true);
+    let factor = 2usize;
+    let cfg = ScReramConfig::new(256, 5);
+    let (width, height) = (src.width() * factor, src.height() * factor);
+
+    let mut planned = traced_acc(&cfg, RnRefreshPolicy::Explicit);
+    let got = bilinear::emit_program(&src, factor, 0..height)
+        .run_on(&mut planned)
+        .unwrap();
+
+    // The pre-refactor eager pixel: correlated 4-tap encode, refresh,
+    // correlated horizontal-select pair, two blends, refresh, vertical
+    // select, final blend, read, end-of-pixel release.
+    let tap = |ox: usize, oy: usize| {
+        let fx = ox as f64 / factor as f64;
+        let fy = oy as f64 / factor as f64;
+        let x0 = fx.floor() as isize;
+        let y0 = fy.floor() as isize;
+        let dx = ((fx - x0 as f64) * 256.0).round().clamp(0.0, 255.0) as u8;
+        let dy = ((fy - y0 as f64) * 256.0).round().clamp(0.0, 255.0) as u8;
+        (
+            src.get_clamped(x0, y0),
+            src.get_clamped(x0 + 1, y0),
+            src.get_clamped(x0, y0 + 1),
+            src.get_clamped(x0 + 1, y0 + 1),
+            dx,
+            dy,
+        )
+    };
+    let mut acc = traced_acc(&cfg, RnRefreshPolicy::Explicit);
+    let mut want = Vec::new();
+    for oy in 0..height {
+        for ox in 0..width {
+            let (i11, i21, i12, i22, dx, dy) = tap(ox, oy);
+            let handles = acc
+                .encode_correlated_many(&[
+                    Fixed::from_u8(i11),
+                    Fixed::from_u8(i21),
+                    Fixed::from_u8(i12),
+                    Fixed::from_u8(i22),
+                ])
+                .unwrap();
+            let (h11, h21, h12, h22) = (handles[0], handles[1], handles[2], handles[3]);
+            let sel_top = if i21 >= i11 { dx } else { 255 - dx };
+            let sel_bot = if i22 >= i12 { dx } else { 255 - dx };
+            acc.refresh_rn_rows().unwrap();
+            let (hst, hsb) = acc
+                .encode_correlated(Fixed::from_u8(sel_top), Fixed::from_u8(sel_bot))
+                .unwrap();
+            let top = acc.blend(h11, h21, hst).unwrap();
+            let bottom = acc.blend(h12, h22, hsb).unwrap();
+            let fdx = f64::from(dx) / 256.0;
+            let et = f64::from(i11) + (f64::from(i21) - f64::from(i11)) * fdx;
+            let eb = f64::from(i12) + (f64::from(i22) - f64::from(i12)) * fdx;
+            let sel_v = if eb >= et { dy } else { 255 - dy };
+            acc.refresh_rn_rows().unwrap();
+            let hsv = acc.encode(Fixed::from_u8(sel_v)).unwrap();
+            let result = acc.blend(top, bottom, hsv).unwrap();
+            want.push(acc.read_value(result).unwrap());
+            acc.release_many(&[h11, h21, h12, h22, hst, hsb, top, bottom, hsv, result])
+                .unwrap();
+        }
+    }
+    assert_runs_match(&planned, &acc, &got, &want);
+
+    let img = bilinear::sc_reram(&src, factor, &cfg).unwrap();
+    let from_program: Vec<u8> = got.iter().map(|&v| prob_to_pixel(v)).collect();
+    assert_eq!(img.pixels(), &from_program[..]);
+}
+
+#[test]
+fn edge_program_matches_eager_path() {
+    let img = synth::checkerboard(8, 8, 3);
+    let cfg = ScReramConfig::new(256, 4);
+    let policy = RnRefreshPolicy::EveryN(edge::RN_REUSE_PIXELS);
+
+    let mut planned = traced_acc(&cfg, policy);
+    let got = edge::emit_program(&img, 0..img.height())
+        .run_on(&mut planned)
+        .unwrap();
+
+    let mut acc = traced_acc(&cfg, policy);
+    let mut want = Vec::new();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let g = |dx: usize, dy: usize| img.get_clamped((x + dx) as isize, (y + dy) as isize);
+            let (a, b, c, d) = (g(0, 0), g(1, 1), g(1, 0), g(0, 1));
+            let handles = acc
+                .encode_correlated_many(&[
+                    Fixed::from_u8(a),
+                    Fixed::from_u8(b),
+                    Fixed::from_u8(c),
+                    Fixed::from_u8(d),
+                ])
+                .unwrap();
+            let g1 = acc.abs_subtract(handles[0], handles[1]).unwrap();
+            let g2 = acc.abs_subtract(handles[2], handles[3]).unwrap();
+            let sel = acc.trng_select().unwrap();
+            let e = acc.blend(g1, g2, sel).unwrap();
+            want.push(acc.read_value(e).unwrap());
+            acc.release_many(&[
+                handles[0], handles[1], handles[2], handles[3], g1, g2, sel, e,
+            ])
+            .unwrap();
+        }
+    }
+    assert_runs_match(&planned, &acc, &got, &want);
+
+    let out = edge::sc_reram(&img, &cfg).unwrap();
+    let from_program: Vec<u8> = got.iter().map(|&v| prob_to_pixel(v)).collect();
+    assert_eq!(out.pixels(), &from_program[..]);
+}
+
+#[test]
+fn matting_program_matches_eager_path() {
+    // Inputs with degenerate (F == B) pixels and near-equal F/B pixels,
+    // so both fallback paths (emission-time constant, stochastic
+    // division-by-zero) are exercised alongside the regular CORDIV path.
+    let f = GrayImage::from_fn(8, 8, |x, y| {
+        if (x + y) % 5 == 0 {
+            100
+        } else {
+            (40 + 23 * x + 11 * y) as u8
+        }
+    });
+    let b = GrayImage::from_fn(8, 8, |x, y| {
+        if (x + y) % 5 == 0 {
+            100 // == F: degenerate matte
+        } else if (x + y) % 5 == 1 {
+            (39 + 23 * x + 11 * y) as u8 // |F − B| = 1: zero-prone divisor
+        } else {
+            (255 - 2 * (x + 7 * y)) as u8
+        }
+    });
+    let alpha = synth::app_images(8, 8, 77).alpha;
+    let i = compositing::software(&f, &b, &alpha).unwrap();
+    let cfg = ScReramConfig::new(64, 3); // short streams: zeros do occur
+    let policy = RnRefreshPolicy::EveryN(matting::RN_REUSE_PIXELS);
+
+    let mut planned = traced_acc(&cfg, policy);
+    let got = matting::emit_program(&i, &b, &f, 0..i.height())
+        .run_on(&mut planned)
+        .unwrap();
+
+    let mut acc = traced_acc(&cfg, policy);
+    let mut want = Vec::new();
+    let mut zero_divisors = 0u32;
+    for y in 0..i.height() {
+        for x in 0..i.width() {
+            let pi = i.get(x, y).unwrap();
+            let pb = b.get(x, y).unwrap();
+            let pf = f.get(x, y).unwrap();
+            if pf == pb {
+                want.push(0.0);
+                continue;
+            }
+            let handles = acc
+                .encode_correlated_many(&[
+                    Fixed::from_u8(pi),
+                    Fixed::from_u8(pb),
+                    Fixed::from_u8(pf),
+                ])
+                .unwrap();
+            let (hi, hb, hf) = (handles[0], handles[1], handles[2]);
+            let d_num = acc.abs_subtract(hi, hb).unwrap();
+            let d_den = acc.abs_subtract(hf, hb).unwrap();
+            match acc.divide(d_num, d_den) {
+                Ok(q) => {
+                    want.push(acc.read_value(q).unwrap());
+                    acc.release(q).unwrap();
+                }
+                Err(ImscError::Stochastic(ScError::DivisionByZero)) => {
+                    want.push(0.0);
+                    zero_divisors += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            acc.release_many(&[hi, hb, hf, d_num, d_den]).unwrap();
+        }
+    }
+    assert!(
+        zero_divisors > 0,
+        "inputs must exercise the stochastic division-by-zero fallback"
+    );
+    assert_runs_match(&planned, &acc, &got, &want);
+
+    let est = matting::sc_reram(&i, &b, &f, &cfg).unwrap();
+    let from_program: Vec<u8> = got.iter().map(|&v| prob_to_pixel(v)).collect();
+    assert_eq!(est.pixels(), &from_program[..]);
+}

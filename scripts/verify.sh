@@ -31,6 +31,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The thread work queue must stay exercised even if the umbrella crate's
+# default features ever stop enabling it (the determinism tests force
+# multi-worker runs via IMGPROC_TILE_THREADS, so this is meaningful on
+# single-core machines too).
+echo "==> cargo test -q -p imgproc --features parallel"
+cargo test -q -p imgproc --features parallel
+
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke run (BENCH_engine.json)"
     cargo run --release -p bench --bin bench_engine -- --out BENCH_engine.json
