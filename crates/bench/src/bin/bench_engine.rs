@@ -2,10 +2,17 @@
 //! the end-to-end `imgproc::bilinear::sc_reram` upscale, writing a
 //! machine-readable summary to `BENCH_engine.json`.
 //!
-//! Usage: `cargo run --release -p bench --bin bench_engine [-- --out PATH]`
+//! Usage:
+//! `cargo run --release -p bench --bin bench_engine [-- --out PATH]
+//!  [--check BASELINE] [--check-threshold PCT]`
+//!
+//! With `--check`, the freshly measured anchors are compared against the
+//! committed baseline file and the process exits nonzero when any anchor
+//! is more than the threshold (default 25%) slower — the bench-regression
+//! gate `scripts/bench_check.sh` wires into CI.
 
 use imgproc::scbackend::ScReramConfig;
-use imgproc::{bilinear, synth};
+use imgproc::{bilinear, synth, Schedule};
 use reram::array::CrossbarArray;
 use reram::scouting::{ScoutingLogic, SlOp};
 use reram::trng::TrngEngine;
@@ -55,7 +62,61 @@ fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let out = bench::arg_or(&args, "--out", "BENCH_engine.json".to_string());
+    let explicit_out = args.iter().any(|a| a == "--out");
+    let mut out = bench::arg_or(&args, "--out", "BENCH_engine.json".to_string());
+    // Parse (and hard-fail) the regression-gate flags up front, before
+    // minutes of measurement: a bare `--check`, a flag-shaped operand,
+    // an unreadable/empty baseline, or a malformed threshold is an
+    // error — a gating tool must never silently skip or reinterpret its
+    // comparison. The baseline is read *now*, before `--out` can
+    // overwrite the very file it points at (the default out path and
+    // the committed baseline are the same file, and a self-comparison
+    // would always pass). The gate itself runs after the measurements.
+    let baseline = args.iter().position(|a| a == "--check").map(|i| {
+        let path = match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("bench-check: --check requires a baseline path");
+                std::process::exit(2);
+            }
+        };
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("bench-check: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let anchors = bench::regress::parse_anchor_ns(&json);
+        if anchors.is_empty() {
+            eprintln!("bench-check: baseline {path} contains no anchors — wrong file?");
+            std::process::exit(2);
+        }
+        // Never clobber the baseline being checked against: an explicit
+        // matching --out is an error; the default out path is redirected
+        // to a sibling .check.json (the same convention bench_check.sh
+        // uses), so a failing gate leaves the committed baseline intact.
+        if out == path {
+            if explicit_out {
+                eprintln!("bench-check: --out must not overwrite the --check baseline {path}");
+                std::process::exit(2);
+            }
+            out = format!("{}.check.json", path.trim_end_matches(".json"));
+            println!("bench-check: writing measurements to {out} (baseline preserved)");
+        }
+        (path, anchors)
+    });
+    let threshold: f64 = match args.iter().position(|a| a == "--check-threshold") {
+        None => 25.0,
+        Some(_) if baseline.is_none() => {
+            eprintln!("bench-check: --check-threshold is meaningless without --check");
+            std::process::exit(2);
+        }
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(pct) => pct,
+            None => {
+                eprintln!("bench-check: --check-threshold requires a numeric percentage");
+                std::process::exit(2);
+            }
+        },
+    };
     let mut results: Vec<(String, f64)> = Vec::new();
     let mut record = |name: &str, ns: f64| {
         println!("{name:<44} {:>14.1} ns", ns);
@@ -144,6 +205,19 @@ fn main() {
         }),
     );
 
+    // --- Same workload through the cross-array pipeline scheduler ------
+    // Bit-identical pixels/ledgers to the per-tile run; this anchor
+    // guards the pipelined path's host-side overhead (one logical
+    // program, output-aligned slicing, stage workers + bounded queues)
+    // from day one.
+    let cfg_pipelined = cfg.with_schedule(Schedule::Pipelined { arrays: 3 });
+    record(
+        "bilinear_sc_reram_pipelined_64_to_128_n256",
+        time_ns(1, || {
+            black_box(bilinear::sc_reram(&src, 2, &cfg_pipelined).expect("valid input"));
+        }),
+    );
+
     let mut json = String::from("{\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         let baseline = PRE_PR_BASELINE_NS
@@ -173,6 +247,23 @@ fn main() {
                 ns / EAGER_PR_BILINEAR_NS
             );
         }
+        if name == "bilinear_sc_reram_pipelined_64_to_128_n256" {
+            if let Some(per_tile) = results
+                .iter()
+                .find(|(n, _)| n.as_str() == "bilinear_sc_reram_64_to_128_n256")
+                .map(|(_, reference)| *reference)
+            {
+                let _ = write!(
+                    extra,
+                    ", \"per_tile_ns\": {per_tile:.1}, \"vs_per_tile\": {:.3}",
+                    ns / per_tile
+                );
+                println!(
+                    "{name:<44} {:>10.3}x pipelined vs per-tile schedule",
+                    ns / per_tile
+                );
+            }
+        }
         if name == "trng_fill_word_4096" {
             if let Some(per_bit) = results
                 .iter()
@@ -199,4 +290,23 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out, json).expect("writable output path");
     println!("wrote {out}");
+
+    if let Some((path, anchors)) = baseline {
+        let found = bench::regress::regressions(&anchors, &results, threshold);
+        if found.is_empty() {
+            println!(
+                "bench-check: OK ({} anchors within {threshold}% of {path})",
+                anchors.len()
+            );
+        } else {
+            eprintln!(
+                "bench-check: {} anchor(s) regressed beyond {threshold}%:",
+                found.len()
+            );
+            for r in &found {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -14,6 +14,7 @@
 //! | Fault-rate sensitivity (extension) | [`table4`] | `fault_sweep` |
 
 pub mod figures;
+pub mod regress;
 pub mod sources;
 pub mod table1;
 pub mod table2;

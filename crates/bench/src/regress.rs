@@ -1,0 +1,159 @@
+//! Bench-regression checking against a committed `BENCH_engine.json`.
+//!
+//! The bench harness emits its own minimal JSON (one anchor per line,
+//! each with an `"ns"` field); this module parses that shape back —
+//! hermetically, no serde in this environment — and compares a fresh
+//! measurement against the committed baseline so CI can fail when an
+//! anchor regresses beyond a threshold (`scripts/bench_check.sh`).
+
+/// One anchor regression beyond the allowed threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Anchor name.
+    pub name: String,
+    /// Committed baseline, ns.
+    pub baseline_ns: f64,
+    /// Fresh measurement, ns (`None` when the anchor disappeared from
+    /// the harness without updating the baseline).
+    pub measured_ns: Option<f64>,
+    /// Slowdown in percent over the baseline.
+    pub slowdown_pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.measured_ns {
+            Some(ns) => write!(
+                f,
+                "{}: {:.1} ns vs baseline {:.1} ns (+{:.1}%)",
+                self.name, ns, self.baseline_ns, self.slowdown_pct
+            ),
+            None => write!(
+                f,
+                "{}: present in baseline but no longer measured",
+                self.name
+            ),
+        }
+    }
+}
+
+/// Extracts `(anchor, ns)` pairs from the harness's own JSON shape:
+/// one `"name": {"ns": <number>, …}` entry per line. Lines that do not
+/// match (braces, malformed text) are skipped.
+#[must_use]
+pub fn parse_anchor_ns(json: &str) -> Vec<(String, f64)> {
+    let mut anchors = Vec::new();
+    for line in json.lines() {
+        let Some(name) = quoted_prefix(line) else {
+            continue;
+        };
+        let Some(ns) = field_value(line, "\"ns\":") else {
+            continue;
+        };
+        anchors.push((name.to_string(), ns));
+    }
+    anchors
+}
+
+fn quoted_prefix(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn field_value(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares fresh measurements against a baseline: an anchor regresses
+/// when it is more than `threshold_pct` percent slower than its
+/// committed value, or when a committed anchor is no longer measured at
+/// all (removing an anchor must be an explicit baseline update, not a
+/// silent drop). Anchors new to the harness pass — they simply have no
+/// baseline yet.
+#[must_use]
+pub fn regressions(
+    baseline: &[(String, f64)],
+    measured: &[(String, f64)],
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut found = Vec::new();
+    for (name, base_ns) in baseline {
+        let fresh = measured.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns);
+        match fresh {
+            Some(ns) => {
+                let slowdown_pct = (ns / base_ns - 1.0) * 100.0;
+                if slowdown_pct > threshold_pct {
+                    found.push(Regression {
+                        name: name.clone(),
+                        baseline_ns: *base_ns,
+                        measured_ns: Some(ns),
+                        slowdown_pct,
+                    });
+                }
+            }
+            None => found.push(Regression {
+                name: name.clone(),
+                baseline_ns: *base_ns,
+                measured_ns: None,
+                slowdown_pct: f64::INFINITY,
+            }),
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "write_row_4096": {"ns": 1853.7, "pre_pr_baseline_ns": 117612.3, "speedup": 63.45},
+  "trng_fill_word_4096": {"ns": 1889.2, "speedup_vs_per_bit": 21.43},
+  "bilinear": {"ns": 252638219.0, "eager_pr_anchor_ns": 211299800.0}
+}
+"#;
+
+    #[test]
+    fn parses_anchor_ns_per_line() {
+        let anchors = parse_anchor_ns(SAMPLE);
+        assert_eq!(anchors.len(), 3);
+        assert_eq!(anchors[0].0, "write_row_4096");
+        assert!((anchors[0].1 - 1853.7).abs() < 1e-9);
+        assert!((anchors[2].1 - 252_638_219.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_threshold() {
+        let baseline = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
+        let measured = vec![
+            ("a".to_string(), 120.0),
+            ("b".to_string(), 130.0),
+            ("new".to_string(), 5.0),
+        ];
+        let r = regressions(&baseline, &measured, 25.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "b");
+        assert!((r[0].slowdown_pct - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_anchor_is_a_regression() {
+        let baseline = vec![("gone".to_string(), 10.0)];
+        let r = regressions(&baseline, &[], 25.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].measured_ns, None);
+    }
+
+    #[test]
+    fn faster_runs_pass() {
+        let baseline = vec![("a".to_string(), 100.0)];
+        let measured = vec![("a".to_string(), 50.0)];
+        assert!(regressions(&baseline, &measured, 25.0).is_empty());
+    }
+}

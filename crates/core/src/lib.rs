@@ -19,7 +19,9 @@
 //!
 //! [`cost`] reproduces the paper's Table III hardware-cost model and
 //! [`pipeline`] the multi-array pipelining that underlies the throughput
-//! comparison (Fig. 5).
+//! comparison (Fig. 5); [`program::sched`] turns that analytic model into
+//! executable cross-array scheduling, with [`parallel`] providing the
+//! deterministic work-queue machinery.
 //!
 //! On top of the imperative engine, [`program`] provides a declarative
 //! layer: kernels are emitted as [`program::Program`]s of SC ops over
@@ -54,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod imsng;
 pub mod layout;
+pub mod parallel;
 pub mod pipeline;
 pub mod program;
 pub mod s2b;
@@ -63,4 +66,5 @@ pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
 pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
 pub use layout::RnRefreshPolicy;
-pub use program::{Plan, Program, RefreshGroup, VReg};
+pub use program::sched::{PipelineReport, PipelineRun, PipelineScheduler, SliceOut, StageKind};
+pub use program::{ExecArena, Plan, Program, RefreshGroup, VReg};

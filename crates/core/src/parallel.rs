@@ -1,0 +1,299 @@
+//! Deterministic work distribution for program execution.
+//!
+//! This is the thread work-queue machinery that used to live inside
+//! `imgproc::tile`, hoisted into the core crate so that *any* program —
+//! not just image tiles — can be scheduled across workers: the tiled
+//! image kernels drive [`run_indexed_with`] with one job per row tile,
+//! and the cross-array pipeline scheduler
+//! ([`crate::program::sched`]) builds its stage workers on the same
+//! primitives ([`BoundedQueue`], [`Semaphore`]).
+//!
+//! Everything here is *deterministic by construction*: jobs are
+//! identified by index, results are collected in index order, and no
+//! output ever depends on thread scheduling. Without the `parallel`
+//! feature the same APIs execute sequentially and return bit-identical
+//! results (the environment pins dependencies, so the workers are
+//! `std::thread` scoped threads; a rayon pool could be dropped in behind
+//! the same seam).
+
+/// Runs jobs `0..n` with per-worker scratch state, collecting results in
+/// index order.
+///
+/// `init` builds one scratch state per worker (e.g. a pooled
+/// [`crate::program::ExecArena`]); `worker` receives the state and a job
+/// index and must be deterministic in the index. With the `parallel`
+/// feature enabled and `threads > 1`, jobs are claimed from an atomic
+/// counter by `min(threads, n)` scoped workers; otherwise they run
+/// sequentially on a single state. Results never depend on which worker
+/// ran which job.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing job. Sequential execution
+/// stops at the first failure; threaded execution stops claiming new
+/// jobs once a failure is observed (already-claimed jobs still finish),
+/// and the lowest-indexed failure is still the one reported, because
+/// jobs are claimed in index order.
+pub fn run_indexed_with<S, T, E, I, W>(
+    n: usize,
+    threads: usize,
+    init: I,
+    worker: W,
+) -> Result<Vec<T>, E>
+where
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> Result<T, E> + Sync,
+    T: Send,
+    E: Send,
+{
+    #[cfg(feature = "parallel")]
+    {
+        if threads > 1 && n > 1 {
+            return run_threaded(n, threads.min(n), &init, &worker);
+        }
+    }
+    let _ = threads;
+    let mut state = init();
+    (0..n).map(|i| worker(&mut state, i)).collect()
+}
+
+#[cfg(feature = "parallel")]
+fn run_threaded<S, T, E, I, W>(n: usize, threads: usize, init: &I, worker: &W) -> Result<Vec<T>, E>
+where
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> Result<T, E> + Sync,
+    T: Send,
+    E: Send,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = worker(&mut state, i);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().expect("job slot lock") = Some(result);
+                }
+            });
+        }
+    });
+    // Claims happen in index order, so the filled slots form a prefix and
+    // the lowest-indexed error precedes every unclaimed slot.
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("job slot lock") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("unclaimed job without a preceding failure"),
+        }
+    }
+    Ok(out)
+}
+
+/// A blocking bounded FIFO connecting two pipeline stages.
+///
+/// [`BoundedQueue::push`] blocks while the queue is full (the pipeline's
+/// back-pressure); [`BoundedQueue::pop`] blocks while it is empty and
+/// returns `None` once the queue is closed *and* drained. Built on
+/// `Mutex` + `Condvar` only, so it works wherever `std` does.
+#[cfg(feature = "parallel")]
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: std::sync::Mutex<QueueInner<T>>,
+    not_empty: std::sync::Condvar,
+    not_full: std::sync::Condvar,
+    capacity: usize,
+}
+
+#[cfg(feature = "parallel")]
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: std::collections::VecDeque<T>,
+    closed: bool,
+}
+
+#[cfg(feature = "parallel")]
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: std::sync::Mutex::new(QueueInner {
+                items: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: std::sync::Condvar::new(),
+            not_full: std::sync::Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue was closed (a closed stage must not receive
+    /// further work — that would be a scheduler bug, not a data race).
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("queue lock");
+        }
+        assert!(!inner.closed, "push into a closed stage queue");
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty; `None`
+    /// once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, further pushes
+    /// panic, and a drained pop returns `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A counting semaphore bounding how many work units are in flight —
+/// the pipeline scheduler acquires one permit per live accelerator
+/// instance, so at most `k` arrays exist concurrently.
+#[cfg(feature = "parallel")]
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: std::sync::Mutex<usize>,
+    available: std::sync::Condvar,
+}
+
+#[cfg(feature = "parallel")]
+impl Semaphore {
+    /// Creates a semaphore with `permits` permits (min 1).
+    #[must_use]
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: std::sync::Mutex::new(permits.max(1)),
+            available: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free, then takes it.
+    pub fn acquire(&self) {
+        let mut permits = self.permits.lock().expect("semaphore lock");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("semaphore lock");
+        }
+        *permits -= 1;
+    }
+
+    /// Returns a permit.
+    pub fn release(&self) {
+        *self.permits.lock().expect("semaphore lock") += 1;
+        self.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_results_come_back_in_order() {
+        let out: Result<Vec<usize>, ()> = run_indexed_with(
+            10,
+            4,
+            || 0usize,
+            |state, i| {
+                *state += 1;
+                Ok(i * 2)
+            },
+        );
+        assert_eq!(out.unwrap(), (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins() {
+        let out: Result<Vec<usize>, usize> =
+            run_indexed_with(8, 4, || (), |(), i| if i >= 3 { Err(i) } else { Ok(i) });
+        assert_eq!(out.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn sequential_when_single_threaded() {
+        let out: Result<Vec<usize>, ()> = run_indexed_with(4, 1, || (), |(), i| Ok(i));
+        assert_eq!(out.unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn bounded_queue_delivers_in_fifo_order_across_threads() {
+        let q = BoundedQueue::new(2);
+        let got = std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            for i in 0..16 {
+                q.push(i);
+            }
+            q.close();
+            consumer.join().expect("consumer thread")
+        });
+        assert_eq!(got, (0..16).collect::<Vec<i32>>());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sem = Semaphore::new(2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        sem.acquire();
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        sem.release();
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+}

@@ -176,4 +176,63 @@ mod tests {
         let m2 = p.makespan_ns(ScOperation::Multiply, 256, 2);
         assert!((m2 - m1 - s.bottleneck_ns()).abs() < 1e-9);
     }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn zero_arrays_panics() {
+        let _ = PipelineModel::new(0, 8, ImsngVariant::Opt, ReramCosts::calibrated());
+    }
+
+    #[test]
+    #[should_panic(expected = "comparator width")]
+    fn zero_comparator_width_panics() {
+        let _ = PipelineModel::new(8, 0, ImsngVariant::Opt, ReramCosts::calibrated());
+    }
+
+    /// Costs with every latency zeroed except the chosen knobs, for
+    /// constructing single-stage-dominant pipelines.
+    fn costs_with(sense_ns: f64, adc_ns: f64) -> ReramCosts {
+        let mut costs = ReramCosts::calibrated();
+        costs.timings.t_sense_ns = sense_ns;
+        costs.timings.t_write_ns = 0.0;
+        costs.timings.t_adc_ns = adc_ns;
+        costs.timings.t_xor_extra_ns = 0.0;
+        costs.timings.t_cordiv_step_ns = 0.0;
+        costs
+    }
+
+    #[test]
+    fn conversion_dominant_latencies_bound_the_pipeline() {
+        // An (artificially) slow ADC makes ❸ the bottleneck for every op.
+        let p = PipelineModel::new(4, 8, ImsngVariant::Opt, costs_with(0.1, 1e6));
+        for op in ScOperation::ALL {
+            let s = p.stages(op, 256);
+            assert_eq!(s.bottleneck_ns(), s.s2b_ns, "{op:?}");
+            assert!(s.s2b_ns > s.sng_ns && s.s2b_ns > s.op_ns);
+        }
+    }
+
+    #[test]
+    fn single_nonzero_stage_collapses_total_onto_bottleneck() {
+        // Only the ADC stage has latency: fill time and initiation
+        // interval coincide, so makespan is count · bottleneck exactly.
+        let p = PipelineModel::new(1, 8, ImsngVariant::Opt, costs_with(0.0, 50.0));
+        let s = p.stages(ScOperation::Multiply, 256);
+        assert_eq!(s.total_ns(), s.bottleneck_ns());
+        assert_eq!(p.makespan_ns(ScOperation::Multiply, 256, 7), 7.0 * 50.0);
+    }
+
+    #[test]
+    fn degenerate_one_op_programs_agree_across_total_and_bottleneck() {
+        let p = PipelineModel::evaluation_default();
+        for op in ScOperation::ALL {
+            let s = p.stages(op, 256);
+            // A one-op "program" has no steady state: its makespan is the
+            // fill latency, which always dominates the bottleneck.
+            assert_eq!(p.makespan_ns(op, 256, 1), s.total_ns(), "{op:?}");
+            assert!(s.total_ns() >= s.bottleneck_ns(), "{op:?}");
+            // And the stage split reconstructs the total exactly.
+            assert!((s.sng_ns + s.op_ns + s.s2b_ns - s.total_ns()).abs() < 1e-12);
+        }
+    }
 }

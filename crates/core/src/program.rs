@@ -59,6 +59,8 @@
 //! # }
 //! ```
 
+pub mod sched;
+
 use crate::engine::{Accelerator, StreamHandle};
 use crate::error::ImscError;
 use crate::layout::RnRefreshPolicy;
@@ -269,6 +271,103 @@ impl Op {
     fn is_encode(&self) -> bool {
         matches!(self, Op::Encode { .. } | Op::EncodeCorrelated { .. })
     }
+
+    /// Clones the op with every register (defs and uses) mapped through
+    /// `f` — the per-variant register shape lives here, next to
+    /// [`Op::defs`] / [`Op::uses`], so re-indexing passes (the slice
+    /// partitioner) never enumerate variants themselves.
+    fn map_regs(&self, f: impl Fn(&VReg) -> VReg) -> Op {
+        match self {
+            Op::Encode { dst, value } => Op::Encode {
+                dst: f(dst),
+                value: *value,
+            },
+            Op::EncodeCorrelated { dsts, values } => Op::EncodeCorrelated {
+                dsts: dsts.iter().map(&f).collect(),
+                values: values.clone(),
+            },
+            Op::TrngSelect { dst } => Op::TrngSelect { dst: f(dst) },
+            Op::Multiply { dst, a, b } => Op::Multiply {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+            },
+            Op::ScaledAdd { dst, a, b } => Op::ScaledAdd {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+            },
+            Op::ApproxAdd { dst, a, b } => Op::ApproxAdd {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+            },
+            Op::AbsSub { dst, a, b } => Op::AbsSub {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+            },
+            Op::Minimum { dst, a, b } => Op::Minimum {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+            },
+            Op::Maximum { dst, a, b } => Op::Maximum {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+            },
+            Op::Divide { dst, a, b, on_zero } => Op::Divide {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+                on_zero: *on_zero,
+            },
+            Op::Complement { dst, a } => Op::Complement {
+                dst: f(dst),
+                a: f(a),
+            },
+            Op::Blend { dst, a, b, sel } => Op::Blend {
+                dst: f(dst),
+                a: f(a),
+                b: f(b),
+                sel: f(sel),
+            },
+            Op::Read { src } => Op::Read { src: f(src) },
+            Op::ReadConst { value } => Op::ReadConst { value: *value },
+        }
+    }
+}
+
+/// Last-using op index per register over the dense SSA space (a
+/// never-used register dies at its defining op), validating
+/// def-before-use. The single source of truth for register liveness:
+/// both the planner's release schedule ([`Plan::of`]) and the slice
+/// partitioner's wavefront cuts ([`sched::wavefronts`]) consume it, so
+/// the two can never disagree about where a register is live.
+fn op_last_uses(program: &Program) -> Result<Vec<usize>, ImscError> {
+    // Emitters define registers in order, so a register is live at op
+    // `i` iff its index is below the def-count before `i`.
+    let mut defined = 0usize;
+    let mut last_use: Vec<usize> = Vec::with_capacity(program.regs);
+    for (i, op) in program.ops.iter().enumerate() {
+        for r in op.uses().into_iter().flatten() {
+            if r.index >= defined {
+                return Err(ImscError::InvalidConfig(
+                    "program uses a register before its defining op",
+                ));
+            }
+            last_use[r.index] = i;
+        }
+        for &d in op.defs() {
+            debug_assert_eq!(d.index, defined, "emitters define registers densely");
+            defined += 1;
+            // A never-used register dies right after its def.
+            last_use.push(i);
+        }
+    }
+    debug_assert_eq!(defined, program.regs);
+    Ok(last_use)
 }
 
 /// A declarative SC kernel: an op graph over virtual registers with
@@ -569,6 +668,36 @@ enum Slot {
     Const(f64),
 }
 
+/// A reusable register-file scratch buffer for [`Plan::execute_in`].
+///
+/// Executing a plan needs one dense register→handle slot per virtual
+/// register. Callers that execute many plans in a row (one per tile or
+/// per pipeline slice) keep one arena per worker and hand it to
+/// [`Plan::execute_in`], so re-planning stops reallocating the slot
+/// vector on every execution — the arena's capacity persists across
+/// runs. A fresh arena behaves identically to the internal allocation
+/// [`Plan::execute`] performs.
+#[derive(Debug, Default)]
+pub struct ExecArena {
+    slots: Vec<Option<Slot>>,
+}
+
+impl ExecArena {
+    /// An empty arena (capacity grows on first use and is then reused).
+    #[must_use]
+    pub fn new() -> Self {
+        ExecArena::default()
+    }
+
+    /// Clears the arena and sizes it for `regs` registers, keeping the
+    /// allocation.
+    fn reset(&mut self, regs: usize) -> &mut [Option<Slot>] {
+        self.slots.clear();
+        self.slots.resize(regs, None);
+        &mut self.slots
+    }
+}
+
 /// The lowering schedule of one [`Program`]: last-use releases, refresh
 /// boundaries, coalesced encode batches, and row-demand bounds. Produced
 /// by [`Program::plan`]; executable any number of times via
@@ -587,30 +716,7 @@ pub struct Plan<'p> {
 
 impl<'p> Plan<'p> {
     fn of(program: &'p Program) -> Result<Self, ImscError> {
-        // Validate def-before-use over the dense SSA register space:
-        // emitters define registers in order, so a register is live at op
-        // `i` iff its index is below the def-count before `i`.
-        let mut defined = 0usize;
-        let mut last_use: Vec<usize> = Vec::with_capacity(program.regs);
-        let mut def_op: Vec<usize> = Vec::with_capacity(program.regs);
-        for (i, op) in program.ops.iter().enumerate() {
-            for r in op.uses().into_iter().flatten() {
-                if r.index >= defined {
-                    return Err(ImscError::InvalidConfig(
-                        "program uses a register before its defining op",
-                    ));
-                }
-                last_use[r.index] = i;
-            }
-            for &d in op.defs() {
-                debug_assert_eq!(d.index, defined, "emitters define registers densely");
-                defined += 1;
-                def_op.push(i);
-                // A never-used register dies right after its def.
-                last_use.push(i);
-            }
-        }
-        debug_assert_eq!(defined, program.regs);
+        let last_use = op_last_uses(program)?;
 
         // Coalesce runs of consecutive single-value encodes within one
         // refresh group into `encode_many` steps.
@@ -739,25 +845,48 @@ impl<'p> Plan<'p> {
     /// `divide_or`-poisoned register with anything but a read is
     /// [`ImscError::InvalidConfig`].
     pub fn execute(&self, acc: &mut Accelerator) -> Result<Vec<f64>, ImscError> {
-        let mut slots: Vec<Option<Slot>> = vec![None; self.program.regs];
-        self.run_steps(acc, &mut slots).inspect_err(|_| {
-            // The program's registers are unreachable to the caller;
-            // return their rows so a retained accelerator stays usable.
-            for slot in &mut slots {
-                if let Some(Slot::Handle(h)) = slot.take() {
-                    let _ = acc.release(h);
-                }
-            }
-        })
+        self.execute_in(acc, &mut ExecArena::new())
     }
 
-    fn run_steps(
+    /// [`Plan::execute`] with a caller-pooled register arena: identical
+    /// behaviour, but the dense register→handle scratch vector is
+    /// borrowed from `arena` instead of freshly allocated, so executing
+    /// many plans in a row (one per tile, one per pipeline slice) reuses
+    /// one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Plan::execute`].
+    pub fn execute_in(
         &self,
         acc: &mut Accelerator,
-        slots: &mut [Option<Slot>],
+        arena: &mut ExecArena,
     ) -> Result<Vec<f64>, ImscError> {
+        let slots = arena.reset(self.program.regs);
+        let mut out = Vec::with_capacity(self.program.outputs);
+        let run = (0..self.steps.len()).try_for_each(|s| self.exec_step(s, acc, slots, &mut out));
+        match run {
+            Ok(()) => Ok(out),
+            Err(e) => {
+                release_live_slots(acc, slots);
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes one lowering step: the refresh-group boundary (if any),
+    /// the step's operations, and the step's eager releases. `slots`
+    /// must span the program's registers and carry the state left by the
+    /// preceding steps. On error, live rows are *not* released here —
+    /// callers owning the slot state decide (see [`release_live_slots`]).
+    fn exec_step(
+        &self,
+        s: usize,
+        acc: &mut Accelerator,
+        slots: &mut [Option<Slot>],
+        out: &mut Vec<f64>,
+    ) -> Result<(), ImscError> {
         let prog = self.program;
-        let mut out = Vec::with_capacity(prog.outputs);
         let handle = |slots: &[Option<Slot>], r: VReg| -> Result<StreamHandle, ImscError> {
             match slots[r.index] {
                 Some(Slot::Handle(h)) => Ok(h),
@@ -767,11 +896,12 @@ impl<'p> Plan<'p> {
                 None => Err(ImscError::InvalidConfig("register is not live")),
             }
         };
-        for (s, step) in self.steps.iter().enumerate() {
+        {
+            let step = self.steps[s];
             if self.boundary[s] && acc.refresh_policy() == RnRefreshPolicy::Explicit {
                 acc.refresh_rn_rows()?;
             }
-            match *step {
+            match step {
                 Step::EncodeRun { start, len } => {
                     let values: Vec<Fixed> = prog.ops[start..start + len]
                         .iter()
@@ -861,7 +991,19 @@ impl<'p> Plan<'p> {
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+}
+
+/// Releases every row still held in `slots` — called after a failed
+/// execution so a retained accelerator stays usable (the program's
+/// registers are unreachable to the caller, so leaving them live would
+/// leak the rows irrecoverably).
+fn release_live_slots(acc: &mut Accelerator, slots: &mut [Option<Slot>]) {
+    for slot in slots {
+        if let Some(Slot::Handle(h)) = slot.take() {
+            let _ = acc.release(h);
+        }
     }
 }
 

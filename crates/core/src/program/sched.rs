@@ -1,0 +1,874 @@
+//! Cross-array pipeline scheduling for [`Program`]s — the executable
+//! form of the Fig. 5 throughput model.
+//!
+//! "In practice, we use multiple arrays to parallelize and pipeline the
+//! different stages" (§III): ❶ SBS generation, ❷ arithmetic, and ❸ ADC
+//! conversion run in different mats, so in steady state a new operation
+//! retires every `max(stage latency)`. [`crate::pipeline::PipelineModel`]
+//! states that analytically; this module *executes* it. A
+//! [`PipelineScheduler`] takes one logical program, partitioned into
+//! **slices** (self-contained sub-programs; see [`partition_into`] /
+//! [`partition_by_outputs`]), and runs the slices through three stage
+//! workers connected by bounded queues, with at most `k` accelerator
+//! instances (arrays) in flight — the work-queue machinery shared with
+//! the tiled image kernels ([`crate::parallel`]).
+//!
+//! Two granularities matter:
+//!
+//! * **Slices** are the unit of array allocation and thread handoff: each
+//!   slice executes on its own accelerator built by the caller's factory,
+//!   entering at the ❶ worker (leading encode steps), crossing to the ❷
+//!   worker (arithmetic), and retiring at the ❸ worker (trailing reads).
+//!   Mid-slice encode steps (e.g. bilinear's vertical select) ride the ❷
+//!   worker thread-wise but are still *attributed* to stage ❶ in the
+//!   model, so occupancy numbers follow the op semantics, not the thread
+//!   placement.
+//! * **Wavefronts** are the unit of pipeline initiation in the *modeled*
+//!   timeline: maximal op runs with no register live across their
+//!   boundary (from the planner's last-use analysis) — one per pixel in
+//!   the image kernels. Each wavefront's per-stage latency is measured
+//!   from the accelerator's own cost ledger (the delta of
+//!   [`crate::cost::CostLedger::latency_ns`] around each step), and the
+//!   classic pipeline recurrence over those measured latencies yields the
+//!   reported makespan, stage occupancy, and initiation interval —
+//!   *measured* numbers that are differentially cross-checked against
+//!   [`crate::pipeline::PipelineModel::bottleneck_ns`] in
+//!   `tests/sched.rs`.
+//!
+//! Everything observable is deterministic: slices execute their ops in
+//! program order on their own accelerator, results and ledgers are
+//! collected in slice order, and the report is computed from
+//! ledger-derived latencies — so threaded and sequential execution are
+//! bit-identical, and a pipelined image-kernel run is value- and
+//! ledger-identical to the per-tile path it subsumes.
+
+use super::{release_live_slots, ExecArena, Op, Plan, Program, Step, VReg};
+use crate::cost::CostLedger;
+use crate::engine::Accelerator;
+use crate::error::ImscError;
+use reram::energy::ReramCosts;
+use std::ops::Range;
+
+// The pipeline hands accelerators between stage workers.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Accelerator>();
+    assert_send::<ExecArena>();
+};
+
+/// The three pipeline stages of the paper's §III multi-array flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// ❶ Stochastic-bit-stream generation (encodes, TRNG rows).
+    Sbs,
+    /// ❷ In-array SC arithmetic.
+    Arith,
+    /// ❸ Stochastic→binary conversion (ADC read-out).
+    S2b,
+}
+
+impl StageKind {
+    /// Number of pipeline stages.
+    pub const COUNT: usize = 3;
+
+    /// All stages in pipeline order.
+    pub const ALL: [StageKind; 3] = [StageKind::Sbs, StageKind::Arith, StageKind::S2b];
+
+    /// The stage executing `op`.
+    #[must_use]
+    pub fn of(op: &Op) -> StageKind {
+        match op {
+            Op::Encode { .. } | Op::EncodeCorrelated { .. } | Op::TrngSelect { .. } => {
+                StageKind::Sbs
+            }
+            Op::Read { .. } | Op::ReadConst { .. } => StageKind::S2b,
+            _ => StageKind::Arith,
+        }
+    }
+
+    /// Dense index in pipeline order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            StageKind::Sbs => 0,
+            StageKind::Arith => 1,
+            StageKind::S2b => 2,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Sbs => "sbs",
+            StageKind::Arith => "arith",
+            StageKind::S2b => "s2b",
+        }
+    }
+}
+
+/// Per-op release counts from the planner's last-use analysis (op `i`
+/// is the last use of `rel[i]` registers) — derived from the same
+/// [`super::op_last_uses`] pass the planner schedules releases with, so
+/// wavefront cuts and plan releases can never disagree.
+fn op_releases(program: &Program) -> Result<Vec<usize>, ImscError> {
+    let last_use = super::op_last_uses(program)?;
+    let mut rel = vec![0usize; program.ops.len()];
+    for &i in &last_use {
+        rel[i] += 1;
+    }
+    Ok(rel)
+}
+
+/// Op-index ranges of the program's wavefronts: maximal op runs with no
+/// register live across their boundaries (per the last-use analysis).
+/// Cutting the program at wavefront boundaries is always legal — no
+/// dataflow crosses them — which is exactly what the partition functions
+/// do. Per-pixel kernels yield one wavefront per pixel.
+///
+/// # Errors
+///
+/// [`ImscError::InvalidConfig`] for a malformed program (a register used
+/// before its defining op).
+pub fn wavefronts(program: &Program) -> Result<Vec<Range<usize>>, ImscError> {
+    let rel = op_releases(program)?;
+    let mut ranges = Vec::new();
+    let mut live = 0usize;
+    let mut start = 0usize;
+    for (i, op) in program.ops.iter().enumerate() {
+        live += op.defs().len();
+        live -= rel[i];
+        if live == 0 {
+            ranges.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    debug_assert_eq!(start, program.ops.len(), "programs end with no live rows");
+    Ok(ranges)
+}
+
+/// Rebuilds `program.ops[range]` as a self-contained program. The range
+/// must start and end on wavefront boundaries, so its registers form the
+/// dense index block starting at `reg_lo`.
+fn subprogram(src: &Program, range: Range<usize>, reg_lo: usize) -> Program {
+    let mut p = Program::new();
+    let id = p.id;
+    for i in range {
+        let op = src.ops[i].map_regs(|r| VReg {
+            program: id,
+            index: r.index - reg_lo,
+        });
+        p.regs += op.defs().len();
+        if matches!(op, Op::Read { .. } | Op::ReadConst { .. }) {
+            p.outputs += 1;
+        }
+        p.groups.push(src.groups[i]);
+        p.ops.push(op);
+    }
+    p
+}
+
+/// Builds slices from wavefront ranges grouped by `counts[j]` wavefronts
+/// each.
+fn slices_from_wavefront_groups(
+    program: &Program,
+    waves: &[Range<usize>],
+    counts: impl Iterator<Item = usize>,
+) -> Vec<Program> {
+    let mut slices = Vec::new();
+    let mut next = 0usize;
+    let mut reg_lo = 0usize;
+    for count in counts {
+        let group = &waves[next..next + count];
+        let range = match (group.first(), group.last()) {
+            (Some(first), Some(last)) => first.start..last.end,
+            _ => {
+                let at = waves.get(next).map_or(program.ops.len(), |w| w.start);
+                at..at
+            }
+        };
+        let slice = subprogram(program, range, reg_lo);
+        reg_lo += slice.regs;
+        next += count;
+        slices.push(slice);
+    }
+    slices
+}
+
+/// Partitions one logical program into (at most) `slices` self-contained
+/// sub-programs of near-equal wavefront counts, cutting only at
+/// wavefront boundaries. Programs with fewer wavefronts than requested
+/// slices yield one slice per wavefront.
+///
+/// # Errors
+///
+/// [`ImscError::InvalidConfig`] for a malformed program or `slices == 0`.
+pub fn partition_into(program: &Program, slices: usize) -> Result<Vec<Program>, ImscError> {
+    if slices == 0 {
+        return Err(ImscError::InvalidConfig(
+            "a partition needs at least one slice",
+        ));
+    }
+    let waves = wavefronts(program)?;
+    let k = slices.min(waves.len()).max(1);
+    let base = waves.len() / k;
+    let extra = waves.len() % k;
+    let counts = (0..k).map(|j| base + usize::from(j < extra));
+    Ok(slices_from_wavefront_groups(program, &waves, counts))
+}
+
+/// Partitions one logical program into slices producing exactly
+/// `counts[j]` outputs each — the cut the tiled image kernels use, where
+/// `counts` mirrors the per-tile pixel counts, so the sliced program is
+/// op-identical to per-tile emission.
+///
+/// # Errors
+///
+/// [`ImscError::InvalidConfig`] for a malformed program, when the counts
+/// do not sum to the program's output count, or when a requested
+/// boundary falls inside a wavefront (a register would be live across
+/// the cut).
+pub fn partition_by_outputs(
+    program: &Program,
+    counts: &[usize],
+) -> Result<Vec<Program>, ImscError> {
+    let waves = wavefronts(program)?;
+    let outputs_of = |w: &Range<usize>| -> usize {
+        program.ops[w.clone()]
+            .iter()
+            .filter(|op| matches!(op, Op::Read { .. } | Op::ReadConst { .. }))
+            .count()
+    };
+    let mut wave_counts = Vec::with_capacity(counts.len());
+    let mut next = 0usize;
+    for &target in counts {
+        let mut got = 0usize;
+        let mut used = 0usize;
+        while got < target {
+            let Some(w) = waves.get(next + used) else {
+                return Err(ImscError::InvalidConfig(
+                    "slice output counts exceed the program's outputs",
+                ));
+            };
+            got += outputs_of(w);
+            used += 1;
+        }
+        if got != target {
+            return Err(ImscError::InvalidConfig(
+                "requested slice boundary is not a clean cut",
+            ));
+        }
+        next += used;
+        wave_counts.push(used);
+    }
+    if next != waves.len() {
+        return Err(ImscError::InvalidConfig(
+            "slice output counts do not cover the program",
+        ));
+    }
+    Ok(slices_from_wavefront_groups(
+        program,
+        &waves,
+        wave_counts.into_iter(),
+    ))
+}
+
+/// The measured result of one pipeline slice: its outputs plus the
+/// per-array observables the tiled kernels merge in slice order.
+#[derive(Debug, Clone)]
+pub struct SliceOut {
+    /// The slice program's outputs in emission order.
+    pub outputs: Vec<f64>,
+    /// The slice accelerator's accumulated cost ledger.
+    pub ledger: CostLedger,
+    /// Encode-cache hits observed by the slice accelerator.
+    pub cache_hits: u64,
+    /// RN realizations (epochs) the slice accelerator consumed.
+    pub rn_epochs: u64,
+}
+
+/// Measured pipeline behaviour of one scheduled run, in *modeled*
+/// nanoseconds derived from the accelerators' cost ledgers. One 3-stage
+/// pipeline is modeled per array; `arrays` scales aggregate throughput
+/// linearly, exactly as in [`crate::pipeline::PipelineModel`] / Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// Accelerator instances the schedule was bounded to.
+    pub arrays: usize,
+    /// Pipeline initiations (wavefronts) across all slices.
+    pub wavefronts: usize,
+    /// Summed per-stage busy time, ns (ledger-derived).
+    pub stage_busy_ns: [f64; StageKind::COUNT],
+    /// Retire time of the first wavefront (pipeline fill), ns.
+    pub fill_ns: f64,
+    /// Retire time of the last wavefront, ns.
+    pub makespan_ns: f64,
+    /// Measured steady-state initiation interval: mean retire-to-retire
+    /// gap, ns. Equals the bottleneck stage latency on stage-balanced
+    /// programs (differentially pinned against
+    /// [`crate::pipeline::PipelineModel::bottleneck_ns`]).
+    pub initiation_interval_ns: f64,
+    /// Unpipelined latency (every stage of every wavefront in series), ns.
+    pub sequential_ns: f64,
+}
+
+impl PipelineReport {
+    /// Fraction of the makespan each stage array is busy.
+    #[must_use]
+    pub fn stage_occupancy(&self) -> [f64; StageKind::COUNT] {
+        let mut occ = [0.0; StageKind::COUNT];
+        if self.makespan_ns > 0.0 {
+            for (o, busy) in occ.iter_mut().zip(self.stage_busy_ns) {
+                *o = busy / self.makespan_ns;
+            }
+        }
+        occ
+    }
+
+    /// Modeled speedup of pipelining over fully serial execution.
+    #[must_use]
+    pub fn pipeline_speedup(&self) -> f64 {
+        if self.makespan_ns > 0.0 {
+            self.sequential_ns / self.makespan_ns
+        } else {
+            1.0
+        }
+    }
+
+    /// Modeled aggregate steady-state throughput across the `arrays`
+    /// independent pipelines, in wavefronts per microsecond.
+    #[must_use]
+    pub fn throughput_ops_per_us(&self) -> f64 {
+        if self.initiation_interval_ns > 0.0 {
+            self.arrays as f64 * 1000.0 / self.initiation_interval_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Computes the report from per-wavefront stage latencies via the
+    /// classic pipeline recurrence: stage `s` of wavefront `i` starts
+    /// once both stage `s−1` of wavefront `i` and stage `s` of wavefront
+    /// `i−1` are done.
+    fn from_wavefronts(durations: &[[f64; StageKind::COUNT]], arrays: usize) -> PipelineReport {
+        let mut stage_end = [0.0f64; StageKind::COUNT];
+        let mut busy = [0.0f64; StageKind::COUNT];
+        let mut fill = 0.0f64;
+        let mut last_retire = 0.0f64;
+        for (i, durs) in durations.iter().enumerate() {
+            let mut t = 0.0f64;
+            for s in 0..StageKind::COUNT {
+                let start = t.max(stage_end[s]);
+                stage_end[s] = start + durs[s];
+                t = stage_end[s];
+                busy[s] += durs[s];
+            }
+            if i == 0 {
+                fill = t;
+            }
+            last_retire = t;
+        }
+        let initiation_interval_ns = if durations.len() > 1 {
+            (last_retire - fill) / (durations.len() - 1) as f64
+        } else {
+            last_retire
+        };
+        PipelineReport {
+            arrays,
+            wavefronts: durations.len(),
+            stage_busy_ns: busy,
+            fill_ns: fill,
+            makespan_ns: last_retire,
+            initiation_interval_ns,
+            sequential_ns: busy.iter().sum(),
+        }
+    }
+}
+
+/// A finished pipelined run: per-slice results in slice order plus the
+/// measured pipeline report.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Per-slice results, in slice order (independent of scheduling).
+    pub slices: Vec<SliceOut>,
+    /// The measured pipeline behaviour of the whole run.
+    pub report: PipelineReport,
+}
+
+/// Step-level schedule metadata of one slice: stage attribution,
+/// wavefront membership, and the two thread-handoff points.
+#[derive(Debug)]
+struct SliceMeta {
+    /// Stage index per plan step (coalesced encode runs are ❶).
+    stage: Vec<usize>,
+    /// Wavefront index per plan step (local to the slice).
+    wavefront: Vec<usize>,
+    /// Number of wavefronts in the slice.
+    wavefronts: usize,
+    /// End of the leading run of ❶ steps (first handoff).
+    sbs_end: usize,
+    /// Start of the trailing run of ❸ steps (second handoff).
+    s2b_start: usize,
+}
+
+impl SliceMeta {
+    fn of(plan: &Plan<'_>) -> SliceMeta {
+        let prog = plan.program;
+        let stage: Vec<usize> = plan
+            .steps
+            .iter()
+            .map(|step| match step {
+                Step::EncodeRun { .. } => StageKind::Sbs.index(),
+                Step::Single(i) => StageKind::of(&prog.ops[*i]).index(),
+            })
+            .collect();
+        let mut wavefront = Vec::with_capacity(plan.steps.len());
+        let mut live = 0usize;
+        let mut wf = 0usize;
+        for (s, step) in plan.steps.iter().enumerate() {
+            wavefront.push(wf);
+            let defs: usize = step.op_range().map(|o| prog.ops[o].defs().len()).sum();
+            live += defs;
+            live -= plan.releases[s].len();
+            if live == 0 {
+                wf += 1;
+            }
+        }
+        let sbs_end = stage
+            .iter()
+            .take_while(|&&s| s == StageKind::Sbs.index())
+            .count();
+        let trailing = stage
+            .iter()
+            .rev()
+            .take_while(|&&s| s == StageKind::S2b.index())
+            .count();
+        let s2b_start = (stage.len() - trailing).max(sbs_end);
+        SliceMeta {
+            stage,
+            wavefront,
+            wavefronts: wf,
+            sbs_end,
+            s2b_start,
+        }
+    }
+
+    /// Step range executed by stage worker `phase`.
+    fn phase_range(&self, phase: usize) -> Range<usize> {
+        match phase {
+            0 => 0..self.sbs_end,
+            1 => self.sbs_end..self.s2b_start,
+            _ => self.s2b_start..self.stage.len(),
+        }
+    }
+}
+
+/// One slice traveling through the stage workers.
+struct InFlight<'p> {
+    idx: usize,
+    plan: Plan<'p>,
+    meta: SliceMeta,
+    acc: Accelerator,
+    arena: ExecArena,
+    out: Vec<f64>,
+    /// Per-wavefront ledger-derived stage latencies, ns.
+    wf_ns: Vec<[f64; StageKind::COUNT]>,
+}
+
+impl std::fmt::Debug for InFlight<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InFlight").field("idx", &self.idx).finish()
+    }
+}
+
+/// A retired slice plus its wavefront timings.
+struct Finished {
+    out: SliceOut,
+    wf_ns: Vec<[f64; StageKind::COUNT]>,
+}
+
+fn prepare<'p>(
+    idx: usize,
+    slice: &'p Program,
+    acc: Accelerator,
+    mut arena: ExecArena,
+) -> Result<InFlight<'p>, ImscError> {
+    let plan = slice.plan()?;
+    let meta = SliceMeta::of(&plan);
+    arena.reset(slice.regs);
+    let wf_ns = vec![[0.0; StageKind::COUNT]; meta.wavefronts];
+    Ok(InFlight {
+        idx,
+        plan,
+        meta,
+        acc,
+        arena,
+        out: Vec::with_capacity(slice.outputs),
+        wf_ns,
+    })
+}
+
+/// Executes one stage worker's step range of a slice, attributing each
+/// step's ledger latency delta to the step's *stage kind* (not its
+/// worker) in the wavefront timeline.
+fn exec_phase(f: &mut InFlight<'_>, phase: usize, costs: &ReramCosts) -> Result<(), ImscError> {
+    let InFlight {
+        plan,
+        meta,
+        acc,
+        arena,
+        out,
+        wf_ns,
+        ..
+    } = f;
+    for s in meta.phase_range(phase) {
+        let before = acc.ledger().latency_ns(costs);
+        plan.exec_step(s, acc, &mut arena.slots, out)?;
+        let delta = acc.ledger().latency_ns(costs) - before;
+        wf_ns[meta.wavefront[s]][meta.stage[s]] += delta;
+    }
+    Ok(())
+}
+
+/// Releases the rows a failed slice still holds (its accelerator may be
+/// caller-retained via the factory's clone semantics; cheap regardless).
+fn abandon(f: &mut InFlight<'_>) {
+    release_live_slots(&mut f.acc, &mut f.arena.slots);
+}
+
+fn finish(f: InFlight<'_>) -> (Finished, ExecArena) {
+    let InFlight {
+        acc,
+        arena,
+        out,
+        wf_ns,
+        ..
+    } = f;
+    (
+        Finished {
+            out: SliceOut {
+                outputs: out,
+                ledger: *acc.ledger(),
+                cache_hits: acc.encode_cache_hits(),
+                rn_epochs: acc.rn_epoch(),
+            },
+            wf_ns,
+        },
+        arena,
+    )
+}
+
+/// The cross-array pipeline scheduler: executes program slices across
+/// three stage workers with a bounded inter-stage queue and at most
+/// `arrays` accelerator instances in flight. See the [module docs]
+/// (self) for the execution and measurement model.
+#[derive(Debug, Clone)]
+pub struct PipelineScheduler {
+    arrays: usize,
+    queue_depth: usize,
+    costs: ReramCosts,
+}
+
+impl PipelineScheduler {
+    /// Creates a scheduler bounded to `arrays` in-flight accelerator
+    /// instances, with inter-stage queues of depth 2 and the calibrated
+    /// cost constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays == 0` (mirroring
+    /// [`crate::pipeline::PipelineModel::new`]).
+    #[must_use]
+    pub fn new(arrays: usize) -> Self {
+        assert!(arrays > 0, "at least one array required");
+        PipelineScheduler {
+            arrays,
+            queue_depth: 2,
+            costs: ReramCosts::calibrated(),
+        }
+    }
+
+    /// Sets the bounded inter-stage queue depth (min 1).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides the cost constants used for the modeled timeline.
+    #[must_use]
+    pub fn costs(mut self, costs: ReramCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Number of in-flight accelerator instances the schedule allows.
+    #[must_use]
+    pub fn arrays(&self) -> usize {
+        self.arrays
+    }
+
+    /// Executes `slices` pipelined, building each slice's accelerator
+    /// with `factory(slice_index)`. Results come back in slice order and
+    /// are bit-identical however the stage workers interleave (and to a
+    /// build without the `parallel` feature, which runs the same
+    /// schedule sequentially).
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed slice's failure (factory, planning, or
+    /// execution) — the same slice a sequential run would fail on.
+    pub fn run<E, F>(&self, slices: &[Program], factory: F) -> Result<PipelineRun, E>
+    where
+        F: Fn(usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
+        #[cfg(feature = "parallel")]
+        {
+            if slices.len() > 1 {
+                return self.run_threaded(slices, &factory);
+            }
+        }
+        self.run_sequential(slices, &factory)
+    }
+
+    fn run_sequential<E, F>(&self, slices: &[Program], factory: &F) -> Result<PipelineRun, E>
+    where
+        F: Fn(usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
+        let mut arena = ExecArena::new();
+        let mut outs = Vec::with_capacity(slices.len());
+        let mut all_wf = Vec::new();
+        for (idx, slice) in slices.iter().enumerate() {
+            let acc = factory(idx)?;
+            let mut f = prepare(idx, slice, acc, std::mem::take(&mut arena)).map_err(E::from)?;
+            let run = (0..StageKind::COUNT).try_for_each(|ph| exec_phase(&mut f, ph, &self.costs));
+            if let Err(e) = run {
+                abandon(&mut f);
+                return Err(E::from(e));
+            }
+            let (fin, used) = finish(f);
+            arena = used;
+            all_wf.extend(fin.wf_ns);
+            outs.push(fin.out);
+        }
+        Ok(PipelineRun {
+            slices: outs,
+            report: PipelineReport::from_wavefronts(&all_wf, self.arrays),
+        })
+    }
+
+    #[cfg(feature = "parallel")]
+    fn run_threaded<E, F>(&self, slices: &[Program], factory: &F) -> Result<PipelineRun, E>
+    where
+        F: Fn(usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
+        use crate::parallel::{BoundedQueue, Semaphore};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+
+        let n = slices.len();
+        let q01: BoundedQueue<InFlight<'_>> = BoundedQueue::new(self.queue_depth);
+        let q12: BoundedQueue<InFlight<'_>> = BoundedQueue::new(self.queue_depth);
+        let tokens = Semaphore::new(self.arrays);
+        let abort = AtomicBool::new(false);
+        let arena_pool: Mutex<Vec<ExecArena>> = Mutex::new(Vec::new());
+        let slots: Vec<Mutex<Option<Result<Finished, E>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let costs = &self.costs;
+        let store = |idx: usize, r: Result<Finished, E>| {
+            *slots[idx].lock().expect("slice slot lock") = Some(r);
+        };
+        // A stage worker's failure path: record, return the array token,
+        // and stop admitting new slices. Slices already admitted keep
+        // flowing (they are ahead in the queues), so every slice below
+        // the lowest failure still completes.
+        let fail = |idx: usize, e: E| {
+            store(idx, Err(e));
+            tokens.release();
+            abort.store(true, Ordering::Relaxed);
+        };
+
+        std::thread::scope(|scope| {
+            // ❶ SBS worker: admission (bounded by the array tokens),
+            // accelerator construction, planning, leading encode steps.
+            scope.spawn(|| {
+                for (idx, slice) in slices.iter().enumerate() {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    tokens.acquire();
+                    let arena = arena_pool
+                        .lock()
+                        .expect("arena pool lock")
+                        .pop()
+                        .unwrap_or_default();
+                    let prepped = factory(idx)
+                        .and_then(|acc| prepare(idx, slice, acc, arena).map_err(E::from));
+                    match prepped {
+                        Ok(mut f) => match exec_phase(&mut f, 0, costs) {
+                            Ok(()) => q01.push(f),
+                            Err(e) => {
+                                abandon(&mut f);
+                                fail(idx, E::from(e));
+                            }
+                        },
+                        Err(e) => fail(idx, e),
+                    }
+                }
+                q01.close();
+            });
+            // ❷ arithmetic worker.
+            scope.spawn(|| {
+                while let Some(mut f) = q01.pop() {
+                    match exec_phase(&mut f, 1, costs) {
+                        Ok(()) => q12.push(f),
+                        Err(e) => {
+                            abandon(&mut f);
+                            fail(f.idx, E::from(e));
+                        }
+                    }
+                }
+                q12.close();
+            });
+            // ❸ S2B worker: trailing reads, retirement.
+            scope.spawn(|| {
+                while let Some(mut f) = q12.pop() {
+                    match exec_phase(&mut f, 2, costs) {
+                        Ok(()) => {
+                            let idx = f.idx;
+                            let (fin, arena) = finish(f);
+                            arena_pool.lock().expect("arena pool lock").push(arena);
+                            store(idx, Ok(fin));
+                            tokens.release();
+                        }
+                        Err(e) => {
+                            abandon(&mut f);
+                            fail(f.idx, E::from(e));
+                        }
+                    }
+                }
+            });
+        });
+
+        let mut outs = Vec::with_capacity(n);
+        let mut all_wf = Vec::new();
+        for slot in slots {
+            match slot.into_inner().expect("slice slot lock") {
+                Some(Ok(fin)) => {
+                    all_wf.extend(fin.wf_ns);
+                    outs.push(fin.out);
+                }
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("unadmitted slice without a preceding failure"),
+            }
+        }
+        Ok(PipelineRun {
+            slices: outs,
+            report: PipelineReport::from_wavefronts(&all_wf, self.arrays),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::Fixed;
+
+    fn chain_program(wavefronts: usize) -> Program {
+        let mut p = Program::new();
+        for i in 0..wavefronts {
+            let x = p.encode(Fixed::from_u8(20 + (i as u8 % 200)));
+            let y = p.complement(x);
+            p.read(y);
+        }
+        p
+    }
+
+    #[test]
+    fn wavefronts_cut_at_dead_boundaries() {
+        let p = chain_program(5);
+        let waves = wavefronts(&p).unwrap();
+        assert_eq!(waves.len(), 5);
+        assert_eq!(waves[0], 0..3);
+        assert_eq!(waves[4], 12..15);
+    }
+
+    #[test]
+    fn partition_into_balances_wavefronts() {
+        let p = chain_program(7);
+        let slices = partition_into(&p, 3).unwrap();
+        assert_eq!(slices.len(), 3);
+        let outs: Vec<usize> = slices.iter().map(Program::outputs).collect();
+        assert_eq!(outs, vec![3, 2, 2]);
+        assert_eq!(slices.iter().map(Program::regs).sum::<usize>(), p.regs());
+        for s in &slices {
+            s.plan().expect("re-indexed slices stay well-formed");
+        }
+    }
+
+    #[test]
+    fn partition_by_outputs_rejects_unclean_cuts() {
+        let mut p = Program::new();
+        let a = p.encode(Fixed::from_u8(9));
+        let b = p.encode(Fixed::from_u8(17));
+        let m = p.multiply(a, b);
+        // Two reads of one live register: a single wavefront with two
+        // outputs, so a 1/1 split would cut through live state.
+        p.read(m);
+        p.read(m);
+        let err = partition_by_outputs(&p, &[1, 1]).unwrap_err();
+        assert!(matches!(err, ImscError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn partition_by_outputs_matches_totals() {
+        let p = chain_program(6);
+        assert!(partition_by_outputs(&p, &[4, 1]).is_err());
+        assert!(partition_by_outputs(&p, &[4, 3]).is_err());
+        let ok = partition_by_outputs(&p, &[4, 2]).unwrap();
+        assert_eq!(ok[0].outputs(), 4);
+        assert_eq!(ok[1].outputs(), 2);
+    }
+
+    #[test]
+    fn report_recurrence_on_balanced_stages_gives_bottleneck_ii() {
+        let durs = vec![[10.0, 4.0, 2.0]; 8];
+        let r = PipelineReport::from_wavefronts(&durs, 4);
+        assert!((r.initiation_interval_ns - 10.0).abs() < 1e-12);
+        assert!((r.fill_ns - 16.0).abs() < 1e-12);
+        assert!((r.makespan_ns - (16.0 + 7.0 * 10.0)).abs() < 1e-12);
+        assert!((r.sequential_ns - 8.0 * 16.0).abs() < 1e-12);
+        assert!(r.pipeline_speedup() > 1.0);
+        assert!((r.throughput_ops_per_us() - 4.0 * 1000.0 / 10.0).abs() < 1e-9);
+        let occ = r.stage_occupancy();
+        assert!(occ[0] > occ[1] && occ[1] > occ[2]);
+    }
+
+    #[test]
+    fn stage_kinds_classify_ops() {
+        let mut p = Program::new();
+        let x = p.encode(Fixed::from_u8(3));
+        let s = p.trng_select();
+        let y = p.blend(x, x, s);
+        p.read(y);
+        let kinds: Vec<StageKind> = p.ops().iter().map(StageKind::of).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StageKind::Sbs,
+                StageKind::Sbs,
+                StageKind::Arith,
+                StageKind::S2b
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one array")]
+    fn zero_arrays_panics() {
+        let _ = PipelineScheduler::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Differential tests for the cross-array pipeline scheduler: the
+//! measured initiation interval must sit in a tolerance band around the
+//! analytic `PipelineModel::bottleneck_ns`, and pipelined execution must
+//! be observationally identical to executing the same slices one by one.
+
+use imsc::cost::ScOperation;
+use imsc::engine::Accelerator;
+use imsc::pipeline::PipelineModel;
+use imsc::program::sched::{self, PipelineScheduler};
+use imsc::program::Program;
+use imsc::{ExecArena, ImscError, ImsngVariant};
+use reram::energy::ReramCosts;
+use sc_core::Fixed;
+
+const N: usize = 256;
+const M: u32 = 8;
+
+/// Relative tolerance between the scheduler's ledger-derived initiation
+/// interval and the analytic stage model. The ledger charges a handful
+/// of real-execution extras the closed-form model abstracts away (the
+/// result-row write after an arithmetic op, the sense steps of CORDIV's
+/// divisor scouting), so the band is deliberately wider than measurement
+/// noise — but far tighter than any cross-stage confusion would allow.
+const II_TOLERANCE: f64 = 0.25;
+
+fn build(seed: u64) -> Result<Accelerator, ImscError> {
+    Accelerator::builder()
+        .stream_len(N)
+        .segment_bits(M)
+        .seed(seed)
+        .build()
+}
+
+/// `wavefronts` independent encode→complement→read chains: stage ❶ is a
+/// single conversion per wavefront, exactly the shape the analytic model
+/// prices for the simple ops.
+fn sng_bound_program(wavefronts: usize) -> Program {
+    let mut p = Program::new();
+    for i in 0..wavefronts {
+        let x = p.encode(Fixed::from_u8(10 + (i % 200) as u8));
+        let y = p.complement(x);
+        p.read(y);
+    }
+    p
+}
+
+/// `wavefronts` CORDIV divisions: stage ❷ dominates by two orders of
+/// magnitude (n · t_cordiv).
+fn division_bound_program(wavefronts: usize) -> Program {
+    let mut p = Program::new();
+    for i in 0..wavefronts {
+        let pair =
+            p.encode_correlated(&[Fixed::from_u8(40 + (i % 100) as u8), Fixed::from_u8(200)]);
+        let q = p.divide(pair[0], pair[1]);
+        p.read(q);
+    }
+    p
+}
+
+#[test]
+fn measured_ii_tracks_the_analytic_bottleneck_for_sng_bound_programs() {
+    let program = sng_bound_program(24);
+    let slices = sched::partition_into(&program, 6).unwrap();
+    let run = PipelineScheduler::new(4)
+        .run(&slices, |i| build(100 + i as u64))
+        .unwrap();
+    let report = run.report;
+    assert_eq!(report.wavefronts, 24);
+
+    let model = PipelineModel::new(4, M, ImsngVariant::Opt, ReramCosts::calibrated());
+    let analytic = model.stages(ScOperation::Multiply, N).bottleneck_ns();
+    let measured = report.initiation_interval_ns;
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(
+        rel < II_TOLERANCE,
+        "measured II {measured} vs analytic bottleneck {analytic} (rel {rel})"
+    );
+
+    // SBS generation is the bottleneck stage, exactly as in Fig. 5's
+    // simple-op columns, and the steady-state II equals its latency.
+    let occ = report.stage_occupancy();
+    assert!(occ[0] > occ[1] && occ[0] > occ[2], "occupancy {occ:?}");
+    let per_wf_sbs = report.stage_busy_ns[0] / report.wavefronts as f64;
+    assert!((measured - per_wf_sbs).abs() < 1e-6);
+
+    // Aggregate throughput scales with arrays, as in the analytic model.
+    assert!((report.throughput_ops_per_us() - 4.0 * 1000.0 / measured).abs() < 1e-9);
+    assert!(report.pipeline_speedup() > 1.0);
+}
+
+#[test]
+fn measured_ii_tracks_the_analytic_bottleneck_for_division_bound_programs() {
+    let program = division_bound_program(10);
+    let slices = sched::partition_into(&program, 5).unwrap();
+    let run = PipelineScheduler::new(2)
+        .run(&slices, |i| build(7 + i as u64))
+        .unwrap();
+    let report = run.report;
+
+    let model = PipelineModel::new(2, M, ImsngVariant::Opt, ReramCosts::calibrated());
+    let analytic = model.stages(ScOperation::Division, N).bottleneck_ns();
+    let measured = report.initiation_interval_ns;
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(
+        rel < II_TOLERANCE,
+        "measured II {measured} vs analytic bottleneck {analytic} (rel {rel})"
+    );
+    let occ = report.stage_occupancy();
+    assert!(occ[1] > occ[0] && occ[1] > occ[2], "occupancy {occ:?}");
+}
+
+#[test]
+fn pipelined_run_is_identical_to_per_slice_execution() {
+    // A mixed program exercising every stage shape the kernels emit:
+    // correlated encodes, blends with interior selects, divisions with
+    // fallbacks, constant outputs.
+    let mut p = Program::new();
+    for i in 0..12u8 {
+        let ops = p.encode_correlated(&[Fixed::from_u8(30 + 10 * (i % 4)), Fixed::from_u8(90 + i)]);
+        p.next_group();
+        let sel = p.encode(Fixed::from_u8(128));
+        let blended = p.blend(ops[0], ops[1], sel);
+        p.read(blended);
+        if i % 3 == 0 {
+            p.read_const(f64::from(i) / 16.0);
+        }
+    }
+    let slices = sched::partition_into(&p, 4).unwrap();
+    assert_eq!(slices.len(), 4);
+
+    let run = PipelineScheduler::new(3)
+        .run(&slices, |i| build(55 + i as u64))
+        .unwrap();
+
+    for (i, (slice, got)) in slices.iter().zip(&run.slices).enumerate() {
+        let mut reference = build(55 + i as u64).unwrap();
+        let want = slice.run_on(&mut reference).unwrap();
+        assert_eq!(got.outputs, want, "slice {i} outputs");
+        assert_eq!(&got.ledger, reference.ledger(), "slice {i} ledger");
+        assert_eq!(got.rn_epochs, reference.rn_epoch(), "slice {i} epochs");
+        assert_eq!(
+            got.cache_hits,
+            reference.encode_cache_hits(),
+            "slice {i} cache hits"
+        );
+    }
+}
+
+#[test]
+fn scheduler_reports_the_lowest_indexed_failure() {
+    let program = sng_bound_program(8);
+    let slices = sched::partition_into(&program, 8).unwrap();
+    let err = PipelineScheduler::new(2)
+        .run(&slices, |i| {
+            if i == 3 {
+                Err(ImscError::InvalidConfig("injected factory failure"))
+            } else {
+                build(i as u64)
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, ImscError::InvalidConfig(m) if m.contains("injected")));
+}
+
+#[test]
+fn pooled_arena_execution_matches_fresh_allocation() {
+    let a = sng_bound_program(3);
+    let b = division_bound_program(2);
+    let mut arena = ExecArena::new();
+
+    for (seed, prog) in [(1u64, &a), (2, &b), (3, &a)] {
+        let mut acc_pooled = build(seed).unwrap();
+        let mut acc_fresh = build(seed).unwrap();
+        let plan = prog.plan().unwrap();
+        let pooled = plan.execute_in(&mut acc_pooled, &mut arena).unwrap();
+        let fresh = plan.execute(&mut acc_fresh).unwrap();
+        assert_eq!(pooled, fresh);
+        assert_eq!(acc_pooled.ledger(), acc_fresh.ledger());
+    }
+}
+
+#[test]
+fn partition_preserves_the_op_stream() {
+    let p = division_bound_program(9);
+    let slices = sched::partition_into(&p, 4).unwrap();
+    let total_ops: usize = slices.iter().map(Program::len).sum();
+    let total_outputs: usize = slices.iter().map(Program::outputs).sum();
+    let total_regs: usize = slices.iter().map(Program::regs).sum();
+    assert_eq!(total_ops, p.len());
+    assert_eq!(total_outputs, p.outputs());
+    assert_eq!(total_regs, p.regs());
+}

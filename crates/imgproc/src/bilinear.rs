@@ -193,12 +193,13 @@ pub fn sc_reram_with_stats(
     check_factor(factor)?;
     let width = src.width() * factor;
     let height = src.height() * factor;
-    let tiles = tile::run_tile_programs(
+    let (tiles, report) = tile::run_tile_programs(
         height,
+        cfg.schedule,
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
         |_, rows| emit_program(src, factor, rows),
     )?;
-    let (pixels, stats) = tile::assemble(tiles);
+    let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
 }
 

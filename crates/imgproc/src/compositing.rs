@@ -76,12 +76,13 @@ pub fn sc_reram_with_stats(
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(f, b, alpha)?;
     let width = f.width();
-    let tiles = tile::run_tile_programs(
+    let (tiles, report) = tile::run_tile_programs(
         f.height(),
+        cfg.schedule,
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
         |_, rows| emit_program(f, b, alpha, rows),
     )?;
-    let (pixels, stats) = tile::assemble(tiles);
+    let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, f.height(), pixels)?, stats))
 }
 

@@ -74,12 +74,13 @@ pub fn sc_reram_with_stats(
     cfg: &ScReramConfig,
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     let width = img.width();
-    let tiles = tile::run_tile_programs(
+    let (tiles, report) = tile::run_tile_programs(
         img.height(),
+        cfg.schedule,
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
         |_, rows| emit_program(img, rows),
     )?;
-    let (pixels, stats) = tile::assemble(tiles);
+    let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, img.height(), pixels)?, stats))
 }
 

@@ -92,12 +92,13 @@ pub fn sc_reram_with_stats(
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(i, b, f)?;
     let width = i.width();
-    let tiles = tile::run_tile_programs(
+    let (tiles, report) = tile::run_tile_programs(
         i.height(),
+        cfg.schedule,
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
         |_, rows| emit_program(i, b, f, rows),
     )?;
-    let (pixels, stats) = tile::assemble(tiles);
+    let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, i.height(), pixels)?, stats))
 }
 

@@ -1,6 +1,7 @@
 //! Backend configurations for the stochastic-computing image kernels.
 
 use crate::error::ImgError;
+use crate::tile::Schedule;
 use imsc::engine::Accelerator;
 use imsc::imsng::ImsngVariant;
 use imsc::RnRefreshPolicy;
@@ -30,6 +31,12 @@ pub struct ScReramConfig {
     /// `Some(RnRefreshPolicy::PerEncode)` reproduces the
     /// fresh-realization-per-batch behaviour everywhere.
     pub refresh_policy: Option<RnRefreshPolicy>,
+    /// How emitted programs are scheduled onto accelerators:
+    /// data-parallel per-tile execution (the default) or cross-array
+    /// pipelining ([`Schedule::Pipelined`]), which is bit-identical in
+    /// pixels/ledgers and additionally measures stage occupancy and
+    /// initiation interval ([`crate::tile::ScRunStats::pipeline`]).
+    pub schedule: Schedule,
 }
 
 impl ScReramConfig {
@@ -44,6 +51,7 @@ impl ScReramConfig {
             trng_bias_sigma: 0.04,
             variant: ImsngVariant::Opt,
             refresh_policy: None,
+            schedule: Schedule::PerTile,
         }
     }
 
@@ -59,6 +67,14 @@ impl ScReramConfig {
     #[must_use]
     pub fn with_refresh_policy(mut self, policy: RnRefreshPolicy) -> Self {
         self.refresh_policy = Some(policy);
+        self
+    }
+
+    /// Same configuration with the given program [`Schedule`] — e.g.
+    /// `Schedule::Pipelined { arrays: 3 }` for cross-array pipelining.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
         self
     }
 

@@ -13,27 +13,56 @@
 //! hardware-cost numbers (the Table III / Fig. 4–5 inputs) are unchanged
 //! by parallelism.
 //!
-//! Since the program-IR refactor, the kernels are *program emitters*: for
-//! each tile they emit one [`imsc::Program`] covering the tile's pixels,
-//! and [`run_tile_programs`] is the scheduler that partitions that
-//! program batch across per-tile accelerators — building the tile's
-//! accelerator, planning the tile's program (lifetime-aware row reuse,
-//! coalesced encodes, refresh-group boundaries), executing it, and
-//! quantizing the outputs to pixels. With the `parallel` feature enabled,
-//! whole programs run per tile on `std::thread::scope` workers via an
-//! atomic work queue (this environment pins dependencies, so no rayon;
-//! the seam is the same one a rayon pool would plug into), and the
-//! per-tile ledgers still merge in tile order.
+//! Since the program-IR refactor, the kernels are *program emitters*, and
+//! [`run_tile_programs`] schedules the emitted programs under one of two
+//! [`Schedule`]s:
+//!
+//! * [`Schedule::PerTile`] — one [`imsc::Program`] per tile, planned and
+//!   executed whole on the tile's accelerator. With the `parallel`
+//!   feature, whole tiles run on the deterministic work queue
+//!   (`imsc::parallel`, the machinery this module originally owned,
+//!   since hoisted into core), one pooled [`ExecArena`] per worker so
+//!   per-tile re-planning stops reallocating the register file.
+//! * [`Schedule::Pipelined`] — one *logical* program for the whole image,
+//!   partitioned at tile-shaped output boundaries by
+//!   `imsc::program::sched` and executed by the cross-array
+//!   [`PipelineScheduler`]: slices flow through the ❶ SBS / ❷ arithmetic
+//!   / ❸ S2B stage workers with a bounded inter-stage queue and at most
+//!   `arrays` accelerator instances in flight. The slice programs are
+//!   op-identical to per-tile emission and each slice's accelerator uses
+//!   the same per-tile seed, so pixels, ledgers, and RN epochs are
+//!   bit-identical to the per-tile path — the pipelined run additionally
+//!   reports measured stage occupancy and initiation interval
+//!   ([`ScRunStats::pipeline`]).
 
 use crate::error::ImgError;
 use crate::scbackend::prob_to_pixel;
 use imsc::cost::CostLedger;
 use imsc::engine::Accelerator;
+use imsc::program::sched::{self, PipelineReport, PipelineScheduler};
 use imsc::program::Program;
+use imsc::ExecArena;
 
 /// Output rows per tile. Small enough to parallelize modest images,
 /// large enough to amortize accelerator construction per tile.
 pub(crate) const TILE_ROWS: usize = 8;
+
+/// How a kernel's emitted programs are scheduled onto accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One whole program per row tile, one accelerator per tile —
+    /// data-parallel across tiles (the default).
+    #[default]
+    PerTile,
+    /// Cross-array pipelining: tile-shaped slices of one logical program
+    /// flow through the ❶/❷/❸ stage workers with at most `arrays`
+    /// accelerator instances in flight. Bit-identical results to
+    /// [`Schedule::PerTile`], plus a measured [`PipelineReport`].
+    Pipelined {
+        /// Accelerator instances (arrays) in flight; must be nonzero.
+        arrays: usize,
+    },
+}
 
 /// The result of processing one row tile.
 #[derive(Debug, Clone)]
@@ -61,6 +90,10 @@ pub struct ScRunStats {
     pub rn_epochs: u64,
     /// Number of tiles executed.
     pub tiles: usize,
+    /// The measured pipeline behaviour (stage occupancy, initiation
+    /// interval) when the run used [`Schedule::Pipelined`]; `None` under
+    /// [`Schedule::PerTile`].
+    pub pipeline: Option<PipelineReport>,
 }
 
 /// Derives the per-tile accelerator seed from a master seed. Tile 0 keeps
@@ -77,122 +110,149 @@ fn tile_ranges(height: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
+/// Worker-thread count for tile jobs. `IMGPROC_TILE_THREADS` overrides
+/// (useful to force the threaded path on single-core CI or to pin thread
+/// counts); without the `parallel` feature everything is sequential.
+fn tile_threads(jobs: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::env::var("IMGPROC_TILE_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .min(jobs)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = jobs;
+        1
+    }
+}
+
 /// Runs `worker` over every row tile of an output image of the given
 /// `height`, returning tile outputs in tile order. The worker receives
 /// `(tile_index, row_range)` and must be deterministic in those inputs.
-pub(crate) fn run_row_tiles<W>(height: usize, worker: W) -> Result<Vec<TileOut>, ImgError>
+/// (Production kernels go through [`run_tile_programs`]; this thinner
+/// wrapper pins the tiling geometry and merge order in tests.)
+#[cfg(test)]
+fn run_row_tiles<W>(height: usize, worker: W) -> Result<Vec<TileOut>, ImgError>
 where
     W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
 {
     let ranges = tile_ranges(height);
-    run_tiles_impl(&ranges, &worker)
+    imsc::parallel::run_indexed_with(
+        ranges.len(),
+        tile_threads(ranges.len()),
+        || (),
+        |(), t| worker(t, ranges[t].clone()),
+    )
 }
 
-#[cfg(not(feature = "parallel"))]
-fn run_tiles_impl<W>(
-    ranges: &[std::ops::Range<usize>],
-    worker: &W,
-) -> Result<Vec<TileOut>, ImgError>
-where
-    W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
-{
-    ranges
-        .iter()
-        .enumerate()
-        .map(|(t, r)| worker(t, r.clone()))
-        .collect()
-}
-
-#[cfg(feature = "parallel")]
-fn run_tiles_impl<W>(
-    ranges: &[std::ops::Range<usize>],
-    worker: &W,
-) -> Result<Vec<TileOut>, ImgError>
-where
-    W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    // `IMGPROC_TILE_THREADS` overrides the worker count (useful to force
-    // the threaded path on single-core CI or to pin thread counts).
-    let threads = std::env::var("IMGPROC_TILE_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
-        .min(ranges.len());
-    if threads <= 1 {
-        return ranges
-            .iter()
-            .enumerate()
-            .map(|(t, r)| worker(t, r.clone()))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<TileOut, ImgError>>>> =
-        ranges.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= ranges.len() {
-                    break;
-                }
-                let result = worker(t, ranges[t].clone());
-                *slots[t].lock().expect("tile slot lock") = Some(result);
-            });
-        }
-    });
-    // Collect in tile order; scheduling cannot affect the merged result.
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("tile slot lock")
-                .expect("every tile index was claimed")
-        })
-        .collect()
-}
-
-/// Runs one emitted [`Program`] per row tile: `build` constructs the
-/// tile's accelerator, `emit` the tile's program (one output per pixel,
-/// row-major). Planning and execution happen per tile — on the work-queue
-/// threads under the `parallel` feature — and each tile's outputs are
-/// quantized to pixels, with ledgers/epochs collected for tile-ordered
-/// merging.
+/// Runs one emitted [`Program`] per row tile under the requested
+/// [`Schedule`]: `build` constructs the accelerator for a tile index,
+/// `emit` the program covering a row range (one output per pixel,
+/// row-major; it must be deterministic in the range and independent of
+/// the tile index). Returns tile outputs in tile order plus the measured
+/// pipeline report when the schedule pipelines.
 pub(crate) fn run_tile_programs<B, E>(
     height: usize,
+    schedule: Schedule,
     build: B,
     emit: E,
-) -> Result<Vec<TileOut>, ImgError>
+) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
 where
     B: Fn(usize) -> Result<Accelerator, ImgError> + Sync,
     E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
 {
-    run_row_tiles(height, |t, rows| {
-        let mut acc = build(t)?;
-        let program = emit(t, rows);
-        let values = program.run_on(&mut acc)?;
-        Ok(TileOut {
-            pixels: values.into_iter().map(prob_to_pixel).collect(),
-            ledger: *acc.ledger(),
-            cache_hits: acc.encode_cache_hits(),
-            rn_epochs: acc.rn_epoch(),
+    match schedule {
+        Schedule::PerTile => {
+            let ranges = tile_ranges(height);
+            let tiles = imsc::parallel::run_indexed_with(
+                ranges.len(),
+                tile_threads(ranges.len()),
+                ExecArena::new,
+                |arena, t| -> Result<TileOut, ImgError> {
+                    let mut acc = build(t)?;
+                    let program = emit(t, ranges[t].clone());
+                    let values = program.plan()?.execute_in(&mut acc, arena)?;
+                    Ok(tile_out(values, &acc))
+                },
+            )?;
+            Ok((tiles, None))
+        }
+        Schedule::Pipelined { arrays } => run_pipelined(height, arrays, &build, &emit),
+    }
+}
+
+fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
+    TileOut {
+        pixels: values.into_iter().map(prob_to_pixel).collect(),
+        ledger: *acc.ledger(),
+        cache_hits: acc.encode_cache_hits(),
+        rn_epochs: acc.rn_epoch(),
+    }
+}
+
+/// The [`Schedule::Pipelined`] path: emit one logical program for the
+/// whole image, partition it at tile-shaped output boundaries (clean
+/// cuts by construction — no register lives across a pixel), and hand
+/// the slices to the cross-array scheduler with per-tile accelerators.
+fn run_pipelined<B, E>(
+    height: usize,
+    arrays: usize,
+    build: &B,
+    emit: &E,
+) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
+where
+    B: Fn(usize) -> Result<Accelerator, ImgError> + Sync,
+    E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
+{
+    if arrays == 0 {
+        return Err(ImgError::InvalidParameter(
+            "a pipelined schedule needs at least one array",
+        ));
+    }
+    let ranges = tile_ranges(height);
+    if ranges.is_empty() {
+        return Ok((Vec::new(), None));
+    }
+    let logical = emit(0, 0..height);
+    debug_assert_eq!(
+        logical.outputs() % height,
+        0,
+        "kernels emit a fixed output count per row"
+    );
+    let per_row = logical.outputs() / height;
+    let counts: Vec<usize> = ranges.iter().map(|r| r.len() * per_row).collect();
+    let slices = sched::partition_by_outputs(&logical, &counts)?;
+    let run = PipelineScheduler::new(arrays).run(&slices, build)?;
+    let tiles = run
+        .slices
+        .into_iter()
+        .map(|s| TileOut {
+            pixels: s.outputs.into_iter().map(prob_to_pixel).collect(),
+            ledger: s.ledger,
+            cache_hits: s.cache_hits,
+            rn_epochs: s.rn_epochs,
         })
-    })
+        .collect();
+    Ok((tiles, Some(run.report)))
 }
 
 /// Assembles tile outputs into `(pixels, stats)`, merging ledgers in tile
 /// order.
-pub(crate) fn assemble(tiles: Vec<TileOut>) -> (Vec<u8>, ScRunStats) {
+pub(crate) fn assemble(
+    tiles: Vec<TileOut>,
+    pipeline: Option<PipelineReport>,
+) -> (Vec<u8>, ScRunStats) {
     let mut pixels = Vec::with_capacity(tiles.iter().map(|t| t.pixels.len()).sum());
     let mut stats = ScRunStats {
         tiles: tiles.len(),
+        pipeline,
         ..ScRunStats::default()
     };
     for tile in tiles {
@@ -224,7 +284,7 @@ mod tests {
     fn tiles_cover_the_height_in_order() {
         let outs = run_row_tiles(19, constant_tile).unwrap();
         assert_eq!(outs.len(), 3);
-        let (pixels, stats) = assemble(outs);
+        let (pixels, stats) = assemble(outs, None);
         assert_eq!(pixels.len(), 19);
         assert_eq!(pixels[0], 0); // row 0, tile 0
         assert_eq!(pixels[8], 81); // row 8, tile 1
@@ -232,6 +292,7 @@ mod tests {
         assert_eq!(stats.ledger.adc_samples, 3);
         assert_eq!(stats.encode_cache_hits, 1 + 2);
         assert_eq!(stats.rn_epochs, 3);
+        assert!(stats.pipeline.is_none());
     }
 
     #[test]
@@ -251,5 +312,22 @@ mod tests {
         assert_eq!(tile_seed(42, 0), 42);
         assert_ne!(tile_seed(42, 1), tile_seed(42, 2));
         assert_eq!(tile_seed(7, 3), tile_seed(7, 3));
+    }
+
+    #[test]
+    fn zero_arrays_is_rejected() {
+        let err = run_tile_programs(
+            8,
+            Schedule::Pipelined { arrays: 0 },
+            |_| -> Result<Accelerator, ImgError> { unreachable!("never built") },
+            |_, _| Program::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ImgError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn default_schedule_is_per_tile() {
+        assert_eq!(Schedule::default(), Schedule::PerTile);
     }
 }

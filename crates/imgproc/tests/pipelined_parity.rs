@@ -1,0 +1,107 @@
+//! Differential tests: `Schedule::Pipelined` must be observationally
+//! identical to the per-tile path for every kernel — same pixels, same
+//! merged cost ledger, same RN epochs and encode-cache hits — because
+//! the pipeline scheduler executes tile-shaped slices of the same
+//! logical program on the same per-tile-seeded accelerators; only the
+//! stage-worker placement (and the measured pipeline report) differ.
+//!
+//! Image heights are chosen to span ≥ 2 row tiles with a ragged final
+//! tile, so the slicing, the in-flight array bound, and the tile-ordered
+//! merge all do real work.
+
+use imgproc::{bilinear, compositing, edge, matting, synth, ScReramConfig, ScRunStats, Schedule};
+
+fn assert_stats_match(pipelined: &ScRunStats, per_tile: &ScRunStats, kernel: &str) {
+    assert_eq!(pipelined.ledger, per_tile.ledger, "{kernel} ledger");
+    assert_eq!(pipelined.rn_epochs, per_tile.rn_epochs, "{kernel} epochs");
+    assert_eq!(
+        pipelined.encode_cache_hits, per_tile.encode_cache_hits,
+        "{kernel} cache hits"
+    );
+    assert_eq!(pipelined.tiles, per_tile.tiles, "{kernel} tiles");
+    assert!(per_tile.pipeline.is_none(), "{kernel} per-tile report");
+    let report = pipelined
+        .pipeline
+        .unwrap_or_else(|| panic!("{kernel} pipelined run must carry a report"));
+    assert!(report.wavefronts > 0, "{kernel} wavefronts");
+    assert!(report.makespan_ns > 0.0, "{kernel} makespan");
+    assert!(
+        report.makespan_ns <= report.sequential_ns,
+        "{kernel} pipelining cannot be slower than serial"
+    );
+}
+
+#[test]
+fn edge_pipelined_matches_per_tile() {
+    let img = synth::value_noise(10, 20, 3, 11);
+    let cfg = ScReramConfig::new(128, 9);
+    let (want_img, want) = edge::sc_reram_with_stats(&img, &cfg).unwrap();
+    assert!(want.tiles >= 2, "need a multi-tile run");
+    for arrays in [1, 3] {
+        let pipelined = cfg.with_schedule(Schedule::Pipelined { arrays });
+        let (got_img, got) = edge::sc_reram_with_stats(&img, &pipelined).unwrap();
+        assert_eq!(got_img.pixels(), want_img.pixels(), "{arrays}-array pixels");
+        assert_stats_match(&got, &want, "edge");
+        assert_eq!(got.pipeline.unwrap().arrays, arrays);
+        // One wavefront per pixel: the initiation count is the image.
+        assert_eq!(got.pipeline.unwrap().wavefronts, 10 * 20);
+    }
+}
+
+#[test]
+fn bilinear_pipelined_matches_per_tile() {
+    let src = synth::gradient(6, 9, true); // 12×18 output → 3 tiles
+    let cfg = ScReramConfig::new(128, 5);
+    let (want_img, want) = bilinear::sc_reram_with_stats(&src, 2, &cfg).unwrap();
+    assert!(want.tiles >= 2);
+    let pipelined = cfg.with_schedule(Schedule::Pipelined { arrays: 2 });
+    let (got_img, got) = bilinear::sc_reram_with_stats(&src, 2, &pipelined).unwrap();
+    assert_eq!(got_img.pixels(), want_img.pixels());
+    assert_stats_match(&got, &want, "bilinear");
+}
+
+#[test]
+fn compositing_pipelined_matches_per_tile() {
+    let set = synth::app_images(9, 18, 42);
+    let (f, b, a) = (&set.foreground, &set.background, &set.alpha);
+    let cfg = ScReramConfig::new(128, 7);
+    let (want_img, want) = compositing::sc_reram_with_stats(f, b, a, &cfg).unwrap();
+    assert!(want.tiles >= 2);
+    let pipelined = cfg.with_schedule(Schedule::Pipelined { arrays: 3 });
+    let (got_img, got) = compositing::sc_reram_with_stats(f, b, a, &pipelined).unwrap();
+    assert_eq!(got_img.pixels(), want_img.pixels());
+    assert_stats_match(&got, &want, "compositing");
+}
+
+#[test]
+fn matting_pipelined_matches_per_tile_through_fallback_pixels() {
+    // Matting has data-dependent fallbacks: degenerate (F == B) pixels
+    // resolve at emission time (pure ❸ wavefronts) and near-equal F/B
+    // pixels hit the stochastic zero-divisor fallback. Parity must hold
+    // through both.
+    let set = synth::app_images(10, 18, 5);
+    let i = compositing::software(&set.foreground, &set.background, &set.alpha).unwrap();
+    let cfg = ScReramConfig::new(64, 13);
+    let (want_img, want) =
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, &cfg).unwrap();
+    assert!(want.tiles >= 2);
+    let pipelined = cfg.with_schedule(Schedule::Pipelined { arrays: 2 });
+    let (got_img, got) =
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, &pipelined).unwrap();
+    assert_eq!(got_img.pixels(), want_img.pixels());
+    assert_stats_match(&got, &want, "matting");
+}
+
+#[test]
+fn pipelined_faulted_run_matches_per_tile() {
+    // Fault injection draws from the per-tile accelerator's seeded RNG;
+    // slice-per-tile seeding must keep faulted runs bit-identical too.
+    use reram::faults::FaultRates;
+    let img = synth::checkerboard(8, 17, 3);
+    let cfg = ScReramConfig::new(64, 21).with_faults(FaultRates::uniform(0.02));
+    let (want_img, want) = edge::sc_reram_with_stats(&img, &cfg).unwrap();
+    let pipelined = cfg.with_schedule(Schedule::Pipelined { arrays: 2 });
+    let (got_img, got) = edge::sc_reram_with_stats(&img, &pipelined).unwrap();
+    assert_eq!(got_img.pixels(), want_img.pixels());
+    assert_eq!(got.ledger, want.ledger);
+}

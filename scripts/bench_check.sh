@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Bench-regression gate: reruns the engine bench smoke and fails when any
+# committed BENCH_engine.json anchor regresses beyond a threshold.
+#
+# Usage: scripts/bench_check.sh [BASELINE] [THRESHOLD_PCT]
+#   BASELINE       committed anchor file (default: BENCH_engine.json)
+#   THRESHOLD_PCT  allowed slowdown in percent (default: 25, or
+#                  $BENCH_CHECK_THRESHOLD)
+#
+# The fresh measurement is written next to the baseline as
+# BENCH_engine.check.json so a failing run leaves the numbers behind for
+# inspection; the committed baseline is never touched.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_engine.json}"
+threshold="${2:-${BENCH_CHECK_THRESHOLD:-25}}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_check: baseline '$baseline' not found" >&2
+    exit 2
+fi
+
+echo "==> bench regression check vs $baseline (threshold ${threshold}%)"
+cargo run --release -p bench --bin bench_engine -- \
+    --out "${baseline%.json}.check.json" \
+    --check "$baseline" \
+    --check-threshold "$threshold"

@@ -2,16 +2,25 @@
 # Tier-1 verification in one command: formatting, lints, build, tests,
 # and a bench smoke run that refreshes BENCH_engine.json.
 #
-# Usage: scripts/verify.sh [--no-bench]
+# Usage: scripts/verify.sh [--no-bench|--bench]
 #   --no-bench  skip the bench smoke run (e.g. on very slow machines)
+#   --bench     force the bench smoke run even on CI
+#
+# On CI (CI=1 or CI=true) the bench smoke run is skipped automatically
+# unless --bench is passed — the dedicated bench-regression job covers
+# it there. Every step prints its wall-clock duration.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=1
+case "${CI:-}" in
+1 | true) run_bench=0 ;;
+esac
 for arg in "$@"; do
     case "$arg" in
     --no-bench) run_bench=0 ;;
+    --bench) run_bench=1 ;;
     *)
         echo "unknown argument: $arg" >&2
         exit 2
@@ -19,28 +28,39 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+total_start=$SECONDS
+step() {
+    local name=$1
+    shift
+    echo "==> $name"
+    local start=$SECONDS
+    "$@"
+    echo "    [$name: $((SECONDS - start))s]"
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> cargo test -q"
-cargo test -q
+step "cargo fmt --all --check" cargo fmt --all --check
+step "cargo clippy --workspace --all-targets -- -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
+step "cargo build --release" cargo build --release
+step "cargo test -q" cargo test -q
 
 # The thread work queue must stay exercised even if the umbrella crate's
 # default features ever stop enabling it (the determinism tests force
 # multi-worker runs via IMGPROC_TILE_THREADS, so this is meaningful on
-# single-core machines too).
-echo "==> cargo test -q -p imgproc --features parallel"
-cargo test -q -p imgproc --features parallel
+# single-core machines too). The imsc leg is the only build that runs
+# the threaded pipeline scheduler's *failure-path* tests (stage-worker
+# abort, token bookkeeping, lowest-indexed-error semantics) and the
+# BoundedQueue/Semaphore unit tests.
+step "cargo test -q -p imsc --features parallel" \
+    cargo test -q -p imsc --features parallel
+step "cargo test -q -p imgproc --features parallel" \
+    cargo test -q -p imgproc --features parallel
 
 if [ "$run_bench" = 1 ]; then
-    echo "==> bench smoke run (BENCH_engine.json)"
-    cargo run --release -p bench --bin bench_engine -- --out BENCH_engine.json
+    step "bench smoke run (BENCH_engine.json)" \
+        cargo run --release -p bench --bin bench_engine -- --out BENCH_engine.json
+else
+    echo "==> bench smoke run skipped (CI or --no-bench; pass --bench to force)"
 fi
 
-echo "verify: OK"
+echo "verify: OK [total: $((SECONDS - total_start))s]"
