@@ -8,11 +8,21 @@
 //!
 //! With `--check`, the freshly measured anchors are compared against the
 //! committed baseline file and the process exits nonzero when any anchor
-//! is more than the threshold (default 25%) slower — the bench-regression
-//! gate `scripts/bench_check.sh` wires into CI.
+//! regresses — the bench-regression gate `scripts/bench_check.sh` wires
+//! into CI. Three gate families run:
+//!
+//! * wall-clock `"ns"` anchors, failed beyond the threshold (default
+//!   25%) — except the pipelined anchor, whose absolute time flapped
+//!   with runner load and is gated by ratio instead;
+//! * the `"vs_per_tile"` same-run A/B ratio (pipelined vs per-tile
+//!   wall-clock, measured in one process so load cancels), failed
+//!   beyond the same threshold;
+//! * `"ops"` anchors (`scout_ops_per_pixel` of the program optimizer at
+//!   Off/Full), deterministic counts failed on any real increase.
 
 use imgproc::scbackend::ScReramConfig;
-use imgproc::{bilinear, synth, Schedule};
+use imgproc::{bilinear, compositing, synth, Schedule};
+use imsc::Optimize;
 use reram::array::CrossbarArray;
 use reram::scouting::{ScoutingLogic, SlOp};
 use reram::trng::TrngEngine;
@@ -89,6 +99,8 @@ fn main() {
             eprintln!("bench-check: baseline {path} contains no anchors — wrong file?");
             std::process::exit(2);
         }
+        let ops = bench::regress::parse_anchor_field(&json, "ops");
+        let ratios = bench::regress::parse_anchor_field(&json, "vs_per_tile");
         // Never clobber the baseline being checked against: an explicit
         // matching --out is an error; the default out path is redirected
         // to a sibling .check.json (the same convention bench_check.sh
@@ -101,7 +113,7 @@ fn main() {
             out = format!("{}.check.json", path.trim_end_matches(".json"));
             println!("bench-check: writing measurements to {out} (baseline preserved)");
         }
-        (path, anchors)
+        (path, anchors, ops, ratios)
     });
     let threshold: f64 = match args.iter().position(|a| a == "--check-threshold") {
         None => 25.0,
@@ -197,7 +209,10 @@ fn main() {
     // --- End to end: bilinear upscale 64x64 -> 128x128, N = 256 --------
     // Since the program-IR refactor this runs emit → plan → execute per
     // tile; the eager-PR anchor below pins the program-vs-eager ratio.
-    let cfg = ScReramConfig::new(256, 42);
+    // The optimizer is pinned Off here so the anchor means the same
+    // thing regardless of the caller's IMSC_OPTIMIZE environment; the
+    // optimized run is its own anchor below.
+    let cfg = ScReramConfig::new(256, 42).with_optimize(Optimize::Off);
     record(
         "bilinear_sc_reram_64_to_128_n256",
         time_ns(1, || {
@@ -218,14 +233,59 @@ fn main() {
         }),
     );
 
+    // --- Program optimizer: optimized e2e run + ops/pixel anchors ------
+    // Same workload at `Optimize::Full`: bit-identical pixels, fewer
+    // scouting ops, and the wall-clock win the tentpole targets. The
+    // unoptimized reference is re-measured here, interleaved best-of-2,
+    // so the `vs_unoptimized` ratio compares *adjacent* runs — this
+    // container drifts far more over a whole bench run than the
+    // optimizer saves, which is the same flap the pipelined anchor's
+    // same-run ratio fixes.
+    let cfg_opt = cfg.with_optimize(Optimize::Full);
+    let mut plain_adjacent_ns = f64::MAX;
+    let mut opt_ns = f64::MAX;
+    for _ in 0..2 {
+        plain_adjacent_ns = plain_adjacent_ns.min(time_ns(1, || {
+            black_box(bilinear::sc_reram(&src, 2, &cfg).expect("valid input"));
+        }));
+        opt_ns = opt_ns.min(time_ns(1, || {
+            black_box(bilinear::sc_reram(&src, 2, &cfg_opt).expect("valid input"));
+        }));
+    }
+    record("bilinear_sc_reram_opt_64_to_128_n256", opt_ns);
+
+    // Deterministic scouting-ops-per-pixel anchors at Off and Full for
+    // the two kernels the acceptance criterion names. These are exact
+    // counts, not timings — the regression gate fails any increase.
+    let mut ops_results: Vec<(String, f64)> = Vec::new();
+    let app = synth::app_images(64, 64, 42);
+    for (level, tag) in [(Optimize::Off, "off"), (Optimize::Full, "full")] {
+        let c = cfg.with_optimize(level);
+        let (_, s) = bilinear::sc_reram_with_stats(&src, 2, &c).expect("valid input");
+        ops_results.push((
+            format!("bilinear_scout_ops_per_pixel_{tag}"),
+            s.scout_ops_per_pixel,
+        ));
+        let (_, s) =
+            compositing::sc_reram_with_stats(&app.foreground, &app.background, &app.alpha, &c)
+                .expect("valid input");
+        ops_results.push((
+            format!("compositing_scout_ops_per_pixel_{tag}"),
+            s.scout_ops_per_pixel,
+        ));
+    }
+    for (name, ops) in &ops_results {
+        println!("{name:<44} {ops:>14.3} ops");
+    }
+
     let mut json = String::from("{\n");
-    for (i, (name, ns)) in results.iter().enumerate() {
+    for (name, ns) in &results {
         let baseline = PRE_PR_BASELINE_NS
             .iter()
             .find(|(b, _)| b == name)
             .map(|&(_, ns)| ns);
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        // Extra per-entry anchors beyond the seed baseline.
+        let comma = ","; // the ops entries below close the object
+                         // Extra per-entry anchors beyond the seed baseline.
         let mut extra = String::new();
         if name == "bilinear_sc_reram_64_to_128_n256" {
             let _ = write!(
@@ -264,6 +324,17 @@ fn main() {
                 );
             }
         }
+        if name == "bilinear_sc_reram_opt_64_to_128_n256" {
+            let _ = write!(
+                extra,
+                ", \"unoptimized_adjacent_ns\": {plain_adjacent_ns:.1}, \"vs_unoptimized\": {:.3}",
+                ns / plain_adjacent_ns
+            );
+            println!(
+                "{name:<44} {:>10.3}x optimized vs adjacent unoptimized run",
+                ns / plain_adjacent_ns
+            );
+        }
         if name == "trng_fill_word_4096" {
             if let Some(per_bit) = results
                 .iter()
@@ -287,26 +358,77 @@ fn main() {
             }
         }
     }
+    for (i, (name, ops)) in ops_results.iter().enumerate() {
+        let comma = if i + 1 == ops_results.len() { "" } else { "," };
+        let _ = writeln!(json, "  \"{name}\": {{\"ops\": {ops:.3}}}{comma}");
+    }
     json.push_str("}\n");
     std::fs::write(&out, json).expect("writable output path");
     println!("wrote {out}");
 
-    if let Some((path, anchors)) = baseline {
-        let found = bench::regress::regressions(&anchors, &results, threshold);
-        if found.is_empty() {
-            println!(
-                "bench-check: OK ({} anchors within {threshold}% of {path})",
-                anchors.len()
-            );
-        } else {
-            eprintln!(
-                "bench-check: {} anchor(s) regressed beyond {threshold}%:",
-                found.len()
-            );
-            for r in &found {
-                eprintln!("  {r}");
+    if let Some((path, anchors, base_ops, base_ratios)) = baseline {
+        // The pipelined anchor's absolute time is gated through the
+        // same-run ratio below, not through wall-clock: its ns flapped
+        // with runner load while the A/B ratio is load-invariant.
+        const PIPELINED_ANCHOR: &str = "bilinear_sc_reram_pipelined_64_to_128_n256";
+        let ns_anchors: Vec<(String, f64)> = anchors
+            .iter()
+            .filter(|(n, _)| n != PIPELINED_ANCHOR)
+            .cloned()
+            .collect();
+        let mut failed = false;
+        let found = bench::regress::regressions(&ns_anchors, &results, threshold);
+        for r in &found {
+            eprintln!("  wall-clock: {r}");
+        }
+        failed |= !found.is_empty();
+
+        let lookup = |set: &[(String, f64)], name: &str| {
+            set.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        };
+        let measured_ratio = match (
+            lookup(&results, PIPELINED_ANCHOR),
+            lookup(&results, "bilinear_sc_reram_64_to_128_n256"),
+        ) {
+            (Some(pipelined), Some(per_tile)) => {
+                vec![(PIPELINED_ANCHOR.to_string(), pipelined / per_tile)]
             }
+            _ => Vec::new(),
+        };
+        let found = bench::regress::regressions(&base_ratios, &measured_ratio, threshold);
+        for r in &found {
+            match r.measured_ns {
+                Some(ratio) => eprintln!(
+                    "  vs_per_tile ratio: {}: {ratio:.3} vs baseline {:.3} (+{:.1}%)",
+                    r.name, r.baseline_ns, r.slowdown_pct
+                ),
+                None => eprintln!("  vs_per_tile ratio: {}: no longer measured", r.name),
+            }
+        }
+        failed |= !found.is_empty();
+
+        // Deterministic counters: only float-formatting slack allowed.
+        let found = bench::regress::regressions(&base_ops, &ops_results, 0.01);
+        for r in &found {
+            match r.measured_ns {
+                Some(ops) => eprintln!(
+                    "  ops/pixel: {}: {ops:.3} vs baseline {:.3} (+{:.2}%)",
+                    r.name, r.baseline_ns, r.slowdown_pct
+                ),
+                None => eprintln!("  ops/pixel: {}: no longer measured", r.name),
+            }
+        }
+        failed |= !found.is_empty();
+
+        if failed {
+            eprintln!("bench-check: anchors regressed (see above)");
             std::process::exit(1);
         }
+        println!(
+            "bench-check: OK ({} ns anchors within {threshold}%, {} ratio + {} ops anchors, vs {path})",
+            ns_anchors.len(),
+            base_ratios.len(),
+            base_ops.len()
+        );
     }
 }

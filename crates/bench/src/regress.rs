@@ -42,15 +42,25 @@ impl std::fmt::Display for Regression {
 /// match (braces, malformed text) are skipped.
 #[must_use]
 pub fn parse_anchor_ns(json: &str) -> Vec<(String, f64)> {
+    parse_anchor_field(json, "ns")
+}
+
+/// Like [`parse_anchor_ns`] for any numeric per-anchor field — the
+/// harness also gates `"ops"` (deterministic scouting ops per pixel)
+/// and `"vs_per_tile"` (same-run pipelined/per-tile wall-clock ratio).
+/// Lines without the field are skipped.
+#[must_use]
+pub fn parse_anchor_field(json: &str, field: &str) -> Vec<(String, f64)> {
+    let key = format!("\"{field}\":");
     let mut anchors = Vec::new();
     for line in json.lines() {
         let Some(name) = quoted_prefix(line) else {
             continue;
         };
-        let Some(ns) = field_value(line, "\"ns\":") else {
+        let Some(value) = field_value(line, &key) else {
             continue;
         };
-        anchors.push((name.to_string(), ns));
+        anchors.push((name.to_string(), value));
     }
     anchors
 }
@@ -115,17 +125,43 @@ mod tests {
     const SAMPLE: &str = r#"{
   "write_row_4096": {"ns": 1853.7, "pre_pr_baseline_ns": 117612.3, "speedup": 63.45},
   "trng_fill_word_4096": {"ns": 1889.2, "speedup_vs_per_bit": 21.43},
-  "bilinear": {"ns": 252638219.0, "eager_pr_anchor_ns": 211299800.0}
+  "bilinear": {"ns": 252638219.0, "eager_pr_anchor_ns": 211299800.0},
+  "bilinear_pipelined": {"ns": 260000000.0, "vs_per_tile": 1.031},
+  "bilinear_scout_ops_per_pixel_full": {"ops": 206.506}
 }
 "#;
 
     #[test]
     fn parses_anchor_ns_per_line() {
         let anchors = parse_anchor_ns(SAMPLE);
-        assert_eq!(anchors.len(), 3);
+        assert_eq!(anchors.len(), 4, "ops-only entries carry no ns");
         assert_eq!(anchors[0].0, "write_row_4096");
         assert!((anchors[0].1 - 1853.7).abs() < 1e-9);
         assert!((anchors[2].1 - 252_638_219.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parses_named_fields_independently() {
+        let ratios = parse_anchor_field(SAMPLE, "vs_per_tile");
+        assert_eq!(ratios, vec![("bilinear_pipelined".to_string(), 1.031)]);
+        let ops = parse_anchor_field(SAMPLE, "ops");
+        assert_eq!(
+            ops,
+            vec![("bilinear_scout_ops_per_pixel_full".to_string(), 206.506)]
+        );
+    }
+
+    #[test]
+    fn near_zero_threshold_gates_deterministic_counters() {
+        // The ops anchors are exact counts; the gate allows only float
+        // formatting slack, so any real increase fails.
+        let baseline = vec![("ops_a".to_string(), 206.506)];
+        let same = vec![("ops_a".to_string(), 206.5061)];
+        assert!(regressions(&baseline, &same, 0.01).is_empty());
+        let grown = vec![("ops_a".to_string(), 207.0)];
+        let r = regressions(&baseline, &grown, 0.01);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "ops_a");
     }
 
     #[test]

@@ -142,6 +142,15 @@ impl CostLedger {
         self.trng_fills += other.trng_fills;
     }
 
+    /// Total scouting operations: the IMSNG comparison-schedule sense
+    /// ops plus the single-cycle and XOR scouting-logic ops — the
+    /// paper's dominant per-pixel cost term and the metric the program
+    /// optimizer minimizes.
+    #[must_use]
+    pub fn scout_ops(&self) -> u64 {
+        self.imsng.sense_ops + self.sl_single_ops + self.sl_xor_ops
+    }
+
     /// Sequential-execution makespan in nanoseconds.
     #[must_use]
     pub fn latency_ns(&self, costs: &ReramCosts) -> f64 {

@@ -1,0 +1,101 @@
+//! Multiply-rotate hashing for the optimizer's hot maps.
+//!
+//! The structural-hashing map in [`crate::xag`] and the rewrite maps in
+//! [`crate::program::opt`] probe millions of tiny `Copy` keys per run.
+//! SipHash's DoS resistance buys nothing there — the keys are derived
+//! from op indices and pixel constants, not attacker input — and costs
+//! several times more per probe than the whole rest of the lookup. This
+//! is the classic rustc-style multiply-rotate mix, std-only.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Multiply-rotate hasher for small fixed-size keys.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<(u64, u32), usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i as u32), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i, i as u32)), Some(&(i as usize)));
+        }
+        assert_eq!(m.get(&(1000, 0)), None);
+    }
+
+    #[test]
+    fn distinct_small_keys_hash_apart() {
+        use std::hash::{BuildHasher, Hash};
+        let b = BuildHasherDefault::<FxHasher>::default();
+        let hash = |k: &dyn Fn(&mut FxHasher)| {
+            let mut h = b.build_hasher();
+            k(&mut h);
+            h.finish()
+        };
+        let a = hash(&|h| 1u32.hash(h));
+        let c = hash(&|h| 2u32.hash(h));
+        assert_ne!(a, c);
+    }
+}

@@ -54,6 +54,7 @@ pub mod comparator;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod fxhash;
 pub mod imsng;
 pub mod layout;
 pub mod parallel;
@@ -66,5 +67,6 @@ pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
 pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
 pub use layout::RnRefreshPolicy;
+pub use program::opt::{optimize, OptStats, Optimize};
 pub use program::sched::{PipelineReport, PipelineRun, PipelineScheduler, SliceOut, StageKind};
 pub use program::{ExecArena, Plan, Program, RefreshGroup, VReg};

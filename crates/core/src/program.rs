@@ -59,6 +59,7 @@
 //! # }
 //! ```
 
+pub mod opt;
 pub mod sched;
 
 use crate::engine::{Accelerator, StreamHandle};

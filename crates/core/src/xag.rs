@@ -12,7 +12,7 @@
 //! XAGs map one-to-one onto scouting-logic schedules: every AND/XOR node
 //! is one sensing step, and inverters are free (inverted references).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 /// A signal: a node reference plus an optional inversion.
@@ -105,7 +105,12 @@ impl XagStats {
 #[derive(Debug, Clone, Default)]
 pub struct Xag {
     nodes: Vec<Node>,
-    dedup: HashMap<Node, u32>,
+    /// Structural-hash map over *gate* nodes only: `Const` lives at a
+    /// fixed index and `Input`s are created with fresh ids, so neither
+    /// can ever be a duplicate — keeping them out of the map halves its
+    /// size and skips a hash per primary input on the optimizer's hot
+    /// path.
+    dedup: FxHashMap<Node, u32>,
     inputs: u32,
     outputs: Vec<Signal>,
 }
@@ -114,9 +119,20 @@ impl Xag {
     /// Creates an empty graph (with the implicit constant node).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty graph with room for about `nodes` nodes before
+    /// the node vector reallocates. The structural-hash map still grows
+    /// on demand — it only holds gate nodes, which are a small fraction
+    /// of the graph when callers memoize composite ops.
+    #[must_use]
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut v = Vec::with_capacity(nodes + 1);
+        v.push(Node::Const);
         Xag {
-            nodes: vec![Node::Const],
-            dedup: HashMap::new(),
+            nodes: v,
+            dedup: FxHashMap::default(),
             inputs: 0,
             outputs: Vec::new(),
         }
@@ -126,7 +142,8 @@ impl Xag {
     pub fn input(&mut self) -> Signal {
         let idx = self.inputs;
         self.inputs += 1;
-        let node = self.push(Node::Input(idx));
+        let node = self.nodes.len() as u32;
+        self.nodes.push(Node::Input(idx));
         Signal {
             node,
             inverted: false,
@@ -144,13 +161,15 @@ impl Xag {
     }
 
     fn push(&mut self, node: Node) -> u32 {
-        if let Some(&existing) = self.dedup.get(&node) {
-            return existing;
+        let next = self.nodes.len() as u32;
+        match self.dedup.entry(node) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(next);
+                self.nodes.push(node);
+                next
+            }
         }
-        let idx = self.nodes.len() as u32;
-        self.nodes.push(node);
-        self.dedup.insert(node, idx);
-        idx
     }
 
     /// Builds `a AND b` with constant folding, trivial-case reduction, and
@@ -299,20 +318,17 @@ impl Xag {
         values[s.node as usize] ^ s.inverted
     }
 
-    /// Dead-node elimination: rebuilds the graph keeping only the
-    /// transitive fan-in of the outputs. Returns the number of nodes
-    /// removed.
-    pub fn cleanup(&mut self) -> usize {
-        let before = self.nodes.len();
+    /// Marks the constant, every input (to keep input numbering stable),
+    /// and the transitive fan-in of `roots`.
+    fn mark_alive(&self, roots: &[Signal]) -> Vec<bool> {
         let mut alive = vec![false; self.nodes.len()];
         alive[0] = true;
-        // Mark inputs alive unconditionally to keep input numbering stable.
         for (i, n) in self.nodes.iter().enumerate() {
             if matches!(n, Node::Input(_)) {
                 alive[i] = true;
             }
         }
-        let mut stack: Vec<u32> = self.outputs.iter().map(|s| s.node).collect();
+        let mut stack: Vec<u32> = roots.iter().map(|s| s.node).collect();
         while let Some(n) = stack.pop() {
             if alive[n as usize] {
                 continue;
@@ -326,9 +342,27 @@ impl Xag {
                 _ => {}
             }
         }
+        alive
+    }
+
+    /// Counts the gates [`Xag::cleanup`] would remove if `roots` were the
+    /// outputs — the mark phase alone, no rebuild. The program optimizer
+    /// reports this diagnostic on its hot path, where the full rebuild
+    /// would be wasted work.
+    #[must_use]
+    pub fn dead_node_count(&self, roots: &[Signal]) -> usize {
+        self.mark_alive(roots).iter().filter(|&&a| !a).count()
+    }
+
+    /// Dead-node elimination: rebuilds the graph keeping only the
+    /// transitive fan-in of the outputs. Returns the number of nodes
+    /// removed.
+    pub fn cleanup(&mut self) -> usize {
+        let before = self.nodes.len();
+        let alive = self.mark_alive(&self.outputs);
         let mut remap = vec![u32::MAX; self.nodes.len()];
         let mut new_nodes = Vec::new();
-        let mut new_dedup = HashMap::new();
+        let mut new_dedup = FxHashMap::default();
         for (i, n) in self.nodes.iter().enumerate() {
             if !alive[i] {
                 continue;
@@ -358,7 +392,9 @@ impl Xag {
                 ),
             };
             remap[i] = new_nodes.len() as u32;
-            new_dedup.insert(renamed, new_nodes.len() as u32);
+            if matches!(renamed, Node::And(..) | Node::Xor(..)) {
+                new_dedup.insert(renamed, new_nodes.len() as u32);
+            }
             new_nodes.push(renamed);
         }
         for s in &mut self.outputs {

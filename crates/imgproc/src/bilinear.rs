@@ -196,6 +196,7 @@ pub fn sc_reram_with_stats(
     let (tiles, report) = tile::run_tile_programs(
         height,
         cfg.schedule,
+        cfg.opt_spec(RnRefreshPolicy::Explicit),
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
         |_, rows| emit_program(src, factor, rows),
     )?;

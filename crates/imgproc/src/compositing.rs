@@ -79,6 +79,7 @@ pub fn sc_reram_with_stats(
     let (tiles, report) = tile::run_tile_programs(
         f.height(),
         cfg.schedule,
+        cfg.opt_spec(RnRefreshPolicy::Explicit),
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
         |_, rows| emit_program(f, b, alpha, rows),
     )?;

@@ -77,6 +77,7 @@ pub fn sc_reram_with_stats(
     let (tiles, report) = tile::run_tile_programs(
         img.height(),
         cfg.schedule,
+        cfg.opt_spec(RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
         |t| cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
         |_, rows| emit_program(img, rows),
     )?;

@@ -4,7 +4,7 @@ use crate::error::ImgError;
 use crate::tile::Schedule;
 use imsc::engine::Accelerator;
 use imsc::imsng::ImsngVariant;
-use imsc::RnRefreshPolicy;
+use imsc::{Optimize, RnRefreshPolicy};
 use reram::faults::FaultRates;
 use sc_core::prelude::*;
 
@@ -37,6 +37,14 @@ pub struct ScReramConfig {
     /// pixels/ledgers and additionally measures stage occupancy and
     /// initiation interval ([`crate::tile::ScRunStats::pipeline`]).
     pub schedule: Schedule,
+    /// Program-optimizer level applied to emitted programs before
+    /// planning (see `imsc::program::opt`). Off by default; the
+    /// `IMSC_OPTIMIZE` environment variable (`off`/`cse`/`full`) sets
+    /// the initial level in [`ScReramConfig::new`], which an explicit
+    /// [`ScReramConfig::with_optimize`] overrides. Ignored — forced off
+    /// — when fault injection is enabled, because the optimizer's
+    /// bit-identity argument only holds on fault-free substrates.
+    pub optimize: Optimize,
 }
 
 impl ScReramConfig {
@@ -52,6 +60,10 @@ impl ScReramConfig {
             variant: ImsngVariant::Opt,
             refresh_policy: None,
             schedule: Schedule::PerTile,
+            optimize: std::env::var("IMSC_OPTIMIZE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_default(),
         }
     }
 
@@ -76,6 +88,38 @@ impl ScReramConfig {
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
         self
+    }
+
+    /// Same configuration with the given program-optimizer level
+    /// (overriding any `IMSC_OPTIMIZE` environment setting).
+    #[must_use]
+    pub fn with_optimize(mut self, optimize: Optimize) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
+    /// The optimizer level the kernels actually run: the configured
+    /// level on fault-free substrates, [`Optimize::Off`] under fault
+    /// injection (faults perturb streams row-locally, voiding the
+    /// optimizer's bit-identity guarantee).
+    #[must_use]
+    pub fn effective_optimize(&self) -> Optimize {
+        if self.fault_rates.is_fault_free() {
+            self.optimize
+        } else {
+            Optimize::Off
+        }
+    }
+
+    /// The optimizer spec a kernel passes to the tile runner: the
+    /// effective level plus the refresh policy its accelerators will
+    /// run under (mirrors [`ScReramConfig::build_for_tile_with`]'s
+    /// policy resolution; the two must stay in lockstep).
+    pub(crate) fn opt_spec(&self, kernel_default: RnRefreshPolicy) -> crate::tile::OptSpec {
+        crate::tile::OptSpec {
+            level: self.effective_optimize(),
+            policy: self.refresh_policy.unwrap_or(kernel_default),
+        }
     }
 
     /// Builds the accelerator instance for one image run.

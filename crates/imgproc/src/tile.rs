@@ -41,7 +41,7 @@ use imsc::cost::CostLedger;
 use imsc::engine::Accelerator;
 use imsc::program::sched::{self, PipelineReport, PipelineScheduler};
 use imsc::program::Program;
-use imsc::ExecArena;
+use imsc::{optimize, ExecArena, Optimize, RnRefreshPolicy};
 
 /// Output rows per tile. Small enough to parallelize modest images,
 /// large enough to amortize accelerator construction per tile.
@@ -94,6 +94,10 @@ pub struct ScRunStats {
     /// interval) when the run used [`Schedule::Pipelined`]; `None` under
     /// [`Schedule::PerTile`].
     pub pipeline: Option<PipelineReport>,
+    /// Scouting operations per output pixel
+    /// ([`CostLedger::scout_ops`] over the pixel count) — the paper's
+    /// dominant cost metric and what the program optimizer minimizes.
+    pub scout_ops_per_pixel: f64,
 }
 
 /// Derives the per-tile accelerator seed from a master seed. Tile 0 keeps
@@ -161,6 +165,7 @@ where
 pub(crate) fn run_tile_programs<B, E>(
     height: usize,
     schedule: Schedule,
+    opt: OptSpec,
     build: B,
     emit: E,
 ) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
@@ -177,14 +182,35 @@ where
                 ExecArena::new,
                 |arena, t| -> Result<TileOut, ImgError> {
                     let mut acc = build(t)?;
-                    let program = emit(t, ranges[t].clone());
+                    let program = opt.apply(emit(t, ranges[t].clone()));
                     let values = program.plan()?.execute_in(&mut acc, arena)?;
                     Ok(tile_out(values, &acc))
                 },
             )?;
             Ok((tiles, None))
         }
-        Schedule::Pipelined { arrays } => run_pipelined(height, arrays, &build, &emit),
+        Schedule::Pipelined { arrays } => run_pipelined(height, arrays, opt, &build, &emit),
+    }
+}
+
+/// The optimizer setting one kernel run applies to its emitted
+/// programs: the effective [`Optimize`] level plus the RN refresh
+/// policy the programs will execute under (the optimizer's encode
+/// rewrites are policy-dependent).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OptSpec {
+    pub level: Optimize,
+    pub policy: RnRefreshPolicy,
+}
+
+impl OptSpec {
+    /// Optimizes one emitted program (the identity at
+    /// [`Optimize::Off`]).
+    fn apply(self, program: Program) -> Program {
+        if self.level == Optimize::Off {
+            return program;
+        }
+        optimize(&program, self.level, self.policy).0
     }
 }
 
@@ -204,6 +230,7 @@ fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
 fn run_pipelined<B, E>(
     height: usize,
     arrays: usize,
+    opt: OptSpec,
     build: &B,
     emit: &E,
 ) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
@@ -228,7 +255,14 @@ where
     );
     let per_row = logical.outputs() / height;
     let counts: Vec<usize> = ranges.iter().map(|r| r.len() * per_row).collect();
-    let slices = sched::partition_by_outputs(&logical, &counts)?;
+    // Partition first, optimize each slice after: the slices are
+    // op-identical to per-tile emission, so the (deterministic)
+    // optimizer makes the same decisions on both paths and pipelined
+    // results stay bit-identical to per-tile ones at every level.
+    let slices: Vec<Program> = sched::partition_by_outputs(&logical, &counts)?
+        .into_iter()
+        .map(|s| opt.apply(s))
+        .collect();
     let run = PipelineScheduler::new(arrays).run(&slices, build)?;
     let tiles = run
         .slices
@@ -260,6 +294,9 @@ pub(crate) fn assemble(
         stats.ledger.merge(&tile.ledger);
         stats.encode_cache_hits += tile.cache_hits;
         stats.rn_epochs += tile.rn_epochs;
+    }
+    if !pixels.is_empty() {
+        stats.scout_ops_per_pixel = stats.ledger.scout_ops() as f64 / pixels.len() as f64;
     }
     (pixels, stats)
 }
@@ -319,6 +356,10 @@ mod tests {
         let err = run_tile_programs(
             8,
             Schedule::Pipelined { arrays: 0 },
+            OptSpec {
+                level: Optimize::Off,
+                policy: RnRefreshPolicy::PerEncode,
+            },
             |_| -> Result<Accelerator, ImgError> { unreachable!("never built") },
             |_, _| Program::new(),
         )

@@ -10,6 +10,7 @@
 //! merge all do real work.
 
 use imgproc::{bilinear, compositing, edge, matting, synth, ScReramConfig, ScRunStats, Schedule};
+use imsc::Optimize;
 
 fn assert_stats_match(pipelined: &ScRunStats, per_tile: &ScRunStats, kernel: &str) {
     assert_eq!(pipelined.ledger, per_tile.ledger, "{kernel} ledger");
@@ -44,7 +45,12 @@ fn edge_pipelined_matches_per_tile() {
         assert_stats_match(&got, &want, "edge");
         assert_eq!(got.pipeline.unwrap().arrays, arrays);
         // One wavefront per pixel: the initiation count is the image.
-        assert_eq!(got.pipeline.unwrap().wavefronts, 10 * 20);
+        // (Only for unoptimized emission — the program optimizer may
+        // merge or split pixel wavefronts, e.g. a fully folded pixel
+        // leaves a const-only wavefront.)
+        if cfg.effective_optimize() == Optimize::Off {
+            assert_eq!(got.pipeline.unwrap().wavefronts, 10 * 20);
+        }
     }
 }
 
