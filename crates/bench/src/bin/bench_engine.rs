@@ -274,6 +274,72 @@ fn main() {
             s.scout_ops_per_pixel,
         ));
     }
+    // --- Wear leveling: hottest-row write counts on the e2e anchor -----
+    // Deterministic counts (the substrate is seeded and faults are off),
+    // gated like the ops anchors: any increase fails. The ≥2× drop and
+    // the bit-identical-pixels guarantee are hard-asserted here so the
+    // bench harness itself enforces the wear-leveling contract on the
+    // real workload, not just on unit-test loops.
+    let (img_lifo, s_lifo) = bilinear::sc_reram_with_stats(&src, 2, &cfg).expect("valid input");
+    let (img_wl, s_wl) =
+        bilinear::sc_reram_with_stats(&src, 2, &cfg.with_wear_leveling(true)).expect("valid input");
+    assert_eq!(
+        img_lifo, img_wl,
+        "wear-leveling must not change fault-free pixels"
+    );
+    assert!(
+        s_lifo.stream_wear.max >= 2 * s_wl.stream_wear.max,
+        "wear-leveling must at least halve the hottest row: lifo max {} vs leveled max {}",
+        s_lifo.stream_wear.max,
+        s_wl.stream_wear.max
+    );
+    println!(
+        "bilinear_row_wear                            {:>10.2}x hottest-row reduction (max/mean {:.2} -> {:.2})",
+        s_lifo.stream_wear.max as f64 / s_wl.stream_wear.max as f64,
+        s_lifo.stream_wear.max_mean_ratio(),
+        s_wl.stream_wear.max_mean_ratio()
+    );
+    ops_results.push((
+        "bilinear_row_wear_max_unleveled".to_string(),
+        s_lifo.stream_wear.max as f64,
+    ));
+    ops_results.push((
+        "bilinear_row_wear_max_leveled".to_string(),
+        s_wl.stream_wear.max as f64,
+    ));
+
+    // --- Fault-domain retirement: deterministic overhead anchors -------
+    // Three arrays, one pathological (heavy uniform fault rates on array
+    // 1): the scheduler must retire it and reschedule its slices onto
+    // the survivors. Retired-array and rescheduled-slice counts are
+    // deterministic for the fixed seed, so the regression gate fails any
+    // increase in retirement overhead.
+    let cfg_retire = cfg
+        .with_schedule(Schedule::Pipelined { arrays: 3 })
+        .with_array_faults(1, reram::faults::FaultRates::uniform(0.05))
+        .with_retirement(imsc::RetirementPolicy {
+            max_faults_per_op: 0.01,
+            min_ops: 1_000,
+        });
+    let (_, s_retire) = bilinear::sc_reram_with_stats(&src, 2, &cfg_retire).expect("valid input");
+    let report = s_retire.pipeline.expect("pipelined run reports");
+    assert!(
+        report.retired_arrays >= 1,
+        "the pathological array must be retired"
+    );
+    println!(
+        "bilinear_retirement                          {:>10} retired, {} slices rescheduled",
+        report.retired_arrays, report.rescheduled_slices
+    );
+    ops_results.push((
+        "bilinear_retired_arrays".to_string(),
+        report.retired_arrays as f64,
+    ));
+    ops_results.push((
+        "bilinear_rescheduled_slices".to_string(),
+        report.rescheduled_slices as f64,
+    ));
+
     for (name, ops) in &ops_results {
         println!("{name:<44} {ops:>14.3} ops");
     }

@@ -1,0 +1,24 @@
+//! Monte-Carlo endurance sweep: PSNR vs frames-to-wear-out for the
+//! ReRAM SC bilinear kernel across fault rates × RN refresh policies ×
+//! wear-leveling, written to `BENCH_endurance.json`.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin endurance_sweep
+//!  [-- --size 32 --trials 3 --seed 42 --out BENCH_endurance.json]`
+
+use bench::endurance;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = endurance::Config {
+        size: bench::arg_or(&args, "--size", 32),
+        trials: bench::arg_or(&args, "--trials", 3),
+        seed: bench::arg_or(&args, "--seed", 42),
+        stream_len: bench::arg_or(&args, "--len", 256),
+    };
+    let out = bench::arg_or(&args, "--out", "BENCH_endurance.json".to_string());
+    let points = endurance::sweep(&cfg);
+    print!("{}", endurance::render(&cfg, &points));
+    std::fs::write(&out, endurance::to_json(&points)).expect("writable output path");
+    println!("wrote {out}");
+}

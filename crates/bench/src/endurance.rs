@@ -1,0 +1,265 @@
+//! Endurance sweep (extension) — Monte-Carlo PSNR-vs-endurance curves
+//! for the ReRAM SC bilinear kernel.
+//!
+//! The paper evaluates fidelity under CIM faults (Table IV) but treats
+//! the crossbar as write-unlimited; real ReRAM cells wear out after
+//! ~10⁷–10⁸ SET/RESET cycles. This sweep joins the two axes: for every
+//! (per-op fault rate × RN refresh policy × wear-leveling) point it
+//! measures
+//!
+//! * mean PSNR/SSIM against the exact software kernel over `trials`
+//!   fault-injection seeds (Monte Carlo), and
+//! * the hottest stream-row write count per frame
+//!   ([`imgproc::ScRunStats::stream_wear`]), converted into *frames to
+//!   wear-out* under a nominal cell endurance.
+//!
+//! Refresh policy matters on both axes at once — eager RN refresh buys
+//! accuracy but rewrites the RN region every batch — and wear-leveling
+//! moves the endurance axis without touching fault-free pixels, which is
+//! exactly the trade-off the curve exposes.
+
+use imgproc::scbackend::ScReramConfig;
+use imgproc::{bilinear, metrics, synth};
+use imsc::RnRefreshPolicy;
+use reram::faults::FaultRates;
+use std::fmt::Write as _;
+
+/// Nominal ReRAM cell endurance (SET/RESET cycles before stuck-at
+/// failure) used to convert per-frame row wear into frames-to-wear-out.
+/// 10⁸ is the usual HfO₂ figure of merit; the conversion is linear, so
+/// rescaling to a different device is a multiplication on the reader's
+/// side.
+pub const ENDURANCE_CYCLES: f64 = 1e8;
+
+/// Per-op fault rates swept (uniform across the scouting ops).
+pub const FAULT_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
+
+/// RN refresh policies swept: the bilinear kernel's own default
+/// (`Explicit` — RN reuse across the whole tile) against the eager and
+/// batched policies.
+pub const POLICIES: [(&str, Option<RnRefreshPolicy>); 3] = [
+    ("kernel-default", None),
+    ("every8", Some(RnRefreshPolicy::EveryN(8))),
+    ("per-encode", Some(RnRefreshPolicy::PerEncode)),
+];
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Square source image side; the kernel upscales 2×.
+    pub size: usize,
+    /// Monte-Carlo trials (seeds) per point.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// SC stream length.
+    pub stream_len: usize,
+}
+
+impl Config {
+    /// Default sweep: 32×32 → 64×64 at N = 256, 3 trials.
+    #[must_use]
+    pub fn default_sweep(seed: u64) -> Self {
+        Config {
+            size: 32,
+            trials: 3,
+            seed,
+            stream_len: 256,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Uniform per-op fault rate.
+    pub fault_rate: f64,
+    /// Refresh-policy label (see [`POLICIES`]).
+    pub policy: &'static str,
+    /// Whether wear-leveling row allocation was on.
+    pub wear_leveling: bool,
+    /// Mean PSNR (dB) vs the software kernel across trials.
+    pub psnr_db: f64,
+    /// Mean SSIM (%) vs the software kernel across trials.
+    pub ssim_pct: f64,
+    /// Hottest stream-row write count per frame (max across trials —
+    /// the conservative, first-cell-to-die number).
+    pub max_row_writes: u64,
+    /// Max/mean stream-row wear ratio (1.0 = perfectly level), worst
+    /// across trials.
+    pub max_mean_ratio: f64,
+    /// `ENDURANCE_CYCLES / max_row_writes`: frames until the hottest
+    /// cell exhausts nominal endurance.
+    pub frames_to_wearout: f64,
+}
+
+impl Point {
+    /// Stable anchor name for this point, e.g.
+    /// `endurance_f1e-3_every8_wl`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "endurance_f{:.0e}_{}_{}",
+            self.fault_rate,
+            self.policy,
+            if self.wear_leveling { "wl" } else { "lifo" }
+        )
+    }
+}
+
+/// Runs the full sweep.
+///
+/// # Panics
+///
+/// Panics on substrate errors (the configurations are valid by
+/// construction).
+#[must_use]
+pub fn sweep(cfg: &Config) -> Vec<Point> {
+    let src = synth::value_noise(cfg.size, cfg.size, 4, cfg.seed ^ 0xE7);
+    let reference = bilinear::software(&src, 2).expect("valid factor");
+    let mut points = Vec::new();
+    for &rate in &FAULT_RATES {
+        for &(policy_label, policy) in &POLICIES {
+            for wear_leveling in [false, true] {
+                let trials = if rate == 0.0 { 1 } else { cfg.trials };
+                let mut psnr = 0.0;
+                let mut ssim = 0.0;
+                let mut max_row_writes = 0u64;
+                let mut max_mean_ratio = 0.0f64;
+                for t in 0..trials {
+                    let mut sc = ScReramConfig::new(cfg.stream_len, cfg.seed ^ ((t as u64) << 24))
+                        .with_faults(FaultRates::uniform(rate))
+                        .with_wear_leveling(wear_leveling);
+                    if let Some(p) = policy {
+                        sc = sc.with_refresh_policy(p);
+                    }
+                    let (out, stats) =
+                        bilinear::sc_reram_with_stats(&src, 2, &sc).expect("substrate ok");
+                    let p = metrics::psnr(&reference, &out).expect("matching dims");
+                    psnr += if p.is_finite() { p } else { 99.0 };
+                    ssim += metrics::ssim_percent(&reference, &out).expect("matching dims");
+                    max_row_writes = max_row_writes.max(stats.stream_wear.max);
+                    max_mean_ratio = max_mean_ratio.max(stats.stream_wear.max_mean_ratio());
+                }
+                let n = trials as f64;
+                points.push(Point {
+                    fault_rate: rate,
+                    policy: policy_label,
+                    wear_leveling,
+                    psnr_db: psnr / n,
+                    ssim_pct: ssim / n,
+                    max_row_writes,
+                    max_mean_ratio,
+                    frames_to_wearout: ENDURANCE_CYCLES / max_row_writes.max(1) as f64,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Renders the sweep as the harness's one-anchor-per-line JSON (the
+/// shape `bench::regress` parses back).
+#[must_use]
+pub fn to_json(points: &[Point]) -> String {
+    let mut json = String::from("{\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{\"psnr_db\": {:.2}, \"ssim_pct\": {:.2}, \"max_row_writes\": {}, \
+             \"max_mean_ratio\": {:.3}, \"frames_to_wearout\": {:.1}}}{comma}",
+            p.name(),
+            p.psnr_db,
+            p.ssim_pct,
+            p.max_row_writes,
+            p.max_mean_ratio,
+            p.frames_to_wearout,
+        );
+    }
+    json.push_str("}\n");
+    json
+}
+
+/// Renders the human-readable table.
+#[must_use]
+pub fn render(cfg: &Config, points: &[Point]) -> String {
+    let mut out = format!(
+        "Endurance sweep: bilinear {0}x{0} -> {1}x{1}, N = {2}, {3} trials, \
+         endurance {4:.0e} cycles\n\n",
+        cfg.size,
+        cfg.size * 2,
+        cfg.stream_len,
+        cfg.trials,
+        ENDURANCE_CYCLES
+    );
+    out.push_str(&format!(
+        "{:<36}{:>10}{:>10}{:>16}{:>10}{:>16}\n",
+        "point", "psnr", "ssim%", "max row writes", "max/mean", "frames-to-wear"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<36}{:>10.2}{:>10.2}{:>16}{:>10.2}{:>16.0}\n",
+            p.name(),
+            p.psnr_db,
+            p.ssim_pct,
+            p.max_row_writes,
+            p.max_mean_ratio,
+            p.frames_to_wearout
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            size: 8,
+            trials: 1,
+            seed: 5,
+            stream_len: 64,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_levels_wear() {
+        let cfg = tiny();
+        let points = sweep(&cfg);
+        assert_eq!(points.len(), FAULT_RATES.len() * POLICIES.len() * 2);
+        for pair in points.chunks(2) {
+            let (lifo, wl) = (&pair[0], &pair[1]);
+            assert!(!lifo.wear_leveling && wl.wear_leveling);
+            // Leveling never worsens the hottest row, and therefore
+            // never shortens endurance.
+            assert!(wl.max_row_writes <= lifo.max_row_writes, "{wl:?} {lifo:?}");
+            assert!(wl.frames_to_wearout >= lifo.frames_to_wearout);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_regress_parser() {
+        let points = sweep(&tiny());
+        let json = to_json(&points);
+        let parsed = crate::regress::parse_anchor_field(&json, "psnr_db");
+        assert_eq!(parsed.len(), points.len());
+        assert_eq!(parsed[0].0, points[0].name());
+    }
+
+    #[test]
+    fn point_names_are_stable() {
+        let p = Point {
+            fault_rate: 1e-3,
+            policy: "every8",
+            wear_leveling: true,
+            psnr_db: 0.0,
+            ssim_pct: 0.0,
+            max_row_writes: 1,
+            max_mean_ratio: 1.0,
+            frames_to_wearout: 1.0,
+        };
+        assert_eq!(p.name(), "endurance_f1e-3_every8_wl");
+    }
+}

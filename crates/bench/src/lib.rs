@@ -12,7 +12,9 @@
 //! | Fig. 4 (energy savings) | [`figures`] | `fig4` |
 //! | Fig. 5 (throughput) | [`figures`] | `fig5` |
 //! | Fault-rate sensitivity (extension) | [`table4`] | `fault_sweep` |
+//! | PSNR-vs-endurance curves (extension) | [`endurance`] | `endurance_sweep` |
 
+pub mod endurance;
 pub mod figures;
 pub mod regress;
 pub mod sources;

@@ -177,6 +177,62 @@ impl CostLedger {
     }
 }
 
+/// Endurance summary of one array region's per-row write counts (the wear
+/// map): the hotspot, the total, and the region size. Integer-only so the
+/// summary stays `Eq`-comparable in determinism tests; the derived
+/// max/mean ratio is computed on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearSummary {
+    /// Highest per-row write count in the region (the endurance hotspot).
+    pub max: u64,
+    /// Sum of all per-row write counts in the region.
+    pub total: u64,
+    /// Number of rows summarized.
+    pub rows: usize,
+}
+
+impl WearSummary {
+    /// Summarizes a per-row write-count slice.
+    #[must_use]
+    pub fn from_rows(wear: &[u64]) -> Self {
+        WearSummary {
+            max: wear.iter().copied().max().unwrap_or(0),
+            total: wear.iter().sum(),
+            rows: wear.len(),
+        }
+    }
+
+    /// Mean writes per row (0 for an empty region).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.rows as f64
+        }
+    }
+
+    /// Hotspot-to-mean ratio — 1.0 is perfectly level wear; large values
+    /// mean the allocator is hammering a few rows. 0 for an unused region.
+    #[must_use]
+    pub fn max_mean_ratio(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max as f64 / mean
+        }
+    }
+
+    /// Merges another region's summary: per-array maps never overlap, so
+    /// the farm-wide hotspot is the max of maxes and totals/rows add.
+    pub fn merge(&mut self, other: &WearSummary) {
+        self.max = self.max.max(other.max);
+        self.total += other.total;
+        self.rows += other.rows;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +299,27 @@ mod tests {
         assert!(c256.energy_nj > 4.0 * c32.energy_nj);
         // Latency of the sensing path is width-independent (row parallel).
         assert!((c256.latency_ns - c32.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wear_summary_math() {
+        let w = WearSummary::from_rows(&[4, 0, 2, 2]);
+        assert_eq!(
+            w,
+            WearSummary {
+                max: 4,
+                total: 8,
+                rows: 4
+            }
+        );
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        assert!((w.max_mean_ratio() - 2.0).abs() < 1e-12);
+        let mut merged = w;
+        merged.merge(&WearSummary::from_rows(&[6, 0]));
+        assert_eq!(merged.max, 6);
+        assert_eq!(merged.total, 14);
+        assert_eq!(merged.rows, 6);
+        assert_eq!(WearSummary::default().max_mean_ratio(), 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! wrong correlation domain is a type error at runtime
 //! ([`ImscError::CorrelationMismatch`]), not silent inaccuracy.
 
-use crate::cost::CostLedger;
+use crate::cost::{CostLedger, WearSummary};
 use crate::error::ImscError;
 use crate::imsng::{Imsng, ImsngVariant};
 use crate::layout::{RnRefreshPolicy, RowAllocator};
@@ -55,6 +55,7 @@ pub struct AcceleratorBuilder {
     record_trace: bool,
     refresh_policy: RnRefreshPolicy,
     whiten_select: bool,
+    wear_leveling: bool,
 }
 
 impl AcceleratorBuilder {
@@ -71,6 +72,7 @@ impl AcceleratorBuilder {
             record_trace: false,
             refresh_policy: RnRefreshPolicy::PerEncode,
             whiten_select: false,
+            wear_leveling: false,
         }
     }
 
@@ -162,12 +164,24 @@ impl AcceleratorBuilder {
         self
     }
 
+    /// Allocate destination rows least-worn-first instead of LIFO
+    /// (default off). Spreads stream writes across the crossbar so
+    /// repeated tile plans stop hammering row `rn..rn+k`; pixel output is
+    /// unchanged in fault-free runs (stream contents do not depend on
+    /// which physical row holds them), but command traces and row indices
+    /// differ from the LIFO allocator.
+    #[must_use]
+    pub fn wear_leveling(mut self, on: bool) -> Self {
+        self.wear_leveling = on;
+        self
+    }
+
     /// Builds the accelerator.
     ///
     /// # Errors
     ///
     /// Returns [`ImscError::InvalidConfig`] for out-of-range dimensions or
-    /// [`ImscError::Device`] for invalid device parameters.
+    /// [`ImscError::Device`] for invalid device or fault parameters.
     pub fn build(self) -> Result<Accelerator, ImscError> {
         if self.stream_len < 2 {
             return Err(ImscError::InvalidConfig("stream_len must be at least 2"));
@@ -186,6 +200,7 @@ impl AcceleratorBuilder {
             ));
         }
         self.device.validate()?;
+        self.fault_rates.validate()?;
         let imsng = Imsng::new(self.variant, self.segment_bits)?;
         let m = self.segment_bits as usize;
         let total_rows = m + self.stream_rows;
@@ -232,6 +247,7 @@ impl AcceleratorBuilder {
             cache_hits: 0,
             refresh_policy: self.refresh_policy,
             whiten_select: self.whiten_select,
+            wear_leveling: self.wear_leveling,
             rn_epoch: 0,
             encodes_since_refresh: 0,
         })
@@ -336,6 +352,7 @@ pub struct Accelerator {
     cache_hits: u64,
     refresh_policy: RnRefreshPolicy,
     whiten_select: bool,
+    wear_leveling: bool,
     /// Count of RN realizations so far; 0 means the RN rows have never
     /// been filled.
     rn_epoch: u64,
@@ -383,6 +400,18 @@ impl Accelerator {
     fn fresh_group(&mut self) -> u64 {
         self.next_group += 1;
         self.next_group
+    }
+
+    /// The single allocation point for destination rows: LIFO by default,
+    /// least-worn-first (against the array's live wear map) under
+    /// [`AcceleratorBuilder::wear_leveling`]. Every op routes through
+    /// here, so the alloc-dest-before-cost invariant is mode-independent.
+    fn alloc_row(&mut self) -> Result<usize, ImscError> {
+        if self.wear_leveling {
+            self.allocator.alloc_least_worn(self.array.wear())
+        } else {
+            self.allocator.alloc()
+        }
     }
 
     fn record(&mut self, cmd: CmdKind, row: usize) {
@@ -531,7 +560,7 @@ impl Accelerator {
     /// * [`ImscError::Device`] / [`ImscError::Stochastic`] — substrate
     ///   failures.
     pub fn encode(&mut self, x: Fixed) -> Result<StreamHandle, ImscError> {
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         let generated = self
             .refresh_for_encode()
             .and_then(|()| self.generate_into(x, dest));
@@ -614,7 +643,7 @@ impl Accelerator {
         // trace untouched.
         let mut dests = Vec::with_capacity(operands.len());
         for _ in operands {
-            match self.allocator.alloc() {
+            match self.alloc_row() {
                 Ok(d) => dests.push(d),
                 Err(e) => {
                     for d in dests {
@@ -698,7 +727,7 @@ impl Accelerator {
             });
         }
         // Destination first: no phantom costs on row exhaustion.
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         let result = match self
             .sl
             .execute_mut(&mut self.array, SlOp::Maj, &[ra, rb, rs])
@@ -732,7 +761,7 @@ impl Accelerator {
     ///
     /// [`ImscError::OutOfRows`] or substrate errors.
     pub fn trng_select(&mut self) -> Result<StreamHandle, ImscError> {
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         let row = self.select_row();
         self.array.write_row(dest, &row)?;
         self.ledger.trng_fills += 1;
@@ -773,7 +802,7 @@ impl Accelerator {
                 right: self.stream_len,
             }));
         }
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         self.array.write_row(dest, s)?;
         self.ledger.stream_writes += 1;
         self.record(CmdKind::Write, dest);
@@ -806,7 +835,7 @@ impl Accelerator {
         }
         // Destination first: a failed allocation must not leave phantom
         // op costs in the ledger or trace.
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         let result = match self.sl.execute_mut(&mut self.array, op, &[ra, rb]) {
             Ok(r) => r,
             Err(e) => {
@@ -880,7 +909,7 @@ impl Accelerator {
             });
         }
         // Destination first: no phantom costs on row exhaustion.
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         // The select row is generated *into* the destination — the MAJ
         // consumes it and the result overwrites it — so the operation
         // peaks at one extra row, like the pre-policy implementation.
@@ -978,7 +1007,7 @@ impl Accelerator {
             });
         }
         // Destination first: no phantom costs on row exhaustion.
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         // Sense both operand rows (faults apply on the sensing path).
         // Each is its own single-row NOT sense read — the ledger charges
         // two single ops, so the trace records two single-row scout
@@ -1029,7 +1058,7 @@ impl Accelerator {
         let ra = self.slot(a)?.row;
         let ga = self.slot(a)?.correlation_group;
         // Destination first: no phantom costs on row exhaustion.
-        let dest = self.allocator.alloc()?;
+        let dest = self.alloc_row()?;
         let result = match self.sl.execute_mut(&mut self.array, SlOp::Not, &[ra]) {
             Ok(r) => r,
             Err(e) => {
@@ -1130,6 +1159,42 @@ impl Accelerator {
     #[must_use]
     pub fn encode_cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Bit flips the fault injector has applied so far (0 when built
+    /// fault-free). The per-array health signal of fault-domain
+    /// scheduling: divided by [`Accelerator::scout_ops_executed`] it
+    /// estimates this array's live error rate.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.sl.faults_injected()
+    }
+
+    /// Scouting operations executed by this array's sense path so far.
+    #[must_use]
+    pub fn scout_ops_executed(&self) -> u64 {
+        self.sl.ops_executed()
+    }
+
+    /// Whether destination rows are allocated least-worn-first.
+    #[must_use]
+    pub fn wear_leveling_enabled(&self) -> bool {
+        self.wear_leveling
+    }
+
+    /// Endurance summary of the stream region's wear map (per-row write
+    /// counts of every allocatable row; the reserved RN rows are excluded
+    /// because their wear is set by the refresh policy, not the
+    /// allocator).
+    #[must_use]
+    pub fn stream_wear(&self) -> WearSummary {
+        WearSummary::from_rows(&self.array.wear()[self.rn_rows.len()..])
+    }
+
+    /// Endurance summary of the reserved RN rows' wear map.
+    #[must_use]
+    pub fn rn_wear(&self) -> WearSummary {
+        WearSummary::from_rows(&self.array.wear()[..self.rn_rows.len()])
     }
 
     /// Releases a stream's row for reuse.
@@ -1688,5 +1753,100 @@ mod tests {
         assert!(Accelerator::builder().stream_rows(1).build().is_err());
         assert!(Accelerator::builder().trng_bias_sigma(0.6).build().is_err());
         assert!(Accelerator::builder().segment_bits(0).build().is_err());
+    }
+
+    #[test]
+    fn invalid_fault_rates_rejected_at_build() {
+        for bad in [-0.5, 1.5, f64::NAN] {
+            let err = Accelerator::builder()
+                .fault_rates(FaultRates::uniform(bad))
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ImscError::Device(_)), "{err:?}");
+        }
+        assert!(Accelerator::builder()
+            .fault_rates(FaultRates::uniform(1.0))
+            .build()
+            .is_ok());
+    }
+
+    fn hot_loop(a: &mut Accelerator, iters: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 0..iters {
+            let x = a.encode(Fixed::from_u8(64 + (i % 8) as u8)).unwrap();
+            let y = a.encode(Fixed::from_u8(200 - (i % 8) as u8)).unwrap();
+            let p = a.multiply(x, y).unwrap();
+            out.push(a.read_value(p).unwrap());
+            a.release_many(&[x, y, p]).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn wear_leveling_flattens_writes_without_changing_values() {
+        let build = |leveled: bool| {
+            Accelerator::builder()
+                .stream_len(256)
+                .seed(21)
+                .stream_rows(24)
+                .refresh_policy(RnRefreshPolicy::Explicit)
+                .wear_leveling(leveled)
+                .build()
+                .unwrap()
+        };
+        let mut lifo = build(false);
+        let mut leveled = build(true);
+        lifo.refresh_rn_rows().unwrap();
+        leveled.refresh_rn_rows().unwrap();
+        let v_lifo = hot_loop(&mut lifo, 64);
+        let v_leveled = hot_loop(&mut leveled, 64);
+        // Row placement never enters the fault-free data path: values and
+        // modeled cost are bit-identical across allocators.
+        assert_eq!(v_lifo, v_leveled);
+        assert_eq!(lifo.ledger(), leveled.ledger());
+        let w_lifo = lifo.stream_wear();
+        let w_leveled = leveled.stream_wear();
+        assert_eq!(w_lifo.total, w_leveled.total);
+        // LIFO recycles the same 3 rows forever; leveling rotates all 24.
+        assert!(
+            w_leveled.max * 2 <= w_lifo.max,
+            "leveled max {} vs lifo max {}",
+            w_leveled.max,
+            w_lifo.max
+        );
+        assert!(w_leveled.max_mean_ratio() < w_lifo.max_mean_ratio());
+    }
+
+    #[test]
+    fn wear_leveled_failed_allocations_charge_nothing() {
+        let mut a = Accelerator::builder()
+            .stream_len(64)
+            .seed(22)
+            .stream_rows(2)
+            .wear_leveling(true)
+            .build()
+            .unwrap();
+        let x = a.encode(Fixed::from_u8(100)).unwrap();
+        let y = a.encode(Fixed::from_u8(50)).unwrap();
+        let ledger = *a.ledger();
+        assert!(matches!(a.multiply(x, y), Err(ImscError::OutOfRows)));
+        assert_eq!(*a.ledger(), ledger);
+        a.release(x).unwrap();
+        assert!(a.multiply(x, y).is_err()); // stale handle stays invalid
+    }
+
+    #[test]
+    fn wear_summaries_split_rn_and_stream_regions() {
+        let mut a = acc(256, 23);
+        let x = a.encode(Fixed::from_u8(10)).unwrap();
+        let _ = a.read_value(x).unwrap();
+        let rn = a.rn_wear();
+        let stream = a.stream_wear();
+        assert_eq!(rn.rows, a.segment_bits() as usize);
+        assert_eq!(stream.rows, 64);
+        assert!(rn.max >= 1); // refreshed once by the first encode
+        assert!(stream.max >= 1); // the encoded stream landed here
+        assert_eq!(a.faults_injected(), 0);
+        assert!(a.scout_ops_executed() > 0);
     }
 }

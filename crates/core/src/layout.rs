@@ -114,6 +114,50 @@ impl RowAllocator {
         }
     }
 
+    /// Allocates the least-worn available stream row (wear-leveling).
+    ///
+    /// `wear` is the array's per-physical-row write-count map (see
+    /// `CrossbarArray::wear`); candidates are every free-list entry plus
+    /// the first untouched tail row. Ties break toward the lowest row
+    /// index, so the choice is deterministic for a given wear map. Rows
+    /// past the end of `wear` count as unworn.
+    ///
+    /// With a uniform wear map this still differs from [`Self::alloc`]
+    /// (lowest-index-first instead of LIFO), which is what rotates hot
+    /// destination rows across the crossbar: a freshly released hot row
+    /// loses ties to colder rows that have sat in the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImscError::OutOfRows`] when the array is exhausted.
+    pub fn alloc_least_worn(&mut self, wear: &[u64]) -> Result<usize, ImscError> {
+        let wear_of = |row: usize| wear.get(row).copied().unwrap_or(0);
+        let mut best: Option<(u64, usize, Option<usize>)> = None; // (wear, row, free idx)
+        for (i, &row) in self.free.iter().enumerate() {
+            let key = (wear_of(row), row);
+            if best.is_none_or(|(w, r, _)| key < (w, r)) {
+                best = Some((key.0, key.1, Some(i)));
+            }
+        }
+        if self.next < self.total_rows {
+            let key = (wear_of(self.next), self.next);
+            if best.is_none_or(|(w, r, _)| key < (w, r)) {
+                best = Some((key.0, key.1, None));
+            }
+        }
+        match best {
+            Some((_, row, Some(i))) => {
+                self.free.swap_remove(i);
+                Ok(row)
+            }
+            Some((_, row, None)) => {
+                self.next += 1;
+                Ok(row)
+            }
+            None => Err(ImscError::OutOfRows),
+        }
+    }
+
     /// Returns a row to the free list.
     ///
     /// # Panics
@@ -158,6 +202,41 @@ mod tests {
         a.alloc().unwrap();
         a.alloc().unwrap();
         assert!(matches!(a.alloc(), Err(ImscError::OutOfRows)));
+    }
+
+    #[test]
+    fn least_worn_prefers_cold_rows() {
+        let mut a = RowAllocator::new(8, 4).unwrap();
+        let r4 = a.alloc().unwrap();
+        let r5 = a.alloc().unwrap();
+        a.release(r4);
+        a.release(r5);
+        // r4 is hot, r5 cold, tail row 6 unworn: wear-aware picks the
+        // coldest candidate instead of the LIFO top (r5).
+        let wear = [9, 9, 9, 9, 7, 3, 5, 0];
+        assert_eq!(a.alloc_least_worn(&wear).unwrap(), 5);
+        // Next-coldest surviving candidate is the r4 free entry (7) vs
+        // tail row 6 (5): the tail wins.
+        assert_eq!(a.alloc_least_worn(&wear).unwrap(), 6);
+        assert_eq!(a.alloc_least_worn(&wear).unwrap(), 7);
+        assert_eq!(a.alloc_least_worn(&wear).unwrap(), 4);
+        assert!(matches!(
+            a.alloc_least_worn(&wear),
+            Err(ImscError::OutOfRows)
+        ));
+    }
+
+    #[test]
+    fn least_worn_ties_break_low_and_tolerate_short_maps() {
+        let mut a = RowAllocator::new(8, 4).unwrap();
+        // Empty wear map: everything unworn, lowest index wins and the
+        // bump pointer advances normally.
+        assert_eq!(a.alloc_least_worn(&[]).unwrap(), 4);
+        assert_eq!(a.alloc_least_worn(&[]).unwrap(), 5);
+        a.release(4);
+        a.release(5);
+        assert_eq!(a.alloc_least_worn(&[]).unwrap(), 4);
+        assert_eq!(a.available(), 3);
     }
 
     #[test]

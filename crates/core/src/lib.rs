@@ -63,10 +63,14 @@ pub mod program;
 pub mod s2b;
 pub mod xag;
 
+pub use cost::WearSummary;
 pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
 pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
 pub use layout::RnRefreshPolicy;
 pub use program::opt::{optimize, OptStats, Optimize};
-pub use program::sched::{PipelineReport, PipelineRun, PipelineScheduler, SliceOut, StageKind};
+pub use program::sched::{
+    ArrayHealth, DomainRun, PipelineReport, PipelineRun, PipelineScheduler, RetirementPolicy,
+    SliceOut, StageKind,
+};
 pub use program::{ExecArena, Plan, Program, RefreshGroup, VReg};

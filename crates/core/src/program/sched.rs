@@ -43,7 +43,7 @@
 //! ledger-identical to the per-tile path it subsumes.
 
 use super::{release_live_slots, ExecArena, Op, Plan, Program, Step, VReg};
-use crate::cost::CostLedger;
+use crate::cost::{CostLedger, WearSummary};
 use crate::engine::Accelerator;
 use crate::error::ImscError;
 use reram::energy::ReramCosts;
@@ -285,6 +285,14 @@ pub struct SliceOut {
     pub cache_hits: u64,
     /// RN realizations (epochs) the slice accelerator consumed.
     pub rn_epochs: u64,
+    /// Bit flips the slice accelerator's fault injector applied — the
+    /// per-slice health signal of fault-domain scheduling.
+    pub faults_injected: u64,
+    /// Scouting ops the slice accelerator executed (the denominator of
+    /// the observed fault rate).
+    pub scout_ops: u64,
+    /// Endurance summary of the slice accelerator's stream-row wear map.
+    pub stream_wear: WearSummary,
 }
 
 /// Measured pipeline behaviour of one scheduled run, in *modeled*
@@ -310,6 +318,12 @@ pub struct PipelineReport {
     pub initiation_interval_ns: f64,
     /// Unpipelined latency (every stage of every wavefront in series), ns.
     pub sequential_ns: f64,
+    /// Fault domains (arrays) retired during the run (0 outside
+    /// [`PipelineScheduler::run_with_domains`]).
+    pub retired_arrays: usize,
+    /// Slices whose results were discarded and re-run on a surviving
+    /// array after their fault domain crossed the retirement threshold.
+    pub rescheduled_slices: usize,
 }
 
 impl PipelineReport {
@@ -381,8 +395,80 @@ impl PipelineReport {
             makespan_ns: last_retire,
             initiation_interval_ns,
             sequential_ns: busy.iter().sum(),
+            retired_arrays: 0,
+            rescheduled_slices: 0,
         }
     }
+}
+
+/// When a fault domain (one array of the farm) is taken out of service by
+/// [`PipelineScheduler::run_with_domains`]: once an array has executed at
+/// least `min_ops` scouting ops, it is retired as soon as its cumulative
+/// observed fault rate (injected bit flips per scouting op) exceeds
+/// `max_faults_per_op`. The `min_ops` guard keeps one unlucky early flip
+/// from condemning a healthy array before the estimate has support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetirementPolicy {
+    /// Highest tolerated cumulative faults-per-scouting-op before the
+    /// array is retired. With per-op flip probability `p` over `N`-bit
+    /// streams the observed rate concentrates near `p·N`, so thresholds
+    /// are naturally larger than 1 for long streams.
+    pub max_faults_per_op: f64,
+    /// Minimum scouting ops observed on an array before the rate is
+    /// trusted.
+    pub min_ops: u64,
+}
+
+impl Default for RetirementPolicy {
+    fn default() -> Self {
+        RetirementPolicy {
+            max_faults_per_op: 0.5,
+            min_ops: 1_000,
+        }
+    }
+}
+
+/// Cumulative health of one fault domain across a
+/// [`PipelineScheduler::run_with_domains`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHealth {
+    /// The array (fault-domain) index, `0..scheduler.arrays()`.
+    pub array: usize,
+    /// Slices whose results this array contributed (discarded slices of a
+    /// retiring array are not counted).
+    pub slices_run: usize,
+    /// Cumulative injected bit flips observed on this array.
+    pub faults: u64,
+    /// Cumulative scouting ops observed on this array.
+    pub scout_ops: u64,
+    /// Whether the array crossed the retirement threshold.
+    pub retired: bool,
+}
+
+impl ArrayHealth {
+    /// Observed cumulative fault rate (flips per scouting op).
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        if self.scout_ops == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.scout_ops as f64
+        }
+    }
+}
+
+/// A fault-domain-aware pipelined run: the ordinary [`PipelineRun`] plus
+/// per-array health and the final slice→array assignment.
+#[derive(Debug, Clone)]
+pub struct DomainRun {
+    /// The pipelined results and report (with
+    /// [`PipelineReport::retired_arrays`] /
+    /// [`PipelineReport::rescheduled_slices`] filled in).
+    pub run: PipelineRun,
+    /// Health of every fault domain, indexed by array.
+    pub health: Vec<ArrayHealth>,
+    /// The array whose result each slice finally kept, in slice order.
+    pub assignments: Vec<usize>,
 }
 
 /// A finished pipelined run: per-slice results in slice order plus the
@@ -551,6 +637,9 @@ fn finish(f: InFlight<'_>) -> (Finished, ExecArena) {
                 ledger: *acc.ledger(),
                 cache_hits: acc.encode_cache_hits(),
                 rn_epochs: acc.rn_epoch(),
+                faults_injected: acc.faults_injected(),
+                scout_ops: acc.scout_ops_executed(),
+                stream_wear: acc.stream_wear(),
             },
             wf_ns,
         },
@@ -623,24 +712,50 @@ impl PipelineScheduler {
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
     {
+        let refs: Vec<&Program> = slices.iter().collect();
+        let fins = self.run_collect(&refs, &factory)?;
+        Ok(Self::assemble_run(fins, self.arrays))
+    }
+
+    /// Concatenates finished slices (in slice order) into a run.
+    fn assemble_run(fins: Vec<Finished>, arrays: usize) -> PipelineRun {
+        let mut outs = Vec::with_capacity(fins.len());
+        let mut all_wf = Vec::new();
+        for fin in fins {
+            all_wf.extend(fin.wf_ns);
+            outs.push(fin.out);
+        }
+        PipelineRun {
+            slices: outs,
+            report: PipelineReport::from_wavefronts(&all_wf, arrays),
+        }
+    }
+
+    /// Executes slices through the stage workers and returns every
+    /// slice's finished result in slice order (the shared core of
+    /// [`Self::run`] and [`Self::run_with_domains`]).
+    fn run_collect<E, F>(&self, slices: &[&Program], factory: &F) -> Result<Vec<Finished>, E>
+    where
+        F: Fn(usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
         #[cfg(feature = "parallel")]
         {
             if slices.len() > 1 {
-                return self.run_threaded(slices, &factory);
+                return self.run_threaded(slices, factory);
             }
         }
-        self.run_sequential(slices, &factory)
+        self.run_sequential(slices, factory)
     }
 
-    fn run_sequential<E, F>(&self, slices: &[Program], factory: &F) -> Result<PipelineRun, E>
+    fn run_sequential<E, F>(&self, slices: &[&Program], factory: &F) -> Result<Vec<Finished>, E>
     where
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
     {
         let mut arena = ExecArena::new();
-        let mut outs = Vec::with_capacity(slices.len());
-        let mut all_wf = Vec::new();
-        for (idx, slice) in slices.iter().enumerate() {
+        let mut fins = Vec::with_capacity(slices.len());
+        for (idx, &slice) in slices.iter().enumerate() {
             let acc = factory(idx)?;
             let mut f = prepare(idx, slice, acc, std::mem::take(&mut arena)).map_err(E::from)?;
             let run = (0..StageKind::COUNT).try_for_each(|ph| exec_phase(&mut f, ph, &self.costs));
@@ -650,17 +765,13 @@ impl PipelineScheduler {
             }
             let (fin, used) = finish(f);
             arena = used;
-            all_wf.extend(fin.wf_ns);
-            outs.push(fin.out);
+            fins.push(fin);
         }
-        Ok(PipelineRun {
-            slices: outs,
-            report: PipelineReport::from_wavefronts(&all_wf, self.arrays),
-        })
+        Ok(fins)
     }
 
     #[cfg(feature = "parallel")]
-    fn run_threaded<E, F>(&self, slices: &[Program], factory: &F) -> Result<PipelineRun, E>
+    fn run_threaded<E, F>(&self, slices: &[&Program], factory: &F) -> Result<Vec<Finished>, E>
     where
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
@@ -695,7 +806,7 @@ impl PipelineScheduler {
             // ❶ SBS worker: admission (bounded by the array tokens),
             // accelerator construction, planning, leading encode steps.
             scope.spawn(|| {
-                for (idx, slice) in slices.iter().enumerate() {
+                for (idx, &slice) in slices.iter().enumerate() {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
@@ -753,21 +864,115 @@ impl PipelineScheduler {
             });
         });
 
-        let mut outs = Vec::with_capacity(n);
-        let mut all_wf = Vec::new();
+        let mut fins = Vec::with_capacity(n);
         for slot in slots {
             match slot.into_inner().expect("slice slot lock") {
-                Some(Ok(fin)) => {
-                    all_wf.extend(fin.wf_ns);
-                    outs.push(fin.out);
-                }
+                Some(Ok(fin)) => fins.push(fin),
                 Some(Err(e)) => return Err(e),
                 None => unreachable!("unadmitted slice without a preceding failure"),
             }
         }
-        Ok(PipelineRun {
-            slices: outs,
-            report: PipelineReport::from_wavefronts(&all_wf, self.arrays),
+        Ok(fins)
+    }
+
+    /// Executes slices across the farm with each array treated as a
+    /// retirable **fault domain**. Slices are dealt round-robin over the
+    /// currently healthy arrays and run through the ordinary pipelined
+    /// machinery; after each round, per-array health (cumulative injected
+    /// faults per scouting op, from the slice accelerators' own
+    /// injectors) is re-evaluated **in slice order**. When an array
+    /// crosses `policy`'s threshold it is retired: the triggering slice's
+    /// result and every later same-round result from that array are
+    /// discarded and re-dealt onto the survivors in the next round. The
+    /// farm degrades gracefully until no healthy array remains.
+    ///
+    /// `factory(slice, array)` builds the accelerator for a slice *on a
+    /// given array* — heterogeneous per-array fault rates enter here.
+    /// Results are deterministic: assignment depends only on slice order
+    /// and the health history, never on thread interleaving.
+    ///
+    /// # Errors
+    ///
+    /// * The lowest-indexed slice's genuine failure (factory, planning,
+    ///   or execution), as in [`Self::run`].
+    /// * [`ImscError::InvalidConfig`] once every fault domain is retired.
+    pub fn run_with_domains<E, F>(
+        &self,
+        slices: &[Program],
+        factory: F,
+        policy: RetirementPolicy,
+    ) -> Result<DomainRun, E>
+    where
+        F: Fn(usize, usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
+        let n = slices.len();
+        let mut health: Vec<ArrayHealth> = (0..self.arrays)
+            .map(|array| ArrayHealth {
+                array,
+                slices_run: 0,
+                faults: 0,
+                scout_ops: 0,
+                retired: false,
+            })
+            .collect();
+        let mut results: Vec<Option<Finished>> = (0..n).map(|_| None).collect();
+        let mut assignments = vec![0usize; n];
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut rescheduled = 0usize;
+        while !pending.is_empty() {
+            let healthy: Vec<usize> = health
+                .iter()
+                .filter(|h| !h.retired)
+                .map(|h| h.array)
+                .collect();
+            if healthy.is_empty() {
+                return Err(E::from(ImscError::InvalidConfig(
+                    "every fault domain is retired",
+                )));
+            }
+            let round_arrays: Vec<usize> = (0..pending.len())
+                .map(|k| healthy[k % healthy.len()])
+                .collect();
+            let round_progs: Vec<&Program> = pending.iter().map(|&i| &slices[i]).collect();
+            let fins = self.run_collect(&round_progs, &|k| factory(pending[k], round_arrays[k]))?;
+            let mut retry = Vec::new();
+            for (k, fin) in fins.into_iter().enumerate() {
+                let arr = round_arrays[k];
+                let slice_idx = pending[k];
+                if health[arr].retired {
+                    // The domain was condemned earlier in this scan; its
+                    // remaining round results are suspect too.
+                    rescheduled += 1;
+                    retry.push(slice_idx);
+                    continue;
+                }
+                let h = &mut health[arr];
+                h.faults += fin.out.faults_injected;
+                h.scout_ops += fin.out.scout_ops;
+                if h.scout_ops >= policy.min_ops && h.fault_rate() > policy.max_faults_per_op {
+                    h.retired = true;
+                    rescheduled += 1;
+                    retry.push(slice_idx);
+                } else {
+                    h.slices_run += 1;
+                    assignments[slice_idx] = arr;
+                    results[slice_idx] = Some(fin);
+                }
+            }
+            pending = retry;
+        }
+        let fins: Vec<Finished> = results
+            .into_iter()
+            .map(|r| r.expect("every slice resolved or the farm emptied"))
+            .collect();
+        let mut run = Self::assemble_run(fins, self.arrays);
+        run.report.retired_arrays = health.iter().filter(|h| h.retired).count();
+        run.report.rescheduled_slices = rescheduled;
+        Ok(DomainRun {
+            run,
+            health,
+            assignments,
         })
     }
 }

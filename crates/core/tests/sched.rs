@@ -6,10 +6,11 @@
 use imsc::cost::ScOperation;
 use imsc::engine::Accelerator;
 use imsc::pipeline::PipelineModel;
-use imsc::program::sched::{self, PipelineScheduler};
+use imsc::program::sched::{self, PipelineScheduler, RetirementPolicy};
 use imsc::program::Program;
 use imsc::{ExecArena, ImscError, ImsngVariant};
 use reram::energy::ReramCosts;
+use reram::faults::FaultRates;
 use sc_core::Fixed;
 
 const N: usize = 256;
@@ -146,6 +147,126 @@ fn pipelined_run_is_identical_to_per_slice_execution() {
     }
 }
 
+fn build_with_rates(seed: u64, rates: FaultRates) -> Result<Accelerator, ImscError> {
+    Accelerator::builder()
+        .stream_len(N)
+        .segment_bits(M)
+        .seed(seed)
+        .fault_rates(rates)
+        .build()
+}
+
+/// A factory for a three-array farm where array 1 injects heavy bit
+/// flips and the others are clean; the seed depends only on the slice,
+/// so any clean array produces bit-identical results for it.
+fn lopsided_farm(slice: usize, array: usize) -> Result<Accelerator, ImscError> {
+    let rates = if array == 1 {
+        FaultRates::uniform(0.05)
+    } else {
+        FaultRates::none()
+    };
+    build_with_rates(300 + slice as u64, rates)
+}
+
+#[test]
+fn retirement_replaces_the_pathological_array() {
+    let program = sng_bound_program(18);
+    let slices = sched::partition_into(&program, 9).unwrap();
+    let policy = RetirementPolicy {
+        max_faults_per_op: 0.5,
+        min_ops: 16,
+    };
+    let domain = PipelineScheduler::new(3)
+        .run_with_domains(&slices, lopsided_farm, policy)
+        .unwrap();
+
+    assert!(domain.health[1].retired, "{:?}", domain.health);
+    assert!(!domain.health[0].retired && !domain.health[2].retired);
+    assert!(domain.health[1].fault_rate() > policy.max_faults_per_op);
+    assert_eq!(domain.run.report.retired_arrays, 1);
+    assert!(domain.run.report.rescheduled_slices >= 1);
+
+    // Every kept result came from a clean array — the bad array's
+    // contributions were discarded and re-run on survivors...
+    assert_eq!(domain.assignments.len(), slices.len());
+    assert!(domain.assignments.iter().all(|&a| a != 1));
+    assert_eq!(
+        domain.health.iter().map(|h| h.slices_run).sum::<usize>(),
+        slices.len()
+    );
+    // ...so the outputs are bit-identical to fault-free per-slice
+    // execution: retirement is lossless on a farm with clean survivors.
+    for (i, (slice, got)) in slices.iter().zip(&domain.run.slices).enumerate() {
+        let mut clean = build_with_rates(300 + i as u64, FaultRates::none()).unwrap();
+        let want = slice.run_on(&mut clean).unwrap();
+        assert_eq!(got.outputs, want, "slice {i}");
+        assert_eq!(got.faults_injected, 0, "slice {i} kept a faulty result");
+    }
+}
+
+#[test]
+fn retirement_is_deterministic() {
+    let program = sng_bound_program(12);
+    let slices = sched::partition_into(&program, 6).unwrap();
+    let policy = RetirementPolicy {
+        max_faults_per_op: 0.5,
+        min_ops: 16,
+    };
+    let a = PipelineScheduler::new(3)
+        .run_with_domains(&slices, lopsided_farm, policy)
+        .unwrap();
+    let b = PipelineScheduler::new(3)
+        .run_with_domains(&slices, lopsided_farm, policy)
+        .unwrap();
+    assert_eq!(a.health, b.health);
+    assert_eq!(a.assignments, b.assignments);
+    for (x, y) in a.run.slices.iter().zip(&b.run.slices) {
+        assert_eq!(x.outputs, y.outputs);
+        assert_eq!(x.stream_wear, y.stream_wear);
+    }
+}
+
+#[test]
+fn a_fault_free_domain_run_matches_the_plain_scheduler() {
+    let program = division_bound_program(8);
+    let slices = sched::partition_into(&program, 4).unwrap();
+    let plain = PipelineScheduler::new(2)
+        .run(&slices, |i| build(70 + i as u64))
+        .unwrap();
+    let domain = PipelineScheduler::new(2)
+        .run_with_domains(
+            &slices,
+            |slice, _array| build(70 + slice as u64),
+            RetirementPolicy::default(),
+        )
+        .unwrap();
+    assert_eq!(domain.run.report.retired_arrays, 0);
+    assert_eq!(domain.run.report.rescheduled_slices, 0);
+    // Round-robin deal over a healthy farm.
+    assert_eq!(domain.assignments, vec![0, 1, 0, 1]);
+    for (p, d) in plain.slices.iter().zip(&domain.run.slices) {
+        assert_eq!(p.outputs, d.outputs);
+        assert_eq!(p.ledger, d.ledger);
+    }
+}
+
+#[test]
+fn retiring_every_array_is_an_error() {
+    let program = sng_bound_program(6);
+    let slices = sched::partition_into(&program, 3).unwrap();
+    let err = PipelineScheduler::new(2)
+        .run_with_domains(
+            &slices,
+            |slice, _array| build_with_rates(slice as u64, FaultRates::uniform(0.05)),
+            RetirementPolicy {
+                max_faults_per_op: 0.1,
+                min_ops: 1,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, ImscError::InvalidConfig(m) if m.contains("retired")));
+}
+
 #[test]
 fn scheduler_reports_the_lowest_indexed_failure() {
     let program = sng_bound_program(8);
@@ -160,6 +281,31 @@ fn scheduler_reports_the_lowest_indexed_failure() {
         })
         .unwrap_err();
     assert!(matches!(err, ImscError::InvalidConfig(m) if m.contains("injected")));
+}
+
+#[test]
+fn mid_run_failures_drain_the_pipeline_without_deadlock() {
+    // Far more slices than bounded-queue slots, with failures injected
+    // at three admission points — one early, two late. The stage
+    // workers must drain in-flight wavefronts, release array tokens,
+    // and surface the lowest-indexed error instead of hanging on a full
+    // queue or a leaked semaphore token. (Under `--features parallel`
+    // this exercises the threaded admission loop; without it, the
+    // sequential fallback must agree on the error choice.)
+    let program = sng_bound_program(32);
+    let slices = sched::partition_into(&program, 32).unwrap();
+    let err = PipelineScheduler::new(2)
+        .run(&slices, |i| {
+            if i == 17 || i == 23 {
+                Err(ImscError::InvalidConfig("late injected failure"))
+            } else if i == 11 {
+                Err(ImscError::InvalidConfig("lowest injected failure"))
+            } else {
+                build(i as u64)
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, ImscError::InvalidConfig(m) if m.contains("lowest")));
 }
 
 #[test]

@@ -193,13 +193,10 @@ pub fn sc_reram_with_stats(
     check_factor(factor)?;
     let width = src.width() * factor;
     let height = src.height() * factor;
-    let (tiles, report) = tile::run_tile_programs(
-        height,
-        cfg.schedule,
-        cfg.opt_spec(RnRefreshPolicy::Explicit),
-        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
-        |_, rows| emit_program(src, factor, rows),
-    )?;
+    let (tiles, report) =
+        tile::run_tile_programs(height, cfg, RnRefreshPolicy::Explicit, |_, rows| {
+            emit_program(src, factor, rows)
+        })?;
     let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
 }

@@ -76,13 +76,10 @@ pub fn sc_reram_with_stats(
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(f, b, alpha)?;
     let width = f.width();
-    let (tiles, report) = tile::run_tile_programs(
-        f.height(),
-        cfg.schedule,
-        cfg.opt_spec(RnRefreshPolicy::Explicit),
-        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::Explicit),
-        |_, rows| emit_program(f, b, alpha, rows),
-    )?;
+    let (tiles, report) =
+        tile::run_tile_programs(f.height(), cfg, RnRefreshPolicy::Explicit, |_, rows| {
+            emit_program(f, b, alpha, rows)
+        })?;
     let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, f.height(), pixels)?, stats))
 }

@@ -76,9 +76,8 @@ pub fn sc_reram_with_stats(
     let width = img.width();
     let (tiles, report) = tile::run_tile_programs(
         img.height(),
-        cfg.schedule,
-        cfg.opt_spec(RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
-        |t| cfg.build_for_tile_with(t, RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)),
+        cfg,
+        RnRefreshPolicy::EveryN(RN_REUSE_PIXELS),
         |_, rows| emit_program(img, rows),
     )?;
     let (pixels, stats) = tile::assemble(tiles, report);

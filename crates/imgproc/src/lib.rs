@@ -38,5 +38,5 @@ pub mod tile;
 
 pub use error::ImgError;
 pub use image::GrayImage;
-pub use scbackend::{CmosScConfig, ScReramConfig};
+pub use scbackend::{ArrayFaultOverride, CmosScConfig, ScReramConfig};
 pub use tile::{ScRunStats, Schedule};

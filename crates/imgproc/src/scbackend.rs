@@ -4,9 +4,21 @@ use crate::error::ImgError;
 use crate::tile::Schedule;
 use imsc::engine::Accelerator;
 use imsc::imsng::ImsngVariant;
-use imsc::{Optimize, RnRefreshPolicy};
+use imsc::{Optimize, RetirementPolicy, RnRefreshPolicy};
 use reram::faults::FaultRates;
 use sc_core::prelude::*;
+
+/// A heterogeneous-farm override: one array (fault domain) of a
+/// pipelined run gets its own fault rates — the "pathological shard"
+/// of fault-domain scheduling. Arrays without an override run the
+/// config's base [`ScReramConfig::fault_rates`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayFaultOverride {
+    /// The array (fault-domain) index the override applies to.
+    pub array: usize,
+    /// That array's fault rates.
+    pub rates: FaultRates,
+}
 
 /// Configuration of the in-ReRAM SC backend.
 #[derive(Debug, Clone, Copy)]
@@ -42,9 +54,23 @@ pub struct ScReramConfig {
     /// `IMSC_OPTIMIZE` environment variable (`off`/`cse`/`full`) sets
     /// the initial level in [`ScReramConfig::new`], which an explicit
     /// [`ScReramConfig::with_optimize`] overrides. Ignored — forced off
-    /// — when fault injection is enabled, because the optimizer's
-    /// bit-identity argument only holds on fault-free substrates.
+    /// — when fault injection is enabled (globally or via a per-array
+    /// override), because the optimizer's bit-identity argument only
+    /// holds on fault-free substrates.
     pub optimize: Optimize,
+    /// Allocate accelerator destination rows least-worn-first instead of
+    /// LIFO (see `imsc::engine::AcceleratorBuilder::wear_leveling`).
+    /// Default off; fault-free pixel output is identical either way,
+    /// only the per-row wear distribution changes
+    /// ([`crate::tile::ScRunStats::stream_wear`]).
+    pub wear_leveling: bool,
+    /// Per-array fault-rate override for pipelined fault-domain runs
+    /// (requires [`Schedule::Pipelined`]).
+    pub array_faults: Option<ArrayFaultOverride>,
+    /// Retirement policy for pipelined fault-domain runs: when set, the
+    /// scheduler tracks per-array health and retires shards past the
+    /// threshold (requires [`Schedule::Pipelined`]).
+    pub retirement: Option<RetirementPolicy>,
 }
 
 impl ScReramConfig {
@@ -64,6 +90,9 @@ impl ScReramConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_default(),
+            wear_leveling: false,
+            array_faults: None,
+            retirement: None,
         }
     }
 
@@ -98,13 +127,38 @@ impl ScReramConfig {
         self
     }
 
+    /// Same configuration with wear-leveling row allocation toggled.
+    #[must_use]
+    pub fn with_wear_leveling(mut self, on: bool) -> Self {
+        self.wear_leveling = on;
+        self
+    }
+
+    /// Same configuration with one array's fault rates overridden for
+    /// pipelined fault-domain runs.
+    #[must_use]
+    pub fn with_array_faults(mut self, array: usize, rates: FaultRates) -> Self {
+        self.array_faults = Some(ArrayFaultOverride { array, rates });
+        self
+    }
+
+    /// Same configuration with fault-domain retirement enabled under the
+    /// given policy.
+    #[must_use]
+    pub fn with_retirement(mut self, policy: RetirementPolicy) -> Self {
+        self.retirement = Some(policy);
+        self
+    }
+
     /// The optimizer level the kernels actually run: the configured
     /// level on fault-free substrates, [`Optimize::Off`] under fault
-    /// injection (faults perturb streams row-locally, voiding the
-    /// optimizer's bit-identity guarantee).
+    /// injection — global rates or a per-array override — (faults
+    /// perturb streams row-locally, voiding the optimizer's bit-identity
+    /// guarantee).
     #[must_use]
     pub fn effective_optimize(&self) -> Optimize {
-        if self.fault_rates.is_fault_free() {
+        let overridden = self.array_faults.is_some_and(|o| !o.rates.is_fault_free());
+        if self.fault_rates.is_fault_free() && !overridden {
             self.optimize
         } else {
             Optimize::Off
@@ -155,15 +209,48 @@ impl ScReramConfig {
         tile: usize,
         kernel_default: RnRefreshPolicy,
     ) -> Result<Accelerator, ImgError> {
+        self.build_with_rates(tile, kernel_default, self.fault_rates)
+    }
+
+    /// Builds the accelerator for one slice of a pipelined fault-domain
+    /// run: like [`ScReramConfig::build_for_tile_with`], but the array's
+    /// fault rates come from [`ScReramConfig::array_faults`] when `array`
+    /// matches the override. The seed depends only on the tile, so any
+    /// healthy array produces bit-identical streams for a slice — which
+    /// is what makes rescheduling a retired shard's slices lossless.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator construction errors.
+    pub fn build_for_slice(
+        &self,
+        tile: usize,
+        array: usize,
+        kernel_default: RnRefreshPolicy,
+    ) -> Result<Accelerator, ImgError> {
+        let rates = match self.array_faults {
+            Some(o) if o.array == array => o.rates,
+            _ => self.fault_rates,
+        };
+        self.build_with_rates(tile, kernel_default, rates)
+    }
+
+    fn build_with_rates(
+        &self,
+        tile: usize,
+        kernel_default: RnRefreshPolicy,
+        rates: FaultRates,
+    ) -> Result<Accelerator, ImgError> {
         Ok(Accelerator::builder()
             .stream_len(self.stream_len)
             .segment_bits(self.segment_bits)
             .seed(crate::tile::tile_seed(self.seed, tile))
-            .fault_rates(self.fault_rates)
+            .fault_rates(rates)
             .trng_bias_sigma(self.trng_bias_sigma)
             .variant(self.variant)
             .refresh_policy(self.refresh_policy.unwrap_or(kernel_default))
             .stream_rows(24)
+            .wear_leveling(self.wear_leveling)
             .build()?)
     }
 }

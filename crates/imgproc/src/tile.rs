@@ -36,12 +36,12 @@
 //!   ([`ScRunStats::pipeline`]).
 
 use crate::error::ImgError;
-use crate::scbackend::prob_to_pixel;
+use crate::scbackend::{prob_to_pixel, ScReramConfig};
 use imsc::cost::CostLedger;
 use imsc::engine::Accelerator;
 use imsc::program::sched::{self, PipelineReport, PipelineScheduler};
 use imsc::program::Program;
-use imsc::{optimize, ExecArena, Optimize, RnRefreshPolicy};
+use imsc::{optimize, ExecArena, Optimize, RnRefreshPolicy, WearSummary};
 
 /// Output rows per tile. Small enough to parallelize modest images,
 /// large enough to amortize accelerator construction per tile.
@@ -75,6 +75,10 @@ pub(crate) struct TileOut {
     pub cache_hits: u64,
     /// RN realizations (epochs) the tile accelerator consumed.
     pub rn_epochs: u64,
+    /// Per-row write-wear summary of the accelerator's stream region.
+    pub stream_wear: WearSummary,
+    /// Bit-flip faults the fault injector actually fired on this tile.
+    pub faults: u64,
 }
 
 /// Aggregate statistics of one tiled SC-ReRAM kernel run.
@@ -98,6 +102,15 @@ pub struct ScRunStats {
     /// ([`CostLedger::scout_ops`] over the pixel count) — the paper's
     /// dominant cost metric and what the program optimizer minimizes.
     pub scout_ops_per_pixel: f64,
+    /// Stream-region write-wear merged across tile accelerators: `max` is
+    /// the hottest physical row anywhere in the run, `total`/`rows` sum,
+    /// so [`WearSummary::max_mean_ratio`] measures how evenly the run's
+    /// writes spread (1.0 = perfectly level). Wear-leveling
+    /// ([`ScReramConfig::wear_leveling`]) exists to push this toward 1.
+    pub stream_wear: WearSummary,
+    /// Total bit-flip faults injected across tile accelerators (0 on
+    /// fault-free runs).
+    pub faults_injected: u64,
 }
 
 /// Derives the per-tile accelerator seed from a master seed. Tile 0 keeps
@@ -156,32 +169,43 @@ where
     )
 }
 
-/// Runs one emitted [`Program`] per row tile under the requested
-/// [`Schedule`]: `build` constructs the accelerator for a tile index,
-/// `emit` the program covering a row range (one output per pixel,
-/// row-major; it must be deterministic in the range and independent of
-/// the tile index). Returns tile outputs in tile order plus the measured
-/// pipeline report when the schedule pipelines.
-pub(crate) fn run_tile_programs<B, E>(
+/// Runs one emitted [`Program`] per row tile under the configuration's
+/// [`Schedule`], building tile accelerators from `cfg` (with
+/// `kernel_default` as the kernel's RN refresh policy). `emit` produces
+/// the program covering a row range (one output per pixel, row-major; it
+/// must be deterministic in the range and independent of the tile index).
+/// Returns tile outputs in tile order plus the measured pipeline report
+/// when the schedule pipelines.
+///
+/// Fault-domain options ([`ScReramConfig::retirement`],
+/// [`ScReramConfig::array_faults`]) are meaningful only when slices are
+/// dealt across arrays, so they require [`Schedule::Pipelined`]; under
+/// [`Schedule::PerTile`] they are rejected rather than silently ignored.
+pub(crate) fn run_tile_programs<E>(
     height: usize,
-    schedule: Schedule,
-    opt: OptSpec,
-    build: B,
+    cfg: &ScReramConfig,
+    kernel_default: RnRefreshPolicy,
     emit: E,
 ) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
 where
-    B: Fn(usize) -> Result<Accelerator, ImgError> + Sync,
     E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
 {
-    match schedule {
+    let opt = cfg.opt_spec(kernel_default);
+    let domains = cfg.retirement.is_some() || cfg.array_faults.is_some();
+    match cfg.schedule {
         Schedule::PerTile => {
+            if domains {
+                return Err(ImgError::InvalidParameter(
+                    "fault-domain options (retirement, per-array faults) need a pipelined schedule",
+                ));
+            }
             let ranges = tile_ranges(height);
             let tiles = imsc::parallel::run_indexed_with(
                 ranges.len(),
                 tile_threads(ranges.len()),
                 ExecArena::new,
                 |arena, t| -> Result<TileOut, ImgError> {
-                    let mut acc = build(t)?;
+                    let mut acc = cfg.build_for_tile_with(t, kernel_default)?;
                     let program = opt.apply(emit(t, ranges[t].clone()));
                     let values = program.plan()?.execute_in(&mut acc, arena)?;
                     Ok(tile_out(values, &acc))
@@ -189,7 +213,9 @@ where
             )?;
             Ok((tiles, None))
         }
-        Schedule::Pipelined { arrays } => run_pipelined(height, arrays, opt, &build, &emit),
+        Schedule::Pipelined { arrays } => {
+            run_pipelined(height, arrays, cfg, kernel_default, opt, &emit)
+        }
     }
 }
 
@@ -220,6 +246,8 @@ fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
         ledger: *acc.ledger(),
         cache_hits: acc.encode_cache_hits(),
         rn_epochs: acc.rn_epoch(),
+        stream_wear: acc.stream_wear(),
+        faults: acc.faults_injected(),
     }
 }
 
@@ -227,15 +255,20 @@ fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
 /// whole image, partition it at tile-shaped output boundaries (clean
 /// cuts by construction — no register lives across a pixel), and hand
 /// the slices to the cross-array scheduler with per-tile accelerators.
-fn run_pipelined<B, E>(
+/// With fault-domain options configured, the scheduler runs in
+/// retirement mode: per-array health is tracked, arrays past the policy
+/// threshold are retired mid-run, and their slices reschedule onto
+/// survivors (visible as `PipelineReport::retired_arrays` /
+/// `rescheduled_slices`).
+fn run_pipelined<E>(
     height: usize,
     arrays: usize,
+    cfg: &ScReramConfig,
+    kernel_default: RnRefreshPolicy,
     opt: OptSpec,
-    build: &B,
     emit: &E,
 ) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
 where
-    B: Fn(usize) -> Result<Accelerator, ImgError> + Sync,
     E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
 {
     if arrays == 0 {
@@ -263,7 +296,18 @@ where
         .into_iter()
         .map(|s| opt.apply(s))
         .collect();
-    let run = PipelineScheduler::new(arrays).run(&slices, build)?;
+    let scheduler = PipelineScheduler::new(arrays);
+    let run = if cfg.retirement.is_some() || cfg.array_faults.is_some() {
+        scheduler
+            .run_with_domains(
+                &slices,
+                |tile, array| cfg.build_for_slice(tile, array, kernel_default),
+                cfg.retirement.unwrap_or_default(),
+            )?
+            .run
+    } else {
+        scheduler.run(&slices, |t| cfg.build_for_tile_with(t, kernel_default))?
+    };
     let tiles = run
         .slices
         .into_iter()
@@ -272,6 +316,8 @@ where
             ledger: s.ledger,
             cache_hits: s.cache_hits,
             rn_epochs: s.rn_epochs,
+            stream_wear: s.stream_wear,
+            faults: s.faults_injected,
         })
         .collect();
     Ok((tiles, Some(run.report)))
@@ -294,6 +340,8 @@ pub(crate) fn assemble(
         stats.ledger.merge(&tile.ledger);
         stats.encode_cache_hits += tile.cache_hits;
         stats.rn_epochs += tile.rn_epochs;
+        stats.stream_wear.merge(&tile.stream_wear);
+        stats.faults_injected += tile.faults;
     }
     if !pixels.is_empty() {
         stats.scout_ops_per_pixel = stats.ledger.scout_ops() as f64 / pixels.len() as f64;
@@ -314,6 +362,8 @@ mod tests {
             },
             cache_hits: t as u64,
             rn_epochs: 1,
+            stream_wear: WearSummary::default(),
+            faults: 0,
         })
     }
 
@@ -353,17 +403,17 @@ mod tests {
 
     #[test]
     fn zero_arrays_is_rejected() {
-        let err = run_tile_programs(
-            8,
-            Schedule::Pipelined { arrays: 0 },
-            OptSpec {
-                level: Optimize::Off,
-                policy: RnRefreshPolicy::PerEncode,
-            },
-            |_| -> Result<Accelerator, ImgError> { unreachable!("never built") },
-            |_, _| Program::new(),
-        )
-        .unwrap_err();
+        let cfg = ScReramConfig::new(256, 1).with_schedule(Schedule::Pipelined { arrays: 0 });
+        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, |_, _| Program::new())
+            .unwrap_err();
+        assert!(matches!(err, ImgError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn domain_options_require_pipelining() {
+        let cfg = ScReramConfig::new(256, 1).with_retirement(imsc::RetirementPolicy::default());
+        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, |_, _| Program::new())
+            .unwrap_err();
         assert!(matches!(err, ImgError::InvalidParameter(_)));
     }
 

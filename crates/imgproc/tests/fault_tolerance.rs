@@ -1,0 +1,129 @@
+//! End-to-end fault tolerance: wear-leveling row allocation and
+//! fault-domain shard retirement on the real image kernels.
+//!
+//! Wear-leveling must change *where* streams live without changing
+//! *what* they compute; retirement must detect a pathological array in a
+//! pipelined farm, discard its contributions, and reschedule onto clean
+//! survivors — losslessly, because slice seeds depend only on the tile.
+
+use imgproc::{bilinear, compositing, matting, metrics, synth, ScReramConfig, Schedule};
+use imsc::RetirementPolicy;
+use reram::faults::FaultRates;
+
+/// Per-kernel PSNR floors (dB) vs the exact software kernels at N = 256.
+/// Comfortably below the measured fault-free values (bilinear ≈ 31 dB,
+/// matting recomposite ≈ 35 dB) but far above what kept faulty slices
+/// would produce.
+const BILINEAR_PSNR_FLOOR: f64 = 27.0;
+const MATTING_PSNR_FLOOR: f64 = 27.0;
+
+/// A three-array pipelined farm whose array 1 flips bits heavily; the
+/// retirement policy trips on the first slice the bad array touches.
+fn lopsided(cfg: ScReramConfig) -> ScReramConfig {
+    cfg.with_schedule(Schedule::Pipelined { arrays: 3 })
+        .with_array_faults(1, FaultRates::uniform(0.05))
+        .with_retirement(RetirementPolicy {
+            max_faults_per_op: 0.5,
+            min_ops: 64,
+        })
+}
+
+#[test]
+fn wear_leveling_preserves_kernel_pixels_and_flattens_wear() {
+    let src = synth::value_noise(16, 24, 3, 7);
+    let cfg = ScReramConfig::new(256, 11);
+    let (plain, plain_stats) = bilinear::sc_reram_with_stats(&src, 2, &cfg).unwrap();
+    let (leveled, leveled_stats) =
+        bilinear::sc_reram_with_stats(&src, 2, &cfg.with_wear_leveling(true)).unwrap();
+
+    assert_eq!(plain.pixels(), leveled.pixels(), "pixels must not change");
+    assert_eq!(plain_stats.ledger, leveled_stats.ledger);
+    assert_eq!(
+        plain_stats.stream_wear.total, leveled_stats.stream_wear.total,
+        "leveling moves writes, it does not add any"
+    );
+    assert!(
+        plain_stats.stream_wear.max >= 2 * leveled_stats.stream_wear.max,
+        "hottest row must at least halve: {} vs {}",
+        plain_stats.stream_wear.max,
+        leveled_stats.stream_wear.max
+    );
+    assert!(leveled_stats.stream_wear.max_mean_ratio() < plain_stats.stream_wear.max_mean_ratio());
+}
+
+#[test]
+fn retirement_is_lossless_with_clean_survivors() {
+    // 24 output rows → 3 tiles over 3 arrays: the round-robin deal puts
+    // tile 1 on the pathological array, which must be retired and its
+    // slice re-run on a survivor.
+    let src = synth::value_noise(16, 12, 3, 19);
+    let cfg = ScReramConfig::new(256, 23);
+    let (reference, _) = bilinear::sc_reram_with_stats(&src, 2, &cfg).unwrap();
+
+    let (out, stats) = bilinear::sc_reram_with_stats(&src, 2, &lopsided(cfg)).unwrap();
+    let report = stats.pipeline.expect("pipelined run reports");
+    assert_eq!(report.retired_arrays, 1, "the bad array must retire");
+    assert!(report.rescheduled_slices >= 1);
+    assert_eq!(stats.faults_injected, 0, "no faulty slice result was kept");
+    // Slice seeds depend only on the tile, so rescheduling onto a clean
+    // survivor reproduces exactly what a healthy farm computes.
+    assert_eq!(out.pixels(), reference.pixels());
+
+    let software = bilinear::software(&src, 2).unwrap();
+    let psnr = metrics::psnr(&software, &out).unwrap();
+    assert!(psnr > BILINEAR_PSNR_FLOOR, "bilinear psnr {psnr:.2} dB");
+}
+
+#[test]
+fn matting_fallbacks_survive_shard_retirement() {
+    // Matting exercises the documented fault fallback (divide_or on
+    // degenerate denominators) plus XOR/CORDIV correlated encodes; the
+    // retired shard must not perturb any of it.
+    let set = synth::app_images(12, 24, 31);
+    let i = compositing::software(&set.foreground, &set.background, &set.alpha).unwrap();
+    let cfg = ScReramConfig::new(256, 37);
+
+    let (clean, _) =
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, &cfg).unwrap();
+    let (retired, stats) =
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, &lopsided(cfg)).unwrap();
+    assert_eq!(stats.pipeline.expect("pipelined").retired_arrays, 1);
+    assert_eq!(
+        retired.pixels(),
+        clean.pixels(),
+        "retirement must not move matting's fallback pixels"
+    );
+
+    // Quality is judged on the recomposite, like Table IV: the PSNR
+    // delta of the retired run vs the clean run is exactly zero (bit
+    // identity above), and both clear the kernel floor.
+    let rec_true = matting::recomposite(&set.foreground, &set.background, &set.alpha).unwrap();
+    let rec_est = matting::recomposite(&set.foreground, &set.background, &retired).unwrap();
+    let psnr = metrics::psnr(&rec_true, &rec_est).unwrap();
+    assert!(psnr > MATTING_PSNR_FLOOR, "matting psnr {psnr:.2} dB");
+}
+
+#[test]
+fn an_all_faulty_farm_errors_instead_of_returning_garbage() {
+    let src = synth::value_noise(8, 12, 3, 3);
+    let cfg = ScReramConfig::new(64, 5)
+        .with_schedule(Schedule::Pipelined { arrays: 2 })
+        .with_faults(FaultRates::uniform(0.05))
+        .with_retirement(RetirementPolicy {
+            max_faults_per_op: 0.1,
+            min_ops: 1,
+        });
+    let err = bilinear::sc_reram_with_stats(&src, 2, &cfg).unwrap_err();
+    assert!(format!("{err}").contains("retired"), "{err}");
+}
+
+#[test]
+fn invalid_fault_rates_surface_as_config_errors() {
+    let src = synth::value_noise(8, 8, 3, 3);
+    let cfg = ScReramConfig::new(64, 5).with_faults(FaultRates {
+        maj: f64::NAN,
+        ..FaultRates::none()
+    });
+    let err = bilinear::sc_reram_with_stats(&src, 2, &cfg).unwrap_err();
+    assert!(format!("{err}").contains("fault_rates.maj"), "{err}");
+}

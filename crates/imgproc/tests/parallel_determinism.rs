@@ -51,6 +51,32 @@ fn threaded_tiles_match_serial_run_exactly() {
 }
 
 #[test]
+fn wear_leveled_tiles_are_deterministic_across_worker_counts() {
+    // Wear-leveling makes row allocation depend on the accelerator's
+    // accumulated wear map; each tile owns its accelerator, so the
+    // leveled allocation stream — and therefore pixels AND the merged
+    // wear summary — must be bit-identical whatever the worker count.
+    let img = synth::value_noise(12, 20, 3, 17);
+    let cfg = ScReramConfig::new(256, 29).with_wear_leveling(true);
+
+    let (serial_img, serial_stats) =
+        with_threads(1, || edge::sc_reram_with_stats(&img, &cfg).unwrap());
+    assert!(serial_stats.tiles >= 2, "need a multi-tile run");
+    assert!(serial_stats.stream_wear.max > 0);
+
+    for threads in [2, 4] {
+        let (par_img, par_stats) =
+            with_threads(threads, || edge::sc_reram_with_stats(&img, &cfg).unwrap());
+        assert_eq!(par_img.pixels(), serial_img.pixels(), "{threads}-thread");
+        assert_eq!(
+            par_stats.stream_wear, serial_stats.stream_wear,
+            "{threads}-thread wear summary"
+        );
+        assert_eq!(par_stats.ledger, serial_stats.ledger);
+    }
+}
+
+#[test]
 fn threaded_matting_is_deterministic_with_fallback_pixels() {
     // Matting has data-dependent fallbacks (degenerate and zero-divisor
     // pixels); determinism must hold through those too.

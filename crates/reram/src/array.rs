@@ -50,6 +50,11 @@ pub struct CrossbarArray {
     sampler: GaussianSampler,
     row_writes: u64,
     row_reads: u64,
+    /// Per-row write-operation counts (wear map for endurance-aware
+    /// allocation): one tick per `write_row`, regardless of how many
+    /// cells the differential write actually reprogrammed — the wordline
+    /// pulse stresses the whole row.
+    row_wear: Vec<u64>,
 }
 
 impl CrossbarArray {
@@ -84,6 +89,7 @@ impl CrossbarArray {
             sampler: GaussianSampler::new(seed),
             row_writes: 0,
             row_reads: 0,
+            row_wear: vec![0; rows],
         }
     }
 
@@ -121,6 +127,23 @@ impl CrossbarArray {
     #[must_use]
     pub fn row_reads(&self) -> u64 {
         self.row_reads
+    }
+
+    /// Per-row write-operation counts, indexed by physical row (the wear
+    /// map consumed by endurance-aware row allocation).
+    #[must_use]
+    pub fn wear(&self) -> &[u64] {
+        &self.row_wear
+    }
+
+    /// The write-operation count of one physical row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::RowOutOfRange`] if `row` exceeds the height.
+    pub fn row_wear(&self, row: usize) -> Result<u64, ReramError> {
+        self.check_row(row)?;
+        Ok(self.row_wear[row])
     }
 
     /// Whether the analog per-cell state has been materialized.
@@ -229,6 +252,7 @@ impl CrossbarArray {
             });
         }
         self.row_writes += 1;
+        self.row_wear[row] += 1;
         let base = row * self.words_per_row;
         let cell_base = row * self.cols;
         let mut changed = 0usize;
@@ -407,6 +431,18 @@ mod tests {
         assert_eq!(a.row_writes(), 1);
         assert_eq!(a.row_reads(), 2);
         assert!(a.max_cell_writes() >= 2); // initial program + write
+    }
+
+    #[test]
+    fn wear_map_counts_row_writes() {
+        let mut a = CrossbarArray::pristine(4, 64, 11);
+        let data = BitStream::from_fn(64, |i| i % 2 == 0);
+        a.write_row(1, &data).unwrap();
+        a.write_row(1, &data).unwrap(); // identical data still wears the row
+        a.write_row(3, &data).unwrap();
+        assert_eq!(a.wear(), &[0, 2, 0, 1]);
+        assert_eq!(a.row_wear(1).unwrap(), 2);
+        assert!(a.row_wear(4).is_err());
     }
 
     #[test]

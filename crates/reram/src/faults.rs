@@ -6,6 +6,7 @@
 //! this module applies them: every output bit of an in-memory operation is
 //! flipped independently with the operation's failure probability.
 
+use crate::error::ReramError;
 use crate::scouting::SlOp;
 use sc_core::rng::Xoshiro256;
 use sc_core::BitStream;
@@ -68,6 +69,34 @@ impl FaultRates {
             SlOp::Maj => self.maj,
             SlOp::Not => self.not,
         }
+    }
+
+    /// Checks that every rate is a probability.
+    ///
+    /// The geometric-gap sampler assumes `p ∈ [0, 1]`; a NaN or
+    /// out-of-range rate would silently sample garbage (NaN comparisons
+    /// are all-false, so `corrupt_with_prob` would neither early-out nor
+    /// saturate). Builders call this before constructing an injector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReramError::InvalidParameter`] naming the first offending
+    /// field if any rate is NaN or outside `[0.0, 1.0]`.
+    pub fn validate(&self) -> Result<(), ReramError> {
+        let fields: [(&'static str, f64); 6] = [
+            ("fault_rates.and", self.and),
+            ("fault_rates.or", self.or),
+            ("fault_rates.xor", self.xor),
+            ("fault_rates.maj", self.maj),
+            ("fault_rates.not", self.not),
+            ("fault_rates.write", self.write),
+        ];
+        for (name, value) in fields {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ReramError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
     }
 
     /// Whether every rate is zero.
@@ -241,6 +270,36 @@ mod tests {
         inj.corrupt_op_output(SlOp::And, &mut s);
         assert_eq!(s.count_ones(), 0);
         assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_probabilities() {
+        assert!(FaultRates::none().validate().is_ok());
+        assert!(FaultRates::uniform(1.0).validate().is_ok());
+        assert!(FaultRates::uniform(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_nan() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FaultRates::uniform(bad).validate().unwrap_err();
+            assert!(matches!(
+                err,
+                crate::error::ReramError::InvalidParameter { .. }
+            ));
+        }
+        // The first offending field is named.
+        let rates = FaultRates {
+            maj: -1.0,
+            ..FaultRates::none()
+        };
+        match rates.validate().unwrap_err() {
+            crate::error::ReramError::InvalidParameter { name, value } => {
+                assert_eq!(name, "fault_rates.maj");
+                assert_eq!(value, -1.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
