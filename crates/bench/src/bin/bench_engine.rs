@@ -18,10 +18,13 @@
 //!   wall-clock, measured in one process so load cancels), failed
 //!   beyond the same threshold;
 //! * `"ops"` anchors (`scout_ops_per_pixel` of the program optimizer at
-//!   Off/Full), deterministic counts failed on any real increase.
+//!   Off/Full), deterministic counts failed on any real increase;
+//! * `"energy_nj"` / `"busy_ns"` replay anchors (nvsim replay of each
+//!   kernel's real pipelined schedule), deterministic simulated values
+//!   failed on any real increase.
 
 use imgproc::scbackend::ScReramConfig;
-use imgproc::{bilinear, compositing, synth, Schedule};
+use imgproc::{bilinear, compositing, edge, matting, synth, Schedule};
 use imsc::Optimize;
 use reram::array::CrossbarArray;
 use reram::scouting::{ScoutingLogic, SlOp};
@@ -101,6 +104,8 @@ fn main() {
         }
         let ops = bench::regress::parse_anchor_field(&json, "ops");
         let ratios = bench::regress::parse_anchor_field(&json, "vs_per_tile");
+        let energy = bench::regress::parse_anchor_field(&json, "energy_nj");
+        let busy = bench::regress::parse_anchor_field(&json, "busy_ns");
         // Never clobber the baseline being checked against: an explicit
         // matching --out is an error; the default out path is redirected
         // to a sibling .check.json (the same convention bench_check.sh
@@ -113,7 +118,7 @@ fn main() {
             out = format!("{}.check.json", path.trim_end_matches(".json"));
             println!("bench-check: writing measurements to {out} (baseline preserved)");
         }
-        (path, anchors, ops, ratios)
+        (path, anchors, ops, ratios, energy, busy)
     });
     let threshold: f64 = match args.iter().position(|a| a == "--check-threshold") {
         None => 25.0,
@@ -344,6 +349,86 @@ fn main() {
         println!("{name:<44} {ops:>14.3} ops");
     }
 
+    // --- Energy ground truth: nvsim replay of real schedules -----------
+    // Each kernel runs small pipelined workloads with trace replay on:
+    // the dispatch-ordered, bank-mapped command stream every slice emits
+    // is replayed through `nvsim::Simulator`, and the resulting joules
+    // and serial busy nanoseconds are anchored per kernel. The replay is
+    // an exact simulation of a deterministic schedule, so the anchors
+    // are gated like the ops counters — any real increase in a kernel's
+    // replayed energy or latency fails the check.
+    let cfg_replay = ScReramConfig::new(64, 9)
+        .with_optimize(Optimize::Off)
+        .with_trace_replay(true)
+        .with_schedule(Schedule::Pipelined { arrays: 3 });
+    let mut replay_results: Vec<(String, imsc::instrument::ReplaySummary)> = Vec::new();
+    {
+        let costs = reram::energy::ReramCosts::calibrated();
+        let edge_src = synth::value_noise(16, 32, 3, 11);
+        let up_src = synth::gradient(8, 16, true);
+        let rapp = synth::app_images(16, 32, 42);
+        let composite =
+            imgproc::compositing::software(&rapp.foreground, &rapp.background, &rapp.alpha)
+                .expect("matched dimensions");
+        let runs = [
+            (
+                "edge",
+                edge::sc_reram_with_stats(&edge_src, &cfg_replay)
+                    .expect("valid input")
+                    .1,
+            ),
+            (
+                "bilinear",
+                bilinear::sc_reram_with_stats(&up_src, 2, &cfg_replay)
+                    .expect("valid input")
+                    .1,
+            ),
+            (
+                "compositing",
+                compositing::sc_reram_with_stats(
+                    &rapp.foreground,
+                    &rapp.background,
+                    &rapp.alpha,
+                    &cfg_replay,
+                )
+                .expect("valid input")
+                .1,
+            ),
+            (
+                "matting",
+                matting::sc_reram_with_stats(
+                    &composite,
+                    &rapp.background,
+                    &rapp.foreground,
+                    &cfg_replay,
+                )
+                .expect("valid input")
+                .1,
+            ),
+        ];
+        for (kernel, stats) in runs {
+            let replay = stats.replay.expect("trace replay enabled");
+            // The replayed stream must account for every recorded op —
+            // a mismatch means the instrumentation dropped or invented
+            // commands, which no tolerance band should forgive.
+            assert_eq!(
+                replay.commands,
+                stats.ledger.replay_commands(),
+                "{kernel}: replayed command count diverged from the ledger"
+            );
+            let analytic_nj = stats.ledger.energy_nj(&costs, 64);
+            println!(
+                "{:<44} {:>14.3} nJ replayed ({} cmds, {:.1} busy-ns, analytic/replay {:.3})",
+                format!("{kernel}_replay"),
+                replay.energy_nj,
+                replay.commands,
+                replay.busy_ns,
+                analytic_nj / replay.energy_nj
+            );
+            replay_results.push((format!("{kernel}_replay"), replay));
+        }
+    }
+
     let mut json = String::from("{\n");
     for (name, ns) in &results {
         let baseline = PRE_PR_BASELINE_NS
@@ -424,15 +509,26 @@ fn main() {
             }
         }
     }
-    for (i, (name, ops)) in ops_results.iter().enumerate() {
-        let comma = if i + 1 == ops_results.len() { "" } else { "," };
-        let _ = writeln!(json, "  \"{name}\": {{\"ops\": {ops:.3}}}{comma}");
+    for (name, ops) in ops_results.iter() {
+        let _ = writeln!(json, "  \"{name}\": {{\"ops\": {ops:.3}}},");
+    }
+    for (i, (name, replay)) in replay_results.iter().enumerate() {
+        let comma = if i + 1 == replay_results.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "  \"{name}\": {{\"energy_nj\": {:.3}, \"busy_ns\": {:.3}, \"commands\": {}}}{comma}",
+            replay.energy_nj, replay.busy_ns, replay.commands
+        );
     }
     json.push_str("}\n");
     std::fs::write(&out, json).expect("writable output path");
     println!("wrote {out}");
 
-    if let Some((path, anchors, base_ops, base_ratios)) = baseline {
+    if let Some((path, anchors, base_ops, base_ratios, base_energy, base_busy)) = baseline {
         // The pipelined anchor's absolute time is gated through the
         // same-run ratio below, not through wall-clock: its ns flapped
         // with runner load while the A/B ratio is load-invariant.
@@ -486,15 +582,43 @@ fn main() {
         }
         failed |= !found.is_empty();
 
+        // Replayed energy/latency: deterministic simulation, same
+        // tolerance band as the counters — any real increase fails.
+        let measured_energy: Vec<(String, f64)> = replay_results
+            .iter()
+            .map(|(n, r)| (n.clone(), r.energy_nj))
+            .collect();
+        let measured_busy: Vec<(String, f64)> = replay_results
+            .iter()
+            .map(|(n, r)| (n.clone(), r.busy_ns))
+            .collect();
+        for (family, base, measured) in [
+            ("replay energy_nj", &base_energy, &measured_energy),
+            ("replay busy_ns", &base_busy, &measured_busy),
+        ] {
+            let found = bench::regress::regressions(base, measured, 0.01);
+            for r in &found {
+                match r.measured_ns {
+                    Some(v) => eprintln!(
+                        "  {family}: {}: {v:.3} vs baseline {:.3} (+{:.2}%)",
+                        r.name, r.baseline_ns, r.slowdown_pct
+                    ),
+                    None => eprintln!("  {family}: {}: no longer measured", r.name),
+                }
+            }
+            failed |= !found.is_empty();
+        }
+
         if failed {
             eprintln!("bench-check: anchors regressed (see above)");
             std::process::exit(1);
         }
         println!(
-            "bench-check: OK ({} ns anchors within {threshold}%, {} ratio + {} ops anchors, vs {path})",
+            "bench-check: OK ({} ns anchors within {threshold}%, {} ratio + {} ops + {} replay anchors, vs {path})",
             ns_anchors.len(),
             base_ratios.len(),
-            base_ops.len()
+            base_ops.len(),
+            base_energy.len() + base_busy.len()
         );
     }
 }

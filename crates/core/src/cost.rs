@@ -175,6 +175,56 @@ impl CostLedger {
             + self.stream_writes as f64 * w * e.e_write_bit_pj / 1000.0
             + self.adc_samples as f64 * e.e_adc_sample_nj
     }
+
+    /// Row writes this ledger dispatches to the command stream: IMSNG
+    /// intermediates and SBS writes, result-stream writes, and TRNG row
+    /// fills. Diagnostic `stream_reads` never issue commands.
+    #[must_use]
+    pub fn replay_writes(&self) -> u64 {
+        self.imsng.intermediate_writes
+            + self.imsng.sbs_writes
+            + self.stream_writes
+            + self.trng_fills
+    }
+
+    /// Total commands this ledger dispatches to the command stream.
+    #[must_use]
+    pub fn replay_commands(&self) -> u64 {
+        self.scout_ops() + self.replay_writes() + self.cordiv_steps + self.adc_samples
+    }
+
+    /// Exact analytic mirror of a banked nvsim replay of this ledger's
+    /// command stream: every scout (IMSNG sensing, single-cycle, XOR)
+    /// takes one `t_sense` step, every dispatched write (including the
+    /// TRNG fills and SBS writes that [`CostLedger::latency_ns`] excludes
+    /// per the paper's Table III accounting, and without the XOR
+    /// dual-reference surcharge the replay's single scout command cannot
+    /// carry) takes `t_write`, plus CORDIV/ADC step costs. Agrees with
+    /// the replay's serial busy time to machine precision — divergence
+    /// means the trace plumbing dropped or invented commands.
+    #[must_use]
+    pub fn replay_latency_ns(&self, costs: &ReramCosts) -> f64 {
+        let t = &costs.timings;
+        self.scout_ops() as f64 * t.t_sense_ns
+            + self.replay_writes() as f64 * t.t_write_ns
+            + self.cordiv_steps as f64 * t.t_cordiv_step_ns
+            + self.adc_samples as f64 * t.t_adc_ns
+    }
+
+    /// Exact analytic mirror of the banked replay's energy for
+    /// `width`-bit rows: all scouts at the sensing energy, all dispatched
+    /// writes at the write energy (the replay charges one command class
+    /// each; the analytic model's `e_slop` arithmetic-op rate is a
+    /// different, coarser split of the same calibration).
+    #[must_use]
+    pub fn replay_energy_nj(&self, costs: &ReramCosts, width: usize) -> f64 {
+        let e = &costs.energies;
+        let w = width as f64;
+        self.scout_ops() as f64 * w * e.e_sense_bit_pj / 1000.0
+            + self.replay_writes() as f64 * w * e.e_write_bit_pj / 1000.0
+            + self.cordiv_steps as f64 * e.e_cordiv_step_pj / 1000.0
+            + self.adc_samples as f64 * e.e_adc_sample_nj
+    }
 }
 
 /// Endurance summary of one array region's per-row write counts (the wear
@@ -299,6 +349,34 @@ mod tests {
         assert!(c256.energy_nj > 4.0 * c32.energy_nj);
         // Latency of the sensing path is width-independent (row parallel).
         assert!((c256.latency_ns - c32.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_estimators_mirror_command_classes() {
+        let costs = ReramCosts::calibrated();
+        let ledger = CostLedger {
+            imsng: imsng_cost(M, ImsngVariant::Naive),
+            sl_single_ops: 2,
+            sl_xor_ops: 1,
+            cordiv_steps: 4,
+            stream_writes: 3,
+            stream_reads: 7, // must not appear anywhere below
+            adc_samples: 2,
+            trng_fills: 8,
+        };
+        assert_eq!(ledger.replay_writes(), 16 + 1 + 3 + 8);
+        assert_eq!(ledger.replay_commands(), 43 + 28 + 4 + 2);
+        let t = &costs.timings;
+        let expect_ns =
+            43.0 * t.t_sense_ns + 28.0 * t.t_write_ns + 4.0 * t.t_cordiv_step_ns + 2.0 * t.t_adc_ns;
+        assert!((ledger.replay_latency_ns(&costs) - expect_ns).abs() < 1e-9);
+        let e = &costs.energies;
+        let expect_nj = (43.0 * 256.0 * e.e_sense_bit_pj
+            + 28.0 * 256.0 * e.e_write_bit_pj
+            + 4.0 * e.e_cordiv_step_pj)
+            / 1000.0
+            + 2.0 * e.e_adc_sample_nj;
+        assert!((ledger.replay_energy_nj(&costs, 256) - expect_nj).abs() < 1e-9);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub struct AcceleratorBuilder {
     stream_rows: usize,
     device: DeviceParams,
     record_trace: bool,
+    trace_bank: usize,
     refresh_policy: RnRefreshPolicy,
     whiten_select: bool,
     wear_leveling: bool,
@@ -70,6 +71,7 @@ impl AcceleratorBuilder {
             stream_rows: 64,
             device: DeviceParams::default(),
             record_trace: false,
+            trace_bank: 0,
             refresh_policy: RnRefreshPolicy::PerEncode,
             whiten_select: false,
             wear_leveling: false,
@@ -138,6 +140,16 @@ impl AcceleratorBuilder {
     #[must_use]
     pub fn record_trace(mut self, on: bool) -> Self {
         self.record_trace = on;
+        self
+    }
+
+    /// Memory bank recorded trace commands address (default 0). Multi-
+    /// array schedules map each array onto its own bank so stitched
+    /// traces replay bank-parallel, mirroring the paper's multi-array
+    /// pipelining.
+    #[must_use]
+    pub fn trace_bank(mut self, bank: usize) -> Self {
+        self.trace_bank = bank;
         self
     }
 
@@ -241,6 +253,7 @@ impl AcceleratorBuilder {
             } else {
                 None
             },
+            trace_bank: self.trace_bank,
             cache_enabled: self.fault_rates.is_fault_free(),
             encode_cache: HashMap::new(),
             encode_cache_epoch: 0,
@@ -339,6 +352,7 @@ pub struct Accelerator {
     next_group: u64,
     ledger: CostLedger,
     trace: Option<Trace>,
+    trace_bank: usize,
     cache_enabled: bool,
     /// Memoized conversions keyed by the RN epoch they were generated
     /// under ([`Accelerator::rn_epoch`]): the stream *and* the cost
@@ -391,6 +405,22 @@ impl Accelerator {
         self.trace.as_ref()
     }
 
+    /// Drains the recorded command trace, leaving recording enabled with
+    /// an empty buffer. Streaming consumers (the instrumentation sink)
+    /// call this at schedule boundaries so whole-frame runs never buffer
+    /// one giant trace. Returns `None` when tracing is off.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace
+            .as_mut()
+            .map(|t| std::mem::replace(t, Trace::new()))
+    }
+
+    /// The memory bank this accelerator's trace commands address.
+    #[must_use]
+    pub fn trace_bank(&self) -> usize {
+        self.trace_bank
+    }
+
     /// Stream rows still available before handles must be released.
     #[must_use]
     pub fn available_rows(&self) -> usize {
@@ -416,7 +446,7 @@ impl Accelerator {
 
     fn record(&mut self, cmd: CmdKind, row: usize) {
         if let Some(t) = self.trace.as_mut() {
-            t.push(Command::new(0, row, cmd));
+            t.push(Command::new(self.trace_bank, row, cmd));
         }
     }
 
@@ -454,16 +484,22 @@ impl Accelerator {
         self.refresh_policy
     }
 
-    /// Runs the policy-scheduled refresh in front of one encode batch.
-    /// The very first batch always fills the rows, whatever the policy.
-    fn refresh_for_encode(&mut self) -> Result<(), ImscError> {
-        let due = self.rn_epoch == 0
+    /// Whether the next encode batch will trigger a policy-scheduled
+    /// refresh. The very first batch always fills the rows, whatever the
+    /// policy. Split out so batched recording can flush conversions of
+    /// the outgoing realization *before* the refresh fill hits the trace.
+    fn refresh_due(&self) -> bool {
+        self.rn_epoch == 0
             || match self.refresh_policy {
                 RnRefreshPolicy::PerEncode => true,
                 RnRefreshPolicy::EveryN(n) => self.encodes_since_refresh >= n,
                 RnRefreshPolicy::Explicit => false,
-            };
-        if due {
+            }
+    }
+
+    /// Runs the policy-scheduled refresh in front of one encode batch.
+    fn refresh_for_encode(&mut self) -> Result<(), ImscError> {
+        if self.refresh_due() {
             self.refresh_rn_rows()?;
         }
         self.encodes_since_refresh += 1;
@@ -509,23 +545,40 @@ impl Accelerator {
         }
     }
 
-    fn record_imsng(&mut self, dest: usize) {
+    /// Records the command stream of one batched IMSNG dispatch covering
+    /// `dests` conversions (a batch of one is a plain single encode).
+    ///
+    /// The comparison schedule runs segment-major: each RN segment row is
+    /// asserted while the 5 sensing steps of *every* operand in the batch
+    /// execute against the peripheral latches, then the next segment row
+    /// is selected. The scout reads are therefore anchored at the segment
+    /// row — back-to-back operands on one segment re-assert the same
+    /// wordline group, which a row-buffer-aware replay counts as row hits
+    /// (this is exactly how encode coalescing pays off in the banked
+    /// model). The per-conversion write phase (variant intermediates plus
+    /// the final SBS write) targets each destination row afterwards.
+    fn record_imsng_batch(&mut self, dests: &[usize]) {
+        if self.trace.is_none() || dests.is_empty() {
+            return;
+        }
         let m = self.imsng.segment_bits() as usize;
-        // The comparison schedule senses against the destination latches;
-        // record the scout reads at the conversion's destination row, not
-        // at a (misleading) fixed RN row.
-        for _ in 0..5 * m {
-            self.record(CmdKind::ScoutRead { rows: 2 }, dest);
+        for s in 0..m {
+            let rn_row = self.rn_rows[s];
+            for _ in 0..5 * dests.len() {
+                self.record(CmdKind::ScoutRead { rows: 2 }, rn_row);
+            }
         }
         let writes = match self.imsng.variant() {
             ImsngVariant::Baseline => 4 * m,
             ImsngVariant::Naive => 2 * m,
             ImsngVariant::Opt => 0,
         };
-        for _ in 0..writes {
+        for &dest in dests {
+            for _ in 0..writes {
+                self.record(CmdKind::Write, dest);
+            }
             self.record(CmdKind::Write, dest);
         }
-        self.record(CmdKind::Write, dest);
     }
 
     fn slot(&self, h: StreamHandle) -> Result<&StreamSlot, ImscError> {
@@ -560,39 +613,54 @@ impl Accelerator {
     /// * [`ImscError::Device`] / [`ImscError::Stochastic`] — substrate
     ///   failures.
     pub fn encode(&mut self, x: Fixed) -> Result<StreamHandle, ImscError> {
-        let dest = self.alloc_row()?;
-        let generated = self
-            .refresh_for_encode()
-            .and_then(|()| self.generate_into(x, dest));
-        match generated {
-            Ok(cost) => {
-                self.ledger.imsng.accumulate(&cost);
-                self.record_imsng(dest);
-                let group = self.fresh_group();
-                Ok(self.new_slot(dest, group))
-            }
-            Err(e) => {
-                self.allocator.release(dest);
-                Err(e)
-            }
-        }
+        Ok(self.encode_many(std::slice::from_ref(&x))?[0])
     }
 
     /// Encodes a batch of operands, each in its own fresh correlation
     /// domain (the batched form of [`Accelerator::encode`]). Row and slot
-    /// bookkeeping is reserved once for the whole batch.
+    /// bookkeeping is reserved once for the whole batch, and conversions
+    /// sharing one RN realization are recorded as a single segment-major
+    /// IMSNG dispatch ([`Accelerator::record_imsng_batch`]); a policy
+    /// refresh mid-batch flushes the outgoing realization's dispatch
+    /// before the fill writes.
     ///
     /// # Errors
     ///
     /// Same as [`Accelerator::encode`]; on failure, rows already encoded
-    /// by this call are released.
+    /// by this call are released (their modeled cost stays charged, and
+    /// their commands stay recorded — the hardware did run them).
     pub fn encode_many(&mut self, operands: &[Fixed]) -> Result<Vec<StreamHandle>, ImscError> {
         self.slots.reserve(operands.len());
         let mut handles = Vec::with_capacity(operands.len());
+        let mut pending: Vec<usize> = Vec::with_capacity(operands.len());
         for &x in operands {
-            match self.encode(x) {
-                Ok(h) => handles.push(h),
+            if !pending.is_empty() && self.refresh_due() {
+                let flushed = std::mem::take(&mut pending);
+                self.record_imsng_batch(&flushed);
+            }
+            let dest = match self.alloc_row() {
+                Ok(d) => d,
                 Err(e) => {
+                    self.record_imsng_batch(&pending);
+                    for h in handles {
+                        let _ = self.release(h);
+                    }
+                    return Err(e);
+                }
+            };
+            let generated = self
+                .refresh_for_encode()
+                .and_then(|()| self.generate_into(x, dest));
+            match generated {
+                Ok(cost) => {
+                    self.ledger.imsng.accumulate(&cost);
+                    pending.push(dest);
+                    let group = self.fresh_group();
+                    handles.push(self.new_slot(dest, group));
+                }
+                Err(e) => {
+                    self.allocator.release(dest);
+                    self.record_imsng_batch(&pending);
                     for h in handles {
                         let _ = self.release(h);
                     }
@@ -600,6 +668,7 @@ impl Accelerator {
                 }
             }
         }
+        self.record_imsng_batch(&pending);
         Ok(handles)
     }
 
@@ -669,11 +738,12 @@ impl Accelerator {
         }
         let group = self.fresh_group();
         let mut handles = Vec::with_capacity(dests.len());
-        for (dest, cost) in dests.into_iter().zip(costs) {
+        for (&dest, cost) in dests.iter().zip(costs) {
             self.ledger.imsng.accumulate(&cost);
-            self.record_imsng(dest);
             handles.push(self.new_slot(dest, group));
         }
+        // One shared realization ⇒ one segment-major dispatch.
+        self.record_imsng_batch(&dests);
         Ok(handles)
     }
 
@@ -1040,7 +1110,10 @@ impl Accelerator {
         };
         self.ledger.cordiv_steps += self.stream_len as u64;
         if let Some(t) = self.trace.as_mut() {
-            t.push_repeated(Command::new(0, ra, CmdKind::CordivStep), self.stream_len);
+            t.push_repeated(
+                Command::new(self.trace_bank, ra, CmdKind::CordivStep),
+                self.stream_len,
+            );
         }
         self.array.write_row(dest, &quotient)?;
         self.ledger.stream_writes += 1;

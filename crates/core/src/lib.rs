@@ -56,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod fxhash;
 pub mod imsng;
+pub mod instrument;
 pub mod layout;
 pub mod parallel;
 pub mod pipeline;
@@ -67,6 +68,7 @@ pub use cost::WearSummary;
 pub use engine::{Accelerator, AcceleratorBuilder, StreamHandle};
 pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
+pub use instrument::{replay_config, ReplaySummary, SinkHandle, TraceSink};
 pub use layout::RnRefreshPolicy;
 pub use program::opt::{optimize, OptStats, Optimize};
 pub use program::sched::{

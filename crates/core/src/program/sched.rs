@@ -46,6 +46,7 @@ use super::{release_live_slots, ExecArena, Op, Plan, Program, Step, VReg};
 use crate::cost::{CostLedger, WearSummary};
 use crate::engine::Accelerator;
 use crate::error::ImscError;
+use crate::instrument::SinkHandle;
 use reram::energy::ReramCosts;
 use std::ops::Range;
 
@@ -622,14 +623,22 @@ fn abandon(f: &mut InFlight<'_>) {
     release_live_slots(&mut f.acc, &mut f.arena.slots);
 }
 
-fn finish(f: InFlight<'_>) -> (Finished, ExecArena) {
+/// Retires one slice: drains its accelerator's recorded command trace
+/// into the instrumentation sink at dispatch slot `seq` (slices retire in
+/// slice order, so the replay stream stays dispatch-ordered and the
+/// sink's buffering stays bounded by one slice), then snapshots the
+/// observables.
+fn finish(f: InFlight<'_>, sink: Option<&SinkHandle>, seq: usize) -> (Finished, ExecArena) {
     let InFlight {
-        acc,
+        mut acc,
         arena,
         out,
         wf_ns,
         ..
     } = f;
+    if let Some(sink) = sink {
+        sink.drain_into(seq, &mut acc);
+    }
     (
         Finished {
             out: SliceOut {
@@ -656,6 +665,7 @@ pub struct PipelineScheduler {
     arrays: usize,
     queue_depth: usize,
     costs: ReramCosts,
+    sink: Option<SinkHandle>,
 }
 
 impl PipelineScheduler {
@@ -674,6 +684,7 @@ impl PipelineScheduler {
             arrays,
             queue_depth: 2,
             costs: ReramCosts::calibrated(),
+            sink: None,
         }
     }
 
@@ -688,6 +699,19 @@ impl PipelineScheduler {
     #[must_use]
     pub fn costs(mut self, costs: ReramCosts) -> Self {
         self.costs = costs;
+        self
+    }
+
+    /// Attaches an instrumentation sink: every slice's recorded command
+    /// trace (including work later discarded by fault-domain
+    /// retirement) is drained into it in dispatch order as the slice
+    /// retires, so nvsim replay runs incrementally alongside the
+    /// schedule. Accelerators built by the factory must record traces
+    /// ([`crate::engine::AcceleratorBuilder::record_trace`]) for the
+    /// sink to see anything.
+    #[must_use]
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -713,7 +737,7 @@ impl PipelineScheduler {
         E: From<ImscError> + Send,
     {
         let refs: Vec<&Program> = slices.iter().collect();
-        let fins = self.run_collect(&refs, &factory)?;
+        let fins = self.run_collect(&refs, &factory, 0)?;
         Ok(Self::assemble_run(fins, self.arrays))
     }
 
@@ -733,8 +757,15 @@ impl PipelineScheduler {
 
     /// Executes slices through the stage workers and returns every
     /// slice's finished result in slice order (the shared core of
-    /// [`Self::run`] and [`Self::run_with_domains`]).
-    fn run_collect<E, F>(&self, slices: &[&Program], factory: &F) -> Result<Vec<Finished>, E>
+    /// [`Self::run`] and [`Self::run_with_domains`]). `seq_base` offsets
+    /// the instrumentation sink's dispatch slots so successive rounds
+    /// keep one monotone stream.
+    fn run_collect<E, F>(
+        &self,
+        slices: &[&Program],
+        factory: &F,
+        seq_base: usize,
+    ) -> Result<Vec<Finished>, E>
     where
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
@@ -742,13 +773,18 @@ impl PipelineScheduler {
         #[cfg(feature = "parallel")]
         {
             if slices.len() > 1 {
-                return self.run_threaded(slices, factory);
+                return self.run_threaded(slices, factory, seq_base);
             }
         }
-        self.run_sequential(slices, factory)
+        self.run_sequential(slices, factory, seq_base)
     }
 
-    fn run_sequential<E, F>(&self, slices: &[&Program], factory: &F) -> Result<Vec<Finished>, E>
+    fn run_sequential<E, F>(
+        &self,
+        slices: &[&Program],
+        factory: &F,
+        seq_base: usize,
+    ) -> Result<Vec<Finished>, E>
     where
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
@@ -763,7 +799,7 @@ impl PipelineScheduler {
                 abandon(&mut f);
                 return Err(E::from(e));
             }
-            let (fin, used) = finish(f);
+            let (fin, used) = finish(f, self.sink.as_ref(), seq_base + idx);
             arena = used;
             fins.push(fin);
         }
@@ -771,7 +807,12 @@ impl PipelineScheduler {
     }
 
     #[cfg(feature = "parallel")]
-    fn run_threaded<E, F>(&self, slices: &[&Program], factory: &F) -> Result<Vec<Finished>, E>
+    fn run_threaded<E, F>(
+        &self,
+        slices: &[&Program],
+        factory: &F,
+        seq_base: usize,
+    ) -> Result<Vec<Finished>, E>
     where
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
@@ -850,7 +891,7 @@ impl PipelineScheduler {
                     match exec_phase(&mut f, 2, costs) {
                         Ok(()) => {
                             let idx = f.idx;
-                            let (fin, arena) = finish(f);
+                            let (fin, arena) = finish(f, self.sink.as_ref(), seq_base + idx);
                             arena_pool.lock().expect("arena pool lock").push(arena);
                             store(idx, Ok(fin));
                             tokens.release();
@@ -920,6 +961,10 @@ impl PipelineScheduler {
         let mut assignments = vec![0usize; n];
         let mut pending: Vec<usize> = (0..n).collect();
         let mut rescheduled = 0usize;
+        // Monotone dispatch counter across rounds: replayed work from a
+        // retiring array stays in the instrumentation stream even when
+        // its results are discarded — the energy was really spent.
+        let mut dispatched = 0usize;
         while !pending.is_empty() {
             let healthy: Vec<usize> = health
                 .iter()
@@ -935,7 +980,12 @@ impl PipelineScheduler {
                 .map(|k| healthy[k % healthy.len()])
                 .collect();
             let round_progs: Vec<&Program> = pending.iter().map(|&i| &slices[i]).collect();
-            let fins = self.run_collect(&round_progs, &|k| factory(pending[k], round_arrays[k]))?;
+            let fins = self.run_collect(
+                &round_progs,
+                &|k| factory(pending[k], round_arrays[k]),
+                dispatched,
+            )?;
+            dispatched += round_progs.len();
             let mut retry = Vec::new();
             for (k, fin) in fins.into_iter().enumerate() {
                 let arr = round_arrays[k];

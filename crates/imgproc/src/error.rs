@@ -21,6 +21,11 @@ pub enum ImgError {
     InvalidParameter(&'static str),
     /// A PGM file could not be parsed.
     ParsePgm(String),
+    /// Replaying the recorded command trace through the memory
+    /// simulator failed ([`ScReramConfig::with_trace_replay`]).
+    ///
+    /// [`ScReramConfig::with_trace_replay`]: crate::scbackend::ScReramConfig::with_trace_replay
+    Replay(nvsim::SimError),
 }
 
 impl fmt::Display for ImgError {
@@ -35,6 +40,7 @@ impl fmt::Display for ImgError {
             ),
             ImgError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             ImgError::ParsePgm(reason) => write!(f, "pgm parse error: {reason}"),
+            ImgError::Replay(e) => write!(f, "trace replay error: {e}"),
         }
     }
 }
@@ -44,6 +50,7 @@ impl std::error::Error for ImgError {
         match self {
             ImgError::Accelerator(e) => Some(e),
             ImgError::Stochastic(e) => Some(e),
+            ImgError::Replay(e) => Some(e),
             _ => None,
         }
     }
@@ -58,6 +65,12 @@ impl From<imsc::ImscError> for ImgError {
 impl From<sc_core::ScError> for ImgError {
     fn from(e: sc_core::ScError) -> Self {
         ImgError::Stochastic(e)
+    }
+}
+
+impl From<nvsim::SimError> for ImgError {
+    fn from(e: nvsim::SimError) -> Self {
+        ImgError::Replay(e)
     }
 }
 

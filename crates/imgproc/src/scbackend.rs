@@ -71,6 +71,12 @@ pub struct ScReramConfig {
     /// scheduler tracks per-array health and retires shards past the
     /// threshold (requires [`Schedule::Pipelined`]).
     pub retirement: Option<RetirementPolicy>,
+    /// Record per-array NVMain-style command traces and replay them
+    /// through `nvsim` alongside the run, reporting simulated joules and
+    /// nanoseconds from the *real* schedule
+    /// ([`crate::tile::ScRunStats::replay`]). Off by default; pixels and
+    /// the analytic ledger are unchanged either way.
+    pub trace_replay: bool,
 }
 
 impl ScReramConfig {
@@ -93,6 +99,7 @@ impl ScReramConfig {
             wear_leveling: false,
             array_faults: None,
             retirement: None,
+            trace_replay: false,
         }
     }
 
@@ -147,6 +154,14 @@ impl ScReramConfig {
     #[must_use]
     pub fn with_retirement(mut self, policy: RetirementPolicy) -> Self {
         self.retirement = Some(policy);
+        self
+    }
+
+    /// Same configuration with nvsim trace replay toggled (see
+    /// [`ScReramConfig::trace_replay`]).
+    #[must_use]
+    pub fn with_trace_replay(mut self, on: bool) -> Self {
+        self.trace_replay = on;
         self
     }
 
@@ -209,7 +224,7 @@ impl ScReramConfig {
         tile: usize,
         kernel_default: RnRefreshPolicy,
     ) -> Result<Accelerator, ImgError> {
-        self.build_with_rates(tile, kernel_default, self.fault_rates)
+        self.build_with_rates(tile, tile, kernel_default, self.fault_rates)
     }
 
     /// Builds the accelerator for one slice of a pipelined fault-domain
@@ -232,12 +247,20 @@ impl ScReramConfig {
             Some(o) if o.array == array => o.rates,
             _ => self.fault_rates,
         };
-        self.build_with_rates(tile, kernel_default, rates)
+        // Domain runs key the trace bank by the *array*: the replayed
+        // stream then reflects which fault domain really did the work,
+        // reschedules included.
+        self.build_with_rates(tile, array, kernel_default, rates)
     }
 
+    /// `bank_key` selects the replay memory bank (modulo the replay
+    /// geometry): the tile index for per-tile and plain pipelined runs,
+    /// the executing array for fault-domain runs — so stitched traces
+    /// replay bank-parallel, mirroring the multi-array layout.
     fn build_with_rates(
         &self,
         tile: usize,
+        bank_key: usize,
         kernel_default: RnRefreshPolicy,
         rates: FaultRates,
     ) -> Result<Accelerator, ImgError> {
@@ -251,6 +274,8 @@ impl ScReramConfig {
             .refresh_policy(self.refresh_policy.unwrap_or(kernel_default))
             .stream_rows(24)
             .wear_leveling(self.wear_leveling)
+            .record_trace(self.trace_replay)
+            .trace_bank(bank_key % imsc::instrument::REPLAY_BANKS)
             .build()?)
     }
 }

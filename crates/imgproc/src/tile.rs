@@ -39,6 +39,7 @@ use crate::error::ImgError;
 use crate::scbackend::{prob_to_pixel, ScReramConfig};
 use imsc::cost::CostLedger;
 use imsc::engine::Accelerator;
+use imsc::instrument::{ReplaySummary, SinkHandle};
 use imsc::program::sched::{self, PipelineReport, PipelineScheduler};
 use imsc::program::Program;
 use imsc::{optimize, ExecArena, Optimize, RnRefreshPolicy, WearSummary};
@@ -111,6 +112,11 @@ pub struct ScRunStats {
     /// Total bit-flip faults injected across tile accelerators (0 on
     /// fault-free runs).
     pub faults_injected: u64,
+    /// Simulated energy/latency from replaying the run's recorded
+    /// command stream through `nvsim` — ground truth measured from the
+    /// *real* schedule, next to the analytic `ledger`. `None` unless
+    /// [`ScReramConfig::trace_replay`] is set.
+    pub replay: Option<ReplaySummary>,
 }
 
 /// Derives the per-tile accelerator seed from a master seed. Tile 0 keeps
@@ -186,12 +192,17 @@ pub(crate) fn run_tile_programs<E>(
     cfg: &ScReramConfig,
     kernel_default: RnRefreshPolicy,
     emit: E,
-) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
+) -> Result<(Vec<TileOut>, RunMeta), ImgError>
 where
     E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
 {
     let opt = cfg.opt_spec(kernel_default);
     let domains = cfg.retirement.is_some() || cfg.array_faults.is_some();
+    let sink = if cfg.trace_replay {
+        Some(SinkHandle::for_stream_len(cfg.stream_len)?)
+    } else {
+        None
+    };
     match cfg.schedule {
         Schedule::PerTile => {
             if domains {
@@ -200,6 +211,7 @@ where
                 ));
             }
             let ranges = tile_ranges(height);
+            let sink_ref = sink.as_ref();
             let tiles = imsc::parallel::run_indexed_with(
                 ranges.len(),
                 tile_threads(ranges.len()),
@@ -208,15 +220,37 @@ where
                     let mut acc = cfg.build_for_tile_with(t, kernel_default)?;
                     let program = opt.apply(emit(t, ranges[t].clone()));
                     let values = program.plan()?.execute_in(&mut acc, arena)?;
+                    // Drain this tile's sub-trace as soon as the tile
+                    // retires (dispatch slot = tile index); workers may
+                    // finish out of order, the sink reorders.
+                    if let Some(s) = sink_ref {
+                        s.drain_into(t, &mut acc);
+                    }
                     Ok(tile_out(values, &acc))
                 },
             )?;
-            Ok((tiles, None))
+            let replay = sink.map(|s| s.finish()).transpose()?;
+            Ok((
+                tiles,
+                RunMeta {
+                    pipeline: None,
+                    replay,
+                },
+            ))
         }
         Schedule::Pipelined { arrays } => {
-            run_pipelined(height, arrays, cfg, kernel_default, opt, &emit)
+            run_pipelined(height, arrays, cfg, kernel_default, opt, sink, &emit)
         }
     }
+}
+
+/// Run-wide observables that ride alongside the tile outputs: the
+/// measured pipeline report (pipelined schedules) and the nvsim replay
+/// summary (trace-replay runs).
+#[derive(Debug, Default)]
+pub(crate) struct RunMeta {
+    pub pipeline: Option<PipelineReport>,
+    pub replay: Option<ReplaySummary>,
 }
 
 /// The optimizer setting one kernel run applies to its emitted
@@ -266,8 +300,9 @@ fn run_pipelined<E>(
     cfg: &ScReramConfig,
     kernel_default: RnRefreshPolicy,
     opt: OptSpec,
+    sink: Option<SinkHandle>,
     emit: &E,
-) -> Result<(Vec<TileOut>, Option<PipelineReport>), ImgError>
+) -> Result<(Vec<TileOut>, RunMeta), ImgError>
 where
     E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
 {
@@ -278,7 +313,7 @@ where
     }
     let ranges = tile_ranges(height);
     if ranges.is_empty() {
-        return Ok((Vec::new(), None));
+        return Ok((Vec::new(), RunMeta::default()));
     }
     let logical = emit(0, 0..height);
     debug_assert_eq!(
@@ -296,7 +331,10 @@ where
         .into_iter()
         .map(|s| opt.apply(s))
         .collect();
-    let scheduler = PipelineScheduler::new(arrays);
+    let mut scheduler = PipelineScheduler::new(arrays);
+    if let Some(s) = &sink {
+        scheduler = scheduler.sink(s.clone());
+    }
     let run = if cfg.retirement.is_some() || cfg.array_faults.is_some() {
         scheduler
             .run_with_domains(
@@ -320,19 +358,24 @@ where
             faults: s.faults_injected,
         })
         .collect();
-    Ok((tiles, Some(run.report)))
+    let replay = sink.map(|s| s.finish()).transpose()?;
+    Ok((
+        tiles,
+        RunMeta {
+            pipeline: Some(run.report),
+            replay,
+        },
+    ))
 }
 
 /// Assembles tile outputs into `(pixels, stats)`, merging ledgers in tile
 /// order.
-pub(crate) fn assemble(
-    tiles: Vec<TileOut>,
-    pipeline: Option<PipelineReport>,
-) -> (Vec<u8>, ScRunStats) {
+pub(crate) fn assemble(tiles: Vec<TileOut>, meta: RunMeta) -> (Vec<u8>, ScRunStats) {
     let mut pixels = Vec::with_capacity(tiles.iter().map(|t| t.pixels.len()).sum());
     let mut stats = ScRunStats {
         tiles: tiles.len(),
-        pipeline,
+        pipeline: meta.pipeline,
+        replay: meta.replay,
         ..ScRunStats::default()
     };
     for tile in tiles {
@@ -371,7 +414,7 @@ mod tests {
     fn tiles_cover_the_height_in_order() {
         let outs = run_row_tiles(19, constant_tile).unwrap();
         assert_eq!(outs.len(), 3);
-        let (pixels, stats) = assemble(outs, None);
+        let (pixels, stats) = assemble(outs, RunMeta::default());
         assert_eq!(pixels.len(), 19);
         assert_eq!(pixels[0], 0); // row 0, tile 0
         assert_eq!(pixels[8], 81); // row 8, tile 1

@@ -6,6 +6,7 @@
 pub struct BankState {
     open_row: Option<usize>,
     free_at_ns: f64,
+    busy_ns: f64,
     row_hits: u64,
     row_misses: u64,
 }
@@ -17,6 +18,7 @@ impl BankState {
         BankState {
             open_row: None,
             free_at_ns: 0.0,
+            busy_ns: 0.0,
             row_hits: 0,
             row_misses: 0,
         }
@@ -32,6 +34,19 @@ impl BankState {
     #[must_use]
     pub fn free_at_ns(&self) -> f64 {
         self.free_at_ns
+    }
+
+    /// Total time this bank has spent executing commands (the serial sum
+    /// of per-command latencies, as opposed to `free_at_ns` which is the
+    /// wall-clock finish under bank parallelism).
+    #[must_use]
+    pub fn busy_ns(&self) -> f64 {
+        self.busy_ns
+    }
+
+    /// Accounts `lat_ns` of command execution against this bank.
+    pub fn add_busy(&mut self, lat_ns: f64) {
+        self.busy_ns += lat_ns;
     }
 
     /// Row-buffer hits observed.

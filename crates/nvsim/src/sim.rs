@@ -68,10 +68,17 @@ impl Default for MemoryConfig {
 /// bank, so commands to different banks overlap in time (the paper's
 /// multi-array pipelining). Row-buffer state adds activate/precharge
 /// latency on row switches.
+///
+/// Two driving styles are supported: [`Simulator::run`] executes a
+/// complete [`Trace`] in one call, while [`Simulator::begin`] /
+/// [`Simulator::feed`] / [`Simulator::finish`] stream commands
+/// incrementally so callers can replay arbitrarily long schedules
+/// without materializing them.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: MemoryConfig,
     banks: Vec<BankState>,
+    partial: SimStats,
 }
 
 impl Simulator {
@@ -81,6 +88,7 @@ impl Simulator {
         Simulator {
             banks: vec![BankState::new(); config.banks.max(1)],
             config,
+            partial: SimStats::default(),
         }
     }
 
@@ -93,24 +101,35 @@ impl Simulator {
     /// Resets all bank state (a fresh run).
     pub fn reset(&mut self) {
         self.banks = vec![BankState::new(); self.config.banks];
+        self.partial = SimStats::default();
     }
 
-    /// Executes a trace, returning aggregate statistics.
+    /// Starts a fresh incremental replay session.
     ///
     /// # Errors
     ///
-    /// * [`SimError::InvalidConfig`] — the configuration is malformed.
-    /// * [`SimError::BankOutOfRange`] / [`SimError::RowOutOfRange`] — a
-    ///   command addresses outside the configured geometry.
-    pub fn run(&mut self, trace: &Trace) -> Result<SimStats, SimError> {
+    /// Returns [`SimError::InvalidConfig`] if the configuration is
+    /// malformed.
+    pub fn begin(&mut self) -> Result<(), SimError> {
         self.config.validate()?;
         self.reset();
-        let mut stats = SimStats::default();
+        Ok(())
+    }
+
+    /// Feeds a batch of commands into the current session. Statistics
+    /// accumulate internally until [`Simulator::finish`] is called.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BankOutOfRange`] / [`SimError::RowOutOfRange`] — a
+    ///   command addresses outside the configured geometry. State up to
+    ///   the offending command is retained.
+    pub fn feed(&mut self, commands: &[Command]) -> Result<(), SimError> {
         let width = self.config.row_width_bits as f64;
         let t = self.config.timing;
         let e = self.config.energy;
 
-        for cmd in trace.commands() {
+        for cmd in commands {
             let Command { bank, row, kind } = *cmd;
             if bank >= self.config.banks {
                 return Err(SimError::BankOutOfRange {
@@ -150,11 +169,14 @@ impl Simulator {
                     )
                 }
                 CmdKind::ScoutRead { rows } => {
-                    // Multi-row activation bypasses the row buffer; all
-                    // operand rows are asserted for one sensing step.
-                    state.precharge();
+                    // A multi-row sensing step asserts every operand
+                    // wordline, anchored at the command row. Re-asserting
+                    // the same anchor row back-to-back keeps its wordline
+                    // group latched — a row-buffer hit; switching anchors
+                    // pays the activate/precharge window like any access.
+                    let open_lat = state.open(row, t.t_rcd, t.t_rp);
                     (
-                        t.t_scout,
+                        open_lat + t.t_scout,
                         f64::from(rows) * e.e_activate_nj + width * e.e_scout_bit_pj / 1000.0,
                     )
                 }
@@ -163,13 +185,48 @@ impl Simulator {
             };
             let finish = start + latency;
             state.occupy_until(finish);
-            stats.total_time_ns = stats.total_time_ns.max(finish);
-            stats.total_energy_nj += energy_nj;
-            *stats.command_counts.entry(kind.mnemonic()).or_insert(0) += 1;
+            state.add_busy(latency);
+            self.partial.total_time_ns = self.partial.total_time_ns.max(finish);
+            self.partial.total_energy_nj += energy_nj;
+            *self
+                .partial
+                .command_counts
+                .entry(kind.mnemonic())
+                .or_insert(0) += 1;
         }
-        stats.row_hits = self.banks.iter().map(BankState::row_hits).sum();
-        stats.row_misses = self.banks.iter().map(BankState::row_misses).sum();
-        Ok(stats)
+        Ok(())
+    }
+
+    /// Closes the current session, returning aggregate statistics (and
+    /// resetting internal accumulators for the next session).
+    pub fn finish(&mut self) -> SimStats {
+        let mut stats = std::mem::take(&mut self.partial);
+        stats.per_bank = self
+            .banks
+            .iter()
+            .map(|b| crate::stats::BankStats {
+                busy_ns: b.busy_ns(),
+                row_hits: b.row_hits(),
+                row_misses: b.row_misses(),
+            })
+            .collect();
+        stats.busy_ns = stats.per_bank.iter().map(|b| b.busy_ns).sum();
+        stats.row_hits = stats.per_bank.iter().map(|b| b.row_hits).sum();
+        stats.row_misses = stats.per_bank.iter().map(|b| b.row_misses).sum();
+        stats
+    }
+
+    /// Executes a trace, returning aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] — the configuration is malformed.
+    /// * [`SimError::BankOutOfRange`] / [`SimError::RowOutOfRange`] — a
+    ///   command addresses outside the configured geometry.
+    pub fn run(&mut self, trace: &Trace) -> Result<SimStats, SimError> {
+        self.begin()?;
+        self.feed(trace.commands())?;
+        Ok(self.finish())
     }
 }
 
@@ -219,12 +276,56 @@ mod tests {
     }
 
     #[test]
-    fn scout_read_is_single_step() {
+    fn scout_read_pays_activation_then_hits() {
         let mut sim = Simulator::new(config());
         let mut t = Trace::new();
-        t.push(Command::new(0, 0, CmdKind::ScoutRead { rows: 3 }));
+        t.push(Command::new(0, 7, CmdKind::ScoutRead { rows: 3 }));
+        t.push(Command::new(0, 7, CmdKind::ScoutRead { rows: 3 }));
         let stats = sim.run(&t).unwrap();
-        assert!((stats.total_time_ns - config().timing.t_scout).abs() < 1e-9);
+        // First scout activates the anchor row; the second re-asserts the
+        // same wordline group and is a pure sensing step.
+        let expect = config().timing.t_rcd + 2.0 * config().timing.t_scout;
+        assert!((stats.total_time_ns - expect).abs() < 1e-9);
+        assert_eq!(stats.row_hits, 1);
+        assert_eq!(stats.row_misses, 1);
+    }
+
+    #[test]
+    fn incremental_feed_matches_one_shot_run() {
+        let mut t = Trace::new();
+        t.push(Command::new(0, 0, CmdKind::Write));
+        t.push(Command::new(1, 3, CmdKind::ScoutRead { rows: 2 }));
+        t.push(Command::new(0, 0, CmdKind::AdcSample));
+        t.push(Command::new(1, 3, CmdKind::ScoutRead { rows: 2 }));
+
+        let mut sim = Simulator::new(config());
+        let one_shot = sim.run(&t).unwrap();
+
+        let mut sim = Simulator::new(config());
+        sim.begin().unwrap();
+        for chunk in t.commands().chunks(1) {
+            sim.feed(chunk).unwrap();
+        }
+        let streamed = sim.finish();
+        assert_eq!(one_shot, streamed);
+    }
+
+    #[test]
+    fn per_bank_stats_split_by_bank() {
+        let mut sim = Simulator::new(config());
+        let mut t = Trace::new();
+        t.push(Command::new(0, 0, CmdKind::Write));
+        t.push(Command::new(2, 0, CmdKind::Write));
+        t.push(Command::new(2, 0, CmdKind::Write));
+        let stats = sim.run(&t).unwrap();
+        assert_eq!(stats.per_bank.len(), config().banks);
+        assert_eq!(stats.banks_used(), 2);
+        assert!(stats.per_bank[2].busy_ns > stats.per_bank[0].busy_ns);
+        assert_eq!(stats.per_bank[2].row_hits, 1);
+        // Serial busy sum exceeds the bank-parallel makespan here.
+        assert!(stats.busy_ns > stats.total_time_ns);
+        let bank_sum: f64 = stats.per_bank.iter().map(|b| b.busy_ns).sum();
+        assert!((stats.busy_ns - bank_sum).abs() < 1e-9);
     }
 
     #[test]

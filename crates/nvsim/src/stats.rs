@@ -3,6 +3,17 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Per-bank execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BankStats {
+    /// Serial sum of per-command latencies executed on this bank.
+    pub busy_ns: f64,
+    /// Row-buffer hits on this bank.
+    pub row_hits: u64,
+    /// Row-buffer misses on this bank.
+    pub row_misses: u64,
+}
+
 /// Aggregate results of one trace execution.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimStats {
@@ -11,12 +22,19 @@ pub struct SimStats {
     pub total_time_ns: f64,
     /// Total energy in nanojoules.
     pub total_energy_nj: f64,
+    /// Serial sum of per-command latencies across all banks; equals
+    /// `total_time_ns` when a single bank is used, exceeds it when
+    /// bank parallelism overlaps commands.
+    pub busy_ns: f64,
     /// Commands executed per mnemonic.
     pub command_counts: BTreeMap<&'static str, u64>,
     /// Row-buffer hits across banks.
     pub row_hits: u64,
     /// Row-buffer misses across banks.
     pub row_misses: u64,
+    /// Per-bank breakdown (indexed by bank id, one entry per configured
+    /// bank).
+    pub per_bank: Vec<BankStats>,
 }
 
 impl SimStats {
@@ -24,6 +42,12 @@ impl SimStats {
     #[must_use]
     pub fn total_commands(&self) -> u64 {
         self.command_counts.values().sum()
+    }
+
+    /// Number of banks that executed at least one command.
+    #[must_use]
+    pub fn banks_used(&self) -> usize {
+        self.per_bank.iter().filter(|b| b.busy_ns > 0.0).count()
     }
 
     /// Throughput in commands per microsecond (0 for an empty run).
@@ -52,8 +76,10 @@ impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "time: {:.2} ns, energy: {:.4} nJ, commands: {}",
+            "time: {:.2} ns (busy {:.2} ns over {} banks), energy: {:.4} nJ, commands: {}",
             self.total_time_ns,
+            self.busy_ns,
+            self.banks_used(),
             self.total_energy_nj,
             self.total_commands()
         )?;

@@ -148,8 +148,10 @@ impl Trace {
                         .ok_or_else(|| err("SCOUT needs a row count"))?
                         .parse()
                         .map_err(|_| err("bad SCOUT row count"))?;
-                    if rows < 2 {
-                        return Err(err("SCOUT needs at least 2 rows"));
+                    // The engine emits single-row scouts for complement
+                    // and divide operand sensing; only zero is malformed.
+                    if rows == 0 {
+                        return Err(err("SCOUT needs at least 1 row"));
                     }
                     CmdKind::ScoutRead { rows }
                 }
@@ -210,8 +212,12 @@ mod tests {
         assert!(matches!(e, SimError::ParseTrace { line: 2, .. }));
         let e = Trace::parse("0 1 BOGUS\n").unwrap_err();
         assert!(matches!(e, SimError::ParseTrace { line: 1, .. }));
-        let e = Trace::parse("0 1 SCOUT 1\n").unwrap_err();
+        let e = Trace::parse("0 1 SCOUT 0\n").unwrap_err();
         assert!(matches!(e, SimError::ParseTrace { line: 1, .. }));
+        // Single-row scouts are real commands (complement, divide
+        // operand sensing) and must parse.
+        let t = Trace::parse("0 1 SCOUT 1\n").unwrap();
+        assert_eq!(t.len(), 1);
         let e = Trace::parse("0 1 RD extra\n").unwrap_err();
         assert!(matches!(e, SimError::ParseTrace { line: 1, .. }));
     }

@@ -1,0 +1,96 @@
+//! Property tests for the trace text format: `parse` inverts `to_text`
+//! on arbitrary traces, and malformed input yields named [`SimError`]s
+//! (never panics).
+
+use nvsim::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Decodes one generated word into an arbitrary valid command, covering
+/// every mnemonic including single-row scouts (complement / divide
+/// operand sensing emit those).
+fn decode(word: u64) -> Command {
+    let bank = (word & 0x7) as usize;
+    let row = ((word >> 3) & 0x3FF) as usize;
+    let kind = match (word >> 13) % 7 {
+        0 => CmdKind::Activate,
+        1 => CmdKind::Precharge,
+        2 => CmdKind::Read,
+        3 => CmdKind::Write,
+        4 => CmdKind::ScoutRead {
+            rows: ((word >> 16) % 5 + 1) as u8,
+        },
+        5 => CmdKind::AdcSample,
+        _ => CmdKind::CordivStep,
+    };
+    Command::new(bank, row, kind)
+}
+
+/// One malformed replacement line per failure class `parse` names.
+const MANGLED: &[&str] = &[
+    "x 1 RD",          // bad bank
+    "0 y RD",          // bad row
+    "0",               // missing row
+    "0 1",             // missing op
+    "0 1 NOPE",        // unknown op
+    "0 1 SCOUT",       // missing row count
+    "0 1 SCOUT x",     // bad row count
+    "0 1 SCOUT 0",     // zero-row scout
+    "0 1 RD trailing", // trailing tokens
+];
+
+proptest! {
+    #[test]
+    fn parse_inverts_to_text(words in vec(any::<u64>(), 0..256)) {
+        let trace: Trace = words.iter().copied().map(decode).collect();
+        let parsed = Trace::parse(&trace.to_text());
+        prop_assert!(parsed.is_ok(), "round-trip rejected: {parsed:?}");
+        prop_assert_eq!(parsed.unwrap(), trace);
+    }
+
+    #[test]
+    fn mangled_line_is_a_named_error_at_its_line(
+        words in vec(any::<u64>(), 1..64),
+        pick in any::<u64>(),
+        class in any::<u64>(),
+    ) {
+        let trace: Trace = words.iter().copied().map(decode).collect();
+        let mut lines: Vec<String> =
+            trace.to_text().lines().map(str::to_string).collect();
+        let victim = (pick as usize) % lines.len();
+        lines[victim] = MANGLED[(class as usize) % MANGLED.len()].to_string();
+        let text = lines.join("\n");
+        match Trace::parse(&text) {
+            Err(SimError::ParseTrace { line, reason }) => {
+                prop_assert_eq!(line, victim + 1);
+                prop_assert!(!reason.is_empty());
+            }
+            other => prop_assert!(false, "expected ParseTrace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(bytes in vec(any::<u8>(), 0..512)) {
+        // Printable-ASCII soup with injected newlines: parse must either
+        // accept or fail with a ParseTrace, never panic or return a
+        // different error variant.
+        let text: String = bytes
+            .iter()
+            .map(|&b| if b % 13 == 0 { '\n' } else { char::from(b % 95 + 32) })
+            .collect();
+        match Trace::parse(&text) {
+            Ok(_) | Err(SimError::ParseTrace { .. }) => {}
+            other => prop_assert!(false, "unexpected result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_tripped_traces_replay_identically(words in vec(any::<u64>(), 1..128)) {
+        let trace: Trace = words.iter().copied().map(decode).collect();
+        let reparsed = Trace::parse(&trace.to_text()).expect("round-trip");
+        let mut sim = Simulator::new(MemoryConfig::reram_default());
+        let a = sim.run(&trace).expect("in-range by construction");
+        let b = sim.run(&reparsed).expect("in-range by construction");
+        prop_assert_eq!(a, b);
+    }
+}
