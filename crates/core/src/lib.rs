@@ -70,9 +70,13 @@ pub use error::ImscError;
 pub use imsng::{Imsng, ImsngCost, ImsngVariant};
 pub use instrument::{replay_config, ReplaySummary, SinkHandle, TraceSink};
 pub use layout::RnRefreshPolicy;
+pub use program::cache::{
+    Bindings, BoundEntry, BoundKey, CompileStats, PlanCache, PlanCacheStats, Template, TemplateKey,
+    ValueTape,
+};
 pub use program::opt::{optimize, OptStats, Optimize};
 pub use program::sched::{
     ArrayHealth, DomainRun, PipelineReport, PipelineRun, PipelineScheduler, RetirementPolicy,
-    SliceOut, StageKind,
+    SliceExec, SliceOut, StageKind,
 };
-pub use program::{ExecArena, Plan, Program, RefreshGroup, VReg};
+pub use program::{ExecArena, Plan, Program, ProgramSink, RefreshGroup, VReg};

@@ -59,6 +59,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod opt;
 pub mod sched;
 
@@ -66,6 +67,15 @@ use crate::engine::{Accelerator, StreamHandle};
 use crate::error::ImscError;
 use crate::layout::RnRefreshPolicy;
 use sc_core::{Fixed, ScError};
+
+/// Allocates a fresh process-unique program id (shared with
+/// [`cache::ValueTape`], whose fake registers must never collide with a
+/// real program's).
+pub(crate) fn next_program_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_PROGRAM_ID: AtomicU64 = AtomicU64::new(0);
+    NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A virtual register naming one stochastic stream in a [`Program`].
 ///
@@ -401,10 +411,8 @@ impl Program {
     /// An empty program (current refresh group 0).
     #[must_use]
     pub fn new() -> Self {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static NEXT_PROGRAM_ID: AtomicU64 = AtomicU64::new(0);
         Program {
-            id: NEXT_PROGRAM_ID.fetch_add(1, Ordering::Relaxed),
+            id: next_program_id(),
             ops: Vec::new(),
             groups: Vec::new(),
             regs: 0,
@@ -639,6 +647,103 @@ impl Program {
     }
 }
 
+/// The emitter surface of [`Program`], abstracted so one generic kernel
+/// emitter can drive either a real program or a lightweight recorder
+/// ([`cache::ValueTape`], which captures only the op *shape* and the
+/// value stream — the template cache's key and bindings — without
+/// allocating any ops). Statically dispatched; `Program` implements it
+/// by delegating to its inherent methods.
+pub trait ProgramSink {
+    /// See [`Program::encode`].
+    fn encode(&mut self, value: Fixed) -> VReg;
+    /// See [`Program::encode_correlated`].
+    fn encode_correlated(&mut self, values: &[Fixed]) -> Vec<VReg>;
+    /// See [`Program::trng_select`].
+    fn trng_select(&mut self) -> VReg;
+    /// See [`Program::multiply`].
+    fn multiply(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::scaled_add`].
+    fn scaled_add(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::approx_add`].
+    fn approx_add(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::abs_subtract`].
+    fn abs_subtract(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::minimum`].
+    fn minimum(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::maximum`].
+    fn maximum(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::divide`].
+    fn divide(&mut self, a: VReg, b: VReg) -> VReg;
+    /// See [`Program::divide_or`].
+    fn divide_or(&mut self, a: VReg, b: VReg, on_zero: f64) -> VReg;
+    /// See [`Program::complement`].
+    fn complement(&mut self, a: VReg) -> VReg;
+    /// See [`Program::blend`].
+    fn blend(&mut self, a: VReg, b: VReg, sel: VReg) -> VReg;
+    /// See [`Program::read`].
+    fn read(&mut self, src: VReg) -> usize;
+    /// See [`Program::read_const`].
+    fn read_const(&mut self, value: f64) -> usize;
+    /// See [`Program::next_group`].
+    fn next_group(&mut self) -> RefreshGroup;
+    /// See [`Program::set_group`].
+    fn set_group(&mut self, group: RefreshGroup);
+}
+
+impl ProgramSink for Program {
+    fn encode(&mut self, value: Fixed) -> VReg {
+        Program::encode(self, value)
+    }
+    fn encode_correlated(&mut self, values: &[Fixed]) -> Vec<VReg> {
+        Program::encode_correlated(self, values)
+    }
+    fn trng_select(&mut self) -> VReg {
+        Program::trng_select(self)
+    }
+    fn multiply(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::multiply(self, a, b)
+    }
+    fn scaled_add(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::scaled_add(self, a, b)
+    }
+    fn approx_add(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::approx_add(self, a, b)
+    }
+    fn abs_subtract(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::abs_subtract(self, a, b)
+    }
+    fn minimum(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::minimum(self, a, b)
+    }
+    fn maximum(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::maximum(self, a, b)
+    }
+    fn divide(&mut self, a: VReg, b: VReg) -> VReg {
+        Program::divide(self, a, b)
+    }
+    fn divide_or(&mut self, a: VReg, b: VReg, on_zero: f64) -> VReg {
+        Program::divide_or(self, a, b, on_zero)
+    }
+    fn complement(&mut self, a: VReg) -> VReg {
+        Program::complement(self, a)
+    }
+    fn blend(&mut self, a: VReg, b: VReg, sel: VReg) -> VReg {
+        Program::blend(self, a, b, sel)
+    }
+    fn read(&mut self, src: VReg) -> usize {
+        Program::read(self, src)
+    }
+    fn read_const(&mut self, value: f64) -> usize {
+        Program::read_const(self, value)
+    }
+    fn next_group(&mut self) -> RefreshGroup {
+        Program::next_group(self)
+    }
+    fn set_group(&mut self, group: RefreshGroup) {
+        Program::set_group(self, group);
+    }
+}
+
 /// One lowering step: either a single op or a coalesced run of
 /// consecutive single-value encodes (lowered to one `encode_many`).
 #[derive(Debug, Clone, Copy)]
@@ -663,7 +768,7 @@ impl Step {
 
 /// Execution-time state of a virtual register.
 #[derive(Debug, Clone, Copy)]
-enum Slot {
+pub(crate) enum Slot {
     Handle(StreamHandle),
     /// Poisoned by a `divide_or` fallback: reads yield the constant.
     Const(f64),
@@ -699,13 +804,13 @@ impl ExecArena {
     }
 }
 
-/// The lowering schedule of one [`Program`]: last-use releases, refresh
-/// boundaries, coalesced encode batches, and row-demand bounds. Produced
-/// by [`Program::plan`]; executable any number of times via
-/// [`Plan::execute`] (e.g. once per tile accelerator).
-#[derive(Debug)]
-pub struct Plan<'p> {
-    program: &'p Program,
+/// The program-independent payload of a lowering schedule: everything
+/// [`Plan`] computes, minus the borrow of the program it was computed
+/// from. Owning this separately lets [`cache::Template`] bundle a
+/// program *and* its schedule in one shareable value (the borrow in
+/// `Plan<'p>` forbids that).
+#[derive(Debug, Clone)]
+pub(crate) struct PlanData {
     steps: Vec<Step>,
     /// Step indices preceded by a refresh-group boundary.
     boundary: Vec<bool>,
@@ -715,8 +820,8 @@ pub struct Plan<'p> {
     naive_peak_rows: usize,
 }
 
-impl<'p> Plan<'p> {
-    fn of(program: &'p Program) -> Result<Self, ImscError> {
+impl PlanData {
+    pub(crate) fn of(program: &Program) -> Result<Self, ImscError> {
         let last_use = op_last_uses(program)?;
 
         // Coalesce runs of consecutive single-value encodes within one
@@ -790,8 +895,7 @@ impl<'p> Plan<'p> {
         }
         let naive_peak_rows = program.regs;
 
-        Ok(Plan {
-            program,
+        Ok(PlanData {
             steps,
             boundary,
             releases,
@@ -799,36 +903,71 @@ impl<'p> Plan<'p> {
             naive_peak_rows,
         })
     }
+}
+
+/// The lowering schedule of one [`Program`]: last-use releases, refresh
+/// boundaries, coalesced encode batches, and row-demand bounds. Produced
+/// by [`Program::plan`]; executable any number of times via
+/// [`Plan::execute`] (e.g. once per tile accelerator).
+#[derive(Debug)]
+pub struct Plan<'p> {
+    program: &'p Program,
+    data: PlanData,
+}
+
+impl<'p> Plan<'p> {
+    fn of(program: &'p Program) -> Result<Self, ImscError> {
+        Ok(Plan {
+            program,
+            data: PlanData::of(program)?,
+        })
+    }
+
+    /// The program this plan lowers.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
 
     /// Peak crossbar-row demand under the plan's eager-release schedule.
     #[must_use]
     pub fn peak_rows(&self) -> usize {
-        self.peak_rows
+        self.data.peak_rows
     }
 
     /// Row demand with every stream held to the end of the program (what
     /// an imperative caller without early releases would need).
     #[must_use]
     pub fn naive_peak_rows(&self) -> usize {
-        self.naive_peak_rows
+        self.data.naive_peak_rows
     }
 
     /// Number of lowering steps (coalesced encode runs count as one).
     #[must_use]
     pub fn steps(&self) -> usize {
-        self.steps.len()
+        self.data.steps.len()
     }
 
     /// Number of single-value encodes folded into `encode_many` batches.
     #[must_use]
     pub fn coalesced_encodes(&self) -> usize {
-        self.steps
+        self.data
+            .steps
             .iter()
             .map(|s| match s {
                 Step::EncodeRun { len, .. } => *len,
                 Step::Single(_) => 0,
             })
             .sum()
+    }
+
+    /// The unbound execution view over this plan's program and schedule.
+    pub(crate) fn view(&self) -> ExecView<'_> {
+        ExecView {
+            program: self.program,
+            data: &self.data,
+            binds: None,
+        }
     }
 
     /// Executes the program on `acc`, returning its outputs in emission
@@ -863,9 +1002,46 @@ impl<'p> Plan<'p> {
         acc: &mut Accelerator,
         arena: &mut ExecArena,
     ) -> Result<Vec<f64>, ImscError> {
+        self.view().execute_in(acc, arena)
+    }
+}
+
+/// Per-execution value substitutions for a holes-mode template (see
+/// [`cache::Template`]): op `i`'s encode immediates are
+/// `values[fixed_base[i]..]` and its constant output / divide fallback
+/// is `consts[const_base[i]]`. The base arrays are prefix sums over the
+/// template's ops, so substitution is stateless per step and works for
+/// the pipeline scheduler's out-of-order stage phases too.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BindRef<'a> {
+    pub(crate) values: &'a [Fixed],
+    pub(crate) consts: &'a [f64],
+    pub(crate) fixed_base: &'a [u32],
+    pub(crate) const_base: &'a [u32],
+}
+
+/// A borrowed execution view — a program, its lowering schedule, and
+/// optional value bindings. The single execution core shared by
+/// [`Plan`] (no bindings), [`cache::Template`] (bindings for the
+/// template's value holes), and the pipeline scheduler's stage workers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecView<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) data: &'a PlanData,
+    pub(crate) binds: Option<BindRef<'a>>,
+}
+
+impl ExecView<'_> {
+    /// Executes every step in order — see [`Plan::execute_in`].
+    pub(crate) fn execute_in(
+        &self,
+        acc: &mut Accelerator,
+        arena: &mut ExecArena,
+    ) -> Result<Vec<f64>, ImscError> {
         let slots = arena.reset(self.program.regs);
         let mut out = Vec::with_capacity(self.program.outputs);
-        let run = (0..self.steps.len()).try_for_each(|s| self.exec_step(s, acc, slots, &mut out));
+        let run =
+            (0..self.data.steps.len()).try_for_each(|s| self.exec_step(s, acc, slots, &mut out));
         match run {
             Ok(()) => Ok(out),
             Err(e) => {
@@ -875,12 +1051,29 @@ impl<'p> Plan<'p> {
         }
     }
 
+    /// The encode immediate of op `i` (an `Op::Encode`), after binding.
+    fn fixed_at(&self, i: usize, value: Fixed) -> Fixed {
+        match self.binds {
+            Some(b) => b.values[b.fixed_base[i] as usize],
+            None => value,
+        }
+    }
+
+    /// The constant of op `i` (`ReadConst` value or `Divide` fallback),
+    /// after binding.
+    fn const_at(&self, i: usize, value: f64) -> f64 {
+        match self.binds {
+            Some(b) => b.consts[b.const_base[i] as usize],
+            None => value,
+        }
+    }
+
     /// Executes one lowering step: the refresh-group boundary (if any),
     /// the step's operations, and the step's eager releases. `slots`
     /// must span the program's registers and carry the state left by the
     /// preceding steps. On error, live rows are *not* released here —
     /// callers owning the slot state decide (see [`release_live_slots`]).
-    fn exec_step(
+    pub(crate) fn exec_step(
         &self,
         s: usize,
         acc: &mut Accelerator,
@@ -898,16 +1091,17 @@ impl<'p> Plan<'p> {
             }
         };
         {
-            let step = self.steps[s];
-            if self.boundary[s] && acc.refresh_policy() == RnRefreshPolicy::Explicit {
+            let step = self.data.steps[s];
+            if self.data.boundary[s] && acc.refresh_policy() == RnRefreshPolicy::Explicit {
                 acc.refresh_rn_rows()?;
             }
             match step {
                 Step::EncodeRun { start, len } => {
                     let values: Vec<Fixed> = prog.ops[start..start + len]
                         .iter()
-                        .map(|op| match op {
-                            Op::Encode { value, .. } => *value,
+                        .enumerate()
+                        .map(|(o, op)| match op {
+                            Op::Encode { value, .. } => self.fixed_at(start + o, *value),
                             _ => unreachable!("encode runs hold only Encode ops"),
                         })
                         .collect();
@@ -920,13 +1114,19 @@ impl<'p> Plan<'p> {
                 }
                 Step::Single(i) => match prog.ops[i] {
                     Op::Encode { dst, value } => {
-                        slots[dst.index] = Some(Slot::Handle(acc.encode(value)?));
+                        slots[dst.index] = Some(Slot::Handle(acc.encode(self.fixed_at(i, value))?));
                     }
                     Op::EncodeCorrelated {
                         ref dsts,
                         ref values,
                     } => {
-                        let handles = acc.encode_correlated_many(values)?;
+                        let handles = match self.binds {
+                            Some(b) => {
+                                let base = b.fixed_base[i] as usize;
+                                acc.encode_correlated_many(&b.values[base..base + values.len()])?
+                            }
+                            None => acc.encode_correlated_many(values)?,
+                        };
                         for (d, h) in dsts.iter().zip(handles) {
                             slots[d.index] = Some(Slot::Handle(h));
                         }
@@ -965,7 +1165,7 @@ impl<'p> Plan<'p> {
                             (
                                 Err(ImscError::Stochastic(ScError::DivisionByZero)),
                                 Some(fallback),
-                            ) => Slot::Const(fallback),
+                            ) => Slot::Const(self.const_at(i, fallback)),
                             (Err(e), _) => return Err(e),
                         });
                     }
@@ -983,10 +1183,10 @@ impl<'p> Plan<'p> {
                         Some(Slot::Const(c)) => out.push(c),
                         None => return Err(ImscError::InvalidConfig("register is not live")),
                     },
-                    Op::ReadConst { value } => out.push(value),
+                    Op::ReadConst { value } => out.push(self.const_at(i, value)),
                 },
             }
-            for &r in &self.releases[s] {
+            for &r in &self.data.releases[s] {
                 if let Some(Slot::Handle(h)) = slots[r.index].take() {
                     acc.release(h)?;
                 }
@@ -1052,8 +1252,8 @@ mod tests {
         let _ = p.encode(Fixed::from_u8(3)); // same group: coalesces, no boundary
         let plan = p.plan().unwrap();
         assert_eq!(plan.steps(), 2);
-        assert!(!plan.boundary[0]);
-        assert!(plan.boundary[1]);
+        assert!(!plan.data.boundary[0]);
+        assert!(plan.data.boundary[1]);
         assert_eq!(plan.coalesced_encodes(), 2);
     }
 
@@ -1067,7 +1267,7 @@ mod tests {
         let plan = p.plan().unwrap();
         assert_eq!(plan.steps(), 2);
         assert_eq!(plan.coalesced_encodes(), 2);
-        assert!(plan.boundary[1]);
+        assert!(plan.data.boundary[1]);
     }
 
     #[test]

@@ -61,6 +61,20 @@ pub enum Optimize {
     Full,
 }
 
+impl Optimize {
+    /// Whether this level's rewrites inspect operand *values* (zero-value
+    /// lowering to constant-false signals, encode dedup over equal
+    /// immediates, threshold-value min/max folding, read folding). A
+    /// value-dependent level can change a program's shape when only its
+    /// immediates change, so the template cache must key on the full
+    /// value pattern instead of binding values into holes — see
+    /// `program::cache`.
+    #[must_use]
+    pub fn value_dependent(self) -> bool {
+        !matches!(self, Optimize::Off)
+    }
+}
+
 impl std::str::FromStr for Optimize {
     type Err = String;
 

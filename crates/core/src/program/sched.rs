@@ -42,7 +42,8 @@
 //! bit-identical, and a pipelined image-kernel run is value- and
 //! ledger-identical to the per-tile path it subsumes.
 
-use super::{release_live_slots, ExecArena, Op, Plan, Program, Step, VReg};
+use super::cache::{Bindings, Template};
+use super::{release_live_slots, ExecArena, ExecView, Op, Plan, PlanData, Program, Step, VReg};
 use crate::cost::{CostLedger, WearSummary};
 use crate::engine::Accelerator;
 use crate::error::ImscError;
@@ -274,6 +275,30 @@ pub fn partition_by_outputs(
     ))
 }
 
+/// One unit of pipelined work: a slice program the ❶ worker plans on
+/// admission (the uncached path), or a pre-compiled [`Template`] with
+/// the slice's value [`Bindings`] (the plan cache's hit path — emit,
+/// optimize and plan are all skipped).
+#[derive(Debug, Clone, Copy)]
+pub enum SliceExec<'s> {
+    /// Plan-and-run a slice program.
+    Fresh(&'s Program),
+    /// Run a cached template, binding the slice's values at execution.
+    Bound(&'s Template, &'s Bindings),
+}
+
+impl<'s> SliceExec<'s> {
+    /// The program this slice executes (the template's compiled program
+    /// on the cached path).
+    #[must_use]
+    pub fn program(self) -> &'s Program {
+        match self {
+            SliceExec::Fresh(p) => p,
+            SliceExec::Bound(t, _) => t.program(),
+        }
+    }
+}
+
 /// The measured result of one pipeline slice: its outputs plus the
 /// per-array observables the tiled kernels merge in slice order.
 #[derive(Debug, Clone)]
@@ -294,6 +319,9 @@ pub struct SliceOut {
     pub scout_ops: u64,
     /// Endurance summary of the slice accelerator's stream-row wear map.
     pub stream_wear: WearSummary,
+    /// Wall-clock nanoseconds the ❶ worker spent planning this slice
+    /// (0 on the cached path, which admits a pre-planned template).
+    pub plan_ns: u64,
 }
 
 /// Measured pipeline behaviour of one scheduled run, in *modeled*
@@ -499,9 +527,8 @@ struct SliceMeta {
 }
 
 impl SliceMeta {
-    fn of(plan: &Plan<'_>) -> SliceMeta {
-        let prog = plan.program;
-        let stage: Vec<usize> = plan
+    fn of(prog: &Program, data: &PlanData) -> SliceMeta {
+        let stage: Vec<usize> = data
             .steps
             .iter()
             .map(|step| match step {
@@ -509,14 +536,14 @@ impl SliceMeta {
                 Step::Single(i) => StageKind::of(&prog.ops[*i]).index(),
             })
             .collect();
-        let mut wavefront = Vec::with_capacity(plan.steps.len());
+        let mut wavefront = Vec::with_capacity(data.steps.len());
         let mut live = 0usize;
         let mut wf = 0usize;
-        for (s, step) in plan.steps.iter().enumerate() {
+        for (s, step) in data.steps.iter().enumerate() {
             wavefront.push(wf);
             let defs: usize = step.op_range().map(|o| prog.ops[o].defs().len()).sum();
             live += defs;
-            live -= plan.releases[s].len();
+            live -= data.releases[s].len();
             if live == 0 {
                 wf += 1;
             }
@@ -550,16 +577,42 @@ impl SliceMeta {
     }
 }
 
+/// What a stage worker executes for one slice: a plan it produced on
+/// admission, or a shared pre-compiled template with the slice's
+/// bindings.
+enum Hold<'p> {
+    Planned(Plan<'p>),
+    Bound(&'p Template, &'p Bindings),
+}
+
+impl<'p> Hold<'p> {
+    fn view(&self) -> ExecView<'_> {
+        match self {
+            Hold::Planned(plan) => plan.view(),
+            Hold::Bound(t, b) => t.view(b),
+        }
+    }
+
+    fn program(&self) -> &'p Program {
+        match self {
+            Hold::Planned(plan) => plan.program(),
+            Hold::Bound(t, _) => t.program(),
+        }
+    }
+}
+
 /// One slice traveling through the stage workers.
 struct InFlight<'p> {
     idx: usize,
-    plan: Plan<'p>,
+    hold: Hold<'p>,
     meta: SliceMeta,
     acc: Accelerator,
     arena: ExecArena,
     out: Vec<f64>,
     /// Per-wavefront ledger-derived stage latencies, ns.
     wf_ns: Vec<[f64; StageKind::COUNT]>,
+    /// Planning time paid on admission (0 for bound templates).
+    plan_ns: u64,
 }
 
 impl std::fmt::Debug for InFlight<'_> {
@@ -576,22 +629,38 @@ struct Finished {
 
 fn prepare<'p>(
     idx: usize,
-    slice: &'p Program,
+    slice: SliceExec<'p>,
     acc: Accelerator,
     mut arena: ExecArena,
 ) -> Result<InFlight<'p>, ImscError> {
-    let plan = slice.plan()?;
-    let meta = SliceMeta::of(&plan);
-    arena.reset(slice.regs);
+    let (hold, plan_ns) = match slice {
+        SliceExec::Fresh(p) => {
+            let t0 = std::time::Instant::now();
+            let plan = p.plan()?;
+            (Hold::Planned(plan), t0.elapsed().as_nanos() as u64)
+        }
+        SliceExec::Bound(t, b) => {
+            t.check_binds(b)?;
+            (Hold::Bound(t, b), 0)
+        }
+    };
+    let meta = {
+        let view = hold.view();
+        SliceMeta::of(view.program, view.data)
+    };
+    let program = hold.program();
+    arena.reset(program.regs);
     let wf_ns = vec![[0.0; StageKind::COUNT]; meta.wavefronts];
+    let outputs = program.outputs;
     Ok(InFlight {
         idx,
-        plan,
+        hold,
         meta,
         acc,
         arena,
-        out: Vec::with_capacity(slice.outputs),
+        out: Vec::with_capacity(outputs),
         wf_ns,
+        plan_ns,
     })
 }
 
@@ -600,7 +669,7 @@ fn prepare<'p>(
 /// worker) in the wavefront timeline.
 fn exec_phase(f: &mut InFlight<'_>, phase: usize, costs: &ReramCosts) -> Result<(), ImscError> {
     let InFlight {
-        plan,
+        hold,
         meta,
         acc,
         arena,
@@ -608,9 +677,10 @@ fn exec_phase(f: &mut InFlight<'_>, phase: usize, costs: &ReramCosts) -> Result<
         wf_ns,
         ..
     } = f;
+    let view = hold.view();
     for s in meta.phase_range(phase) {
         let before = acc.ledger().latency_ns(costs);
-        plan.exec_step(s, acc, &mut arena.slots, out)?;
+        view.exec_step(s, acc, &mut arena.slots, out)?;
         let delta = acc.ledger().latency_ns(costs) - before;
         wf_ns[meta.wavefront[s]][meta.stage[s]] += delta;
     }
@@ -634,6 +704,7 @@ fn finish(f: InFlight<'_>, sink: Option<&SinkHandle>, seq: usize) -> (Finished, 
         arena,
         out,
         wf_ns,
+        plan_ns,
         ..
     } = f;
     if let Some(sink) = sink {
@@ -649,6 +720,7 @@ fn finish(f: InFlight<'_>, sink: Option<&SinkHandle>, seq: usize) -> (Finished, 
                 faults_injected: acc.faults_injected(),
                 scout_ops: acc.scout_ops_executed(),
                 stream_wear: acc.stream_wear(),
+                plan_ns,
             },
             wf_ns,
         },
@@ -736,8 +808,23 @@ impl PipelineScheduler {
         F: Fn(usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
     {
-        let refs: Vec<&Program> = slices.iter().collect();
-        let fins = self.run_collect(&refs, &factory, 0)?;
+        let execs: Vec<SliceExec<'_>> = slices.iter().map(SliceExec::Fresh).collect();
+        self.run_exec(&execs, factory)
+    }
+
+    /// [`Self::run`] over explicit slice units — mixes freshly-planned
+    /// programs with cache-bound templates ([`SliceExec`]); the tiled
+    /// kernels' cached pipelined path enters here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_exec<E, F>(&self, slices: &[SliceExec<'_>], factory: F) -> Result<PipelineRun, E>
+    where
+        F: Fn(usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
+        let fins = self.run_collect(slices, &factory, 0)?;
         Ok(Self::assemble_run(fins, self.arrays))
     }
 
@@ -762,7 +849,7 @@ impl PipelineScheduler {
     /// keep one monotone stream.
     fn run_collect<E, F>(
         &self,
-        slices: &[&Program],
+        slices: &[SliceExec<'_>],
         factory: &F,
         seq_base: usize,
     ) -> Result<Vec<Finished>, E>
@@ -781,7 +868,7 @@ impl PipelineScheduler {
 
     fn run_sequential<E, F>(
         &self,
-        slices: &[&Program],
+        slices: &[SliceExec<'_>],
         factory: &F,
         seq_base: usize,
     ) -> Result<Vec<Finished>, E>
@@ -809,7 +896,7 @@ impl PipelineScheduler {
     #[cfg(feature = "parallel")]
     fn run_threaded<E, F>(
         &self,
-        slices: &[&Program],
+        slices: &[SliceExec<'_>],
         factory: &F,
         seq_base: usize,
     ) -> Result<Vec<Finished>, E>
@@ -947,6 +1034,27 @@ impl PipelineScheduler {
         F: Fn(usize, usize) -> Result<Accelerator, E> + Sync,
         E: From<ImscError> + Send,
     {
+        let execs: Vec<SliceExec<'_>> = slices.iter().map(SliceExec::Fresh).collect();
+        self.run_with_domains_exec(&execs, factory, policy)
+    }
+
+    /// [`Self::run_with_domains`] over explicit slice units
+    /// ([`SliceExec`]) — the cached pipelined path with fault-domain
+    /// retirement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_with_domains`].
+    pub fn run_with_domains_exec<E, F>(
+        &self,
+        slices: &[SliceExec<'_>],
+        factory: F,
+        policy: RetirementPolicy,
+    ) -> Result<DomainRun, E>
+    where
+        F: Fn(usize, usize) -> Result<Accelerator, E> + Sync,
+        E: From<ImscError> + Send,
+    {
         let n = slices.len();
         let mut health: Vec<ArrayHealth> = (0..self.arrays)
             .map(|array| ArrayHealth {
@@ -979,7 +1087,7 @@ impl PipelineScheduler {
             let round_arrays: Vec<usize> = (0..pending.len())
                 .map(|k| healthy[k % healthy.len()])
                 .collect();
-            let round_progs: Vec<&Program> = pending.iter().map(|&i| &slices[i]).collect();
+            let round_progs: Vec<SliceExec<'_>> = pending.iter().map(|&i| slices[i]).collect();
             let fins = self.run_collect(
                 &round_progs,
                 &|k| factory(pending[k], round_arrays[k]),

@@ -11,11 +11,11 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats};
+use crate::tile::{self, ScRunStats, TileEmitter};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
 use imsc::program::Program;
-use imsc::RnRefreshPolicy;
+use imsc::{ProgramSink, RnRefreshPolicy};
 use sc_core::Fixed;
 
 /// The four neighbours and fractional offsets of one output pixel.
@@ -76,7 +76,7 @@ pub fn software(src: &GrayImage, factor: usize) -> Result<GrayImage, ImgError> {
 /// Emits one output pixel into the program: correlated 4-tap encode, the
 /// two horizontal directed blends, one vertical blend, one read. The two
 /// select encodes each start a new refresh group — see [`emit_program`].
-fn emit_pixel(p: &mut Program, src: &GrayImage, ox: usize, oy: usize, factor: usize) {
+fn emit_pixel<S: ProgramSink>(p: &mut S, src: &GrayImage, ox: usize, oy: usize, factor: usize) {
     let t = tap(src, ox, oy, factor);
     let taps = p.encode_correlated(&[
         Fixed::from_u8(t.i11),
@@ -153,14 +153,37 @@ pub fn emit_program(src: &GrayImage, factor: usize, rows: std::ops::Range<usize>
         rows.end,
         src.height() * factor
     );
-    let width = src.width() * factor;
     let mut p = Program::new();
-    for oy in rows {
-        for ox in 0..width {
-            emit_pixel(&mut p, src, ox, oy, factor);
+    Emit { src, factor }.emit(rows, &mut p);
+    p
+}
+
+/// The kernel as a cache-aware tile emitter (see
+/// [`crate::tile::TileEmitter`]).
+struct Emit<'a> {
+    src: &'a GrayImage,
+    factor: usize,
+}
+
+impl tile::TileEmitter for Emit<'_> {
+    const KERNEL: &'static str = "bilinear";
+
+    fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
+        let width = self.src.width() * self.factor;
+        for oy in rows {
+            for ox in 0..width {
+                emit_pixel(p, self.src, ox, oy, self.factor);
+            }
         }
     }
-    p
+
+    fn frame_digest(&self) -> Option<u64> {
+        // Emission depends on the source pixels and the scale factor.
+        Some(tile::digest_image(
+            imsc::program::cache::mix(tile::FRAME_DIGEST_SEED, self.factor as u64),
+            self.src,
+        ))
+    }
 }
 
 /// In-ReRAM SC up-scaling: nested directed MAJ blends over one shared
@@ -194,9 +217,7 @@ pub fn sc_reram_with_stats(
     let width = src.width() * factor;
     let height = src.height() * factor;
     let (tiles, report) =
-        tile::run_tile_programs(height, cfg, RnRefreshPolicy::Explicit, |_, rows| {
-            emit_program(src, factor, rows)
-        })?;
+        tile::run_tile_programs(height, cfg, RnRefreshPolicy::Explicit, Emit { src, factor })?;
     let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
 }

@@ -10,11 +10,11 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats};
+use crate::tile::{self, ScRunStats, TileEmitter};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
 use imsc::program::Program;
-use imsc::RnRefreshPolicy;
+use imsc::{ProgramSink, RnRefreshPolicy};
 use sc_core::Fixed;
 
 fn check_inputs(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<(), ImgError> {
@@ -76,10 +76,12 @@ pub fn sc_reram_with_stats(
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
     check_inputs(f, b, alpha)?;
     let width = f.width();
-    let (tiles, report) =
-        tile::run_tile_programs(f.height(), cfg, RnRefreshPolicy::Explicit, |_, rows| {
-            emit_program(f, b, alpha, rows)
-        })?;
+    let (tiles, report) = tile::run_tile_programs(
+        f.height(),
+        cfg,
+        RnRefreshPolicy::Explicit,
+        Emit { f, b, alpha },
+    )?;
     let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, f.height(), pixels)?, stats))
 }
@@ -122,21 +124,46 @@ pub fn emit_program(
         f.height()
     );
     let mut p = Program::new();
-    for y in rows {
-        for x in 0..f.width() {
-            let pf = f.get(x, y).expect("checked dims");
-            let pb = b.get(x, y).expect("checked dims");
-            let pa = alpha.get(x, y).expect("checked dims");
-            // Directed select: MAJ weights the larger operand by `sel`.
-            let sel = if pf >= pb { pa } else { 255 - pa };
-            let fb = p.encode_correlated(&[Fixed::from_u8(pf), Fixed::from_u8(pb)]);
-            p.next_group();
-            let hs = p.encode(Fixed::from_u8(sel));
-            let hc = p.blend(fb[0], fb[1], hs);
-            p.read(hc);
+    Emit { f, b, alpha }.emit(rows, &mut p);
+    p
+}
+
+/// The kernel as a cache-aware tile emitter (see
+/// [`crate::tile::TileEmitter`]).
+struct Emit<'a> {
+    f: &'a GrayImage,
+    b: &'a GrayImage,
+    alpha: &'a GrayImage,
+}
+
+impl TileEmitter for Emit<'_> {
+    const KERNEL: &'static str = "compositing";
+
+    fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
+        for y in rows {
+            for x in 0..self.f.width() {
+                let pf = self.f.get(x, y).expect("checked dims");
+                let pb = self.b.get(x, y).expect("checked dims");
+                let pa = self.alpha.get(x, y).expect("checked dims");
+                // Directed select: MAJ weights the larger operand by
+                // `sel`.
+                let sel = if pf >= pb { pa } else { 255 - pa };
+                let fb = p.encode_correlated(&[Fixed::from_u8(pf), Fixed::from_u8(pb)]);
+                p.next_group();
+                let hs = p.encode(Fixed::from_u8(sel));
+                let hc = p.blend(fb[0], fb[1], hs);
+                p.read(hc);
+            }
         }
     }
-    p
+
+    fn frame_digest(&self) -> Option<u64> {
+        // Emission depends on all three input images (α drives the
+        // per-pixel select direction, too).
+        let mut h = tile::digest_image(tile::FRAME_DIGEST_SEED, self.f);
+        h = tile::digest_image(h, self.b);
+        Some(tile::digest_image(h, self.alpha))
+    }
 }
 
 /// Functional CMOS SC compositing (LFSR/Sobol/software SNG), with the

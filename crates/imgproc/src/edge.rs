@@ -13,10 +13,10 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats};
+use crate::tile::{self, ScRunStats, TileEmitter};
 use baselines::bincim::BinaryCim;
 use imsc::program::Program;
-use imsc::RnRefreshPolicy;
+use imsc::{ProgramSink, RnRefreshPolicy};
 use sc_core::Fixed;
 
 /// Default realization reuse: consecutive pixels whose 4-tap encodes
@@ -78,7 +78,7 @@ pub fn sc_reram_with_stats(
         img.height(),
         cfg,
         RnRefreshPolicy::EveryN(RN_REUSE_PIXELS),
-        |_, rows| emit_program(img, rows),
+        Emit { img },
     )?;
     let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, img.height(), pixels)?, stats))
@@ -106,30 +106,51 @@ pub fn emit_program(img: &GrayImage, rows: std::ops::Range<usize>) -> Program {
         img.height()
     );
     let mut p = Program::new();
-    for y in rows {
-        for x in 0..img.width() {
-            let (a, b, c, d) = taps(img, x, y);
-            let taps = p.encode_correlated(&[
-                Fixed::from_u8(a),
-                Fixed::from_u8(b),
-                Fixed::from_u8(c),
-                Fixed::from_u8(d),
-            ]);
-            let g1 = p.abs_subtract(taps[0], taps[1]);
-            let g2 = p.abs_subtract(taps[2], taps[3]);
-            // |a−b| and |c−d| are interval indicators over the same
-            // random numbers; their overlap makes them *correlated*, so
-            // the uncorrelated-input scaled_add is not applicable — use
-            // blend with a 0.5 select, which is exact for correlated
-            // inputs: 0.5·max + 0.5·min = (g1 + g2)/2. The select is a
-            // single-step TRNG row: exactly the ~0.5 stream the MAJ
-            // wants, independent of the (reused) RN realization.
-            let sel = p.trng_select();
-            let e = p.blend(g1, g2, sel);
-            p.read(e);
+    Emit { img }.emit(rows, &mut p);
+    p
+}
+
+/// The kernel as a cache-aware tile emitter (see
+/// [`crate::tile::TileEmitter`]).
+struct Emit<'a> {
+    img: &'a GrayImage,
+}
+
+impl TileEmitter for Emit<'_> {
+    const KERNEL: &'static str = "edge";
+
+    fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
+        let img = self.img;
+        for y in rows {
+            for x in 0..img.width() {
+                let (a, b, c, d) = taps(img, x, y);
+                let taps = p.encode_correlated(&[
+                    Fixed::from_u8(a),
+                    Fixed::from_u8(b),
+                    Fixed::from_u8(c),
+                    Fixed::from_u8(d),
+                ]);
+                let g1 = p.abs_subtract(taps[0], taps[1]);
+                let g2 = p.abs_subtract(taps[2], taps[3]);
+                // |a−b| and |c−d| are interval indicators over the same
+                // random numbers; their overlap makes them *correlated*,
+                // so the uncorrelated-input scaled_add is not applicable
+                // — use blend with a 0.5 select, which is exact for
+                // correlated inputs: 0.5·max + 0.5·min = (g1 + g2)/2.
+                // The select is a single-step TRNG row: exactly the ~0.5
+                // stream the MAJ wants, independent of the (reused) RN
+                // realization.
+                let sel = p.trng_select();
+                let e = p.blend(g1, g2, sel);
+                p.read(e);
+            }
         }
     }
-    p
+
+    fn frame_digest(&self) -> Option<u64> {
+        // Emission depends on the input pixels alone.
+        Some(tile::digest_image(tile::FRAME_DIGEST_SEED, self.img))
+    }
 }
 
 /// Functional CMOS SC edge detection with the same kernel.

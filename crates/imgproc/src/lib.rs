@@ -39,4 +39,4 @@ pub mod tile;
 pub use error::ImgError;
 pub use image::GrayImage;
 pub use scbackend::{ArrayFaultOverride, CmosScConfig, ScReramConfig};
-pub use tile::{ScRunStats, Schedule};
+pub use tile::{PlanCacheRun, ScRunStats, Schedule};

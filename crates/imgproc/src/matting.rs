@@ -11,11 +11,11 @@
 use crate::error::ImgError;
 use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, CmosScConfig, ScReramConfig};
-use crate::tile::{self, ScRunStats};
+use crate::tile::{self, ScRunStats, TileEmitter};
 use baselines::bincim::BinaryCim;
 use baselines::sw;
 use imsc::program::Program;
-use imsc::RnRefreshPolicy;
+use imsc::{ProgramSink, RnRefreshPolicy};
 use sc_core::{Fixed, ScError};
 
 /// Default realization reuse: consecutive pixels whose `(I, B, F)`
@@ -96,7 +96,7 @@ pub fn sc_reram_with_stats(
         i.height(),
         cfg,
         RnRefreshPolicy::EveryN(RN_REUSE_PIXELS),
-        |_, rows| emit_program(i, b, f, rows),
+        Emit { i, b, f },
     )?;
     let (pixels, stats) = tile::assemble(tiles, report);
     Ok((GrayImage::from_pixels(width, i.height(), pixels)?, stats))
@@ -138,24 +138,55 @@ pub fn emit_program(
         i.height()
     );
     let mut p = Program::new();
-    for y in rows {
-        for x in 0..i.width() {
-            let pi = i.get(x, y).expect("checked dims");
-            let pb = b.get(x, y).expect("checked dims");
-            let pf = f.get(x, y).expect("checked dims");
-            if pf == pb {
-                p.read_const(0.0);
-                continue;
+    Emit { i, b, f }.emit(rows, &mut p);
+    p
+}
+
+/// The kernel as a cache-aware tile emitter (see
+/// [`crate::tile::TileEmitter`]). The degenerate-pixel branch changes
+/// the emitted op *shape*, so the tape's structure hash — and therefore
+/// the template-cache key — distinguishes tiles with different
+/// degenerate-pixel patterns automatically.
+struct Emit<'a> {
+    i: &'a GrayImage,
+    b: &'a GrayImage,
+    f: &'a GrayImage,
+}
+
+impl TileEmitter for Emit<'_> {
+    const KERNEL: &'static str = "matting";
+
+    fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
+        for y in rows {
+            for x in 0..self.i.width() {
+                let pi = self.i.get(x, y).expect("checked dims");
+                let pb = self.b.get(x, y).expect("checked dims");
+                let pf = self.f.get(x, y).expect("checked dims");
+                if pf == pb {
+                    p.read_const(0.0);
+                    continue;
+                }
+                let ibf = p.encode_correlated(&[
+                    Fixed::from_u8(pi),
+                    Fixed::from_u8(pb),
+                    Fixed::from_u8(pf),
+                ]);
+                let d_num = p.abs_subtract(ibf[0], ibf[1]);
+                let d_den = p.abs_subtract(ibf[2], ibf[1]);
+                let alpha = p.divide_or(d_num, d_den, 0.0);
+                p.read(alpha);
             }
-            let ibf =
-                p.encode_correlated(&[Fixed::from_u8(pi), Fixed::from_u8(pb), Fixed::from_u8(pf)]);
-            let d_num = p.abs_subtract(ibf[0], ibf[1]);
-            let d_den = p.abs_subtract(ibf[2], ibf[1]);
-            let alpha = p.divide_or(d_num, d_den, 0.0);
-            p.read(alpha);
         }
     }
-    p
+
+    fn frame_digest(&self) -> Option<u64> {
+        // Emission depends on all three inputs — F and B also decide the
+        // degenerate-pixel branch, but that is value-derived, so the
+        // image bytes cover it.
+        let mut h = tile::digest_image(tile::FRAME_DIGEST_SEED, self.i);
+        h = tile::digest_image(h, self.b);
+        Some(tile::digest_image(h, self.f))
+    }
 }
 
 /// Functional CMOS SC α estimation with the same correlated kernel.

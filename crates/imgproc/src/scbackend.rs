@@ -4,9 +4,11 @@ use crate::error::ImgError;
 use crate::tile::Schedule;
 use imsc::engine::Accelerator;
 use imsc::imsng::ImsngVariant;
-use imsc::{Optimize, RetirementPolicy, RnRefreshPolicy};
+use imsc::program::cache::mix;
+use imsc::{Optimize, PlanCache, RetirementPolicy, RnRefreshPolicy};
 use reram::faults::FaultRates;
 use sc_core::prelude::*;
+use std::sync::Arc;
 
 /// A heterogeneous-farm override: one array (fault domain) of a
 /// pipelined run gets its own fault rates — the "pathological shard"
@@ -21,7 +23,7 @@ pub struct ArrayFaultOverride {
 }
 
 /// Configuration of the in-ReRAM SC backend.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ScReramConfig {
     /// Stochastic bit-stream length `N`.
     pub stream_len: usize,
@@ -77,6 +79,18 @@ pub struct ScReramConfig {
     /// ([`crate::tile::ScRunStats::replay`]). Off by default; pixels and
     /// the analytic ledger are unchanged either way.
     pub trace_replay: bool,
+    /// Compiled-template cache shared across tiles, frames and runs
+    /// (see [`imsc::program::cache`]). When set, the kernels tape each
+    /// tile's value stream instead of emitting a fresh program, and a
+    /// cache hit skips emit, optimize and plan entirely — bit-identical
+    /// pixels, ledgers and traces either way
+    /// ([`crate::tile::ScRunStats::plan_cache`] reports hit/miss/
+    /// fallback counts). `None` by default; the `IMSC_PLAN_CACHE`
+    /// environment variable (`1`/`true`/`on`) attaches a fresh
+    /// default-capacity cache in [`ScReramConfig::new`], which an
+    /// explicit [`ScReramConfig::with_plan_cache`] /
+    /// [`ScReramConfig::without_plan_cache`] overrides.
+    pub plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl ScReramConfig {
@@ -100,69 +114,100 @@ impl ScReramConfig {
             array_faults: None,
             retirement: None,
             trace_replay: false,
+            plan_cache: std::env::var("IMSC_PLAN_CACHE")
+                .is_ok_and(|v| matches!(v.as_str(), "1" | "true" | "on"))
+                .then(|| Arc::new(PlanCache::new())),
         }
     }
 
     /// Same configuration with fault injection enabled.
     #[must_use]
-    pub fn with_faults(mut self, rates: FaultRates) -> Self {
-        self.fault_rates = rates;
-        self
+    pub fn with_faults(&self, rates: FaultRates) -> Self {
+        let mut cfg = self.clone();
+        cfg.fault_rates = rates;
+        cfg
     }
 
     /// Same configuration with a forced RN refresh policy (overriding the
     /// per-kernel reuse schedules).
     #[must_use]
-    pub fn with_refresh_policy(mut self, policy: RnRefreshPolicy) -> Self {
-        self.refresh_policy = Some(policy);
-        self
+    pub fn with_refresh_policy(&self, policy: RnRefreshPolicy) -> Self {
+        let mut cfg = self.clone();
+        cfg.refresh_policy = Some(policy);
+        cfg
     }
 
     /// Same configuration with the given program [`Schedule`] — e.g.
     /// `Schedule::Pipelined { arrays: 3 }` for cross-array pipelining.
     #[must_use]
-    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
-        self.schedule = schedule;
-        self
+    pub fn with_schedule(&self, schedule: Schedule) -> Self {
+        let mut cfg = self.clone();
+        cfg.schedule = schedule;
+        cfg
     }
 
     /// Same configuration with the given program-optimizer level
     /// (overriding any `IMSC_OPTIMIZE` environment setting).
     #[must_use]
-    pub fn with_optimize(mut self, optimize: Optimize) -> Self {
-        self.optimize = optimize;
-        self
+    pub fn with_optimize(&self, optimize: Optimize) -> Self {
+        let mut cfg = self.clone();
+        cfg.optimize = optimize;
+        cfg
     }
 
     /// Same configuration with wear-leveling row allocation toggled.
     #[must_use]
-    pub fn with_wear_leveling(mut self, on: bool) -> Self {
-        self.wear_leveling = on;
-        self
+    pub fn with_wear_leveling(&self, on: bool) -> Self {
+        let mut cfg = self.clone();
+        cfg.wear_leveling = on;
+        cfg
     }
 
     /// Same configuration with one array's fault rates overridden for
     /// pipelined fault-domain runs.
     #[must_use]
-    pub fn with_array_faults(mut self, array: usize, rates: FaultRates) -> Self {
-        self.array_faults = Some(ArrayFaultOverride { array, rates });
-        self
+    pub fn with_array_faults(&self, array: usize, rates: FaultRates) -> Self {
+        let mut cfg = self.clone();
+        cfg.array_faults = Some(ArrayFaultOverride { array, rates });
+        cfg
     }
 
     /// Same configuration with fault-domain retirement enabled under the
     /// given policy.
     #[must_use]
-    pub fn with_retirement(mut self, policy: RetirementPolicy) -> Self {
-        self.retirement = Some(policy);
-        self
+    pub fn with_retirement(&self, policy: RetirementPolicy) -> Self {
+        let mut cfg = self.clone();
+        cfg.retirement = Some(policy);
+        cfg
     }
 
     /// Same configuration with nvsim trace replay toggled (see
     /// [`ScReramConfig::trace_replay`]).
     #[must_use]
-    pub fn with_trace_replay(mut self, on: bool) -> Self {
-        self.trace_replay = on;
-        self
+    pub fn with_trace_replay(&self, on: bool) -> Self {
+        let mut cfg = self.clone();
+        cfg.trace_replay = on;
+        cfg
+    }
+
+    /// Same configuration sharing the given compiled-template cache (see
+    /// [`ScReramConfig::plan_cache`]). Share one [`Arc`] across frames —
+    /// and across kernels and schedules; the cache key separates them —
+    /// to amortize compilation.
+    #[must_use]
+    pub fn with_plan_cache(&self, cache: Arc<PlanCache>) -> Self {
+        let mut cfg = self.clone();
+        cfg.plan_cache = Some(cache);
+        cfg
+    }
+
+    /// Same configuration with template caching disabled (overriding an
+    /// `IMSC_PLAN_CACHE` environment setting).
+    #[must_use]
+    pub fn without_plan_cache(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.plan_cache = None;
+        cfg
     }
 
     /// The optimizer level the kernels actually run: the configured
@@ -189,6 +234,46 @@ impl ScReramConfig {
             level: self.effective_optimize(),
             policy: self.refresh_policy.unwrap_or(kernel_default),
         }
+    }
+
+    /// The substrate fields of the template-cache key
+    /// ([`imsc::TemplateKey::substrate`]): everything about this
+    /// configuration that compilation (optimize + plan) could depend on,
+    /// plus the fault/wear knobs as defense in depth — a template is
+    /// never reused across differing fault or wear configurations, even
+    /// though those only perturb execution. Deliberately *excluded* are
+    /// the purely execution-side knobs that templates are meant to be
+    /// shared across: seed, schedule, retirement, and trace replay.
+    pub(crate) fn template_substrate_sig(&self) -> u64 {
+        let mut h = mix(0x53_55_42_53, self.stream_len as u64);
+        h = mix(h, u64::from(self.segment_bits));
+        h = mix(
+            h,
+            match self.variant {
+                ImsngVariant::Baseline => 1,
+                ImsngVariant::Naive => 2,
+                ImsngVariant::Opt => 3,
+            },
+        );
+        h = mix(h, self.trng_bias_sigma.to_bits());
+        for rates in
+            std::iter::once(&self.fault_rates).chain(self.array_faults.iter().map(|o| &o.rates))
+        {
+            for r in [
+                rates.and,
+                rates.or,
+                rates.xor,
+                rates.maj,
+                rates.not,
+                rates.write,
+            ] {
+                h = mix(h, r.to_bits());
+            }
+        }
+        if let Some(o) = &self.array_faults {
+            h = mix(h, o.array as u64);
+        }
+        mix(h, u64::from(self.wear_leveling))
     }
 
     /// Builds the accelerator instance for one image run.

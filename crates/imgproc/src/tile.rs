@@ -13,9 +13,9 @@
 //! hardware-cost numbers (the Table III / Fig. 4–5 inputs) are unchanged
 //! by parallelism.
 //!
-//! Since the program-IR refactor, the kernels are *program emitters*, and
-//! [`run_tile_programs`] schedules the emitted programs under one of two
-//! [`Schedule`]s:
+//! Since the program-IR refactor, the kernels are *program emitters*
+//! ([`TileEmitter`]), and [`run_tile_programs`] schedules the emitted
+//! programs under one of two [`Schedule`]s:
 //!
 //! * [`Schedule::PerTile`] — one [`imsc::Program`] per tile, planned and
 //!   executed whole on the tile's accelerator. With the `parallel`
@@ -34,19 +34,90 @@
 //!   bit-identical to the per-tile path — the pipelined run additionally
 //!   reports measured stage occupancy and initiation interval
 //!   ([`ScRunStats::pipeline`]).
+//!
+//! With a template cache attached ([`ScReramConfig::plan_cache`]), both
+//! schedules stop compiling per tile: each tile's emitter runs once as a
+//! [`ValueTape`] (microseconds instead of the emit + optimize + plan
+//! milliseconds), and a cache hit binds the tile's values into the
+//! shared pre-compiled [`Template`]. On the pipelined schedule the
+//! tile-shaped ranges are taped directly — legal because slices are
+//! op-identical to per-tile emission — so slices share the very same
+//! templates. Repeated *frames* skip even the tape: each kernel digests
+//! its inputs once per run ([`TileEmitter::frame_digest`]), and a tile
+//! whose (kernel, rows, digest, config) key recurs executes its cached
+//! (template, bindings) pair directly — the fully-bound fast path that
+//! makes steady-state per-tile compile cost a row-range hash and one map
+//! probe. Results are bit-identical cached or not; the run's
+//! hit/miss/fallback counts surface as [`ScRunStats::plan_cache`] and
+//! the compile-time split as [`ScRunStats::compile`].
 
 use crate::error::ImgError;
+use crate::image::GrayImage;
 use crate::scbackend::{prob_to_pixel, ScReramConfig};
 use imsc::cost::CostLedger;
 use imsc::engine::Accelerator;
 use imsc::instrument::{ReplaySummary, SinkHandle};
+use imsc::program::cache::{
+    mix, BoundEntry, BoundKey, PlanCache, Template, TemplateKey, ValueTape,
+};
 use imsc::program::sched::{self, PipelineReport, PipelineScheduler};
 use imsc::program::Program;
-use imsc::{optimize, ExecArena, Optimize, RnRefreshPolicy, WearSummary};
+use imsc::{
+    optimize, CompileStats, ExecArena, Optimize, ProgramSink, RnRefreshPolicy, SliceExec,
+    WearSummary,
+};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Output rows per tile. Small enough to parallelize modest images,
 /// large enough to amortize accelerator construction per tile.
 pub(crate) const TILE_ROWS: usize = 8;
+
+/// A kernel's program emitter over one row range of the output image,
+/// generic over the [`ProgramSink`] so one code path both builds real
+/// [`Program`]s (uncached runs, cache misses) and records the cheap
+/// [`ValueTape`] a cache lookup needs. Emission must be deterministic in
+/// `rows` and independent of the tile index.
+pub(crate) trait TileEmitter: Sync {
+    /// Stable kernel identity in the template-cache key.
+    const KERNEL: &'static str;
+
+    /// Emits the program covering `rows` (one output per pixel,
+    /// row-major).
+    fn emit<S: ProgramSink>(&self, rows: Range<usize>, sink: &mut S);
+
+    /// Digest of everything emission depends on *besides* the row range
+    /// — input image bytes and kernel parameters (use [`digest_image`]).
+    /// Enables the cache's fully-bound fast path: a tile whose (kernel,
+    /// rows, digest, config) key recurs executes its cached template and
+    /// bindings without re-running the emitter at all. There is no tape
+    /// to cross-check on that path, so an under-covering digest silently
+    /// breaks the cached ≡ uncached contract — hash *every* input, or
+    /// return `None` to opt out (each lookup then tapes).
+    fn frame_digest(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Seed for [`TileEmitter::frame_digest`] chains.
+pub(crate) const FRAME_DIGEST_SEED: u64 = 0x4652_414D_4544_4947;
+
+/// Mixes an image's dimensions and pixel bytes into a frame digest,
+/// eight bytes per round.
+pub(crate) fn digest_image(h: u64, img: &GrayImage) -> u64 {
+    let mut h = mix(h, img.width() as u64);
+    h = mix(h, img.height() as u64);
+    let mut chunks = img.pixels().chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= u64::from(b) << (8 * i);
+    }
+    mix(h, tail)
+}
 
 /// How a kernel's emitted programs are scheduled onto accelerators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +136,66 @@ pub enum Schedule {
     },
 }
 
+/// How one tile's template-cache lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheOutcome {
+    /// Served from the cache: either the fully-bound fast path (frame
+    /// digest recurred — nothing re-ran at all) or a tape whose key
+    /// found an accepting template (emit, optimize and plan skipped).
+    Hit,
+    /// Key absent: the tile compiled from scratch and the template was
+    /// inserted for the tiles and frames that follow. A changed value
+    /// pattern at a value-dependent optimizer level lands here too — its
+    /// key's value hash is fresh.
+    Miss,
+    /// Key present but the resident template's recorded source disagreed
+    /// with the tape (a 64-bit hash collision): the tile compiled from
+    /// scratch and the resident entry was left alone.
+    Fallback,
+}
+
+/// Template-cache outcome counts of one kernel run
+/// ([`ScRunStats::plan_cache`]). One lookup happens per tile (or per
+/// pipelined slice — same ranges), so `lookups()` equals the run's tile
+/// count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheRun {
+    /// Tiles served from a cached template.
+    pub hits: u64,
+    /// Tiles compiled from scratch (and inserted).
+    pub misses: u64,
+    /// Tiles compiled from scratch after a hash-collision rejection
+    /// (nothing inserted).
+    pub fallbacks: u64,
+}
+
+impl PlanCacheRun {
+    /// Total lookups (one per tile).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.fallbacks
+    }
+
+    /// Fraction of lookups served from the cache (0 when no lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    fn count(&mut self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Hit => self.hits += 1,
+            CacheOutcome::Miss => self.misses += 1,
+            CacheOutcome::Fallback => self.fallbacks += 1,
+        }
+    }
+}
+
 /// The result of processing one row tile.
 #[derive(Debug, Clone)]
 pub(crate) struct TileOut {
@@ -80,6 +211,10 @@ pub(crate) struct TileOut {
     pub stream_wear: WearSummary,
     /// Bit-flip faults the fault injector actually fired on this tile.
     pub faults: u64,
+    /// This tile's share of compile time (emit/optimize/plan/bind).
+    pub compile: CompileStats,
+    /// The tile's template-cache outcome (`None` on uncached runs).
+    pub cache: Option<CacheOutcome>,
 }
 
 /// Aggregate statistics of one tiled SC-ReRAM kernel run.
@@ -117,6 +252,13 @@ pub struct ScRunStats {
     /// *real* schedule, next to the analytic `ledger`. `None` unless
     /// [`ScReramConfig::trace_replay`] is set.
     pub replay: Option<ReplaySummary>,
+    /// Where this run's host-side compile time went, summed across tiles:
+    /// emitting programs, optimizing, planning, and (cached runs) taping
+    /// value streams. The wall-clock the template cache exists to cut.
+    pub compile: CompileStats,
+    /// Template-cache outcome counts when the run used a plan cache
+    /// ([`ScReramConfig::plan_cache`]); `None` on uncached runs.
+    pub plan_cache: Option<PlanCacheRun>,
 }
 
 /// Derives the per-tile accelerator seed from a master seed. Tile 0 keeps
@@ -127,7 +269,7 @@ pub(crate) fn tile_seed(master: u64, tile: usize) -> u64 {
     master ^ (tile as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-fn tile_ranges(height: usize) -> Vec<std::ops::Range<usize>> {
+fn tile_ranges(height: usize) -> Vec<Range<usize>> {
     (0..height.div_ceil(TILE_ROWS))
         .map(|t| t * TILE_ROWS..((t + 1) * TILE_ROWS).min(height))
         .collect()
@@ -164,7 +306,7 @@ fn tile_threads(jobs: usize) -> usize {
 #[cfg(test)]
 fn run_row_tiles<W>(height: usize, worker: W) -> Result<Vec<TileOut>, ImgError>
 where
-    W: Fn(usize, std::ops::Range<usize>) -> Result<TileOut, ImgError> + Sync,
+    W: Fn(usize, Range<usize>) -> Result<TileOut, ImgError> + Sync,
 {
     let ranges = tile_ranges(height);
     imsc::parallel::run_indexed_with(
@@ -175,27 +317,126 @@ where
     )
 }
 
+/// Emits one tile's real [`Program`], attributing the emission time.
+fn emit_fresh<E: TileEmitter>(
+    emitter: &E,
+    rows: Range<usize>,
+    stats: &mut CompileStats,
+) -> Program {
+    let t0 = Instant::now();
+    let mut p = Program::new();
+    emitter.emit(rows, &mut p);
+    stats.emit_ns += t0.elapsed().as_nanos() as u64;
+    p
+}
+
+fn compile_tile<E: TileEmitter>(
+    emitter: &E,
+    rows: Range<usize>,
+    opt: OptSpec,
+    stats: &mut CompileStats,
+) -> Result<Arc<Template>, ImgError> {
+    let program = emit_fresh(emitter, rows, stats);
+    Ok(Arc::new(Template::compile_timed(
+        program, opt.level, opt.policy, stats,
+    )?))
+}
+
+/// One tile's template-cache transaction. With a frame digest, the
+/// fully-bound fast path is probed first: a recurring (kernel, rows,
+/// digest, config) key returns its (template, bindings) pair with no
+/// emitter run at all. Otherwise the emitter runs once as a tape and
+/// the template key either reuses the resident template (hit),
+/// compiles-and-inserts (miss), or compiles without inserting
+/// (hash-collision fallback); the resolved pair is then registered
+/// under the digest for the frames that follow. Tape, digest and
+/// lookup cost land in `stats.bind_ns`; miss/fallback compilation in
+/// the emit/optimize/plan fields.
+fn cached_template<E: TileEmitter>(
+    cache: &PlanCache,
+    emitter: &E,
+    rows: Range<usize>,
+    opt: OptSpec,
+    substrate: u64,
+    digest: Option<u64>,
+    stats: &mut CompileStats,
+) -> Result<(Arc<BoundEntry>, CacheOutcome), ImgError> {
+    let t0 = Instant::now();
+    let bound_key = digest.map(|digest| BoundKey {
+        kernel: E::KERNEL,
+        rows: (rows.start as u32, rows.end as u32),
+        digest,
+        level: opt.level,
+        policy: opt.policy,
+        substrate,
+    });
+    if let Some(key) = &bound_key {
+        if let Some(entry) = cache.lookup_bound(key) {
+            stats.bind_ns += t0.elapsed().as_nanos() as u64;
+            return Ok((entry, CacheOutcome::Hit));
+        }
+    }
+    let mut tape = ValueTape::new();
+    emitter.emit(rows.clone(), &mut tape);
+    let key = TemplateKey {
+        kernel: E::KERNEL,
+        structure: tape.structure_hash(),
+        level: opt.level,
+        policy: opt.policy,
+        substrate,
+        // Value-dependent optimizer levels bake the source values into
+        // the compiled program, so the key carries the exact value
+        // pattern; Off binds values into holes and one template serves
+        // them all.
+        values: if opt.level.value_dependent() {
+            tape.value_hash()
+        } else {
+            0
+        },
+    };
+    let found = cache.lookup(&key);
+    stats.bind_ns += t0.elapsed().as_nanos() as u64;
+    let (tpl, outcome) = match found {
+        Some(tpl) if tpl.accepts(&tape) => (tpl, CacheOutcome::Hit),
+        // 64-bit hash collision: compile this tile from scratch and
+        // leave the resident entry alone.
+        Some(_) => (
+            compile_tile(emitter, rows, opt, stats)?,
+            CacheOutcome::Fallback,
+        ),
+        None => {
+            let tpl = compile_tile(emitter, rows, opt, stats)?;
+            cache.insert(key, Arc::clone(&tpl));
+            (tpl, CacheOutcome::Miss)
+        }
+    };
+    // The pair is correct for this digest on every outcome (fallbacks
+    // included — the template was compiled from this very tile), so the
+    // fast path always learns it.
+    let entry = Arc::new(BoundEntry::new(tpl, tape.into_bindings())?);
+    if let Some(key) = bound_key {
+        cache.insert_bound(key, Arc::clone(&entry));
+    }
+    Ok((entry, outcome))
+}
+
 /// Runs one emitted [`Program`] per row tile under the configuration's
 /// [`Schedule`], building tile accelerators from `cfg` (with
-/// `kernel_default` as the kernel's RN refresh policy). `emit` produces
-/// the program covering a row range (one output per pixel, row-major; it
-/// must be deterministic in the range and independent of the tile index).
-/// Returns tile outputs in tile order plus the measured pipeline report
-/// when the schedule pipelines.
+/// `kernel_default` as the kernel's RN refresh policy). Returns tile
+/// outputs in tile order plus the run-wide observables. With a template
+/// cache configured, tiles tape-and-bind instead of compiling (see the
+/// module docs) — bit-identical results either way.
 ///
 /// Fault-domain options ([`ScReramConfig::retirement`],
 /// [`ScReramConfig::array_faults`]) are meaningful only when slices are
 /// dealt across arrays, so they require [`Schedule::Pipelined`]; under
 /// [`Schedule::PerTile`] they are rejected rather than silently ignored.
-pub(crate) fn run_tile_programs<E>(
+pub(crate) fn run_tile_programs<E: TileEmitter>(
     height: usize,
     cfg: &ScReramConfig,
     kernel_default: RnRefreshPolicy,
-    emit: E,
-) -> Result<(Vec<TileOut>, RunMeta), ImgError>
-where
-    E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
-{
+    emitter: E,
+) -> Result<(Vec<TileOut>, RunMeta), ImgError> {
     let opt = cfg.opt_spec(kernel_default);
     let domains = cfg.retirement.is_some() || cfg.array_faults.is_some();
     let sink = if cfg.trace_replay {
@@ -212,21 +453,61 @@ where
             }
             let ranges = tile_ranges(height);
             let sink_ref = sink.as_ref();
+            let cache = cfg.plan_cache.as_deref();
+            let substrate = cfg.template_substrate_sig();
+            // One frame digest for the whole run (frame-level cost, so
+            // it lands in the run-wide breakdown, not a tile's).
+            let mut frame_compile = CompileStats::default();
+            let digest = cache.and_then(|_| {
+                let t0 = Instant::now();
+                let d = emitter.frame_digest();
+                frame_compile.bind_ns += t0.elapsed().as_nanos() as u64;
+                d
+            });
+            let emitter = &emitter;
             let tiles = imsc::parallel::run_indexed_with(
                 ranges.len(),
                 tile_threads(ranges.len()),
                 ExecArena::new,
                 |arena, t| -> Result<TileOut, ImgError> {
                     let mut acc = cfg.build_for_tile_with(t, kernel_default)?;
-                    let program = opt.apply(emit(t, ranges[t].clone()));
-                    let values = program.plan()?.execute_in(&mut acc, arena)?;
+                    let mut compile = CompileStats::default();
+                    let (values, outcome) = match cache {
+                        Some(cache) => {
+                            let (entry, outcome) = cached_template(
+                                cache,
+                                emitter,
+                                ranges[t].clone(),
+                                opt,
+                                substrate,
+                                digest,
+                                &mut compile,
+                            )?;
+                            (
+                                entry
+                                    .template()
+                                    .execute_in(&mut acc, entry.bindings(), arena)?,
+                                Some(outcome),
+                            )
+                        }
+                        None => {
+                            let program = opt.apply_timed(
+                                emit_fresh(emitter, ranges[t].clone(), &mut compile),
+                                &mut compile,
+                            );
+                            let t0 = Instant::now();
+                            let plan = program.plan()?;
+                            compile.plan_ns += t0.elapsed().as_nanos() as u64;
+                            (plan.execute_in(&mut acc, arena)?, None)
+                        }
+                    };
                     // Drain this tile's sub-trace as soon as the tile
                     // retires (dispatch slot = tile index); workers may
                     // finish out of order, the sink reorders.
                     if let Some(s) = sink_ref {
                         s.drain_into(t, &mut acc);
                     }
-                    Ok(tile_out(values, &acc))
+                    Ok(tile_out(values, &acc, compile, outcome))
                 },
             )?;
             let replay = sink.map(|s| s.finish()).transpose()?;
@@ -235,22 +516,26 @@ where
                 RunMeta {
                     pipeline: None,
                     replay,
+                    compile: frame_compile,
                 },
             ))
         }
         Schedule::Pipelined { arrays } => {
-            run_pipelined(height, arrays, cfg, kernel_default, opt, sink, &emit)
+            run_pipelined(height, arrays, cfg, kernel_default, opt, sink, &emitter)
         }
     }
 }
 
 /// Run-wide observables that ride alongside the tile outputs: the
-/// measured pipeline report (pipelined schedules) and the nvsim replay
-/// summary (trace-replay runs).
+/// measured pipeline report (pipelined schedules), the nvsim replay
+/// summary (trace-replay runs), and frame-level compile time not
+/// attributable to one tile (the pipelined path's whole-frame emit /
+/// partition / optimize, or its cached path's tape-and-compile pass).
 #[derive(Debug, Default)]
 pub(crate) struct RunMeta {
     pub pipeline: Option<PipelineReport>,
     pub replay: Option<ReplaySummary>,
+    pub compile: CompileStats,
 }
 
 /// The optimizer setting one kernel run applies to its emitted
@@ -265,16 +550,24 @@ pub(crate) struct OptSpec {
 
 impl OptSpec {
     /// Optimizes one emitted program (the identity at
-    /// [`Optimize::Off`]).
-    fn apply(self, program: Program) -> Program {
+    /// [`Optimize::Off`]), attributing the rewrite time.
+    fn apply_timed(self, program: Program, stats: &mut CompileStats) -> Program {
         if self.level == Optimize::Off {
             return program;
         }
-        optimize(&program, self.level, self.policy).0
+        let t0 = Instant::now();
+        let optimized = optimize(&program, self.level, self.policy).0;
+        stats.optimize_ns += t0.elapsed().as_nanos() as u64;
+        optimized
     }
 }
 
-fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
+fn tile_out(
+    values: Vec<f64>,
+    acc: &Accelerator,
+    compile: CompileStats,
+    cache: Option<CacheOutcome>,
+) -> TileOut {
     TileOut {
         pixels: values.into_iter().map(prob_to_pixel).collect(),
         ledger: *acc.ledger(),
@@ -282,6 +575,8 @@ fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
         rn_epochs: acc.rn_epoch(),
         stream_wear: acc.stream_wear(),
         faults: acc.faults_injected(),
+        compile,
+        cache,
     }
 }
 
@@ -289,23 +584,24 @@ fn tile_out(values: Vec<f64>, acc: &Accelerator) -> TileOut {
 /// whole image, partition it at tile-shaped output boundaries (clean
 /// cuts by construction — no register lives across a pixel), and hand
 /// the slices to the cross-array scheduler with per-tile accelerators.
-/// With fault-domain options configured, the scheduler runs in
-/// retirement mode: per-array health is tracked, arrays past the policy
-/// threshold are retired mid-run, and their slices reschedule onto
-/// survivors (visible as `PipelineReport::retired_arrays` /
-/// `rescheduled_slices`).
-fn run_pipelined<E>(
+/// With a template cache, the whole-frame emission is skipped entirely:
+/// each tile-shaped range tapes and binds its own template — legal
+/// because slices are op-identical to per-tile emission (the partition
+/// invariant the pipelined-parity tests pin), so per-tile and pipelined
+/// runs share one template population. With fault-domain options
+/// configured, the scheduler runs in retirement mode: per-array health
+/// is tracked, arrays past the policy threshold are retired mid-run, and
+/// their slices reschedule onto survivors (visible as
+/// `PipelineReport::retired_arrays` / `rescheduled_slices`).
+fn run_pipelined<E: TileEmitter>(
     height: usize,
     arrays: usize,
     cfg: &ScReramConfig,
     kernel_default: RnRefreshPolicy,
     opt: OptSpec,
     sink: Option<SinkHandle>,
-    emit: &E,
-) -> Result<(Vec<TileOut>, RunMeta), ImgError>
-where
-    E: Fn(usize, std::ops::Range<usize>) -> Program + Sync,
-{
+    emitter: &E,
+) -> Result<(Vec<TileOut>, RunMeta), ImgError> {
     if arrays == 0 {
         return Err(ImgError::InvalidParameter(
             "a pipelined schedule needs at least one array",
@@ -315,21 +611,58 @@ where
     if ranges.is_empty() {
         return Ok((Vec::new(), RunMeta::default()));
     }
-    let logical = emit(0, 0..height);
-    debug_assert_eq!(
-        logical.outputs() % height,
-        0,
-        "kernels emit a fixed output count per row"
-    );
-    let per_row = logical.outputs() / height;
-    let counts: Vec<usize> = ranges.iter().map(|r| r.len() * per_row).collect();
-    // Partition first, optimize each slice after: the slices are
-    // op-identical to per-tile emission, so the (deterministic)
-    // optimizer makes the same decisions on both paths and pipelined
-    // results stay bit-identical to per-tile ones at every level.
-    let slices: Vec<Program> = sched::partition_by_outputs(&logical, &counts)?
-        .into_iter()
-        .map(|s| opt.apply(s))
+    let mut compile = CompileStats::default();
+    let mut outcomes: Vec<Option<CacheOutcome>> = Vec::new();
+    // Exactly one of `bound` / `fresh` is populated; `execs` chains
+    // them so both borrows stay alive for the scheduler.
+    let (bound, fresh): (Vec<Arc<BoundEntry>>, Vec<Program>) = match cfg.plan_cache.as_deref() {
+        Some(cache) => {
+            let substrate = cfg.template_substrate_sig();
+            let t0 = Instant::now();
+            let digest = emitter.frame_digest();
+            compile.bind_ns += t0.elapsed().as_nanos() as u64;
+            let mut units = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let (entry, outcome) = cached_template(
+                    cache,
+                    emitter,
+                    r.clone(),
+                    opt,
+                    substrate,
+                    digest,
+                    &mut compile,
+                )?;
+                outcomes.push(Some(outcome));
+                units.push(entry);
+            }
+            (units, Vec::new())
+        }
+        None => {
+            let logical = emit_fresh(emitter, 0..height, &mut compile);
+            debug_assert_eq!(
+                logical.outputs() % height,
+                0,
+                "kernels emit a fixed output count per row"
+            );
+            let per_row = logical.outputs() / height;
+            let counts: Vec<usize> = ranges.iter().map(|r| r.len() * per_row).collect();
+            // Partition first, optimize each slice after: the slices
+            // are op-identical to per-tile emission, so the
+            // (deterministic) optimizer makes the same decisions on
+            // both paths and pipelined results stay bit-identical to
+            // per-tile ones at every level.
+            let slices = sched::partition_by_outputs(&logical, &counts)?
+                .into_iter()
+                .map(|s| opt.apply_timed(s, &mut compile))
+                .collect();
+            outcomes = vec![None; ranges.len()];
+            (Vec::new(), slices)
+        }
+    };
+    let execs: Vec<SliceExec<'_>> = bound
+        .iter()
+        .map(|e| SliceExec::Bound(e.template(), e.bindings()))
+        .chain(fresh.iter().map(SliceExec::Fresh))
         .collect();
     let mut scheduler = PipelineScheduler::new(arrays);
     if let Some(s) = &sink {
@@ -337,25 +670,31 @@ where
     }
     let run = if cfg.retirement.is_some() || cfg.array_faults.is_some() {
         scheduler
-            .run_with_domains(
-                &slices,
+            .run_with_domains_exec(
+                &execs,
                 |tile, array| cfg.build_for_slice(tile, array, kernel_default),
                 cfg.retirement.unwrap_or_default(),
             )?
             .run
     } else {
-        scheduler.run(&slices, |t| cfg.build_for_tile_with(t, kernel_default))?
+        scheduler.run_exec(&execs, |t| cfg.build_for_tile_with(t, kernel_default))?
     };
     let tiles = run
         .slices
         .into_iter()
-        .map(|s| TileOut {
+        .zip(outcomes)
+        .map(|(s, outcome)| TileOut {
             pixels: s.outputs.into_iter().map(prob_to_pixel).collect(),
             ledger: s.ledger,
             cache_hits: s.cache_hits,
             rn_epochs: s.rn_epochs,
             stream_wear: s.stream_wear,
             faults: s.faults_injected,
+            compile: CompileStats {
+                plan_ns: s.plan_ns,
+                ..CompileStats::default()
+            },
+            cache: outcome,
         })
         .collect();
     let replay = sink.map(|s| s.finish()).transpose()?;
@@ -364,6 +703,7 @@ where
         RunMeta {
             pipeline: Some(run.report),
             replay,
+            compile,
         },
     ))
 }
@@ -376,8 +716,10 @@ pub(crate) fn assemble(tiles: Vec<TileOut>, meta: RunMeta) -> (Vec<u8>, ScRunSta
         tiles: tiles.len(),
         pipeline: meta.pipeline,
         replay: meta.replay,
+        compile: meta.compile,
         ..ScRunStats::default()
     };
+    let mut cache_run: Option<PlanCacheRun> = None;
     for tile in tiles {
         pixels.extend_from_slice(&tile.pixels);
         stats.ledger.merge(&tile.ledger);
@@ -385,7 +727,14 @@ pub(crate) fn assemble(tiles: Vec<TileOut>, meta: RunMeta) -> (Vec<u8>, ScRunSta
         stats.rn_epochs += tile.rn_epochs;
         stats.stream_wear.merge(&tile.stream_wear);
         stats.faults_injected += tile.faults;
+        stats.compile.merge(&tile.compile);
+        if let Some(outcome) = tile.cache {
+            cache_run
+                .get_or_insert_with(PlanCacheRun::default)
+                .count(outcome);
+        }
     }
+    stats.plan_cache = cache_run;
     if !pixels.is_empty() {
         stats.scout_ops_per_pixel = stats.ledger.scout_ops() as f64 / pixels.len() as f64;
     }
@@ -396,7 +745,7 @@ pub(crate) fn assemble(tiles: Vec<TileOut>, meta: RunMeta) -> (Vec<u8>, ScRunSta
 mod tests {
     use super::*;
 
-    fn constant_tile(t: usize, rows: std::ops::Range<usize>) -> Result<TileOut, ImgError> {
+    fn constant_tile(t: usize, rows: Range<usize>) -> Result<TileOut, ImgError> {
         Ok(TileOut {
             pixels: rows.map(|r| (r * 10 + t) as u8).collect(),
             ledger: CostLedger {
@@ -407,7 +756,18 @@ mod tests {
             rn_epochs: 1,
             stream_wear: WearSummary::default(),
             faults: 0,
+            compile: CompileStats::default(),
+            cache: None,
         })
+    }
+
+    /// A kernel emitting nothing — exercises the scheduling plumbing.
+    struct EmptyEmit;
+
+    impl TileEmitter for EmptyEmit {
+        const KERNEL: &'static str = "empty";
+
+        fn emit<S: ProgramSink>(&self, _rows: Range<usize>, _sink: &mut S) {}
     }
 
     #[test]
@@ -423,6 +783,7 @@ mod tests {
         assert_eq!(stats.encode_cache_hits, 1 + 2);
         assert_eq!(stats.rn_epochs, 3);
         assert!(stats.pipeline.is_none());
+        assert!(stats.plan_cache.is_none());
     }
 
     #[test]
@@ -447,17 +808,27 @@ mod tests {
     #[test]
     fn zero_arrays_is_rejected() {
         let cfg = ScReramConfig::new(256, 1).with_schedule(Schedule::Pipelined { arrays: 0 });
-        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, |_, _| Program::new())
-            .unwrap_err();
+        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, EmptyEmit).unwrap_err();
         assert!(matches!(err, ImgError::InvalidParameter(_)));
     }
 
     #[test]
     fn domain_options_require_pipelining() {
         let cfg = ScReramConfig::new(256, 1).with_retirement(imsc::RetirementPolicy::default());
-        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, |_, _| Program::new())
-            .unwrap_err();
+        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, EmptyEmit).unwrap_err();
         assert!(matches!(err, ImgError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn plan_cache_run_rates() {
+        let run = PlanCacheRun {
+            hits: 9,
+            misses: 1,
+            fallbacks: 0,
+        };
+        assert_eq!(run.lookups(), 10);
+        assert!((run.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(PlanCacheRun::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Differential tests for the compiled-template cache
+//! ([`imsc::PlanCache`] via [`ScReramConfig::with_plan_cache`]): a
+//! cached run must be observationally identical to an uncached run —
+//! pixels, merged cost ledger, RN epochs, encode-cache hits, wear
+//! summary, fault counts, trace replay — on every kernel, schedule,
+//! refresh policy and optimizer level; the cache may only change *when*
+//! compilation happens, never what executes.
+//!
+//! Also pinned here: the cache-key correctness guards (templates are
+//! never shared across differing fault/wear configurations, or across
+//! tile structures — matting's degenerate-pixel branch), determinism of
+//! a shared cache across worker-thread counts, and bounded-capacity
+//! LRU eviction under churn.
+
+use imgproc::{
+    bilinear, compositing, edge, matting, synth, GrayImage, ScReramConfig, ScRunStats, Schedule,
+};
+use imsc::{Optimize, PlanCache, RnRefreshPolicy};
+use reram::faults::FaultRates;
+use std::sync::Arc;
+
+const POLICIES: [RnRefreshPolicy; 3] = [
+    RnRefreshPolicy::PerEncode,
+    RnRefreshPolicy::EveryN(4),
+    RnRefreshPolicy::Explicit,
+];
+const LEVELS: [Optimize; 2] = [Optimize::Off, Optimize::Full];
+const SCHEDULES: [Schedule; 2] = [Schedule::PerTile, Schedule::Pipelined { arrays: 2 }];
+
+fn assert_run_eq(tag: &str, want: &(GrayImage, ScRunStats), got: &(GrayImage, ScRunStats)) {
+    assert_eq!(got.0.pixels(), want.0.pixels(), "{tag}: pixels");
+    assert_eq!(got.1.ledger, want.1.ledger, "{tag}: ledger");
+    assert_eq!(got.1.rn_epochs, want.1.rn_epochs, "{tag}: RN epochs");
+    assert_eq!(
+        got.1.encode_cache_hits, want.1.encode_cache_hits,
+        "{tag}: encode-cache hits"
+    );
+    assert_eq!(got.1.stream_wear, want.1.stream_wear, "{tag}: wear");
+    assert_eq!(
+        got.1.faults_injected, want.1.faults_injected,
+        "{tag}: faults"
+    );
+    assert_eq!(got.1.tiles, want.1.tiles, "{tag}: tiles");
+}
+
+/// The full parity matrix for one kernel: every schedule × refresh
+/// policy × optimizer level, uncached vs. cached frame 1 (misses) vs.
+/// cached frame 2 (hits) — all three bit-identical.
+fn parity_matrix(kernel: &str, run: &dyn Fn(&ScReramConfig) -> (GrayImage, ScRunStats)) {
+    for schedule in SCHEDULES {
+        for policy in POLICIES {
+            for level in LEVELS {
+                let base = ScReramConfig::new(64, 11)
+                    .with_schedule(schedule)
+                    .with_refresh_policy(policy)
+                    .with_optimize(level);
+                let tag = format!("{kernel}/{schedule:?}/{policy:?}/{level:?}");
+                let want = run(&base.without_plan_cache());
+                assert!(want.1.plan_cache.is_none(), "{tag}: uncached run counts");
+                assert!(want.1.tiles >= 2, "{tag}: need a multi-tile run");
+                let cfg = base.with_plan_cache(Arc::new(PlanCache::new()));
+                let first = run(&cfg);
+                let counts = first.1.plan_cache.expect("{tag}: cached run counts");
+                assert!(counts.misses >= 1, "{tag}: first frame must compile");
+                assert_eq!(counts.fallbacks, 0, "{tag}: unexpected hash collision");
+                assert_eq!(
+                    counts.lookups(),
+                    want.1.tiles as u64,
+                    "{tag}: one lookup per tile"
+                );
+                assert_run_eq(&format!("{tag} frame 1"), &want, &first);
+                let second = run(&cfg);
+                let counts = second.1.plan_cache.unwrap();
+                assert_eq!(
+                    counts.hits,
+                    counts.lookups(),
+                    "{tag}: second frame must be all hits"
+                );
+                assert_run_eq(&format!("{tag} frame 2"), &want, &second);
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_cached_matches_uncached_everywhere() {
+    let img = synth::value_noise(9, 12, 3, 7);
+    parity_matrix("edge", &|cfg| edge::sc_reram_with_stats(&img, cfg).unwrap());
+}
+
+#[test]
+fn bilinear_cached_matches_uncached_everywhere() {
+    let src = synth::gradient(5, 6, true); // 10×12 output → 2 tiles
+    parity_matrix("bilinear", &|cfg| {
+        bilinear::sc_reram_with_stats(&src, 2, cfg).unwrap()
+    });
+}
+
+#[test]
+fn compositing_cached_matches_uncached_everywhere() {
+    let set = synth::app_images(9, 12, 42);
+    parity_matrix("compositing", &|cfg| {
+        compositing::sc_reram_with_stats(&set.foreground, &set.background, &set.alpha, cfg).unwrap()
+    });
+}
+
+#[test]
+fn matting_cached_matches_uncached_everywhere() {
+    let set = synth::app_images(9, 12, 5);
+    let i = compositing::software(&set.foreground, &set.background, &set.alpha).unwrap();
+    parity_matrix("matting", &|cfg| {
+        matting::sc_reram_with_stats(&i, &set.background, &set.foreground, cfg).unwrap()
+    });
+}
+
+#[test]
+fn trace_replay_is_identical_under_caching() {
+    let src = synth::gradient(5, 8, false); // 10×16 output → 2 tiles
+    let base = ScReramConfig::new(64, 3)
+        .with_optimize(Optimize::Full)
+        .with_trace_replay(true);
+    let (want_img, want) =
+        bilinear::sc_reram_with_stats(&src, 2, &base.without_plan_cache()).unwrap();
+    let cached = base.with_plan_cache(Arc::new(PlanCache::new()));
+    for frame in 0..2 {
+        let (img, stats) = bilinear::sc_reram_with_stats(&src, 2, &cached).unwrap();
+        assert_eq!(img.pixels(), want_img.pixels(), "frame {frame} pixels");
+        assert_eq!(
+            stats.replay, want.replay,
+            "frame {frame}: the replayed command stream must be unchanged"
+        );
+    }
+}
+
+/// The cache-key correctness guard: one shared cache across fault-free,
+/// fault-injected and wear-leveled configurations must mint a separate
+/// template population per configuration — a template is never reused
+/// across differing fault/wear configs — while every run stays
+/// bit-identical to its own uncached twin.
+#[test]
+fn fault_and_wear_configs_never_share_templates() {
+    let img = synth::value_noise(8, 16, 3, 5); // 2 equal tiles → 1 key per config
+    let cache = Arc::new(PlanCache::new());
+    let variants: [(&str, ScReramConfig); 3] = [
+        (
+            "fault-free",
+            ScReramConfig::new(64, 3).with_optimize(Optimize::Off),
+        ),
+        (
+            "global faults",
+            ScReramConfig::new(64, 3).with_faults(FaultRates::uniform(0.05)),
+        ),
+        (
+            "wear-leveled",
+            ScReramConfig::new(64, 3)
+                .with_optimize(Optimize::Off)
+                .with_wear_leveling(true),
+        ),
+    ];
+    let mut minted = 0;
+    for (tag, cfg) in &variants {
+        let want = edge::sc_reram_with_stats(&img, &cfg.without_plan_cache()).unwrap();
+        let got =
+            edge::sc_reram_with_stats(&img, &cfg.with_plan_cache(Arc::clone(&cache))).unwrap();
+        assert_run_eq(tag, &want, &got);
+        assert!(
+            got.1.plan_cache.unwrap().misses >= 1,
+            "{tag}: must compile its own template, not reuse another config's"
+        );
+        minted += 1;
+        assert_eq!(
+            cache.len(),
+            minted,
+            "{tag}: each configuration owns a distinct cache entry"
+        );
+    }
+}
+
+/// Same guard for the pipelined fault-domain override: a per-array
+/// fault-rate override changes the substrate signature, so a pipelined
+/// run with it never reuses the plain pipelined run's templates.
+#[test]
+fn per_array_fault_override_gets_its_own_templates() {
+    let img = synth::value_noise(8, 16, 3, 9);
+    let cache = Arc::new(PlanCache::new());
+    let base = ScReramConfig::new(64, 7)
+        .with_optimize(Optimize::Off)
+        .with_schedule(Schedule::Pipelined { arrays: 2 });
+    let want = edge::sc_reram_with_stats(&img, &base.without_plan_cache()).unwrap();
+    let got = edge::sc_reram_with_stats(&img, &base.with_plan_cache(Arc::clone(&cache))).unwrap();
+    assert_run_eq("plain pipelined", &want, &got);
+    let plain_len = cache.len();
+    let faulty = base.with_array_faults(1, FaultRates::uniform(0.05));
+    let want = edge::sc_reram_with_stats(&img, &faulty.without_plan_cache()).unwrap();
+    let got = edge::sc_reram_with_stats(&img, &faulty.with_plan_cache(Arc::clone(&cache))).unwrap();
+    assert_run_eq("array-fault pipelined", &want, &got);
+    assert!(
+        cache.len() > plain_len,
+        "per-array override must mint its own templates"
+    );
+}
+
+/// Matting's degenerate-pixel branch (`F == B` → `read_const`) changes
+/// the emitted op shape, so tiles with different degenerate patterns get
+/// different structure hashes — two templates, both bit-identical to the
+/// uncached run.
+#[test]
+fn matting_degenerate_tiles_key_by_structure() {
+    let (w, h) = (6, 16);
+    let i = GrayImage::from_fn(w, h, |x, y| (x * 30 + y * 7) as u8);
+    // Top tile: F == B everywhere (all pixels degenerate). Bottom tile:
+    // a normal matte.
+    let b = GrayImage::from_fn(w, h, |_, y| if y < 8 { 100 } else { 40 });
+    let f = GrayImage::from_fn(w, h, |_, y| if y < 8 { 100 } else { 200 });
+    let base = ScReramConfig::new(64, 17).with_optimize(Optimize::Off);
+    let want = matting::sc_reram_with_stats(&i, &b, &f, &base.without_plan_cache()).unwrap();
+    assert_eq!(want.1.tiles, 2);
+    let cache = Arc::new(PlanCache::new());
+    let cfg = base.with_plan_cache(Arc::clone(&cache));
+    let got = matting::sc_reram_with_stats(&i, &b, &f, &cfg).unwrap();
+    assert_run_eq("degenerate matting", &want, &got);
+    assert_eq!(
+        cache.len(),
+        2,
+        "the two tile structures must not share a template"
+    );
+    let counts = got.1.plan_cache.unwrap();
+    assert_eq!((counts.misses, counts.hits), (2, 0));
+    let again = matting::sc_reram_with_stats(&i, &b, &f, &cfg).unwrap();
+    assert_run_eq("degenerate matting, frame 2", &want, &again);
+    assert_eq!(again.1.plan_cache.unwrap().hits, 2);
+}
+
+/// At `Optimize::Off` one template serves every value pattern of a
+/// structure: a second image with different pixels misses the frame
+/// digest but hits the structure-keyed template, binding its own values
+/// into the holes — no new template is minted, and both runs match
+/// their uncached twins exactly.
+#[test]
+fn off_level_templates_are_shared_across_images() {
+    let cache = Arc::new(PlanCache::new());
+    let base = ScReramConfig::new(64, 21).with_optimize(Optimize::Off);
+    let cfg = base.with_plan_cache(Arc::clone(&cache));
+    for seed in [3, 4] {
+        let img = synth::value_noise(8, 16, 3, seed); // 2 equal 8-row tiles
+        let want = edge::sc_reram_with_stats(&img, &base.without_plan_cache()).unwrap();
+        let got = edge::sc_reram_with_stats(&img, &cfg).unwrap();
+        assert_run_eq(&format!("image seed {seed}"), &want, &got);
+    }
+    assert_eq!(
+        cache.len(),
+        1,
+        "both images and both tiles share the one holes-mode template"
+    );
+}
+
+/// A bounded cache under churn: four distinct value patterns at
+/// `Optimize::Full` (each its own key) through a capacity-2 cache must
+/// evict — and every run must still match its uncached twin exactly.
+#[test]
+fn bounded_cache_evicts_without_changing_results() {
+    let cache = Arc::new(PlanCache::with_capacity(2));
+    let base = ScReramConfig::new(64, 13).with_optimize(Optimize::Full);
+    for seed in 1..=4 {
+        let img = synth::value_noise(8, 8, 2, seed);
+        let want = edge::sc_reram_with_stats(&img, &base.without_plan_cache()).unwrap();
+        let got =
+            edge::sc_reram_with_stats(&img, &base.with_plan_cache(Arc::clone(&cache))).unwrap();
+        assert_run_eq(&format!("churn seed {seed}"), &want, &got);
+        assert!(cache.len() <= 2, "capacity must bound occupancy");
+    }
+    assert!(
+        cache.stats().evictions >= 2,
+        "four distinct keys through capacity 2 must evict"
+    );
+}
+
+#[cfg(feature = "parallel")]
+mod threaded {
+    use super::*;
+
+    /// Serializes env mutation: the test harness runs `#[test]`s on
+    /// threads of one process, and `IMGPROC_TILE_THREADS` is
+    /// process-global.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("IMGPROC_TILE_THREADS", threads.to_string());
+        let out = f();
+        std::env::remove_var("IMGPROC_TILE_THREADS");
+        out
+    }
+
+    /// One shared cache, racing tile workers: whatever the worker count
+    /// (and whatever mix of hits and concurrent misses the race
+    /// produces), pixels and merged stats must be bit-identical to the
+    /// single-threaded uncached run.
+    #[test]
+    fn shared_cache_is_deterministic_across_worker_counts() {
+        let img = synth::value_noise(9, 20, 3, 11); // 3 tiles, ragged tail
+        let base = ScReramConfig::new(64, 9).with_optimize(Optimize::Full);
+        let want = with_threads(1, || {
+            edge::sc_reram_with_stats(&img, &base.without_plan_cache()).unwrap()
+        });
+        assert!(want.1.tiles >= 3);
+        let cfg = base.with_plan_cache(Arc::new(PlanCache::new()));
+        for threads in [1, 2, 4] {
+            let got = with_threads(threads, || edge::sc_reram_with_stats(&img, &cfg).unwrap());
+            assert_run_eq(&format!("{threads} worker(s)"), &want, &got);
+            assert_eq!(
+                got.1.plan_cache.unwrap().lookups(),
+                want.1.tiles as u64,
+                "{threads} worker(s): one lookup per tile"
+            );
+        }
+    }
+}
