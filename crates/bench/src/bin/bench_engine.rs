@@ -1,6 +1,7 @@
-//! Engine fast-path benchmark: times the crossbar/scouting substrate and
-//! the end-to-end `imgproc::bilinear::sc_reram` upscale, writing a
-//! machine-readable summary to `BENCH_engine.json`.
+//! Engine fast-path benchmark: times the crossbar/scouting substrate,
+//! the end-to-end bilinear upscale through the unified
+//! `imgproc::request::run` API, and the serve frontend's steady-state
+//! latency, writing a machine-readable summary to `BENCH_engine.json`.
 //!
 //! Usage:
 //! `cargo run --release -p bench --bin bench_engine [-- --out PATH]
@@ -29,20 +30,27 @@
 //!   is additionally hard-asserted in the harness itself;
 //! * the `"vs_uncached"` same-run A/B ratio of the cached anchor
 //!   (cached vs uncached multi-frame wall-clock, load-invariant), failed
-//!   beyond the wall-clock threshold.
+//!   beyond the wall-clock threshold;
+//! * the serve anchors (`serve_edge32_p50`/`p99`/`mean` latencies of an
+//!   in-process serving run), gated as ordinary wall-clock `"ns"`
+//!   anchors — the overload run's shed/downgrade counts are reported
+//!   ungated context, but its errors-free shedding contract is
+//!   hard-asserted by the harness.
 
-use imgproc::scbackend::ScReramConfig;
-use imgproc::{bilinear, compositing, edge, matting, synth, Schedule};
+use bench::load::{run_in_process, LoadConfig};
+use imgproc::request::{self, KernelRequest};
+use imgproc::{bilinear, synth, ScReramConfig, Schedule};
 use imsc::{CompileStats, Optimize, PlanCache};
 use reram::array::CrossbarArray;
 use reram::scouting::{ScoutingLogic, SlOp};
 use reram::trng::TrngEngine;
 use sc_core::rng::{BitSource, Xoshiro256};
 use sc_core::BitStream;
+use serve::ServiceConfig;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pre-PR reference timings (nanoseconds) of the identical workloads,
 /// measured on the per-cell seed implementation (one `ReramCell` struct
@@ -239,6 +247,18 @@ fn main() {
     // overhead the program path adds per tile before any simulated
     // hardware work happens.
     let src = synth::value_noise(64, 64, 4, 9);
+    // All end-to-end kernel runs below go through the unified request
+    // API — the same dispatch surface the serve frontend uses — built
+    // once here so the timed closures measure execution, not request
+    // construction.
+    let up_req = KernelRequest::Bilinear {
+        src: src.clone(),
+        factor: 2,
+    };
+    let run_stats = |req: &KernelRequest, c: &ScReramConfig| {
+        let r = request::run(req, c).expect("valid input");
+        (r.pixels, r.stats.expect("sc backend reports stats"))
+    };
     record(
         "bilinear_program_emit_plan_tile128x8",
         time_ns(200, || {
@@ -257,7 +277,7 @@ fn main() {
     record(
         "bilinear_sc_reram_64_to_128_n256",
         time_ns(1, || {
-            black_box(bilinear::sc_reram(&src, 2, &cfg).expect("valid input"));
+            black_box(request::run(&up_req, &cfg).expect("valid input"));
         }),
     );
 
@@ -270,7 +290,7 @@ fn main() {
     record(
         "bilinear_sc_reram_pipelined_64_to_128_n256",
         time_ns(1, || {
-            black_box(bilinear::sc_reram(&src, 2, &cfg_pipelined).expect("valid input"));
+            black_box(request::run(&up_req, &cfg_pipelined).expect("valid input"));
         }),
     );
 
@@ -287,10 +307,10 @@ fn main() {
     let mut opt_ns = f64::MAX;
     for _ in 0..2 {
         plain_adjacent_ns = plain_adjacent_ns.min(time_ns(1, || {
-            black_box(bilinear::sc_reram(&src, 2, &cfg).expect("valid input"));
+            black_box(request::run(&up_req, &cfg).expect("valid input"));
         }));
         opt_ns = opt_ns.min(time_ns(1, || {
-            black_box(bilinear::sc_reram(&src, 2, &cfg_opt).expect("valid input"));
+            black_box(request::run(&up_req, &cfg_opt).expect("valid input"));
         }));
     }
     record("bilinear_sc_reram_opt_64_to_128_n256", opt_ns);
@@ -307,7 +327,7 @@ fn main() {
     let mut uncached_compile = CompileStats::default();
     let t0 = Instant::now();
     for _ in 0..FRAMES {
-        let (img, s) = bilinear::sc_reram_with_stats(&src, 2, &cfg_opt).expect("valid input");
+        let (img, s) = run_stats(&up_req, &cfg_opt);
         black_box(img);
         uncached_compile.merge(&s.compile);
     }
@@ -317,7 +337,7 @@ fn main() {
     let (mut hits, mut misses, mut fallbacks) = (0u64, 0u64, 0u64);
     let t0 = Instant::now();
     for _ in 0..FRAMES {
-        let (img, s) = bilinear::sc_reram_with_stats(&src, 2, &cfg_cached).expect("valid input");
+        let (img, s) = run_stats(&up_req, &cfg_cached);
         black_box(img);
         cached_compile.merge(&s.compile);
         let run = s.plan_cache.expect("plan cache configured");
@@ -370,20 +390,20 @@ fn main() {
     if cores >= 4 {
         std::env::set_var("IMGPROC_TILE_THREADS", "4");
         let mc_per_tile = time_ns(1, || {
-            black_box(bilinear::sc_reram(&src, 2, &cfg).expect("valid input"));
+            black_box(request::run(&up_req, &cfg).expect("valid input"));
         });
         let mc_pipelined = time_ns(1, || {
-            black_box(bilinear::sc_reram(&src, 2, &cfg_pipelined).expect("valid input"));
+            black_box(request::run(&up_req, &cfg_pipelined).expect("valid input"));
         });
         let mc_uncached = time_ns(1, || {
             for _ in 0..4 {
-                black_box(bilinear::sc_reram(&src, 2, &cfg_opt).expect("valid input"));
+                black_box(request::run(&up_req, &cfg_opt).expect("valid input"));
             }
         });
         let mc_cached = time_ns(1, || {
             let cfg_mc = cfg_opt.with_plan_cache(Arc::new(PlanCache::new()));
             for _ in 0..4 {
-                black_box(bilinear::sc_reram(&src, 2, &cfg_mc).expect("valid input"));
+                black_box(request::run(&up_req, &cfg_mc).expect("valid input"));
             }
         });
         std::env::remove_var("IMGPROC_TILE_THREADS");
@@ -407,16 +427,19 @@ fn main() {
     // counts, not timings — the regression gate fails any increase.
     let mut ops_results: Vec<(String, f64)> = Vec::new();
     let app = synth::app_images(64, 64, 42);
+    let comp_req = KernelRequest::Compositing {
+        foreground: app.foreground.clone(),
+        background: app.background.clone(),
+        alpha: app.alpha.clone(),
+    };
     for (level, tag) in [(Optimize::Off, "off"), (Optimize::Full, "full")] {
         let c = cfg.with_optimize(level);
-        let (_, s) = bilinear::sc_reram_with_stats(&src, 2, &c).expect("valid input");
+        let (_, s) = run_stats(&up_req, &c);
         ops_results.push((
             format!("bilinear_scout_ops_per_pixel_{tag}"),
             s.scout_ops_per_pixel,
         ));
-        let (_, s) =
-            compositing::sc_reram_with_stats(&app.foreground, &app.background, &app.alpha, &c)
-                .expect("valid input");
+        let (_, s) = run_stats(&comp_req, &c);
         ops_results.push((
             format!("compositing_scout_ops_per_pixel_{tag}"),
             s.scout_ops_per_pixel,
@@ -428,9 +451,8 @@ fn main() {
     // the bit-identical-pixels guarantee are hard-asserted here so the
     // bench harness itself enforces the wear-leveling contract on the
     // real workload, not just on unit-test loops.
-    let (img_lifo, s_lifo) = bilinear::sc_reram_with_stats(&src, 2, &cfg).expect("valid input");
-    let (img_wl, s_wl) =
-        bilinear::sc_reram_with_stats(&src, 2, &cfg.with_wear_leveling(true)).expect("valid input");
+    let (img_lifo, s_lifo) = run_stats(&up_req, &cfg);
+    let (img_wl, s_wl) = run_stats(&up_req, &cfg.with_wear_leveling(true));
     assert_eq!(
         img_lifo, img_wl,
         "wear-leveling must not change fault-free pixels"
@@ -469,7 +491,7 @@ fn main() {
             max_faults_per_op: 0.01,
             min_ops: 1_000,
         });
-    let (_, s_retire) = bilinear::sc_reram_with_stats(&src, 2, &cfg_retire).expect("valid input");
+    let (_, s_retire) = run_stats(&up_req, &cfg_retire);
     let report = s_retire.pipeline.expect("pipelined run reports");
     assert!(
         report.retired_arrays >= 1,
@@ -513,42 +535,37 @@ fn main() {
         let composite =
             imgproc::compositing::software(&rapp.foreground, &rapp.background, &rapp.alpha)
                 .expect("matched dimensions");
-        let runs = [
-            (
-                "edge",
-                edge::sc_reram_with_stats(&edge_src, &cfg_replay)
-                    .expect("valid input")
-                    .1,
-            ),
+        // One request per kernel, all executed through the same
+        // `request::run` dispatch the serve frontend uses.
+        let replay_reqs = [
+            ("edge", KernelRequest::Edge { image: edge_src }),
             (
                 "bilinear",
-                bilinear::sc_reram_with_stats(&up_src, 2, &cfg_replay)
-                    .expect("valid input")
-                    .1,
+                KernelRequest::Bilinear {
+                    src: up_src,
+                    factor: 2,
+                },
             ),
             (
                 "compositing",
-                compositing::sc_reram_with_stats(
-                    &rapp.foreground,
-                    &rapp.background,
-                    &rapp.alpha,
-                    &cfg_replay,
-                )
-                .expect("valid input")
-                .1,
+                KernelRequest::Compositing {
+                    foreground: rapp.foreground.clone(),
+                    background: rapp.background.clone(),
+                    alpha: rapp.alpha.clone(),
+                },
             ),
             (
                 "matting",
-                matting::sc_reram_with_stats(
-                    &composite,
-                    &rapp.background,
-                    &rapp.foreground,
-                    &cfg_replay,
-                )
-                .expect("valid input")
-                .1,
+                KernelRequest::Matting {
+                    image: composite,
+                    background: rapp.background.clone(),
+                    foreground: rapp.foreground.clone(),
+                },
             ),
         ];
+        let runs = replay_reqs
+            .iter()
+            .map(|(kernel, req)| (*kernel, run_stats(req, &cfg_replay).1));
         for (kernel, stats) in runs {
             let replay = stats.replay.expect("trace replay enabled");
             // The replayed stream must account for every recorded op —
@@ -571,6 +588,74 @@ fn main() {
             replay_results.push((format!("{kernel}_replay"), replay));
         }
     }
+
+    // --- Serving: steady-state latency + overload shedding contract ----
+    // An in-process serve instance (pipelined shards + shared plan
+    // cache) driven by the closed-loop loadgen core over real loopback
+    // TCP. The steady run must serve every request without a single
+    // error; its p50/p99/mean latencies are gated wall-clock anchors and
+    // the sustained req/s rides along as ungated context. The overload
+    // run then doubles the offered concurrency into a shallow admission
+    // queue with tight deadlines: the graceful-degradation contract —
+    // shed or downgrade, never answer Error — is hard-asserted here, on
+    // the real service, every bench run.
+    let serve_steady = run_in_process(
+        ServiceConfig {
+            engine: ScReramConfig::new(64, 42)
+                .with_schedule(Schedule::Pipelined { arrays: 4 })
+                .with_plan_cache(Arc::new(PlanCache::new())),
+            ..ServiceConfig::default()
+        },
+        &LoadConfig {
+            requests: 32,
+            concurrency: 2,
+            size: 32,
+            deadline: None,
+        },
+    );
+    assert_eq!(
+        serve_steady.errors, 0,
+        "steady-state serving must not error"
+    );
+    assert_eq!(
+        serve_steady.served, 32,
+        "steady-state serving must answer every request Ok"
+    );
+    let serve_req_per_s = serve_steady.req_per_s();
+    record("serve_edge32_p50", serve_steady.percentile_ns(50.0) as f64);
+    record("serve_edge32_p99", serve_steady.percentile_ns(99.0) as f64);
+    record("serve_edge32_mean", serve_steady.mean_ns());
+    println!(
+        "serve_steady_32req_2conn                     {serve_req_per_s:>10.1} req/s sustained"
+    );
+
+    let serve_overload = run_in_process(
+        ServiceConfig {
+            engine: ScReramConfig::new(256, 42)
+                .with_schedule(Schedule::Pipelined { arrays: 4 })
+                .with_plan_cache(Arc::new(PlanCache::new())),
+            queue_depth: 4,
+            ..ServiceConfig::default()
+        },
+        &LoadConfig {
+            requests: 24,
+            concurrency: 4,
+            size: 48,
+            deadline: Some(Duration::from_millis(40)),
+        },
+    );
+    assert_eq!(
+        serve_overload.errors, 0,
+        "overload must shed or downgrade, never answer Error"
+    );
+    assert!(
+        serve_overload.shed + serve_overload.downgraded > 0,
+        "2x overload into a shallow queue must shed or downgrade something"
+    );
+    println!(
+        "serve_overload_24req_4conn                   {:>10} served ({} downgraded), {} shed, 0 errors",
+        serve_overload.served, serve_overload.downgraded, serve_overload.shed
+    );
 
     let mut json = String::from("{\n");
     for (name, ns) in &results {
@@ -639,6 +724,11 @@ fn main() {
                 ", \"uncached_32f_wall\": {uncached_mf_ns:.1}, \"cached_32f_wall\": {cached_mf_ns:.1}, \"vs_uncached\": {vs_uncached:.3}"
             );
         }
+        if name == "serve_edge32_p50" {
+            // Throughput is context, not a gate: req/s on this 1-core
+            // container tracks runner load far more than code changes.
+            let _ = write!(extra, ", \"req_per_s\": {serve_req_per_s:.1}");
+        }
         if name == "trng_fill_word_4096" {
             if let Some(per_bit) = results
                 .iter()
@@ -676,6 +766,18 @@ fn main() {
     if let Some(mc) = &multicore {
         let _ = writeln!(json, "  {mc},");
     }
+    // Ungated serving context: how the overload run degraded. The
+    // errors-free contract is asserted above; the split between shed
+    // and downgraded depends on runner speed, so no gate reads it.
+    let _ = writeln!(
+        json,
+        "  \"serve_overload\": {{\"requests\": 24, \"served\": {}, \"downgraded\": {}, \
+         \"shed\": {}, \"errors\": {}}},",
+        serve_overload.served,
+        serve_overload.downgraded,
+        serve_overload.shed,
+        serve_overload.errors
+    );
     for (i, (name, replay)) in replay_results.iter().enumerate() {
         let comma = if i + 1 == replay_results.len() {
             ""

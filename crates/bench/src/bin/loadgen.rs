@@ -1,0 +1,95 @@
+//! Closed-loop load generator for a serve instance.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests 64] [--concurrency 2]
+//!         [--size 32] [--deadline-ms 0] [--n 256] [--arrays 4]
+//!         [--expect-all-ok] [--shutdown-after]
+//! ```
+//!
+//! Without `--addr` an in-process server is started on a loopback port
+//! (engine: `--n`, `--arrays`, shared plan cache) and shut down cleanly
+//! after the run — the self-contained smoke mode CI uses. With
+//! `--addr` an external server is driven; `--shutdown-after`
+//! additionally sends the in-band shutdown frame when done, and
+//! `--expect-all-ok` exits nonzero unless every request was served.
+
+use bench::load::{run_against, run_in_process, LoadConfig};
+use imgproc::{ScReramConfig, Schedule};
+use imsc::PlanCache;
+use serve::{Client, ServiceConfig, Status};
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: String = bench::arg_or(&args, "--addr", String::new());
+    let deadline_ms: u64 = bench::arg_or(&args, "--deadline-ms", 0);
+    let cfg = LoadConfig {
+        requests: bench::arg_or(&args, "--requests", 64),
+        concurrency: bench::arg_or(&args, "--concurrency", 2),
+        size: bench::arg_or(&args, "--size", 32),
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+    };
+    let expect_all_ok = args.iter().any(|a| a == "--expect-all-ok");
+    let shutdown_after = args.iter().any(|a| a == "--shutdown-after");
+
+    let report = if addr.is_empty() {
+        let n: usize = bench::arg_or(&args, "--n", 256);
+        let arrays: usize = bench::arg_or(&args, "--arrays", 4);
+        let mut engine = ScReramConfig::new(n, 42).with_plan_cache(Arc::new(PlanCache::new()));
+        if arrays > 0 {
+            engine = engine.with_schedule(Schedule::Pipelined { arrays });
+        }
+        run_in_process(
+            ServiceConfig {
+                engine,
+                ..ServiceConfig::default()
+            },
+            &cfg,
+        )
+    } else {
+        let sock = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .unwrap_or_else(|| {
+                eprintln!("loadgen: cannot resolve {addr}");
+                std::process::exit(2);
+            });
+        let report = run_against(sock, &cfg);
+        if shutdown_after {
+            let mut c = Client::connect(sock).expect("shutdown connection");
+            let bye = c.shutdown().expect("shutdown frame");
+            assert_eq!(bye.status, Status::Ok, "shutdown must acknowledge");
+        }
+        report
+    };
+
+    println!(
+        "loadgen: {} requests, {} clients, {}x{} edge inputs",
+        cfg.requests, cfg.concurrency, cfg.size, cfg.size
+    );
+    println!(
+        "  served {} (downgraded {}), shed {}, errors {}",
+        report.served, report.downgraded, report.shed, report.errors
+    );
+    println!(
+        "  sustained {:.1} req/s | latency p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
+        report.req_per_s(),
+        report.percentile_ns(50.0) as f64 / 1e6,
+        report.percentile_ns(99.0) as f64 / 1e6,
+        report.mean_ns() / 1e6
+    );
+    if report.errors > 0 {
+        eprintln!("loadgen: FAIL — {} error responses", report.errors);
+        std::process::exit(1);
+    }
+    if expect_all_ok && report.served != cfg.requests {
+        eprintln!(
+            "loadgen: FAIL — expected all {} requests served, got {} (shed {})",
+            cfg.requests, report.served, report.shed
+        );
+        std::process::exit(1);
+    }
+}

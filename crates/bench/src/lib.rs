@@ -16,6 +16,7 @@
 
 pub mod endurance;
 pub mod figures;
+pub mod load;
 pub mod regress;
 pub mod sources;
 pub mod table1;

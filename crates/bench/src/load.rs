@@ -1,0 +1,208 @@
+//! Closed-loop load generation against a serve instance.
+//!
+//! The measurement core shared by the `loadgen` binary and the
+//! `bench_engine` serving anchors: start (or target) a serve instance,
+//! drive it with `concurrency` closed-loop TCP clients, and report
+//! sustained throughput plus the per-request latency distribution.
+
+use imgproc::request::KernelRequest;
+use imgproc::synth;
+use serve::{Client, Server, ServiceConfig, Status};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Closed-loop client connections driving them.
+    pub concurrency: usize,
+    /// Square edge-kernel input size per request.
+    pub size: usize,
+    /// Per-request deadline carried on the wire (None = server default).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            requests: 32,
+            concurrency: 2,
+            size: 32,
+            deadline: None,
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// End-to-end wall clock of the whole run, ns.
+    pub wall_ns: u64,
+    /// Per-request client-observed latencies, ns, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Requests answered [`Status::Ok`].
+    pub served: usize,
+    /// Requests answered [`Status::Ok`] at a downgraded `N`.
+    pub downgraded: usize,
+    /// Requests answered [`Status::Shed`].
+    pub shed: usize,
+    /// Requests answered [`Status::Error`].
+    pub errors: usize,
+}
+
+impl LoadReport {
+    /// Sustained request throughput over the run, requests per second.
+    #[must_use]
+    pub fn req_per_s(&self) -> f64 {
+        let total = self.served + self.shed + self.errors;
+        total as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// The `p`-th percentile latency, ns (`p` in 0..=100; nearest-rank).
+    #[must_use]
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        percentile(&self.latencies_ns, p)
+    }
+
+    /// Mean per-request latency, ns.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.iter().map(|&l| l as f64).sum::<f64>() / self.latencies_ns.len() as f64
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+#[must_use]
+pub fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
+/// Drives `cfg.requests` edge-kernel requests at `addr` from
+/// `cfg.concurrency` closed-loop clients. Every request uses a
+/// deterministic per-index input (value noise seeded by the request
+/// index), so two runs issue identical work.
+///
+/// # Panics
+///
+/// Panics when a client cannot connect or a wire call fails — load
+/// generation against a dead server is a harness error, not a result.
+#[must_use]
+pub fn run_against(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<u64>, usize, usize, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr).expect("loadgen connect");
+                    let mut lat = Vec::new();
+                    let (mut served, mut downgraded, mut shed, mut errors) = (0, 0, 0, 0);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cfg.requests {
+                            break;
+                        }
+                        let req = KernelRequest::Edge {
+                            image: synth::value_noise(cfg.size, cfg.size, 3, i as u64),
+                        };
+                        let r0 = Instant::now();
+                        let resp = client.call(&req, cfg.deadline).expect("loadgen call");
+                        lat.push(r0.elapsed().as_nanos() as u64);
+                        match resp.status {
+                            Status::Ok => {
+                                served += 1;
+                                downgraded += usize::from(resp.downgraded);
+                            }
+                            Status::Shed => shed += 1,
+                            Status::Error => errors += 1,
+                        }
+                    }
+                    (lat, served, downgraded, shed, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client thread"))
+            .collect()
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut report = LoadReport {
+        wall_ns,
+        latencies_ns: Vec::new(),
+        served: 0,
+        downgraded: 0,
+        shed: 0,
+        errors: 0,
+    };
+    for (lat, served, downgraded, shed, errors) in per_client {
+        report.latencies_ns.extend(lat);
+        report.served += served;
+        report.downgraded += downgraded;
+        report.shed += shed;
+        report.errors += errors;
+    }
+    report.latencies_ns.sort_unstable();
+    report
+}
+
+/// Starts an in-process server on a loopback port, runs
+/// [`run_against`], and shuts the server down cleanly.
+///
+/// # Panics
+///
+/// Panics when the server cannot start (harness error).
+#[must_use]
+pub fn run_in_process(service: ServiceConfig, cfg: &LoadConfig) -> LoadReport {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = Server::start(listener, service).expect("server starts");
+    let report = run_against(server.addr(), cfg);
+    server.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn small_load_run_serves_everything() {
+        let service = ServiceConfig {
+            engine: imgproc::ScReramConfig::new(32, 5),
+            default_deadline: Duration::from_secs(3600),
+            ..ServiceConfig::default()
+        };
+        let cfg = LoadConfig {
+            requests: 6,
+            concurrency: 2,
+            size: 12,
+            deadline: None,
+        };
+        let report = run_in_process(service, &cfg);
+        assert_eq!(report.served, 6);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latencies_ns.len(), 6);
+        assert!(report.req_per_s() > 0.0);
+        assert!(report.percentile_ns(99.0) >= report.percentile_ns(50.0));
+    }
+}

@@ -175,6 +175,73 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Attempts to enqueue `item` without blocking.
+    ///
+    /// Returns `Err(item)` (handing the item back) when the queue is full
+    /// or closed — the admission-control path of a service frontend: a
+    /// full queue is a *shed now* signal, not something to wait out.
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` if the queue is at capacity or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item without blocking; `None` if the queue is
+    /// currently empty (whether or not it is closed).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues the next item, blocking up to `timeout`.
+    ///
+    /// Returns [`PopResult::Item`] when an item arrives in time,
+    /// [`PopResult::Closed`] once the queue is closed and drained, and
+    /// [`PopResult::TimedOut`] if the wait expired with the queue still
+    /// open and empty — the batching-window primitive: a coalescing
+    /// frontend waits a short window for more compatible work, then
+    /// dispatches what it has.
+    pub fn pop_timeout(&self, timeout: std::time::Duration) -> PopResult<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return PopResult::Item(item);
+            }
+            if inner.closed {
+                return PopResult::Closed;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return PopResult::TimedOut;
+            };
+            let (guard, wait) = self
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .expect("queue lock");
+            inner = guard;
+            if wait.timed_out() && inner.items.is_empty() && !inner.closed {
+                return PopResult::TimedOut;
+            }
+        }
+    }
+
     /// Closes the queue: pending items remain poppable, further pushes
     /// panic, and a drained pop returns `None`.
     pub fn close(&self) {
@@ -182,6 +249,29 @@ impl<T> BoundedQueue<T> {
         inner.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+}
+
+/// Outcome of a [`BoundedQueue::pop_timeout`] wait.
+#[cfg(feature = "parallel")]
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopResult<T> {
+    /// An item arrived within the window.
+    Item(T),
+    /// The wait expired with the queue still open and empty.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+#[cfg(feature = "parallel")]
+impl<T> PopResult<T> {
+    /// The popped item, if any.
+    pub fn into_item(self) -> Option<T> {
+        match self {
+            PopResult::Item(item) => Some(item),
+            PopResult::TimedOut | PopResult::Closed => None,
+        }
     }
 }
 
@@ -272,6 +362,49 @@ mod tests {
             consumer.join().expect("consumer thread")
         });
         assert_eq!(got, (0..16).collect::<Vec<i32>>());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn try_push_sheds_when_full_and_when_closed() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        // Pending items stay poppable after close.
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pop_timeout_distinguishes_window_expiry_from_close() {
+        use std::time::Duration;
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), PopResult::TimedOut);
+        q.push(7);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), PopResult::Item(7));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), PopResult::Closed);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pop_timeout_wakes_for_concurrent_push() {
+        use std::time::Duration;
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let got = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| q.pop_timeout(Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(10));
+            q.push(42);
+            waiter.join().expect("waiter thread")
+        });
+        assert_eq!(got, PopResult::Item(42));
     }
 
     #[cfg(feature = "parallel")]

@@ -106,6 +106,22 @@ impl PipelineModel {
         self.arrays as f64 * 1000.0 / ii
     }
 
+    /// End-to-end latency of a mixed operation bag through the pipeline,
+    /// ns.
+    ///
+    /// `mix` is a list of `(op, count)` pairs — e.g. a kernel's per-frame
+    /// operation census. The model sums the per-family makespans, which
+    /// slightly over-counts fill latency (each family pays its own fill)
+    /// but preserves the steady-state term exactly; this is the service
+    /// frontend's deadline estimator, where a small conservative bias is
+    /// the right direction to err.
+    #[must_use]
+    pub fn makespan_mixed_ns(&self, mix: &[(ScOperation, usize)], n: usize) -> f64 {
+        mix.iter()
+            .map(|&(op, count)| self.makespan_ns(op, n, count))
+            .sum()
+    }
+
     /// End-to-end latency of `count` operations through the pipeline, ns.
     #[must_use]
     pub fn makespan_ns(&self, op: ScOperation, n: usize, count: usize) -> f64 {
@@ -175,6 +191,21 @@ mod tests {
         let m1 = p.makespan_ns(ScOperation::Multiply, 256, 1);
         let m2 = p.makespan_ns(ScOperation::Multiply, 256, 2);
         assert!((m2 - m1 - s.bottleneck_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_makespan_sums_per_family_makespans() {
+        let p = PipelineModel::evaluation_default();
+        let mix = [
+            (ScOperation::Addition, 100),
+            (ScOperation::Subtraction, 50),
+            (ScOperation::Division, 10),
+        ];
+        let expected: f64 = mix.iter().map(|&(op, c)| p.makespan_ns(op, 256, c)).sum();
+        assert_eq!(p.makespan_mixed_ns(&mix, 256), expected);
+        assert_eq!(p.makespan_mixed_ns(&[], 256), 0.0);
+        // Zero-count entries contribute nothing.
+        assert_eq!(p.makespan_mixed_ns(&[(ScOperation::Multiply, 0)], 256), 0.0);
     }
 
     #[test]

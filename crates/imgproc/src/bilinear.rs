@@ -46,7 +46,7 @@ fn tap(src: &GrayImage, ox: usize, oy: usize, factor: usize) -> Tap {
     }
 }
 
-fn check_factor(factor: usize) -> Result<(), ImgError> {
+pub(crate) fn check_factor(factor: usize) -> Result<(), ImgError> {
     if factor < 2 {
         Err(ImgError::InvalidParameter(
             "scale factor must be at least 2",
@@ -160,13 +160,19 @@ pub fn emit_program(src: &GrayImage, factor: usize, rows: std::ops::Range<usize>
 
 /// The kernel as a cache-aware tile emitter (see
 /// [`crate::tile::TileEmitter`]).
-struct Emit<'a> {
-    src: &'a GrayImage,
-    factor: usize,
+pub(crate) struct Emit<'a> {
+    pub(crate) src: &'a GrayImage,
+    pub(crate) factor: usize,
 }
 
 impl tile::TileEmitter for Emit<'_> {
-    const KERNEL: &'static str = "bilinear";
+    fn kernel(&self) -> &'static str {
+        "bilinear"
+    }
+
+    fn default_policy(&self) -> RnRefreshPolicy {
+        RnRefreshPolicy::Explicit
+    }
 
     fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
         let width = self.src.width() * self.factor;
@@ -191,6 +197,11 @@ impl tile::TileEmitter for Emit<'_> {
 /// accelerator instance per tile, optionally thread-parallel (`parallel`
 /// feature) — and merges per-tile cost ledgers deterministically.
 ///
+/// **Legacy entry point.** New code should build a
+/// [`KernelRequest::Bilinear`](crate::request::KernelRequest) and call
+/// [`request::run`](crate::request::run) — this wrapper forwards there
+/// and exists for source compatibility.
+///
 /// # Errors
 ///
 /// Parameter or substrate errors.
@@ -205,6 +216,9 @@ pub fn sc_reram(
 /// [`sc_reram`] returning the merged hardware-cost statistics alongside
 /// the image.
 ///
+/// **Legacy entry point** — a thin wrapper over the unified dispatch
+/// ([`request::run`](crate::request::run)); results are bit-identical.
+///
 /// # Errors
 ///
 /// Parameter or substrate errors.
@@ -213,13 +227,7 @@ pub fn sc_reram_with_stats(
     factor: usize,
     cfg: &ScReramConfig,
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
-    check_factor(factor)?;
-    let width = src.width() * factor;
-    let height = src.height() * factor;
-    let (tiles, report) =
-        tile::run_tile_programs(height, cfg, RnRefreshPolicy::Explicit, Emit { src, factor })?;
-    let (pixels, stats) = tile::assemble(tiles, report);
-    Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
+    crate::request::run_sc_view(crate::request::KernelView::Bilinear { src, factor }, cfg)
 }
 
 /// Functional CMOS SC up-scaling with the same nested-MAJ kernel.

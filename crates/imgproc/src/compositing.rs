@@ -17,7 +17,11 @@ use imsc::program::Program;
 use imsc::{ProgramSink, RnRefreshPolicy};
 use sc_core::Fixed;
 
-fn check_inputs(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<(), ImgError> {
+pub(crate) fn check_inputs(
+    f: &GrayImage,
+    b: &GrayImage,
+    alpha: &GrayImage,
+) -> Result<(), ImgError> {
     for img in [b, alpha] {
         if !f.same_dims(img) {
             return Err(ImgError::DimensionMismatch {
@@ -50,6 +54,11 @@ pub fn software(f: &GrayImage, b: &GrayImage, alpha: &GrayImage) -> Result<GrayI
 /// row tiles (one accelerator per tile, optionally thread-parallel) and
 /// merges per-tile cost ledgers deterministically.
 ///
+/// **Legacy entry point.** New code should build a
+/// [`KernelRequest::Compositing`](crate::request::KernelRequest) and
+/// call [`request::run`](crate::request::run) — this wrapper forwards
+/// there and exists for source compatibility.
+///
 /// # Errors
 ///
 /// Dimension or substrate errors.
@@ -65,6 +74,9 @@ pub fn sc_reram(
 /// [`sc_reram`] returning the merged hardware-cost statistics alongside
 /// the image.
 ///
+/// **Legacy entry point** — a thin wrapper over the unified dispatch
+/// ([`request::run`](crate::request::run)); results are bit-identical.
+///
 /// # Errors
 ///
 /// Dimension or substrate errors.
@@ -74,16 +86,14 @@ pub fn sc_reram_with_stats(
     alpha: &GrayImage,
     cfg: &ScReramConfig,
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
-    check_inputs(f, b, alpha)?;
-    let width = f.width();
-    let (tiles, report) = tile::run_tile_programs(
-        f.height(),
+    crate::request::run_sc_view(
+        crate::request::KernelView::Compositing {
+            foreground: f,
+            background: b,
+            alpha,
+        },
         cfg,
-        RnRefreshPolicy::Explicit,
-        Emit { f, b, alpha },
-    )?;
-    let (pixels, stats) = tile::assemble(tiles, report);
-    Ok((GrayImage::from_pixels(width, f.height(), pixels)?, stats))
+    )
 }
 
 /// Emits the compositing kernel for the given output rows as a
@@ -130,14 +140,20 @@ pub fn emit_program(
 
 /// The kernel as a cache-aware tile emitter (see
 /// [`crate::tile::TileEmitter`]).
-struct Emit<'a> {
-    f: &'a GrayImage,
-    b: &'a GrayImage,
-    alpha: &'a GrayImage,
+pub(crate) struct Emit<'a> {
+    pub(crate) f: &'a GrayImage,
+    pub(crate) b: &'a GrayImage,
+    pub(crate) alpha: &'a GrayImage,
 }
 
 impl TileEmitter for Emit<'_> {
-    const KERNEL: &'static str = "compositing";
+    fn kernel(&self) -> &'static str {
+        "compositing"
+    }
+
+    fn default_policy(&self) -> RnRefreshPolicy {
+        RnRefreshPolicy::Explicit
+    }
 
     fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
         for y in rows {

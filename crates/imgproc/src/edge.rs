@@ -56,6 +56,11 @@ pub fn software(img: &GrayImage) -> GrayImage {
 /// Processes the image in row tiles (one accelerator per tile, optionally
 /// thread-parallel) and merges per-tile cost ledgers deterministically.
 ///
+/// **Legacy entry point.** New code should build a
+/// [`KernelRequest::Edge`](crate::request::KernelRequest) and call
+/// [`request::run`](crate::request::run) — this wrapper forwards there
+/// and exists for source compatibility.
+///
 /// # Errors
 ///
 /// Substrate errors only.
@@ -66,6 +71,9 @@ pub fn sc_reram(img: &GrayImage, cfg: &ScReramConfig) -> Result<GrayImage, ImgEr
 /// [`sc_reram`] returning the merged hardware-cost statistics alongside
 /// the image.
 ///
+/// **Legacy entry point** — a thin wrapper over the unified dispatch
+/// ([`request::run`](crate::request::run)); results are bit-identical.
+///
 /// # Errors
 ///
 /// Substrate errors only.
@@ -73,15 +81,7 @@ pub fn sc_reram_with_stats(
     img: &GrayImage,
     cfg: &ScReramConfig,
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
-    let width = img.width();
-    let (tiles, report) = tile::run_tile_programs(
-        img.height(),
-        cfg,
-        RnRefreshPolicy::EveryN(RN_REUSE_PIXELS),
-        Emit { img },
-    )?;
-    let (pixels, stats) = tile::assemble(tiles, report);
-    Ok((GrayImage::from_pixels(width, img.height(), pixels)?, stats))
+    crate::request::run_sc_view(crate::request::KernelView::Edge { image: img }, cfg)
 }
 
 /// Emits the Roberts-cross kernel for the given rows as a [`Program`]:
@@ -112,12 +112,18 @@ pub fn emit_program(img: &GrayImage, rows: std::ops::Range<usize>) -> Program {
 
 /// The kernel as a cache-aware tile emitter (see
 /// [`crate::tile::TileEmitter`]).
-struct Emit<'a> {
-    img: &'a GrayImage,
+pub(crate) struct Emit<'a> {
+    pub(crate) img: &'a GrayImage,
 }
 
 impl TileEmitter for Emit<'_> {
-    const KERNEL: &'static str = "edge";
+    fn kernel(&self) -> &'static str {
+        "edge"
+    }
+
+    fn default_policy(&self) -> RnRefreshPolicy {
+        RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)
+    }
 
     fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
         let img = self.img;

@@ -19,6 +19,13 @@ pub enum ImgError {
     },
     /// An invalid parameter (zero scale factor, empty image, …).
     InvalidParameter(&'static str),
+    /// A configuration combination rejected by
+    /// [`ScReramConfig::validate`] — the admission-time check for
+    /// option conflicts that the library would otherwise only surface
+    /// deep inside a run (or silently paper over).
+    ///
+    /// [`ScReramConfig::validate`]: crate::scbackend::ScReramConfig::validate
+    Config(&'static str),
     /// A PGM file could not be parsed.
     ParsePgm(String),
     /// Replaying the recorded command trace through the memory
@@ -39,6 +46,7 @@ impl fmt::Display for ImgError {
                 got.0, got.1, expected.0, expected.1
             ),
             ImgError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ImgError::Config(what) => write!(f, "invalid configuration: {what}"),
             ImgError::ParsePgm(reason) => write!(f, "pgm parse error: {reason}"),
             ImgError::Replay(e) => write!(f, "trace replay error: {e}"),
         }

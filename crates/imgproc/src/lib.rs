@@ -32,11 +32,13 @@ pub mod error;
 pub mod image;
 pub mod matting;
 pub mod metrics;
+pub mod request;
 pub mod scbackend;
 pub mod synth;
 pub mod tile;
 
 pub use error::ImgError;
 pub use image::GrayImage;
+pub use request::{Backend, KernelRequest, KernelResponse};
 pub use scbackend::{ArrayFaultOverride, CmosScConfig, ScReramConfig};
 pub use tile::{PlanCacheRun, ScRunStats, Schedule};

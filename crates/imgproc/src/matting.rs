@@ -31,7 +31,7 @@ use sc_core::{Fixed, ScError};
 /// stochastic noise floor — while RN realizations drop ~8×.
 pub const RN_REUSE_PIXELS: u64 = 8;
 
-fn check_inputs(i: &GrayImage, b: &GrayImage, f: &GrayImage) -> Result<(), ImgError> {
+pub(crate) fn check_inputs(i: &GrayImage, b: &GrayImage, f: &GrayImage) -> Result<(), ImgError> {
     for img in [b, f] {
         if !i.same_dims(img) {
             return Err(ImgError::DimensionMismatch {
@@ -62,6 +62,11 @@ pub fn software(i: &GrayImage, b: &GrayImage, f: &GrayImage) -> Result<GrayImage
 /// In-ReRAM SC α estimation: correlated triple encode, XOR differences,
 /// periphery CORDIV.
 ///
+/// **Legacy entry point.** New code should build a
+/// [`KernelRequest::Matting`](crate::request::KernelRequest) and call
+/// [`request::run`](crate::request::run) — this wrapper forwards there
+/// and exists for source compatibility.
+///
 /// # Errors
 ///
 /// Dimension or substrate errors (an all-zero divisor stream, i.e.
@@ -77,9 +82,10 @@ pub fn sc_reram(
 }
 
 /// [`sc_reram`] returning the merged hardware-cost statistics alongside
-/// the matte. Processes the image in row tiles (one accelerator per
-/// tile, optionally thread-parallel) with deterministically merged
-/// ledgers.
+/// the matte.
+///
+/// **Legacy entry point** — a thin wrapper over the unified dispatch
+/// ([`request::run`](crate::request::run)); results are bit-identical.
 ///
 /// # Errors
 ///
@@ -90,16 +96,14 @@ pub fn sc_reram_with_stats(
     f: &GrayImage,
     cfg: &ScReramConfig,
 ) -> Result<(GrayImage, ScRunStats), ImgError> {
-    check_inputs(i, b, f)?;
-    let width = i.width();
-    let (tiles, report) = tile::run_tile_programs(
-        i.height(),
+    crate::request::run_sc_view(
+        crate::request::KernelView::Matting {
+            image: i,
+            background: b,
+            foreground: f,
+        },
         cfg,
-        RnRefreshPolicy::EveryN(RN_REUSE_PIXELS),
-        Emit { i, b, f },
-    )?;
-    let (pixels, stats) = tile::assemble(tiles, report);
-    Ok((GrayImage::from_pixels(width, i.height(), pixels)?, stats))
+    )
 }
 
 /// Emits the matting kernel for the given rows as a [`Program`]: per
@@ -147,14 +151,20 @@ pub fn emit_program(
 /// the emitted op *shape*, so the tape's structure hash — and therefore
 /// the template-cache key — distinguishes tiles with different
 /// degenerate-pixel patterns automatically.
-struct Emit<'a> {
-    i: &'a GrayImage,
-    b: &'a GrayImage,
-    f: &'a GrayImage,
+pub(crate) struct Emit<'a> {
+    pub(crate) i: &'a GrayImage,
+    pub(crate) b: &'a GrayImage,
+    pub(crate) f: &'a GrayImage,
 }
 
 impl TileEmitter for Emit<'_> {
-    const KERNEL: &'static str = "matting";
+    fn kernel(&self) -> &'static str {
+        "matting"
+    }
+
+    fn default_policy(&self) -> RnRefreshPolicy {
+        RnRefreshPolicy::EveryN(RN_REUSE_PIXELS)
+    }
 
     fn emit<S: ProgramSink>(&self, rows: std::ops::Range<usize>, p: &mut S) {
         for y in rows {

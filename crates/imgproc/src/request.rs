@@ -1,0 +1,591 @@
+//! The unified kernel-request API — one request shape, one dispatch.
+//!
+//! Historically every kernel exposed its own `software` / `sc_reram` /
+//! `sc_reram_with_stats` / `sc_cmos` / `binary_cim` free-function
+//! family, so a server, bench, or test had to hand-dispatch per kernel.
+//! This module is the request-shaped seam those callers use instead:
+//!
+//! * [`KernelRequest`] — which kernel, with its input images and
+//!   parameters (owned, so a request can cross threads and sockets);
+//! * [`Backend`] — which of the four evaluation backends executes it;
+//! * [`run`] / [`run_on`] — the single dispatch, returning a
+//!   [`KernelResponse`] carrying pixels and (for the SC-ReRAM backend)
+//!   the merged [`ScRunStats`];
+//! * [`run_batch`] — many requests as **one** scheduling pass over the
+//!   array pool, the service frontend's coalescing primitive: compiled
+//!   templates are shared across requests via the attached
+//!   [`ScReramConfig::plan_cache`], and under [`Schedule::Pipelined`]
+//!   every request's slices feed a single cross-array scheduler run, so
+//!   the pipeline never drains at request boundaries.
+//!
+//! The legacy per-kernel `sc_reram*` families are thin wrappers over
+//! this dispatch (bit-identical — pinned by `tests/request_parity.rs`)
+//! and are kept for source compatibility.
+//!
+//! [`Schedule::Pipelined`]: crate::tile::Schedule::Pipelined
+
+use crate::error::ImgError;
+use crate::image::GrayImage;
+use crate::scbackend::{CmosScConfig, ScReramConfig};
+use crate::tile::{self, ScRunStats, TileEmitter};
+use crate::{bilinear, compositing, edge, matting};
+use imsc::cost::ScOperation;
+use imsc::program::cache::mix;
+use imsc::{ProgramSink, RnRefreshPolicy};
+use std::ops::Range;
+
+/// One kernel invocation: the kernel, its input images, and its
+/// parameters. Images are owned so a request can be queued, batched,
+/// and shipped across threads or sockets.
+#[derive(Debug, Clone)]
+pub enum KernelRequest {
+    /// Roberts-cross edge detection over `image`.
+    Edge {
+        /// Input image.
+        image: GrayImage,
+    },
+    /// Bilinear up-scaling of `src` by integer `factor` (≥ 2).
+    Bilinear {
+        /// Source image.
+        src: GrayImage,
+        /// Integer scale factor (≥ 2).
+        factor: usize,
+    },
+    /// Compositing `C = F·α + B·(1−α)` over equal-sized images.
+    Compositing {
+        /// Foreground image `F`.
+        foreground: GrayImage,
+        /// Background image `B`.
+        background: GrayImage,
+        /// Per-pixel α matte.
+        alpha: GrayImage,
+    },
+    /// Matting `α̂ = (I − B) / (F − B)` over equal-sized images.
+    Matting {
+        /// Composite image `I`.
+        image: GrayImage,
+        /// Background image `B`.
+        background: GrayImage,
+        /// Foreground image `F`.
+        foreground: GrayImage,
+    },
+}
+
+/// Which backend executes a [`KernelRequest`] (the paper's four
+/// evaluation columns).
+#[derive(Debug, Clone, Copy)]
+pub enum Backend {
+    /// The in-memory SC-ReRAM accelerator (`imsc`) — the default, and
+    /// the only backend with hardware-cost statistics and batching.
+    ScReram,
+    /// Functional CMOS SC with the given SNG configuration.
+    Cmos(CmosScConfig),
+    /// Bit-serial binary CIM, optionally fault-injected (the seed comes
+    /// from [`ScReramConfig::seed`]).
+    BinaryCim {
+        /// Per-operation bit-flip probability (0.0 = fault-free).
+        fault_prob: f64,
+    },
+    /// Exact software arithmetic.
+    Software,
+}
+
+/// The result of one dispatched [`KernelRequest`].
+#[derive(Debug, Clone)]
+pub struct KernelResponse {
+    /// The output image.
+    pub pixels: GrayImage,
+    /// Merged hardware-cost statistics — `Some` on the
+    /// [`Backend::ScReram`] path, `None` on the other backends (they
+    /// have no accelerator ledger).
+    pub stats: Option<ScRunStats>,
+}
+
+impl KernelRequest {
+    /// Stable kernel name (matches the template-cache key and the
+    /// bench/anchor naming).
+    #[must_use]
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            KernelRequest::Edge { .. } => "edge",
+            KernelRequest::Bilinear { .. } => "bilinear",
+            KernelRequest::Compositing { .. } => "compositing",
+            KernelRequest::Matting { .. } => "matting",
+        }
+    }
+
+    /// Output dimensions `(width, height)` of a valid request.
+    #[must_use]
+    pub fn output_dims(&self) -> (usize, usize) {
+        match self {
+            KernelRequest::Edge { image } => (image.width(), image.height()),
+            KernelRequest::Bilinear { src, factor } => {
+                (src.width() * factor, src.height() * factor)
+            }
+            KernelRequest::Compositing { foreground, .. } => {
+                (foreground.width(), foreground.height())
+            }
+            KernelRequest::Matting { image, .. } => (image.width(), image.height()),
+        }
+    }
+
+    /// Output pixel count — the unit of the service frontend's
+    /// cost estimates.
+    #[must_use]
+    pub fn output_pixels(&self) -> usize {
+        let (w, h) = self.output_dims();
+        w * h
+    }
+
+    /// Validates the request's shape invariants (scale factor, matching
+    /// dimensions) without running anything.
+    ///
+    /// # Errors
+    ///
+    /// The same parameter/dimension errors the legacy entry points
+    /// return.
+    pub fn validate(&self) -> Result<(), ImgError> {
+        self.view().check()
+    }
+
+    /// Coalescing compatibility key: two requests with equal keys have
+    /// the same kernel, parameters, and output shape, so a batching
+    /// frontend can group them into one scheduling pass (and their
+    /// tile-shaped slices hit the same cached templates).
+    #[must_use]
+    pub fn shape_key(&self) -> u64 {
+        let tag = match self {
+            KernelRequest::Edge { .. } => 1u64,
+            KernelRequest::Bilinear { .. } => 2,
+            KernelRequest::Compositing { .. } => 3,
+            KernelRequest::Matting { .. } => 4,
+        };
+        let (w, h) = self.output_dims();
+        let mut k = mix(0x5245_515F_5348_4150, tag);
+        k = mix(k, w as u64);
+        k = mix(k, h as u64);
+        if let KernelRequest::Bilinear { factor, .. } = self {
+            k = mix(k, *factor as u64);
+        }
+        k
+    }
+
+    /// The kernel's dominant per-output-pixel operation mix, as
+    /// `(operation, ops per pixel)` pairs — the input to
+    /// `PipelineModel`-based service-time estimates (scouting-level
+    /// counts of the kernel's arithmetic stage; encodes and reads ride
+    /// inside the per-op pipeline stages).
+    #[must_use]
+    pub fn op_mix_per_pixel(&self) -> &'static [(ScOperation, usize)] {
+        match self {
+            // Two XOR gradients + one MAJ blend.
+            KernelRequest::Edge { .. } => {
+                &[(ScOperation::Subtraction, 2), (ScOperation::Addition, 1)]
+            }
+            // Three nested MAJ blends.
+            KernelRequest::Bilinear { .. } => &[(ScOperation::Addition, 3)],
+            // One MAJ blend.
+            KernelRequest::Compositing { .. } => &[(ScOperation::Addition, 1)],
+            // Two XOR differences + one CORDIV division.
+            KernelRequest::Matting { .. } => {
+                &[(ScOperation::Subtraction, 2), (ScOperation::Division, 1)]
+            }
+        }
+    }
+
+    /// The borrowed dispatch view of this request.
+    pub(crate) fn view(&self) -> KernelView<'_> {
+        match self {
+            KernelRequest::Edge { image } => KernelView::Edge { image },
+            KernelRequest::Bilinear { src, factor } => KernelView::Bilinear {
+                src,
+                factor: *factor,
+            },
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => KernelView::Compositing {
+                foreground,
+                background,
+                alpha,
+            },
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => KernelView::Matting {
+                image,
+                background,
+                foreground,
+            },
+        }
+    }
+}
+
+/// A borrowed view of one kernel invocation — what the dispatch
+/// actually works on. The legacy `&GrayImage`-argument wrappers build
+/// views directly (no clone), [`KernelRequest`] derives one from its
+/// owned images.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum KernelView<'a> {
+    /// Edge detection.
+    Edge {
+        /// Input image.
+        image: &'a GrayImage,
+    },
+    /// Bilinear up-scaling.
+    Bilinear {
+        /// Source image.
+        src: &'a GrayImage,
+        /// Integer scale factor.
+        factor: usize,
+    },
+    /// Compositing.
+    Compositing {
+        /// Foreground.
+        foreground: &'a GrayImage,
+        /// Background.
+        background: &'a GrayImage,
+        /// α matte.
+        alpha: &'a GrayImage,
+    },
+    /// Matting.
+    Matting {
+        /// Composite image `I`.
+        image: &'a GrayImage,
+        /// Background `B`.
+        background: &'a GrayImage,
+        /// Foreground `F`.
+        foreground: &'a GrayImage,
+    },
+}
+
+impl<'a> KernelView<'a> {
+    fn check(&self) -> Result<(), ImgError> {
+        match self {
+            KernelView::Edge { .. } => Ok(()),
+            KernelView::Bilinear { factor, .. } => bilinear::check_factor(*factor),
+            KernelView::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::check_inputs(foreground, background, alpha),
+            KernelView::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::check_inputs(image, background, foreground),
+        }
+    }
+
+    fn output_dims(&self) -> (usize, usize) {
+        match self {
+            KernelView::Edge { image } => (image.width(), image.height()),
+            KernelView::Bilinear { src, factor } => (src.width() * factor, src.height() * factor),
+            KernelView::Compositing { foreground, .. } => (foreground.width(), foreground.height()),
+            KernelView::Matting { image, .. } => (image.width(), image.height()),
+        }
+    }
+
+    fn emitter(self) -> AnyEmitter<'a> {
+        match self {
+            KernelView::Edge { image } => AnyEmitter::Edge(edge::Emit { img: image }),
+            KernelView::Bilinear { src, factor } => {
+                AnyEmitter::Bilinear(bilinear::Emit { src, factor })
+            }
+            KernelView::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => AnyEmitter::Compositing(compositing::Emit {
+                f: foreground,
+                b: background,
+                alpha,
+            }),
+            KernelView::Matting {
+                image,
+                background,
+                foreground,
+            } => AnyEmitter::Matting(matting::Emit {
+                i: image,
+                b: background,
+                f: foreground,
+            }),
+        }
+    }
+}
+
+/// The four kernels' emitters behind one [`TileEmitter`], so mixed
+/// batches can share a single scheduling pass. Every method delegates
+/// to the wrapped kernel emitter — cache keys, refresh policies, and
+/// emitted programs are exactly the per-kernel ones.
+pub(crate) enum AnyEmitter<'a> {
+    Edge(edge::Emit<'a>),
+    Bilinear(bilinear::Emit<'a>),
+    Compositing(compositing::Emit<'a>),
+    Matting(matting::Emit<'a>),
+}
+
+impl TileEmitter for AnyEmitter<'_> {
+    fn kernel(&self) -> &'static str {
+        match self {
+            AnyEmitter::Edge(e) => e.kernel(),
+            AnyEmitter::Bilinear(e) => e.kernel(),
+            AnyEmitter::Compositing(e) => e.kernel(),
+            AnyEmitter::Matting(e) => e.kernel(),
+        }
+    }
+
+    fn default_policy(&self) -> RnRefreshPolicy {
+        match self {
+            AnyEmitter::Edge(e) => e.default_policy(),
+            AnyEmitter::Bilinear(e) => e.default_policy(),
+            AnyEmitter::Compositing(e) => e.default_policy(),
+            AnyEmitter::Matting(e) => e.default_policy(),
+        }
+    }
+
+    fn emit<S: ProgramSink>(&self, rows: Range<usize>, sink: &mut S) {
+        match self {
+            AnyEmitter::Edge(e) => e.emit(rows, sink),
+            AnyEmitter::Bilinear(e) => e.emit(rows, sink),
+            AnyEmitter::Compositing(e) => e.emit(rows, sink),
+            AnyEmitter::Matting(e) => e.emit(rows, sink),
+        }
+    }
+
+    fn frame_digest(&self) -> Option<u64> {
+        match self {
+            AnyEmitter::Edge(e) => e.frame_digest(),
+            AnyEmitter::Bilinear(e) => e.frame_digest(),
+            AnyEmitter::Compositing(e) => e.frame_digest(),
+            AnyEmitter::Matting(e) => e.frame_digest(),
+        }
+    }
+}
+
+/// The SC-ReRAM dispatch body shared by [`run`] and the legacy
+/// per-kernel wrappers: validate the view, run its emitter through the
+/// tiled scheduler, assemble pixels and stats.
+pub(crate) fn run_sc_view(
+    view: KernelView<'_>,
+    cfg: &ScReramConfig,
+) -> Result<(GrayImage, ScRunStats), ImgError> {
+    view.check()?;
+    let (width, height) = view.output_dims();
+    let (tiles, meta) = tile::run_tile_programs(height, cfg, view.emitter())?;
+    let (pixels, stats) = tile::assemble(tiles, meta);
+    Ok((GrayImage::from_pixels(width, height, pixels)?, stats))
+}
+
+/// Runs one request on the SC-ReRAM backend — the service frontend's
+/// (and the benches') single entry point. Equivalent to
+/// [`run_on`]`(req, &Backend::ScReram, cfg)`.
+///
+/// Note: like the legacy entry points, this does **not** call
+/// [`ScReramConfig::validate`] — deep configuration conflicts keep
+/// their documented library behaviour (e.g. faults silently force the
+/// optimizer off). Admission-time validation is the service layer's
+/// job.
+///
+/// # Errors
+///
+/// Parameter, dimension, or substrate errors.
+pub fn run(req: &KernelRequest, cfg: &ScReramConfig) -> Result<KernelResponse, ImgError> {
+    let (pixels, stats) = run_sc_view(req.view(), cfg)?;
+    Ok(KernelResponse {
+        pixels,
+        stats: Some(stats),
+    })
+}
+
+/// Runs one request on an explicit [`Backend`]. The SC-ReRAM arm is
+/// [`run`]; the CMOS / binary-CIM / software arms dispatch to the
+/// corresponding per-kernel baselines (no [`ScRunStats`] — those
+/// backends have no accelerator ledger).
+///
+/// # Errors
+///
+/// Parameter, dimension, or backend errors.
+pub fn run_on(
+    req: &KernelRequest,
+    backend: &Backend,
+    cfg: &ScReramConfig,
+) -> Result<KernelResponse, ImgError> {
+    let pixels = match backend {
+        Backend::ScReram => return run(req, cfg),
+        Backend::Cmos(c) => match req {
+            KernelRequest::Edge { image } => edge::sc_cmos(image, c)?,
+            KernelRequest::Bilinear { src, factor } => bilinear::sc_cmos(src, *factor, c)?,
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::sc_cmos(foreground, background, alpha, c)?,
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::sc_cmos(image, background, foreground, c)?,
+        },
+        Backend::BinaryCim { fault_prob } => match req {
+            KernelRequest::Edge { image } => edge::binary_cim(image, *fault_prob, cfg.seed)?,
+            KernelRequest::Bilinear { src, factor } => {
+                bilinear::binary_cim(src, *factor, *fault_prob, cfg.seed)?
+            }
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::binary_cim(foreground, background, alpha, *fault_prob, cfg.seed)?,
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::binary_cim(image, background, foreground, *fault_prob, cfg.seed)?,
+        },
+        Backend::Software => match req {
+            KernelRequest::Edge { image } => edge::software(image),
+            KernelRequest::Bilinear { src, factor } => bilinear::software(src, *factor)?,
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::software(foreground, background, alpha)?,
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::software(image, background, foreground)?,
+        },
+    };
+    Ok(KernelResponse {
+        pixels,
+        stats: None,
+    })
+}
+
+/// Runs a batch of requests on the SC-ReRAM backend as **one**
+/// scheduling pass — see [`crate::tile`]'s batch-runner documentation
+/// for the coalescing semantics. Responses come back in request order
+/// and each frame's pixels, ledger, and RN epochs are bit-identical to
+/// running that request alone through [`run`] (fault-free substrates;
+/// the shared [`PipelineReport`](imsc::program::sched::PipelineReport)
+/// in each response's stats describes the whole batch).
+///
+/// Requests may mix kernels and shapes; grouping compatible shapes is
+/// a throughput optimization (better template reuse), not a
+/// correctness requirement. With [`ScReramConfig::trace_replay`] set,
+/// the batch falls back to per-request runs (a stitched replay cannot
+/// be attributed back to frames).
+///
+/// # Errors
+///
+/// The first failing request's error; shape validation runs for every
+/// request before any work starts.
+pub fn run_batch(
+    reqs: &[KernelRequest],
+    cfg: &ScReramConfig,
+) -> Result<Vec<KernelResponse>, ImgError> {
+    for r in reqs {
+        r.validate()?;
+    }
+    if cfg.trace_replay {
+        return reqs.iter().map(|r| run(r, cfg)).collect();
+    }
+    let jobs: Vec<tile::BatchJob<AnyEmitter<'_>>> = reqs
+        .iter()
+        .map(|r| {
+            let view = r.view();
+            tile::BatchJob {
+                height: view.output_dims().1,
+                emitter: view.emitter(),
+            }
+        })
+        .collect();
+    let outs = tile::run_batch_programs(&jobs, cfg)?;
+    reqs.iter()
+        .zip(outs)
+        .map(|(r, (tiles, meta))| {
+            let (width, height) = r.view().output_dims();
+            let (pixels, stats) = tile::assemble(tiles, meta);
+            Ok(KernelResponse {
+                pixels: GrayImage::from_pixels(width, height, pixels)?,
+                stats: Some(stats),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn shape_keys_separate_kernels_and_shapes() {
+        let img = synth::gradient(8, 8, true);
+        let edge = KernelRequest::Edge { image: img.clone() };
+        let edge_same = KernelRequest::Edge {
+            image: synth::checkerboard(8, 8, 2),
+        };
+        let edge_other = KernelRequest::Edge {
+            image: synth::gradient(16, 8, true),
+        };
+        let up2 = KernelRequest::Bilinear {
+            src: img.clone(),
+            factor: 2,
+        };
+        let up3 = KernelRequest::Bilinear {
+            src: img,
+            factor: 3,
+        };
+        // Same kernel + same shape coalesce regardless of content.
+        assert_eq!(edge.shape_key(), edge_same.shape_key());
+        assert_ne!(edge.shape_key(), edge_other.shape_key());
+        assert_ne!(edge.shape_key(), up2.shape_key());
+        assert_ne!(up2.shape_key(), up3.shape_key());
+    }
+
+    #[test]
+    fn output_dims_and_names() {
+        let req = KernelRequest::Bilinear {
+            src: synth::gradient(6, 4, true),
+            factor: 2,
+        };
+        assert_eq!(req.output_dims(), (12, 8));
+        assert_eq!(req.output_pixels(), 96);
+        assert_eq!(req.kernel_name(), "bilinear");
+        assert!(req.validate().is_ok());
+        let bad = KernelRequest::Bilinear {
+            src: synth::gradient(6, 4, true),
+            factor: 1,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn op_mix_covers_every_kernel() {
+        let img = synth::gradient(4, 4, true);
+        for req in [
+            KernelRequest::Edge { image: img.clone() },
+            KernelRequest::Bilinear {
+                src: img.clone(),
+                factor: 2,
+            },
+            KernelRequest::Compositing {
+                foreground: img.clone(),
+                background: img.clone(),
+                alpha: img.clone(),
+            },
+            KernelRequest::Matting {
+                image: img.clone(),
+                background: img.clone(),
+                foreground: img,
+            },
+        ] {
+            assert!(!req.op_mix_per_pixel().is_empty(), "{}", req.kernel_name());
+        }
+    }
+}

@@ -210,6 +210,62 @@ impl ScReramConfig {
         cfg
     }
 
+    /// Validates option *combinations* before any work starts — the
+    /// admission-time check a service frontend runs on every request's
+    /// configuration. The library entry points deliberately do **not**
+    /// call this (they keep their documented behaviour: deep
+    /// `InvalidParameter` errors mid-run, or silent downgrades);
+    /// `validate` surfaces those conflicts upfront as named
+    /// [`ImgError::Config`] errors so a bad request is rejected at
+    /// admission instead of failing — or quietly changing meaning —
+    /// after it was accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`ImgError::Config`] when:
+    ///
+    /// - `stream_len` is zero (no bitstream to run);
+    /// - the schedule is `Pipelined { arrays: 0 }` (would fail inside
+    ///   the tile runner);
+    /// - a [`retirement`](ScReramConfig::retirement) policy is set
+    ///   without `Schedule::Pipelined` (fault domains only exist on the
+    ///   pipelined scheduler);
+    /// - a per-array [`array_faults`](ScReramConfig::array_faults)
+    ///   override is set without `Schedule::Pipelined` (same reason);
+    /// - fault injection would silently force a requested optimizer
+    ///   level off ([`effective_optimize`]
+    ///   ≠ [`optimize`](ScReramConfig::optimize)) — a service must not
+    ///   accept a request whose meaning it is about to change.
+    ///
+    /// [`effective_optimize`]: ScReramConfig::effective_optimize
+    pub fn validate(&self) -> Result<(), ImgError> {
+        if self.stream_len == 0 {
+            return Err(ImgError::Config("stream_len must be non-zero"));
+        }
+        let pipelined = matches!(self.schedule, Schedule::Pipelined { .. });
+        if matches!(self.schedule, Schedule::Pipelined { arrays: 0 }) {
+            return Err(ImgError::Config(
+                "pipelined schedule needs at least one array",
+            ));
+        }
+        if self.retirement.is_some() && !pipelined {
+            return Err(ImgError::Config(
+                "retirement policy requires Schedule::Pipelined",
+            ));
+        }
+        if self.array_faults.is_some() && !pipelined {
+            return Err(ImgError::Config(
+                "per-array fault override requires Schedule::Pipelined",
+            ));
+        }
+        if self.effective_optimize() != self.optimize {
+            return Err(ImgError::Config(
+                "fault injection forces the optimizer off; request Optimize::Off explicitly or drop the fault rates",
+            ));
+        }
+        Ok(())
+    }
+
     /// The optimizer level the kernels actually run: the configured
     /// level on fault-free substrates, [`Optimize::Off`] under fault
     /// injection — global rates or a per-array override — (faults

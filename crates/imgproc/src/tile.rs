@@ -80,8 +80,16 @@ pub(crate) const TILE_ROWS: usize = 8;
 /// [`ValueTape`] a cache lookup needs. Emission must be deterministic in
 /// `rows` and independent of the tile index.
 pub(crate) trait TileEmitter: Sync {
-    /// Stable kernel identity in the template-cache key.
-    const KERNEL: &'static str;
+    /// Stable kernel identity in the template-cache key. A method rather
+    /// than an associated const so that enum emitters dispatching over
+    /// several kernels (the batch runner's [`crate::request`] path) can
+    /// implement the trait per variant.
+    fn kernel(&self) -> &'static str;
+
+    /// The kernel's default RN refresh policy — what the tile
+    /// accelerators run under unless [`ScReramConfig::refresh_policy`]
+    /// overrides it.
+    fn default_policy(&self) -> RnRefreshPolicy;
 
     /// Emits the program covering `rows` (one output per pixel,
     /// row-major).
@@ -363,7 +371,7 @@ fn cached_template<E: TileEmitter>(
 ) -> Result<(Arc<BoundEntry>, CacheOutcome), ImgError> {
     let t0 = Instant::now();
     let bound_key = digest.map(|digest| BoundKey {
-        kernel: E::KERNEL,
+        kernel: emitter.kernel(),
         rows: (rows.start as u32, rows.end as u32),
         digest,
         level: opt.level,
@@ -379,7 +387,7 @@ fn cached_template<E: TileEmitter>(
     let mut tape = ValueTape::new();
     emitter.emit(rows.clone(), &mut tape);
     let key = TemplateKey {
-        kernel: E::KERNEL,
+        kernel: emitter.kernel(),
         structure: tape.structure_hash(),
         level: opt.level,
         policy: opt.policy,
@@ -420,12 +428,61 @@ fn cached_template<E: TileEmitter>(
     Ok((entry, outcome))
 }
 
+/// Executes one row tile end to end: build the tile's accelerator,
+/// resolve its program (template-cache transaction or fresh
+/// emit + optimize + plan), run it, and package the observables. The
+/// shared tile body of the per-tile schedule's single-frame and batched
+/// paths; `slot` is the trace sink's dispatch slot (the tile's position
+/// in the run's drain order).
+#[allow(clippy::too_many_arguments)]
+fn exec_tile<E: TileEmitter>(
+    arena: &mut ExecArena,
+    cfg: &ScReramConfig,
+    emitter: &E,
+    tile: usize,
+    range: Range<usize>,
+    opt: OptSpec,
+    substrate: u64,
+    digest: Option<u64>,
+    sink: Option<&SinkHandle>,
+    slot: usize,
+) -> Result<TileOut, ImgError> {
+    let mut acc = cfg.build_for_tile_with(tile, emitter.default_policy())?;
+    let mut compile = CompileStats::default();
+    let (values, outcome) = match cfg.plan_cache.as_deref() {
+        Some(cache) => {
+            let (entry, outcome) =
+                cached_template(cache, emitter, range, opt, substrate, digest, &mut compile)?;
+            (
+                entry
+                    .template()
+                    .execute_in(&mut acc, entry.bindings(), arena)?,
+                Some(outcome),
+            )
+        }
+        None => {
+            let program = opt.apply_timed(emit_fresh(emitter, range, &mut compile), &mut compile);
+            let t0 = Instant::now();
+            let plan = program.plan()?;
+            compile.plan_ns += t0.elapsed().as_nanos() as u64;
+            (plan.execute_in(&mut acc, arena)?, None)
+        }
+    };
+    // Drain this tile's sub-trace as soon as the tile retires (workers
+    // may finish out of order, the sink reorders).
+    if let Some(s) = sink {
+        s.drain_into(slot, &mut acc);
+    }
+    Ok(tile_out(values, &acc, compile, outcome))
+}
+
 /// Runs one emitted [`Program`] per row tile under the configuration's
-/// [`Schedule`], building tile accelerators from `cfg` (with
-/// `kernel_default` as the kernel's RN refresh policy). Returns tile
-/// outputs in tile order plus the run-wide observables. With a template
-/// cache configured, tiles tape-and-bind instead of compiling (see the
-/// module docs) — bit-identical results either way.
+/// [`Schedule`], building tile accelerators from `cfg` (the emitter's
+/// [`TileEmitter::default_policy`] supplies the kernel's RN refresh
+/// policy). Returns tile outputs in tile order plus the run-wide
+/// observables. With a template cache configured, tiles tape-and-bind
+/// instead of compiling (see the module docs) — bit-identical results
+/// either way.
 ///
 /// Fault-domain options ([`ScReramConfig::retirement`],
 /// [`ScReramConfig::array_faults`]) are meaningful only when slices are
@@ -434,10 +491,9 @@ fn cached_template<E: TileEmitter>(
 pub(crate) fn run_tile_programs<E: TileEmitter>(
     height: usize,
     cfg: &ScReramConfig,
-    kernel_default: RnRefreshPolicy,
     emitter: E,
 ) -> Result<(Vec<TileOut>, RunMeta), ImgError> {
-    let opt = cfg.opt_spec(kernel_default);
+    let opt = cfg.opt_spec(emitter.default_policy());
     let domains = cfg.retirement.is_some() || cfg.array_faults.is_some();
     let sink = if cfg.trace_replay {
         Some(SinkHandle::for_stream_len(cfg.stream_len)?)
@@ -453,12 +509,11 @@ pub(crate) fn run_tile_programs<E: TileEmitter>(
             }
             let ranges = tile_ranges(height);
             let sink_ref = sink.as_ref();
-            let cache = cfg.plan_cache.as_deref();
             let substrate = cfg.template_substrate_sig();
             // One frame digest for the whole run (frame-level cost, so
             // it lands in the run-wide breakdown, not a tile's).
             let mut frame_compile = CompileStats::default();
-            let digest = cache.and_then(|_| {
+            let digest = cfg.plan_cache.as_deref().and_then(|_| {
                 let t0 = Instant::now();
                 let d = emitter.frame_digest();
                 frame_compile.bind_ns += t0.elapsed().as_nanos() as u64;
@@ -469,45 +524,19 @@ pub(crate) fn run_tile_programs<E: TileEmitter>(
                 ranges.len(),
                 tile_threads(ranges.len()),
                 ExecArena::new,
-                |arena, t| -> Result<TileOut, ImgError> {
-                    let mut acc = cfg.build_for_tile_with(t, kernel_default)?;
-                    let mut compile = CompileStats::default();
-                    let (values, outcome) = match cache {
-                        Some(cache) => {
-                            let (entry, outcome) = cached_template(
-                                cache,
-                                emitter,
-                                ranges[t].clone(),
-                                opt,
-                                substrate,
-                                digest,
-                                &mut compile,
-                            )?;
-                            (
-                                entry
-                                    .template()
-                                    .execute_in(&mut acc, entry.bindings(), arena)?,
-                                Some(outcome),
-                            )
-                        }
-                        None => {
-                            let program = opt.apply_timed(
-                                emit_fresh(emitter, ranges[t].clone(), &mut compile),
-                                &mut compile,
-                            );
-                            let t0 = Instant::now();
-                            let plan = program.plan()?;
-                            compile.plan_ns += t0.elapsed().as_nanos() as u64;
-                            (plan.execute_in(&mut acc, arena)?, None)
-                        }
-                    };
-                    // Drain this tile's sub-trace as soon as the tile
-                    // retires (dispatch slot = tile index); workers may
-                    // finish out of order, the sink reorders.
-                    if let Some(s) = sink_ref {
-                        s.drain_into(t, &mut acc);
-                    }
-                    Ok(tile_out(values, &acc, compile, outcome))
+                |arena, t| {
+                    exec_tile(
+                        arena,
+                        cfg,
+                        emitter,
+                        t,
+                        ranges[t].clone(),
+                        opt,
+                        substrate,
+                        digest,
+                        sink_ref,
+                        t,
+                    )
                 },
             )?;
             let replay = sink.map(|s| s.finish()).transpose()?;
@@ -520,9 +549,7 @@ pub(crate) fn run_tile_programs<E: TileEmitter>(
                 },
             ))
         }
-        Schedule::Pipelined { arrays } => {
-            run_pipelined(height, arrays, cfg, kernel_default, opt, sink, &emitter)
-        }
+        Schedule::Pipelined { arrays } => run_pipelined(height, arrays, cfg, opt, sink, &emitter),
     }
 }
 
@@ -597,7 +624,6 @@ fn run_pipelined<E: TileEmitter>(
     height: usize,
     arrays: usize,
     cfg: &ScReramConfig,
-    kernel_default: RnRefreshPolicy,
     opt: OptSpec,
     sink: Option<SinkHandle>,
     emitter: &E,
@@ -607,38 +633,108 @@ fn run_pipelined<E: TileEmitter>(
             "a pipelined schedule needs at least one array",
         ));
     }
-    let ranges = tile_ranges(height);
-    if ranges.is_empty() {
+    let mut compile = CompileStats::default();
+    let units = compile_pipeline_units(height, cfg, opt, emitter, &mut compile)?;
+    if units.is_empty() {
         return Ok((Vec::new(), RunMeta::default()));
     }
-    let mut compile = CompileStats::default();
-    let mut outcomes: Vec<Option<CacheOutcome>> = Vec::new();
-    // Exactly one of `bound` / `fresh` is populated; `execs` chains
-    // them so both borrows stay alive for the scheduler.
-    let (bound, fresh): (Vec<Arc<BoundEntry>>, Vec<Program>) = match cfg.plan_cache.as_deref() {
+    let execs: Vec<SliceExec<'_>> = units.execs();
+    let mut scheduler = PipelineScheduler::new(arrays);
+    if let Some(s) = &sink {
+        scheduler = scheduler.sink(s.clone());
+    }
+    let run = if cfg.retirement.is_some() || cfg.array_faults.is_some() {
+        scheduler
+            .run_with_domains_exec(
+                &execs,
+                |tile, array| cfg.build_for_slice(tile, array, emitter.default_policy()),
+                cfg.retirement.unwrap_or_default(),
+            )?
+            .run
+    } else {
+        scheduler.run_exec(&execs, |t| {
+            cfg.build_for_tile_with(t, emitter.default_policy())
+        })?
+    };
+    let tiles = run
+        .slices
+        .into_iter()
+        .zip(units.outcomes)
+        .map(|(s, outcome)| slice_tile_out(s, outcome))
+        .collect();
+    let replay = sink.map(|s| s.finish()).transpose()?;
+    Ok((
+        tiles,
+        RunMeta {
+            pipeline: Some(run.report),
+            replay,
+            compile,
+        },
+    ))
+}
+
+/// One frame's compiled pipeline slices: exactly one of `bound` /
+/// `fresh` is populated (cached vs. fresh compilation); `execs` chains
+/// them in tile order so both borrows stay alive for the scheduler.
+struct PipelineUnits {
+    bound: Vec<Arc<BoundEntry>>,
+    fresh: Vec<Program>,
+    outcomes: Vec<Option<CacheOutcome>>,
+}
+
+impl PipelineUnits {
+    fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Slices in tile order, one per range.
+    fn execs(&self) -> Vec<SliceExec<'_>> {
+        self.bound
+            .iter()
+            .map(|e| SliceExec::Bound(e.template(), e.bindings()))
+            .chain(self.fresh.iter().map(SliceExec::Fresh))
+            .collect()
+    }
+}
+
+/// Compiles one frame's tile-shaped pipeline slices — the template-cache
+/// transaction per range when a cache is attached, otherwise one
+/// whole-frame emission partitioned at tile boundaries and optimized per
+/// slice. Shared by the single-frame pipelined path and the cross-frame
+/// batch runner.
+fn compile_pipeline_units<E: TileEmitter>(
+    height: usize,
+    cfg: &ScReramConfig,
+    opt: OptSpec,
+    emitter: &E,
+    compile: &mut CompileStats,
+) -> Result<PipelineUnits, ImgError> {
+    let ranges = tile_ranges(height);
+    if ranges.is_empty() {
+        return Ok(PipelineUnits {
+            bound: Vec::new(),
+            fresh: Vec::new(),
+            outcomes: Vec::new(),
+        });
+    }
+    let (bound, fresh, outcomes) = match cfg.plan_cache.as_deref() {
         Some(cache) => {
             let substrate = cfg.template_substrate_sig();
             let t0 = Instant::now();
             let digest = emitter.frame_digest();
             compile.bind_ns += t0.elapsed().as_nanos() as u64;
             let mut units = Vec::with_capacity(ranges.len());
+            let mut outcomes = Vec::with_capacity(ranges.len());
             for r in &ranges {
-                let (entry, outcome) = cached_template(
-                    cache,
-                    emitter,
-                    r.clone(),
-                    opt,
-                    substrate,
-                    digest,
-                    &mut compile,
-                )?;
+                let (entry, outcome) =
+                    cached_template(cache, emitter, r.clone(), opt, substrate, digest, compile)?;
                 outcomes.push(Some(outcome));
                 units.push(entry);
             }
-            (units, Vec::new())
+            (units, Vec::new(), outcomes)
         }
         None => {
-            let logical = emit_fresh(emitter, 0..height, &mut compile);
+            let logical = emit_fresh(emitter, 0..height, compile);
             debug_assert_eq!(
                 logical.outputs() % height,
                 0,
@@ -653,59 +749,248 @@ fn run_pipelined<E: TileEmitter>(
             // per-tile ones at every level.
             let slices = sched::partition_by_outputs(&logical, &counts)?
                 .into_iter()
-                .map(|s| opt.apply_timed(s, &mut compile))
+                .map(|s| opt.apply_timed(s, compile))
                 .collect();
-            outcomes = vec![None; ranges.len()];
-            (Vec::new(), slices)
+            (Vec::new(), slices, vec![None; ranges.len()])
         }
     };
-    let execs: Vec<SliceExec<'_>> = bound
-        .iter()
-        .map(|e| SliceExec::Bound(e.template(), e.bindings()))
-        .chain(fresh.iter().map(SliceExec::Fresh))
-        .collect();
-    let mut scheduler = PipelineScheduler::new(arrays);
-    if let Some(s) = &sink {
-        scheduler = scheduler.sink(s.clone());
+    Ok(PipelineUnits {
+        bound,
+        fresh,
+        outcomes,
+    })
+}
+
+fn slice_tile_out(s: sched::SliceOut, outcome: Option<CacheOutcome>) -> TileOut {
+    TileOut {
+        pixels: s.outputs.into_iter().map(prob_to_pixel).collect(),
+        ledger: s.ledger,
+        cache_hits: s.cache_hits,
+        rn_epochs: s.rn_epochs,
+        stream_wear: s.stream_wear,
+        faults: s.faults_injected,
+        compile: CompileStats {
+            plan_ns: s.plan_ns,
+            ..CompileStats::default()
+        },
+        cache: outcome,
     }
+}
+
+/// One frame of a coalesced batch run: its output height and its
+/// program emitter.
+pub(crate) struct BatchJob<E> {
+    /// Output-image height (decides the frame's tile ranges).
+    pub height: usize,
+    /// The frame's kernel emitter.
+    pub emitter: E,
+}
+
+/// Runs a batch of frames as *one* scheduling pass — the service
+/// frontend's coalescing primitive.
+///
+/// Under [`Schedule::PerTile`] every frame's tiles join a single work
+/// queue (`imsc::parallel::run_indexed_with` over all `(frame, tile)`
+/// pairs). Under [`Schedule::Pipelined`] every frame's tile-shaped
+/// slices are compiled (sharing the attached [`PlanCache`] across
+/// frames — identical shapes hit the same templates) and fed to **one**
+/// [`PipelineScheduler`] run over the array pool, so the pipeline stays
+/// full across request boundaries instead of draining per frame.
+///
+/// Per-frame results are bit-identical to running each frame alone:
+/// accelerator seeds derive from the frame-local tile index, never from
+/// the batch position. Two batch-level caveats: the measured
+/// [`PipelineReport`] describes the whole batch (each frame's
+/// [`RunMeta`] carries a copy), and with fault-domain options
+/// ([`ScReramConfig::array_faults`] / retirement) the slice → array
+/// placement depends on batch composition, so per-array fault draws do
+/// too — degradation stays graceful, but bit-identity to solo runs is
+/// only guaranteed on fault-free substrates.
+///
+/// Trace replay is not supported here (one nvsim stitch per run cannot
+/// be attributed back to frames); callers fall back to per-frame runs.
+pub(crate) fn run_batch_programs<E: TileEmitter>(
+    jobs: &[BatchJob<E>],
+    cfg: &ScReramConfig,
+) -> Result<Vec<(Vec<TileOut>, RunMeta)>, ImgError> {
+    if cfg.trace_replay {
+        return Err(ImgError::InvalidParameter(
+            "trace replay is not supported on coalesced batch runs",
+        ));
+    }
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let domains = cfg.retirement.is_some() || cfg.array_faults.is_some();
+    match cfg.schedule {
+        Schedule::PerTile => {
+            if domains {
+                return Err(ImgError::InvalidParameter(
+                    "fault-domain options (retirement, per-array faults) need a pipelined schedule",
+                ));
+            }
+            run_batch_per_tile(jobs, cfg)
+        }
+        Schedule::Pipelined { arrays } => {
+            if arrays == 0 {
+                return Err(ImgError::InvalidParameter(
+                    "a pipelined schedule needs at least one array",
+                ));
+            }
+            run_batch_pipelined(jobs, arrays, cfg)
+        }
+    }
+}
+
+fn run_batch_per_tile<E: TileEmitter>(
+    jobs: &[BatchJob<E>],
+    cfg: &ScReramConfig,
+) -> Result<Vec<(Vec<TileOut>, RunMeta)>, ImgError> {
+    let substrate = cfg.template_substrate_sig();
+    // Frame digests and per-frame optimizer specs, once per frame.
+    let mut metas: Vec<RunMeta> = jobs.iter().map(|_| RunMeta::default()).collect();
+    let mut digests = Vec::with_capacity(jobs.len());
+    let mut opts = Vec::with_capacity(jobs.len());
+    for (job, meta) in jobs.iter().zip(&mut metas) {
+        opts.push(cfg.opt_spec(job.emitter.default_policy()));
+        digests.push(cfg.plan_cache.as_deref().and_then(|_| {
+            let t0 = Instant::now();
+            let d = job.emitter.frame_digest();
+            meta.compile.bind_ns += t0.elapsed().as_nanos() as u64;
+            d
+        }));
+    }
+    // One flat unit list over every frame's tiles, frame-major.
+    struct Unit {
+        job: usize,
+        tile: usize,
+        range: Range<usize>,
+    }
+    let units: Vec<Unit> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, job)| {
+            tile_ranges(job.height)
+                .into_iter()
+                .enumerate()
+                .map(move |(t, range)| Unit {
+                    job: j,
+                    tile: t,
+                    range,
+                })
+        })
+        .collect();
+    let outs = imsc::parallel::run_indexed_with(
+        units.len(),
+        tile_threads(units.len()),
+        ExecArena::new,
+        |arena, i| {
+            let u = &units[i];
+            exec_tile(
+                arena,
+                cfg,
+                &jobs[u.job].emitter,
+                u.tile,
+                u.range.clone(),
+                opts[u.job],
+                substrate,
+                digests[u.job],
+                None,
+                i,
+            )
+        },
+    )?;
+    // Units are frame-major and in tile order, so splitting by per-frame
+    // tile counts reassembles each frame's tiles exactly.
+    let mut outs = outs.into_iter();
+    Ok(jobs
+        .iter()
+        .zip(metas)
+        .map(|(job, meta)| {
+            let tiles = tile_ranges(job.height).len();
+            ((&mut outs).take(tiles).collect(), meta)
+        })
+        .collect())
+}
+
+fn run_batch_pipelined<E: TileEmitter>(
+    jobs: &[BatchJob<E>],
+    arrays: usize,
+    cfg: &ScReramConfig,
+) -> Result<Vec<(Vec<TileOut>, RunMeta)>, ImgError> {
+    // Compile every frame's slices (template-cache hits are shared
+    // across the batch) and map global slice index → (frame, local
+    // tile) so accelerator seeds stay frame-local.
+    let mut per_job = Vec::with_capacity(jobs.len());
+    let mut compiles = Vec::with_capacity(jobs.len());
+    let mut owners: Vec<(usize, usize)> = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        let opt = cfg.opt_spec(job.emitter.default_policy());
+        let mut compile = CompileStats::default();
+        let units = compile_pipeline_units(job.height, cfg, opt, &job.emitter, &mut compile)?;
+        owners.extend((0..units.outcomes.len()).map(|t| (j, t)));
+        per_job.push(units);
+        compiles.push(compile);
+    }
+    let execs: Vec<SliceExec<'_>> = per_job.iter().flat_map(PipelineUnits::execs).collect();
+    if execs.is_empty() {
+        return Ok(jobs
+            .iter()
+            .zip(compiles)
+            .map(|(_, compile)| {
+                (
+                    Vec::new(),
+                    RunMeta {
+                        compile,
+                        ..RunMeta::default()
+                    },
+                )
+            })
+            .collect());
+    }
+    let scheduler = PipelineScheduler::new(arrays);
     let run = if cfg.retirement.is_some() || cfg.array_faults.is_some() {
         scheduler
             .run_with_domains_exec(
                 &execs,
-                |tile, array| cfg.build_for_slice(tile, array, kernel_default),
+                |slice, array| {
+                    let (j, t) = owners[slice];
+                    cfg.build_for_slice(t, array, jobs[j].emitter.default_policy())
+                },
                 cfg.retirement.unwrap_or_default(),
             )?
             .run
     } else {
-        scheduler.run_exec(&execs, |t| cfg.build_for_tile_with(t, kernel_default))?
+        scheduler.run_exec(&execs, |slice| {
+            let (j, t) = owners[slice];
+            cfg.build_for_tile_with(t, jobs[j].emitter.default_policy())
+        })?
     };
-    let tiles = run
-        .slices
+    // Split the batch's slice outputs back into frames (slices come back
+    // in dispatch order, which is frame-major by construction).
+    let mut slices = run.slices.into_iter();
+    Ok(per_job
         .into_iter()
-        .zip(outcomes)
-        .map(|(s, outcome)| TileOut {
-            pixels: s.outputs.into_iter().map(prob_to_pixel).collect(),
-            ledger: s.ledger,
-            cache_hits: s.cache_hits,
-            rn_epochs: s.rn_epochs,
-            stream_wear: s.stream_wear,
-            faults: s.faults_injected,
-            compile: CompileStats {
-                plan_ns: s.plan_ns,
-                ..CompileStats::default()
-            },
-            cache: outcome,
+        .zip(compiles)
+        .map(|(units, compile)| {
+            let tiles = units
+                .outcomes
+                .iter()
+                .map(|outcome| {
+                    let s = slices.next().expect("one slice out per dispatched slice");
+                    slice_tile_out(s, *outcome)
+                })
+                .collect();
+            (
+                tiles,
+                RunMeta {
+                    pipeline: Some(run.report),
+                    replay: None,
+                    compile,
+                },
+            )
         })
-        .collect();
-    let replay = sink.map(|s| s.finish()).transpose()?;
-    Ok((
-        tiles,
-        RunMeta {
-            pipeline: Some(run.report),
-            replay,
-            compile,
-        },
-    ))
+        .collect())
 }
 
 /// Assembles tile outputs into `(pixels, stats)`, merging ledgers in tile
@@ -765,7 +1050,13 @@ mod tests {
     struct EmptyEmit;
 
     impl TileEmitter for EmptyEmit {
-        const KERNEL: &'static str = "empty";
+        fn kernel(&self) -> &'static str {
+            "empty"
+        }
+
+        fn default_policy(&self) -> RnRefreshPolicy {
+            RnRefreshPolicy::PerEncode
+        }
 
         fn emit<S: ProgramSink>(&self, _rows: Range<usize>, _sink: &mut S) {}
     }
@@ -808,14 +1099,14 @@ mod tests {
     #[test]
     fn zero_arrays_is_rejected() {
         let cfg = ScReramConfig::new(256, 1).with_schedule(Schedule::Pipelined { arrays: 0 });
-        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, EmptyEmit).unwrap_err();
+        let err = run_tile_programs(8, &cfg, EmptyEmit).unwrap_err();
         assert!(matches!(err, ImgError::InvalidParameter(_)));
     }
 
     #[test]
     fn domain_options_require_pipelining() {
         let cfg = ScReramConfig::new(256, 1).with_retirement(imsc::RetirementPolicy::default());
-        let err = run_tile_programs(8, &cfg, RnRefreshPolicy::PerEncode, EmptyEmit).unwrap_err();
+        let err = run_tile_programs(8, &cfg, EmptyEmit).unwrap_err();
         assert!(matches!(err, ImgError::InvalidParameter(_)));
     }
 

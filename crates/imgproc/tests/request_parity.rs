@@ -1,0 +1,308 @@
+//! Differential tests for the unified request API: `request::run` /
+//! `run_on` / `run_batch` must be observationally identical to the
+//! legacy per-kernel entry points they replaced — same pixels, same
+//! deterministic stats, same errors — across every kernel, both
+//! schedules, and with the template cache on or off. The legacy
+//! wrappers are now thin shims over the request dispatch, so these
+//! tests are what lets callers migrate (and lets us eventually retire
+//! the shims) without a bit of behaviour drift.
+//!
+//! Also pins the admission-time [`ScReramConfig::validate`] error
+//! messages: a service rejects bad configurations by these exact
+//! strings, so they are contract, not prose.
+
+use imgproc::request::{self, KernelRequest};
+use imgproc::scbackend::CmosSngKind;
+use imgproc::{
+    bilinear, compositing, edge, matting, synth, Backend, CmosScConfig, GrayImage, ImgError,
+    ScReramConfig, ScRunStats, Schedule,
+};
+use imsc::{Optimize, PlanCache, RetirementPolicy};
+use std::sync::Arc;
+
+/// One request per kernel, each spanning ≥ 2 row tiles with a ragged
+/// final tile so tiling, scheduling, and assembly all do real work.
+fn requests() -> Vec<KernelRequest> {
+    let app = synth::app_images(9, 18, 42);
+    let composite = compositing::software(&app.foreground, &app.background, &app.alpha)
+        .expect("matched dimensions");
+    vec![
+        KernelRequest::Edge {
+            image: synth::value_noise(10, 20, 3, 11),
+        },
+        KernelRequest::Bilinear {
+            src: synth::gradient(6, 9, true),
+            factor: 2,
+        },
+        KernelRequest::Compositing {
+            foreground: app.foreground.clone(),
+            background: app.background.clone(),
+            alpha: app.alpha.clone(),
+        },
+        KernelRequest::Matting {
+            image: composite,
+            background: app.background,
+            foreground: app.foreground,
+        },
+    ]
+}
+
+/// Runs the same workload through the legacy per-kernel entry point.
+fn legacy_with_stats(req: &KernelRequest, cfg: &ScReramConfig) -> (GrayImage, ScRunStats) {
+    match req {
+        KernelRequest::Edge { image } => edge::sc_reram_with_stats(image, cfg),
+        KernelRequest::Bilinear { src, factor } => bilinear::sc_reram_with_stats(src, *factor, cfg),
+        KernelRequest::Compositing {
+            foreground,
+            background,
+            alpha,
+        } => compositing::sc_reram_with_stats(foreground, background, alpha, cfg),
+        KernelRequest::Matting {
+            image,
+            background,
+            foreground,
+        } => matting::sc_reram_with_stats(image, background, foreground, cfg),
+    }
+    .expect("valid input")
+}
+
+/// Asserts the deterministic parts of two runs' stats are identical.
+/// Wall-clock fields (`compile`, the pipeline report's measured
+/// timings) are excluded — they vary run to run by construction.
+fn assert_stats_match(got: &ScRunStats, want: &ScRunStats, label: &str) {
+    assert_eq!(got.ledger, want.ledger, "{label}: ledger");
+    assert_eq!(got.rn_epochs, want.rn_epochs, "{label}: rn epochs");
+    assert_eq!(
+        got.encode_cache_hits, want.encode_cache_hits,
+        "{label}: encode-cache hits"
+    );
+    assert_eq!(got.tiles, want.tiles, "{label}: tiles");
+    assert_eq!(
+        got.scout_ops_per_pixel, want.scout_ops_per_pixel,
+        "{label}: scout ops/pixel"
+    );
+    assert_eq!(got.stream_wear.max, want.stream_wear.max, "{label}: wear");
+    assert_eq!(got.faults_injected, want.faults_injected, "{label}: faults");
+    assert_eq!(
+        got.pipeline.is_some(),
+        want.pipeline.is_some(),
+        "{label}: pipeline report presence"
+    );
+    match (&got.plan_cache, &want.plan_cache) {
+        (None, None) => {}
+        (Some(g), Some(w)) => {
+            assert_eq!(g.hits, w.hits, "{label}: cache hits");
+            assert_eq!(g.misses, w.misses, "{label}: cache misses");
+            assert_eq!(g.fallbacks, w.fallbacks, "{label}: cache fallbacks");
+        }
+        _ => panic!("{label}: plan-cache run presence diverged"),
+    }
+}
+
+#[test]
+fn run_matches_legacy_across_schedules_and_cache() {
+    for req in requests() {
+        for schedule in [Schedule::PerTile, Schedule::Pipelined { arrays: 3 }] {
+            for cached in [false, true] {
+                let label = format!("{} {schedule:?} cached={cached}", req.kernel_name());
+                let base = ScReramConfig::new(128, 9).with_schedule(schedule);
+                // Fresh caches per run so hit/miss counts match too.
+                let legacy_cfg = if cached {
+                    base.with_plan_cache(Arc::new(PlanCache::new()))
+                } else {
+                    base.without_plan_cache()
+                };
+                let request_cfg = if cached {
+                    base.with_plan_cache(Arc::new(PlanCache::new()))
+                } else {
+                    base.without_plan_cache()
+                };
+                let (want_img, want) = legacy_with_stats(&req, &legacy_cfg);
+                let resp = request::run(&req, &request_cfg).expect("valid input");
+                assert_eq!(resp.pixels.pixels(), want_img.pixels(), "{label}: pixels");
+                let got = resp.stats.expect("sc backend reports stats");
+                assert_stats_match(&got, &want, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn run_batch_matches_individual_runs() {
+    // A mixed batch — every kernel plus a shape-twin edge request that
+    // must coalesce — scheduled as one pipelined pass over a shared
+    // template cache. Each frame must still be bit-identical to running
+    // its request alone.
+    let mut reqs = requests();
+    reqs.push(KernelRequest::Edge {
+        image: synth::checkerboard(10, 20, 2),
+    });
+    let cfg = ScReramConfig::new(128, 9)
+        .with_schedule(Schedule::Pipelined { arrays: 3 })
+        .with_plan_cache(Arc::new(PlanCache::new()));
+    let batch = request::run_batch(&reqs, &cfg).expect("valid batch");
+    assert_eq!(batch.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&batch) {
+        let solo_cfg = ScReramConfig::new(128, 9)
+            .with_schedule(Schedule::Pipelined { arrays: 3 })
+            .without_plan_cache();
+        let solo = request::run(req, &solo_cfg).expect("valid input");
+        let label = req.kernel_name();
+        assert_eq!(
+            resp.pixels.pixels(),
+            solo.pixels.pixels(),
+            "{label}: batch pixels"
+        );
+        let got = resp.stats.as_ref().expect("batch stats");
+        let want = solo.stats.expect("solo stats");
+        assert_eq!(got.ledger, want.ledger, "{label}: batch ledger");
+        assert_eq!(got.rn_epochs, want.rn_epochs, "{label}: batch epochs");
+        assert_eq!(got.tiles, want.tiles, "{label}: batch tiles");
+    }
+}
+
+#[test]
+fn run_on_matches_legacy_baselines() {
+    let cfg = ScReramConfig::new(64, 7);
+    let cmos = CmosScConfig::new(64, CmosSngKind::Sobol, 7);
+    for req in requests() {
+        let label = req.kernel_name();
+        let legacy_cmos = match &req {
+            KernelRequest::Edge { image } => edge::sc_cmos(image, &cmos),
+            KernelRequest::Bilinear { src, factor } => bilinear::sc_cmos(src, *factor, &cmos),
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::sc_cmos(foreground, background, alpha, &cmos),
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::sc_cmos(image, background, foreground, &cmos),
+        }
+        .expect("valid input");
+        let legacy_cim = match &req {
+            KernelRequest::Edge { image } => edge::binary_cim(image, 0.01, cfg.seed),
+            KernelRequest::Bilinear { src, factor } => {
+                bilinear::binary_cim(src, *factor, 0.01, cfg.seed)
+            }
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::binary_cim(foreground, background, alpha, 0.01, cfg.seed),
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::binary_cim(image, background, foreground, 0.01, cfg.seed),
+        }
+        .expect("valid input");
+        let legacy_sw = match &req {
+            KernelRequest::Edge { image } => Ok(edge::software(image)),
+            KernelRequest::Bilinear { src, factor } => bilinear::software(src, *factor),
+            KernelRequest::Compositing {
+                foreground,
+                background,
+                alpha,
+            } => compositing::software(foreground, background, alpha),
+            KernelRequest::Matting {
+                image,
+                background,
+                foreground,
+            } => matting::software(image, background, foreground),
+        }
+        .expect("valid input");
+
+        for (backend, want) in [
+            (Backend::Cmos(cmos), &legacy_cmos),
+            (Backend::BinaryCim { fault_prob: 0.01 }, &legacy_cim),
+            (Backend::Software, &legacy_sw),
+        ] {
+            let resp = request::run_on(&req, &backend, &cfg).expect("valid input");
+            assert_eq!(
+                resp.pixels.pixels(),
+                want.pixels(),
+                "{label} {backend:?}: pixels"
+            );
+            assert!(
+                resp.stats.is_none(),
+                "{label} {backend:?}: non-SC backends have no ledger"
+            );
+        }
+    }
+}
+
+#[test]
+fn request_validation_matches_legacy_errors() {
+    let img = synth::gradient(6, 4, true);
+    let cfg = ScReramConfig::new(64, 7);
+    // Bad scale factor: same error, found before any work.
+    let bad = KernelRequest::Bilinear {
+        src: img.clone(),
+        factor: 1,
+    };
+    let legacy = bilinear::sc_reram(&img, 1, &cfg).unwrap_err();
+    let unified = request::run(&bad, &cfg).unwrap_err();
+    assert_eq!(format!("{unified}"), format!("{legacy}"));
+    assert!(bad.validate().is_err());
+    // Mismatched compositing inputs likewise.
+    let mismatched = KernelRequest::Compositing {
+        foreground: img.clone(),
+        background: synth::gradient(4, 6, true),
+        alpha: img,
+    };
+    assert!(mismatched.validate().is_err());
+    assert!(request::run(&mismatched, &cfg).is_err());
+    // A bad request anywhere in a batch fails the whole batch upfront.
+    let mut batch = requests();
+    batch.push(mismatched);
+    assert!(request::run_batch(&batch, &cfg).is_err());
+}
+
+#[test]
+fn config_validate_pins_admission_messages() {
+    let ok = ScReramConfig::new(128, 9);
+    assert!(ok.validate().is_ok());
+    assert!(ok
+        .with_schedule(Schedule::Pipelined { arrays: 3 })
+        .with_retirement(RetirementPolicy {
+            max_faults_per_op: 0.01,
+            min_ops: 1_000,
+        })
+        .validate()
+        .is_ok());
+
+    let cases: Vec<(ScReramConfig, &str)> = vec![
+        (ScReramConfig::new(0, 9), "stream_len must be non-zero"),
+        (
+            ok.with_schedule(Schedule::Pipelined { arrays: 0 }),
+            "pipelined schedule needs at least one array",
+        ),
+        (
+            ok.with_retirement(RetirementPolicy {
+                max_faults_per_op: 0.01,
+                min_ops: 1_000,
+            }),
+            "retirement policy requires Schedule::Pipelined",
+        ),
+        (
+            ok.with_array_faults(0, reram::faults::FaultRates::uniform(0.05)),
+            "per-array fault override requires Schedule::Pipelined",
+        ),
+        (
+            ok.with_optimize(Optimize::Full)
+                .with_faults(reram::faults::FaultRates::uniform(0.05)),
+            "fault injection forces the optimizer off; request Optimize::Off explicitly or drop the fault rates",
+        ),
+    ];
+    for (cfg, want) in cases {
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            matches!(err, ImgError::Config(_)),
+            "expected Config error, got {err:?}"
+        );
+        assert_eq!(format!("{err}"), format!("invalid configuration: {want}"));
+    }
+}

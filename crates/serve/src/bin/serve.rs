@@ -1,0 +1,89 @@
+//! The `serve` binary: bind a TCP listener and run the SC-ReRAM
+//! service until an in-band shutdown frame arrives.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7077] [--n 256] [--seed 42] [--arrays 4]
+//!       [--workers N] [--queue-depth 64] [--window-us 2000]
+//!       [--max-batch 8] [--deadline-ms 500] [--min-n 32]
+//! ```
+//!
+//! With `--arrays 0` the engine runs the per-tile schedule; any other
+//! value selects the pipelined cross-array scheduler with that many
+//! arrays. A shared plan cache is always attached so coalesced batches
+//! amortize template compilation across requests.
+
+use imgproc::{ScReramConfig, Schedule};
+use imsc::PlanCache;
+use serve::{Server, ServiceConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: String = flag(&args, "--addr", "127.0.0.1:7077".to_string());
+    let n: usize = flag(&args, "--n", 256);
+    let seed: u64 = flag(&args, "--seed", 42);
+    let arrays: usize = flag(&args, "--arrays", 4);
+    let workers: usize = flag(
+        &args,
+        "--workers",
+        std::thread::available_parallelism().map_or(1, |c| c.get().saturating_sub(1).max(1)),
+    );
+    let queue_depth: usize = flag(&args, "--queue-depth", 64);
+    let window_us: u64 = flag(&args, "--window-us", 2_000);
+    let max_batch: usize = flag(&args, "--max-batch", 8);
+    let deadline_ms: u64 = flag(&args, "--deadline-ms", 500);
+    let min_n: usize = flag(&args, "--min-n", 32);
+
+    let mut engine = ScReramConfig::new(n, seed).with_plan_cache(Arc::new(PlanCache::new()));
+    if arrays > 0 {
+        engine = engine.with_schedule(Schedule::Pipelined { arrays });
+    }
+    let cfg = ServiceConfig {
+        engine,
+        queue_depth,
+        batch_window: Duration::from_micros(window_us),
+        max_batch,
+        workers,
+        default_deadline: Duration::from_millis(deadline_ms),
+        min_stream_len: min_n,
+        ..ServiceConfig::default()
+    };
+    if let Err(e) = cfg.engine.validate() {
+        eprintln!("serve: invalid engine configuration: {e}");
+        std::process::exit(2);
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::start(listener, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: start failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("serve: listening on {}", server.addr());
+    server.wait();
+    let s = server.service().stats();
+    println!(
+        "serve: shutdown — served {} (downgraded {}), shed {} queue + {} deadline, failed {}, {} batches",
+        s.served, s.downgraded, s.shed_queue, s.shed_deadline, s.failed, s.batches
+    );
+    if s.failed > 0 {
+        std::process::exit(1);
+    }
+}

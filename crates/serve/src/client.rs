@@ -1,0 +1,99 @@
+//! A minimal blocking client: one connection, one in-flight request at
+//! a time (the load generator opens one client per concurrent stream).
+
+use crate::proto::{self, WireBody, WireRequest, WireResponse};
+use imgproc::request::KernelRequest;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a serve instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to a serve instance.
+    ///
+    /// # Errors
+    ///
+    /// Connection I/O errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    fn roundtrip(&mut self, req: &WireRequest) -> io::Result<WireResponse> {
+        proto::write_request(&mut self.writer, req)?;
+        proto::read_response(&mut self.reader)
+    }
+
+    /// Runs one kernel request on the default (SC-ReRAM) backend.
+    ///
+    /// # Errors
+    ///
+    /// Wire I/O errors; sheds and engine failures come back as regular
+    /// [`WireResponse`]s, not errors.
+    pub fn call(
+        &mut self,
+        req: &KernelRequest,
+        deadline: Option<Duration>,
+    ) -> io::Result<WireResponse> {
+        self.call_backend(req, 0, 0.0, deadline)
+    }
+
+    /// Runs one kernel request on an explicit backend selector byte
+    /// (0 SC-ReRAM, 1 CMOS, 2 binary CIM, 3 software).
+    ///
+    /// # Errors
+    ///
+    /// Wire I/O errors.
+    pub fn call_backend(
+        &mut self,
+        req: &KernelRequest,
+        backend: u8,
+        fault_prob: f64,
+        deadline: Option<Duration>,
+    ) -> io::Result<WireResponse> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.roundtrip(&WireRequest {
+            id,
+            deadline_us: deadline.map_or(0, |d| d.as_micros() as u64),
+            backend,
+            fault_prob,
+            body: WireBody::Kernel(req.clone()),
+        })
+    }
+
+    /// Sends the in-band shutdown frame and waits for the
+    /// acknowledgement: the server drains and exits cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Wire I/O errors.
+    pub fn shutdown(&mut self) -> io::Result<WireResponse> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.roundtrip(&WireRequest {
+            id,
+            deadline_us: 0,
+            backend: 0,
+            fault_prob: 0.0,
+            body: WireBody::Shutdown,
+        })
+    }
+}

@@ -1,0 +1,49 @@
+//! # serve — SC-ReRAM as a service
+//!
+//! A long-running frontend over the simulated SC-ReRAM shard farm,
+//! turning the per-call kernel library into an accelerator *service*:
+//! clients submit [`KernelRequest`]s (over TCP or in-process), the
+//! frontend coalesces shape-compatible requests into shared scheduling
+//! passes over the array pool, enforces admission control and
+//! per-request deadlines derived from the calibrated
+//! [`PipelineModel`](imsc::pipeline::PipelineModel), and degrades
+//! gracefully under overload — downgrading bitstream length `N`
+//! (precision for latency) before shedding, and never turning load
+//! into an error response.
+//!
+//! The stack is hand-rolled threads over [`imsc::parallel`]'s bounded
+//! queues — no async runtime:
+//!
+//! * [`service`] — the engine: admission queue, coalescing batcher,
+//!   deadline planner, worker pool ([`Service`]).
+//! * [`proto`] — the length-delimited wire codec.
+//! * [`server`] — the TCP front door ([`Server`]).
+//! * [`client`] — a minimal blocking client ([`Client`]).
+//!
+//! ```no_run
+//! use serve::{Client, Server, ServiceConfig};
+//! use imgproc::KernelRequest;
+//!
+//! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! let server = Server::start(listener, ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let resp = client
+//!     .call(&KernelRequest::Edge { image: imgproc::synth::gradient(32, 32, true) }, None)
+//!     .unwrap();
+//! assert!(resp.pixels.is_some());
+//! client.shutdown().unwrap();
+//! server.wait();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use imgproc::request::{Backend, KernelRequest, KernelResponse};
+pub use proto::{Status, WireRequest, WireResponse};
+pub use server::Server;
+pub use service::{Completed, Outcome, Service, ServiceConfig, ShedReason, StatsSnapshot, Ticket};

@@ -1,0 +1,646 @@
+//! The in-process service engine: admission control, request
+//! coalescing, deadline-driven degradation, and a worker pool over the
+//! shard farm.
+//!
+//! The engine is a hand-rolled thread pipeline on
+//! [`imsc::parallel::BoundedQueue`] — no async runtime:
+//!
+//! ```text
+//! submit() ──try_push──▶ admission queue ──▶ batcher ──▶ batch queue ──▶ workers
+//!    │   (full = shed)                 (coalescing window)          (request::run_batch)
+//!    └────────────────────────── completions via per-job channels ◀──────────┘
+//! ```
+//!
+//! * **Admission** is [`BoundedQueue::try_push`]: a full queue sheds the
+//!   request *now* with [`ShedReason::QueueFull`] instead of queueing
+//!   into a deadline miss. A shed is a first-class response, never an
+//!   error.
+//! * **Coalescing**: the batcher pops the admission queue with a short
+//!   [`pop_timeout`](BoundedQueue::pop_timeout) window and groups
+//!   consecutive requests with equal [`KernelRequest::shape_key`]s into
+//!   one [`request::run_batch`] call — one scheduling pass over the
+//!   array pool, shared compiled templates via the engine's plan cache.
+//! * **Deadlines**: each batch's service time is estimated from
+//!   [`PipelineModel::makespan_mixed_ns`] over the requests' op mixes,
+//!   scaled to host time by an EWMA calibration seeded with a warm-up
+//!   run. A batch that would miss its tightest deadline is first
+//!   *downgraded* — the bitstream length `N` is halved (down to
+//!   [`ServiceConfig::min_stream_len`]) trading precision for latency —
+//!   and only requests that would still miss at the floor are shed with
+//!   [`ShedReason::Deadline`].
+
+use imgproc::request::{self, KernelRequest, KernelResponse};
+use imgproc::{ImgError, ScReramConfig};
+use imsc::cost::ScOperation;
+use imsc::parallel::{BoundedQueue, PopResult};
+use imsc::pipeline::PipelineModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The SC-ReRAM engine configuration every accepted request runs
+    /// under (validated by [`ScReramConfig::validate`] at start-up).
+    pub engine: ScReramConfig,
+    /// Admission-queue depth; a full queue sheds ([`ShedReason::QueueFull`]).
+    pub queue_depth: usize,
+    /// How long the batcher waits for more shape-compatible requests
+    /// before dispatching what it has.
+    pub batch_window: Duration,
+    /// Maximum requests coalesced into one scheduling pass.
+    pub max_batch: usize,
+    /// Execution workers draining the batch queue.
+    pub workers: usize,
+    /// The pipeline model service-time estimates derive from.
+    pub model: PipelineModel,
+    /// Deadline for requests that do not carry one.
+    pub default_deadline: Duration,
+    /// The downgrade floor: `N` is halved from `engine.stream_len`
+    /// toward this value (never below) when a batch would miss its
+    /// deadline.
+    pub min_stream_len: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: ScReramConfig::new(256, 42),
+            queue_depth: 64,
+            batch_window: Duration::from_millis(2),
+            max_batch: 8,
+            workers: 1,
+            model: PipelineModel::evaluation_default(),
+            default_deadline: Duration::from_millis(500),
+            min_stream_len: 32,
+        }
+    }
+}
+
+/// Why a request was shed instead of run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was full — back-pressure, shed at the door.
+    QueueFull,
+    /// The deadline could not be met even at the downgrade floor.
+    Deadline,
+}
+
+/// The outcome of one submitted request.
+///
+/// The `Done` variant dominates the enum's size (it owns the output
+/// image), but an `Outcome` exists once per request and moves through
+/// one channel — it is never held in collections, so boxing the
+/// response would only add an allocation per served request.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum Outcome {
+    /// The request ran; pixels and stats inside.
+    Done(KernelResponse),
+    /// The request was shed under overload. Not an error: the service
+    /// answered honestly that it could not meet the contract.
+    Shed(ShedReason),
+    /// The engine failed the request (should not happen for requests
+    /// that passed admission validation).
+    Failed(String),
+    /// The in-band shutdown acknowledgement — produced by the TCP
+    /// server when it accepts a shutdown frame, never by the engine.
+    Bye,
+}
+
+/// A completed request: outcome plus serving telemetry.
+#[derive(Debug)]
+pub struct Completed {
+    /// The id assigned (or supplied) at submission.
+    pub id: u64,
+    /// What happened.
+    pub outcome: Outcome,
+    /// The bitstream length the request actually ran at (0 when shed).
+    pub effective_n: usize,
+    /// Whether `effective_n` was downgraded below the configured
+    /// `stream_len` to meet the deadline.
+    pub downgraded: bool,
+    /// Time from submission to dispatch, ns.
+    pub queue_ns: u64,
+    /// Time executing the batch the request rode in, ns.
+    pub service_ns: u64,
+}
+
+/// A handle to one in-flight request; [`Ticket::wait`] blocks for its
+/// [`Completed`] record.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The request id.
+    pub id: u64,
+    rx: mpsc::Receiver<Completed>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes (runs, sheds, or fails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was torn down without completing the
+    /// request — a service bug, not a load condition.
+    #[must_use]
+    pub fn wait(self) -> Completed {
+        self.rx
+            .recv()
+            .expect("service completed every accepted job")
+    }
+}
+
+/// Monotonic serving counters (all atomically maintained).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_deadline: AtomicU64,
+    downgraded: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests submitted (accepted or shed).
+    pub submitted: u64,
+    /// Requests that ran to completion.
+    pub served: u64,
+    /// Requests shed at admission (queue full).
+    pub shed_queue: u64,
+    /// Requests shed at dispatch (deadline unmeetable).
+    pub shed_deadline: u64,
+    /// Requests served at a downgraded bitstream length.
+    pub downgraded: u64,
+    /// Requests that failed in the engine.
+    pub failed: u64,
+    /// Coalesced batches dispatched.
+    pub batches: u64,
+}
+
+struct Job {
+    id: u64,
+    req: KernelRequest,
+    deadline: Instant,
+    enqueued: Instant,
+    tx: mpsc::Sender<Completed>,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    queue: BoundedQueue<Job>,
+    batches: BoundedQueue<Vec<Job>>,
+    next_id: AtomicU64,
+    counters: Counters,
+    /// Host ns per model-unit, EWMA-updated after every batch.
+    calib: Mutex<f64>,
+}
+
+/// The long-running service engine. Start one with [`Service::start`],
+/// submit [`KernelRequest`]s from any thread, shut down with
+/// [`Service::shutdown`] (drains accepted work) — or just drop it.
+pub struct Service {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The service's model-unit estimate for running `reqs` at bitstream
+/// length `n`: the pipeline-model makespan of the batch's pooled op mix,
+/// scaled by `n / 64` so the estimate tracks the host simulator's
+/// linear-in-`N` cost (the analytic model's per-op latencies are mostly
+/// `N`-invariant — real hardware pipelines the stream — but the *host*
+/// simulates every bit).
+fn batch_units(model: &PipelineModel, reqs: &[&KernelRequest], n: usize) -> f64 {
+    let mut mix: Vec<(ScOperation, usize)> = Vec::new();
+    for r in reqs {
+        let px = r.output_pixels();
+        for &(op, per_px) in r.op_mix_per_pixel() {
+            match mix.iter_mut().find(|(o, _)| *o == op) {
+                Some((_, c)) => *c += per_px * px,
+                None => mix.push((op, per_px * px)),
+            }
+        }
+    }
+    model.makespan_mixed_ns(&mix, n) * (n as f64 / 64.0)
+}
+
+/// What the dispatcher decided for a batch, given its deadline slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Plan {
+    /// Run at this bitstream length (possibly downgraded).
+    Run(usize),
+    /// Even the floor misses the deadline: shed.
+    Shed,
+}
+
+/// Pure dispatch policy: pick the largest `N` in the halving ladder
+/// `configured, configured/2, … ≥ floor` whose estimated host time fits
+/// the slack; [`Plan::Shed`] when even the floor does not fit.
+/// Deterministic in its inputs — unit-tested directly.
+pub(crate) fn plan_batch(
+    slack_ns: f64,
+    configured_n: usize,
+    floor_n: usize,
+    est_ns_at: impl Fn(usize) -> f64,
+) -> Plan {
+    let mut n = configured_n;
+    loop {
+        if est_ns_at(n) <= slack_ns {
+            return Plan::Run(n);
+        }
+        let half = n / 2;
+        if half < floor_n.max(1) || half == 0 {
+            return Plan::Shed;
+        }
+        n = half;
+    }
+}
+
+impl Service {
+    /// Validates the engine configuration, runs a calibration warm-up,
+    /// and spawns the batcher and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ImgError::Config`] from [`ScReramConfig::validate`], or the
+    /// warm-up request's engine error.
+    pub fn start(cfg: ServiceConfig) -> Result<Self, ImgError> {
+        cfg.engine.validate()?;
+        // Calibrate host-ns-per-model-unit on a small but real request:
+        // the estimator's absolute scale depends on this machine.
+        let warm = KernelRequest::Edge {
+            image: imgproc::synth::gradient(16, 16, true),
+        };
+        let units = batch_units(&cfg.model, &[&warm], cfg.engine.stream_len);
+        let t0 = Instant::now();
+        request::run(&warm, &cfg.engine)?;
+        let calib = t0.elapsed().as_nanos() as f64 / units.max(1.0);
+
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_depth),
+            batches: BoundedQueue::new(cfg.workers.max(1) * 2),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            calib: Mutex::new(calib),
+            cfg,
+        });
+        let mut threads = Vec::new();
+        {
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-batcher".into())
+                    .spawn(move || batcher_loop(&s))
+                    .expect("spawn batcher"),
+            );
+        }
+        for i in 0..shared.cfg.workers.max(1) {
+            let s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(Service {
+            shared,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Submits a request with the default deadline. See
+    /// [`Service::submit_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// The request's own validation error; overload is never an error.
+    pub fn submit(&self, req: KernelRequest) -> Result<Ticket, ImgError> {
+        self.submit_with_deadline(req, None)
+    }
+
+    /// Submits a request, returning a [`Ticket`] for its completion.
+    ///
+    /// Invalid requests are rejected here (an [`Err`]); a full admission
+    /// queue is *not* an error — the ticket resolves immediately to
+    /// [`Outcome::Shed`]`(`[`ShedReason::QueueFull`]`)`.
+    ///
+    /// # Errors
+    ///
+    /// The request's own validation error ([`KernelRequest::validate`]).
+    pub fn submit_with_deadline(
+        &self,
+        req: KernelRequest,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ImgError> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_via(req, deadline, id, tx)?;
+        Ok(Ticket { id, rx })
+    }
+
+    /// Channel-targeted submission: completions go to `tx` with `id`.
+    /// This is the server's path — one channel per connection, the
+    /// writer thread on the other end.
+    ///
+    /// # Errors
+    ///
+    /// The request's own validation error.
+    pub fn submit_via(
+        &self,
+        req: KernelRequest,
+        deadline: Option<Duration>,
+        id: u64,
+        tx: mpsc::Sender<Completed>,
+    ) -> Result<(), ImgError> {
+        req.validate()?;
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let job = Job {
+            id,
+            req,
+            deadline: now + deadline.unwrap_or(self.shared.cfg.default_deadline),
+            enqueued: now,
+            tx,
+        };
+        if let Err(job) = self.shared.queue.try_push(job) {
+            c.shed_queue.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(Completed {
+                id: job.id,
+                outcome: Outcome::Shed(ShedReason::QueueFull),
+                effective_n: 0,
+                downgraded: false,
+                queue_ns: 0,
+                service_ns: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the serving counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.shared.counters;
+        StatsSnapshot {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            shed_queue: c.shed_queue.load(Ordering::Relaxed),
+            shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+            downgraded: c.downgraded.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The engine configuration the service runs.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Graceful shutdown: stops admitting, drains every accepted
+    /// request (they still complete — run or shed), joins the threads.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let threads = std::mem::take(&mut *self.threads.lock().expect("threads lock"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Coalesces the admission queue into shape-keyed batches. An
+/// incompatible request ends the current batch and seeds the next one
+/// (held back, never reordered past its group).
+fn batcher_loop(s: &Shared) {
+    let mut held: Option<Job> = None;
+    loop {
+        let first = match held.take() {
+            Some(j) => j,
+            None => match s.queue.pop() {
+                Some(j) => j,
+                None => break, // closed and drained
+            },
+        };
+        let key = first.req.shape_key();
+        let mut batch = vec![first];
+        let window_end = Instant::now() + s.cfg.batch_window;
+        while batch.len() < s.cfg.max_batch {
+            let now = Instant::now();
+            let Some(remaining) = window_end.checked_duration_since(now) else {
+                break;
+            };
+            match s.queue.pop_timeout(remaining) {
+                PopResult::Item(j) => {
+                    if j.req.shape_key() == key {
+                        batch.push(j);
+                    } else {
+                        held = Some(j);
+                        break;
+                    }
+                }
+                PopResult::TimedOut | PopResult::Closed => break,
+            }
+        }
+        s.batches.push(batch);
+    }
+    // Flush a held-back job the window loop never got to dispatch.
+    if let Some(j) = held.take() {
+        s.batches.push(vec![j]);
+    }
+    s.batches.close();
+}
+
+fn worker_loop(s: &Shared) {
+    while let Some(batch) = s.batches.pop() {
+        execute_batch(s, batch);
+    }
+}
+
+fn shed(s: &Shared, job: Job, reason: ShedReason, dispatch: Instant) {
+    let counter = match reason {
+        ShedReason::QueueFull => &s.counters.shed_queue,
+        ShedReason::Deadline => &s.counters.shed_deadline,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    let _ = job.tx.send(Completed {
+        id: job.id,
+        outcome: Outcome::Shed(reason),
+        effective_n: 0,
+        downgraded: false,
+        queue_ns: dispatch.duration_since(job.enqueued).as_nanos() as u64,
+        service_ns: 0,
+    });
+}
+
+/// Dispatches one coalesced batch: shed already-late jobs, pick the
+/// bitstream length that fits the tightest remaining deadline (shedding
+/// the tightest jobs while even the floor cannot fit), run the rest as
+/// one `request::run_batch` pass, deliver completions, refresh the
+/// calibration.
+fn execute_batch(s: &Shared, batch: Vec<Job>) {
+    s.counters.batches.fetch_add(1, Ordering::Relaxed);
+    let dispatch = Instant::now();
+    // Tightest deadline first, so deadline-driven sheds drop the jobs
+    // that constrain the batch most.
+    let mut jobs: Vec<Job> = batch;
+    jobs.sort_by_key(|j| j.deadline);
+
+    let configured_n = s.cfg.engine.stream_len;
+    let floor_n = s.cfg.min_stream_len.min(configured_n);
+    let calib = *s.calib.lock().expect("calib lock");
+
+    // Shed jobs whose deadline already passed, then tighten until the
+    // plan fits the earliest remaining deadline.
+    let mut plan = Plan::Shed;
+    while !jobs.is_empty() {
+        if jobs[0].deadline <= dispatch {
+            shed(s, jobs.remove(0), ShedReason::Deadline, dispatch);
+            continue;
+        }
+        let slack_ns = jobs[0].deadline.duration_since(dispatch).as_nanos() as f64;
+        let reqs: Vec<&KernelRequest> = jobs.iter().map(|j| &j.req).collect();
+        plan = plan_batch(slack_ns, configured_n, floor_n, |n| {
+            calib * batch_units(&s.cfg.model, &reqs, n)
+        });
+        match plan {
+            Plan::Run(_) => break,
+            Plan::Shed => shed(s, jobs.remove(0), ShedReason::Deadline, dispatch),
+        }
+    }
+    let Plan::Run(n) = plan else {
+        return; // everything shed
+    };
+    if jobs.is_empty() {
+        return;
+    }
+
+    let mut engine = s.cfg.engine.clone();
+    engine.stream_len = n;
+    let downgraded = n < configured_n;
+    let reqs: Vec<KernelRequest> = jobs.iter().map(|j| j.req.clone()).collect();
+    let units = {
+        let refs: Vec<&KernelRequest> = reqs.iter().collect();
+        batch_units(&s.cfg.model, &refs, n)
+    };
+    let t0 = Instant::now();
+    let result = request::run_batch(&reqs, &engine);
+    let service_ns = t0.elapsed().as_nanos() as u64;
+
+    // EWMA calibration refresh: the estimator tracks this host's
+    // current speed, so sustained load or a slow machine tightens
+    // future downgrade decisions.
+    {
+        let mut calib = s.calib.lock().expect("calib lock");
+        let observed = service_ns as f64 / units.max(1.0);
+        *calib = 0.7 * *calib + 0.3 * observed;
+    }
+
+    match result {
+        Ok(responses) => {
+            for (job, resp) in jobs.into_iter().zip(responses) {
+                s.counters.served.fetch_add(1, Ordering::Relaxed);
+                if downgraded {
+                    s.counters.downgraded.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = job.tx.send(Completed {
+                    id: job.id,
+                    outcome: Outcome::Done(resp),
+                    effective_n: n,
+                    downgraded,
+                    queue_ns: dispatch.duration_since(job.enqueued).as_nanos() as u64,
+                    service_ns,
+                });
+            }
+        }
+        Err(e) => {
+            // Batch-level failure: fall back per job so one bad request
+            // cannot poison its neighbours' completions.
+            let msg = e.to_string();
+            for job in jobs {
+                let t0 = Instant::now();
+                let outcome = match request::run(&job.req, &engine) {
+                    Ok(resp) => {
+                        s.counters.served.fetch_add(1, Ordering::Relaxed);
+                        Outcome::Done(resp)
+                    }
+                    Err(e) => {
+                        s.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        Outcome::Failed(format!("{msg}; retry: {e}"))
+                    }
+                };
+                let _ = job.tx.send(Completed {
+                    id: job.id,
+                    outcome,
+                    effective_n: n,
+                    downgraded,
+                    queue_ns: dispatch.duration_since(job.enqueued).as_nanos() as u64,
+                    service_ns: t0.elapsed().as_nanos() as u64,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_runs_at_configured_n_with_ample_slack() {
+        assert_eq!(plan_batch(1e9, 256, 32, |n| n as f64), Plan::Run(256));
+    }
+
+    #[test]
+    fn plan_downgrades_down_the_halving_ladder() {
+        // est(n) = n * 1e6; slack fits 64 but not 128 or 256.
+        assert_eq!(plan_batch(70e6, 256, 32, |n| n as f64 * 1e6), Plan::Run(64));
+    }
+
+    #[test]
+    fn plan_sheds_when_even_the_floor_misses() {
+        assert_eq!(plan_batch(1e3, 256, 32, |n| n as f64 * 1e6), Plan::Shed);
+    }
+
+    #[test]
+    fn plan_never_goes_below_the_floor() {
+        // Slack fits n = 16 only, but the floor is 32: shed.
+        assert_eq!(plan_batch(20e6, 256, 32, |n| n as f64 * 1e6), Plan::Shed);
+    }
+
+    #[test]
+    fn batch_units_scale_with_n_and_pixels() {
+        let model = PipelineModel::evaluation_default();
+        let small = KernelRequest::Edge {
+            image: imgproc::synth::gradient(8, 8, true),
+        };
+        let big = KernelRequest::Edge {
+            image: imgproc::synth::gradient(32, 32, true),
+        };
+        let u_small = batch_units(&model, &[&small], 256);
+        let u_big = batch_units(&model, &[&big], 256);
+        assert!(u_big > u_small * 8.0);
+        let u_half = batch_units(&model, &[&big], 128);
+        assert!(u_half < u_big);
+    }
+}

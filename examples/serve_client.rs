@@ -1,0 +1,74 @@
+//! Serve client: drive the SC-ReRAM service over its wire protocol.
+//!
+//! Starts an in-process server on a loopback port (stand-in for a
+//! `cargo run --release -p serve` deployment), then walks the client
+//! API: a kernel request on the default SC-ReRAM backend, the same
+//! request on the software baseline for comparison, a deadline so tight
+//! the service must shed it, and the in-band shutdown handshake.
+//!
+//! Run with `cargo run --release --example serve_client`.
+
+use reram_sc::apps::request::KernelRequest;
+use reram_sc::apps::{synth, ScReramConfig, Schedule};
+use reram_sc::service::{Client, Server, ServiceConfig, Status};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ❶ A service over four pipelined shards with a shared template
+    //    cache — the same configuration `serve --arrays 4` runs.
+    let engine = ScReramConfig::new(64, 42)
+        .with_schedule(Schedule::Pipelined { arrays: 4 })
+        .with_plan_cache(Arc::new(reram_sc::accel::PlanCache::new()));
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let server = Server::start(
+        listener,
+        ServiceConfig {
+            engine,
+            ..ServiceConfig::default()
+        },
+    )?;
+    let addr = server.addr();
+    println!("service listening on {addr}");
+
+    // ❷ One client, one edge-detection request on the accelerator.
+    let mut client = Client::connect(addr)?;
+    let image = synth::value_noise(32, 32, 3, 7);
+    let req = KernelRequest::Edge { image };
+    let resp = client.call(&req, None)?;
+    println!(
+        "edge 32x32 on SC-ReRAM: {:?}, N={}, queued {:.2} ms, served {:.2} ms",
+        resp.status,
+        resp.effective_n,
+        resp.queue_ns as f64 / 1e6,
+        resp.service_ns as f64 / 1e6
+    );
+    let sc_pixels = resp.pixels.expect("Ok response carries pixels");
+
+    // ❸ The same request on the exact software baseline (backend byte
+    //    3 on the wire): the SC result should be close, not identical.
+    let resp = client.call_backend(&req, 3, 0.0, None)?;
+    let sw_pixels = resp.pixels.expect("Ok response carries pixels");
+    let mse = sc_pixels
+        .pixels()
+        .iter()
+        .zip(sw_pixels.pixels())
+        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+        .sum::<f64>()
+        / sc_pixels.pixels().len() as f64;
+    println!("software baseline MSE vs SC-ReRAM: {mse:.2}");
+
+    // ❹ An unmeetable deadline: the service sheds instead of erroring —
+    //    graceful degradation is part of the API contract.
+    let resp = client.call(&req, Some(Duration::from_micros(1)))?;
+    assert_eq!(resp.status, Status::Shed, "1 µs is never meetable");
+    println!("1 µs deadline: {:?} ({})", resp.status, resp.message);
+
+    // ❺ In-band shutdown: the server acknowledges, then exits.
+    let bye = client.shutdown()?;
+    assert_eq!(bye.status, Status::Ok);
+    server.wait();
+    println!("service drained and stopped");
+    Ok(())
+}

@@ -56,6 +56,13 @@ step "cargo test -q -p imsc --features parallel" \
 step "cargo test -q -p imgproc --features parallel" \
     cargo test -q -p imgproc --features parallel
 
+# The serve frontend end to end over real loopback TCP: an in-process
+# server, a short closed-loop burst, every request answered Ok, clean
+# shutdown. (CI additionally smokes the standalone `serve` binary.)
+step "service smoke (in-process loadgen)" \
+    cargo run --release -p bench --bin loadgen -- \
+    --requests 8 --concurrency 2 --size 12 --expect-all-ok
+
 if [ "$run_bench" = 1 ]; then
     step "bench smoke run (BENCH_engine.json)" \
         cargo run --release -p bench --bin bench_engine -- --out BENCH_engine.json

@@ -18,7 +18,11 @@
 //! * [`baseline`] ([`baselines`]) — CMOS SC designs and the binary-CIM
 //!   comparator.
 //! * [`apps`] ([`imgproc`]) — image compositing, bilinear interpolation,
-//!   and image matting over software / SC / binary-CIM backends.
+//!   and image matting over software / SC / binary-CIM backends, plus
+//!   the unified [`apps::request`](imgproc::request) dispatch API.
+//! * [`service`] ([`serve`]) — the long-running SC-ReRAM service: an
+//!   async batched TCP frontend over the shard farm, with admission
+//!   control, request coalescing, and deadline-driven degradation.
 //!
 //! # Quickstart
 //!
@@ -44,3 +48,4 @@ pub use imsc as accel;
 pub use nvsim as mem;
 pub use reram as device;
 pub use sc_core as sc;
+pub use serve as service;
