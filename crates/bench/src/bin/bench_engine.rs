@@ -596,9 +596,11 @@ fn main() {
     // error; its p50/p99/mean latencies are gated wall-clock anchors and
     // the sustained req/s rides along as ungated context. The overload
     // run then doubles the offered concurrency into a shallow admission
-    // queue with tight deadlines: the graceful-degradation contract —
-    // shed or downgrade, never answer Error — is hard-asserted here, on
-    // the real service, every bench run.
+    // queue with a deadline that is provably unmeetable on any host —
+    // 1 µs is below the batcher's own coalescing window, let alone a
+    // floor-N service-time estimate — so the graceful-degradation
+    // contract (shed, never answer Error) is hard-asserted here, on the
+    // real service, every bench run, without depending on host speed.
     let serve_steady = run_in_process(
         ServiceConfig {
             engine: ScReramConfig::new(64, 42)
@@ -641,7 +643,7 @@ fn main() {
             requests: 24,
             concurrency: 4,
             size: 48,
-            deadline: Some(Duration::from_millis(40)),
+            deadline: Some(Duration::from_micros(1)),
         },
     );
     assert_eq!(
@@ -649,8 +651,8 @@ fn main() {
         "overload must shed or downgrade, never answer Error"
     );
     assert!(
-        serve_overload.shed + serve_overload.downgraded > 0,
-        "2x overload into a shallow queue must shed or downgrade something"
+        serve_overload.shed > 0,
+        "an unmeetable deadline under 2x overload must shed"
     );
     println!(
         "serve_overload_24req_4conn                   {:>10} served ({} downgraded), {} shed, 0 errors",

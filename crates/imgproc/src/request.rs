@@ -265,7 +265,23 @@ impl<'a> KernelView<'a> {
     fn check(&self) -> Result<(), ImgError> {
         match self {
             KernelView::Edge { .. } => Ok(()),
-            KernelView::Bilinear { factor, .. } => bilinear::check_factor(*factor),
+            KernelView::Bilinear { src, factor } => {
+                bilinear::check_factor(*factor)?;
+                // The output allocation is `input × factor` per side; an
+                // absurd factor must fail here, not wrap in
+                // `output_dims`/`output_pixels` and allocate garbage.
+                let pixels = src
+                    .width()
+                    .checked_mul(*factor)
+                    .and_then(|w| src.height().checked_mul(*factor).map(|h| (w, h)))
+                    .and_then(|(w, h)| w.checked_mul(h));
+                if pixels.is_none() {
+                    return Err(ImgError::InvalidParameter(
+                        "scale factor overflows the output dimensions",
+                    ));
+                }
+                Ok(())
+            }
             KernelView::Compositing {
                 foreground,
                 background,

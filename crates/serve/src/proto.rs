@@ -22,7 +22,11 @@
 //! ```
 //!
 //! Dimensions are capped ([`MAX_DIM`], [`MAX_PIXELS`]) so a corrupt or
-//! hostile frame cannot trigger an unbounded allocation.
+//! hostile frame cannot trigger an unbounded allocation. The caps apply
+//! to the *output* shape too: a bilinear frame whose `input × factor`
+//! dimensions would exceed them is rejected at parse time (with checked
+//! arithmetic, so a near-`u32::MAX` factor cannot overflow the check
+//! itself).
 
 use imgproc::request::{Backend, KernelRequest};
 use imgproc::GrayImage;
@@ -143,8 +147,16 @@ fn read_f64(r: &mut impl Read) -> io::Result<f64> {
 }
 
 fn write_image(w: &mut impl Write, img: &GrayImage) -> io::Result<()> {
-    w.write_all(&(img.width() as u32).to_le_bytes())?;
-    w.write_all(&(img.height() as u32).to_le_bytes())?;
+    let width = u32::try_from(img.width())
+        .map_err(|_| bad(format!("image width {} not representable on the wire", img.width())))?;
+    let height = u32::try_from(img.height()).map_err(|_| {
+        bad(format!(
+            "image height {} not representable on the wire",
+            img.height()
+        ))
+    })?;
+    w.write_all(&width.to_le_bytes())?;
+    w.write_all(&height.to_le_bytes())?;
     w.write_all(img.pixels())
 }
 
@@ -249,10 +261,29 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Option<WireRequest>> {
         0 => WireBody::Kernel(KernelRequest::Edge {
             image: images.remove(0),
         }),
-        1 => WireBody::Kernel(KernelRequest::Bilinear {
-            src: images.remove(0),
-            factor,
-        }),
+        1 => {
+            let src = images.remove(0);
+            // The input caps alone do not bound a bilinear request: its
+            // allocation is `input × factor`, so the *output* shape must
+            // satisfy the same caps — with checked math, because a
+            // near-`u32::MAX` factor would overflow `width * factor`.
+            let out_w = (src.width() as u64).checked_mul(factor as u64);
+            let out_h = (src.height() as u64).checked_mul(factor as u64);
+            match (out_w, out_h) {
+                (Some(w), Some(h))
+                    if w <= u64::from(MAX_DIM)
+                        && h <= u64::from(MAX_DIM)
+                        && w * h <= MAX_PIXELS => {}
+                _ => {
+                    return Err(bad(format!(
+                        "bilinear factor {factor} scales {}x{} past the output caps",
+                        src.width(),
+                        src.height()
+                    )))
+                }
+            }
+            WireBody::Kernel(KernelRequest::Bilinear { src, factor })
+        }
         2 => {
             let foreground = images.remove(0);
             let background = images.remove(0);
@@ -551,6 +582,49 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes()); // height
         let err = read_request(&mut Cursor::new(buf)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn hostile_bilinear_factor_is_rejected_before_allocation() {
+        // A cap-compliant input whose scaled output would be enormous
+        // (or whose `dim * factor` product overflows) must be rejected
+        // at parse time, for factors both huge and merely too large.
+        for factor in [u32::MAX, 1000] {
+            let img = synth::gradient(64, 64, true);
+            let mut buf = Vec::new();
+            write_request(
+                &mut buf,
+                &WireRequest {
+                    id: 1,
+                    deadline_us: 0,
+                    backend: 3,
+                    fault_prob: 0.0,
+                    body: WireBody::Kernel(KernelRequest::Bilinear {
+                        src: img,
+                        factor: factor as usize,
+                    }),
+                },
+            )
+            .unwrap();
+            let err = read_request(&mut Cursor::new(buf)).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+        // The largest in-cap output still parses.
+        let img = synth::gradient(64, 64, true);
+        let out = roundtrip_request(WireRequest {
+            id: 1,
+            deadline_us: 0,
+            backend: 0,
+            fault_prob: 0.0,
+            body: WireBody::Kernel(KernelRequest::Bilinear {
+                src: img,
+                factor: 64,
+            }),
+        });
+        assert!(matches!(
+            out.body,
+            WireBody::Kernel(KernelRequest::Bilinear { factor: 64, .. })
+        ));
     }
 
     #[test]

@@ -115,7 +115,16 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>, stop: &Arc<Atomic
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => {
+                // A persistent accept failure (e.g. EMFILE under fd
+                // exhaustion) returns immediately; back off so this
+                // thread does not busy-spin while the condition lasts.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
         let service = Arc::clone(service);
         let stop = Arc::clone(stop);
         let addr = listener.local_addr().expect("bound listener");
@@ -236,7 +245,10 @@ fn dispatch_kernel(
         }
         other => {
             let t0 = std::time::Instant::now();
-            let done = match request::run_on(&req, &other, engine) {
+            // Same admission validation the batched path gets from
+            // `submit_via` — the inline backends must not see a request
+            // shape the service would have rejected.
+            let done = match req.validate().and_then(|()| request::run_on(&req, &other, engine)) {
                 Ok(resp) => Completed {
                     id,
                     outcome: Outcome::Done(resp),

@@ -464,10 +464,10 @@ fn batcher_loop(s: &Shared) {
         }
         s.batches.push(batch);
     }
-    // Flush a held-back job the window loop never got to dispatch.
-    if let Some(j) = held.take() {
-        s.batches.push(vec![j]);
-    }
+    // The loop can only exit from the `held.take()` == None && `pop()`
+    // == None arm — a held-back job always seeds the next iteration's
+    // batch first — so no job can be stranded here.
+    debug_assert!(held.is_none(), "batcher exited with a held job");
     s.batches.close();
 }
 
